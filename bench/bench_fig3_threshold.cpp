@@ -1,0 +1,44 @@
+// Figure 3 — precision / recall / F1 as the decision threshold varies.
+// The paper's shape: recall falls and precision rises with the threshold;
+// F1 peaks below 0.5 but 0.5 is kept as the practical default.
+#include "common.h"
+
+using namespace gbm;
+
+int main() {
+  std::printf("Figure 3: metric curves over the decision threshold\n");
+  auto cfg = data::clcdsa_config();
+  cfg.solutions_per_task_per_lang = bench::scale().solutions_per_task;
+  cfg.broken_fraction = 0.0;
+  const auto files = data::generate_corpus(cfg);
+  core::ArtifactOptions bin_opts;
+  bin_opts.side = core::Side::Binary;
+  core::ArtifactOptions src_opts;
+  src_opts.side = core::Side::SourceIR;
+  bench::Experiment experiment(
+      bench::build_side(
+          bench::filter_lang(files, {frontend::Lang::C, frontend::Lang::Cpp}),
+          bin_opts),
+      bench::build_side(bench::filter_lang(files, {frontend::Lang::Java}), src_opts));
+  const auto result = experiment.run_graphbinmatch(true);
+
+  std::vector<float> grid;
+  for (float t = 0.05f; t <= 0.951f; t += 0.05f) grid.push_back(t);
+  const auto sweep = eval::threshold_sweep(result.test_scores, result.test_labels, grid);
+  std::printf("  %-10s %-10s %-10s %-10s %-10s\n", "threshold", "precision",
+              "recall", "f1", "accuracy");
+  float best_t = 0.5f;
+  double best_f1 = -1.0;
+  for (const auto& point : sweep) {
+    std::printf("  %-10.2f %-10.2f %-10.2f %-10.2f %-10.2f\n", point.threshold,
+                point.precision, point.recall, point.f1, point.accuracy);
+    if (point.f1 > best_f1) {
+      best_f1 = point.f1;
+      best_t = point.threshold;
+    }
+  }
+  std::printf("  best F1 at threshold %.2f; paper finds the optimum below 0.5 "
+              "(≈0.2) but keeps 0.5 as the default — recall decreases and "
+              "precision increases with the threshold.\n", best_t);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 4 — case study: a matching Java/C++ pair whose IR graphs differ
+// hugely in size (the paper's example: 330 nodes / 660 edges for Java vs
+// 65 nodes / 115 edges for C++), explaining false negatives driven by
+// language usage habits (boxed containers, bounds checks, class init).
+#include "common.h"
+#include "graph/program_graph.h"
+#include "ir/printer.h"
+#include "opt/passes.h"
+
+using namespace gbm;
+
+int main() {
+  std::printf("Figure 4: false-negative case study — same task, two languages\n");
+  std::printf("  paper: Java IR graph 330 nodes / 660 edges; C++ 65 nodes / 115 "
+              "edges for one matching pair\n\n");
+  const auto& tasks = data::all_tasks();
+  // The inversions task has an ArrayList-based Java variant vs a plain
+  // array C++ variant — the paper's "usage habits" scenario.
+  for (const auto& task : tasks) {
+    if (task.id != "inversions") continue;
+    data::Style style;  // default style, deterministic
+    const std::string java_src = task.emit(frontend::Lang::Java, 1, style);
+    const std::string cpp_src = task.emit(frontend::Lang::Cpp, 0, style);
+    auto java_mod = frontend::compile_source(java_src, frontend::Lang::Java, "Main");
+    auto cpp_mod = frontend::compile_source(cpp_src, frontend::Lang::Cpp, "Main");
+    const auto java_graph = graph::build_graph(*java_mod);
+    const auto cpp_graph = graph::build_graph(*cpp_mod);
+    std::printf("  task '%s' (count inversions):\n", task.id.c_str());
+    std::printf("    Java (ArrayList + bounds checks + boxing): %s\n",
+                java_graph.stats().c_str());
+    std::printf("    C++  (plain loops):                        %s\n",
+                cpp_graph.stats().c_str());
+    const double ratio = static_cast<double>(java_graph.num_nodes()) /
+                         static_cast<double>(cpp_graph.num_nodes());
+    std::printf("    node ratio Java/C++ = %.1fx (paper's example: ~5x)\n", ratio);
+    std::printf("\n  Java IR excerpt:\n");
+    const std::string jtext = ir::print_module(*java_mod);
+    std::printf("%.600s...\n", jtext.c_str());
+    std::printf("\n  C++ IR excerpt:\n");
+    const std::string ctext = ir::print_module(*cpp_mod);
+    std::printf("%.600s...\n", ctext.c_str());
+    return 0;
+  }
+  std::printf("  task template not found\n");
+  return 1;
+}

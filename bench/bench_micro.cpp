@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark): throughput of the pipeline stages —
+// front-end compilation, optimisation, codegen+lift, graph construction,
+// tokenisation, and GNN forward / forward+backward passes.
+#include <benchmark/benchmark.h>
+
+#include "backend/codegen.h"
+#include "core/pipeline.h"
+#include "datasets/corpus.h"
+#include "decompiler/lift.h"
+#include "frontend/frontend.h"
+#include "gnn/trainer.h"
+#include "ir/printer.h"
+#include "opt/passes.h"
+
+using namespace gbm;
+
+namespace {
+
+const data::SourceFile& sample_file() {
+  static const data::SourceFile file = [] {
+    auto cfg = data::clcdsa_config();
+    cfg.num_tasks = 10;
+    cfg.solutions_per_task_per_lang = 1;
+    cfg.broken_fraction = 0.0;
+    auto files = data::generate_corpus(cfg);
+    for (auto& f : files) {
+      if (f.task_id == "sort_print" && f.lang == frontend::Lang::Cpp) return f;
+    }
+    return files.front();
+  }();
+  return file;
+}
+
+void BM_Frontend(benchmark::State& state) {
+  const auto& file = sample_file();
+  for (auto _ : state) {
+    auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
+    benchmark::DoNotOptimize(module->instruction_count());
+  }
+}
+BENCHMARK(BM_Frontend);
+
+void BM_Optimize_O2(benchmark::State& state) {
+  const auto& file = sample_file();
+  for (auto _ : state) {
+    auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
+    opt::optimize(*module, opt::OptLevel::O2);
+    benchmark::DoNotOptimize(module->instruction_count());
+  }
+}
+BENCHMARK(BM_Optimize_O2);
+
+void BM_CompileAndLift(benchmark::State& state) {
+  const auto& file = sample_file();
+  auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
+  for (auto _ : state) {
+    auto binary = backend::compile_module(*module);
+    auto lifted = decompiler::lift(binary);
+    benchmark::DoNotOptimize(lifted->instruction_count());
+  }
+}
+BENCHMARK(BM_CompileAndLift);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto& file = sample_file();
+  auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
+  for (auto _ : state) {
+    auto g = graph::build_graph(*module);
+    benchmark::DoNotOptimize(g.num_nodes());
+  }
+}
+BENCHMARK(BM_GraphBuild);
+
+void BM_Tokenize(benchmark::State& state) {
+  const auto& file = sample_file();
+  auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
+  const std::string text = ir::print_module(*module);
+  std::vector<std::string> corpus{text};
+  auto tk = tok::Tokenizer::train(corpus, 512);
+  for (auto _ : state) {
+    auto ids = tk.encode(text, 128);
+    benchmark::DoNotOptimize(ids.size());
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+struct GnnFixture {
+  gnn::EncodedGraph encoded;
+  std::unique_ptr<gnn::GraphBinMatchModel> model;
+  GnnFixture() {
+    const auto& file = sample_file();
+    auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
+    auto g = graph::build_graph(*module);
+    std::vector<std::string> corpus;
+    for (const auto& node : g.nodes) corpus.push_back(node.feature(true));
+    auto tk = tok::Tokenizer::train(corpus, 256);
+    encoded = gnn::encode_graph(g, tk, 16, true);
+    gnn::ModelConfig cfg;
+    cfg.vocab = 256;
+    cfg.embed_dim = 32;
+    cfg.hidden = 32;
+    cfg.layers = 2;
+    tensor::RNG rng(3);
+    model = std::make_unique<gnn::GraphBinMatchModel>(cfg, rng);
+  }
+};
+
+void BM_GnnForward(benchmark::State& state) {
+  static GnnFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.model->predict(fx.encoded, fx.encoded));
+  }
+}
+BENCHMARK(BM_GnnForward);
+
+void BM_GnnForwardBackward(benchmark::State& state) {
+  static GnnFixture fx;
+  tensor::RNG rng(5);
+  for (auto _ : state) {
+    auto logit = fx.model->forward_logit(fx.encoded, fx.encoded, true, rng);
+    auto loss = tensor::bce_with_logits(logit, {1.0f});
+    loss.backward();
+    fx.model->zero_grad();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_GnnForwardBackward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

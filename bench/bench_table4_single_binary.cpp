@@ -1,0 +1,33 @@
+// Table IV — single-language (POJ-104-style, C++ only) binary-source
+// matching at threshold 0.5: BinPro, B2SFinder, XLIR(LSTM/Transformer),
+// GraphBinMatch.
+#include "common.h"
+
+using namespace gbm;
+
+int main() {
+  std::printf("Table IV: single-language binary-source matching (POJ substitute)\n");
+  auto cfg = data::poj_config();
+  cfg.solutions_per_task_per_lang = bench::scale().solutions_per_task + 1;
+  cfg.broken_fraction = 0.0;
+  const auto files = data::generate_corpus(cfg);
+
+  core::ArtifactOptions bin_opts;
+  bin_opts.side = core::Side::Binary;
+  bin_opts.opt_level = opt::OptLevel::O0;
+  core::ArtifactOptions src_opts;
+  src_opts.side = core::Side::SourceIR;
+
+  bench::Experiment experiment(bench::build_side(files, bin_opts),
+                               bench::build_side(files, src_opts));
+  bench::print_header("C++ binary vs C++ source");
+  std::printf("  paper: BinPro .38/.42/.40; B2SFinder .43/.46/.44; XLIR(LSTM) "
+              ".67/.72/.44; XLIR(Tr) .85/.86/.85; GraphBinMatch .88/.86/.87\n");
+  bench::print_row("BinPro", experiment.run_binpro().test);
+  bench::print_row("B2SFinder", experiment.run_b2sfinder().test);
+  bench::print_row("XLIR(LSTM)", experiment.run_xlir(baselines::XlirBackbone::LSTM).test);
+  bench::print_row("XLIR(Transformer)",
+            experiment.run_xlir(baselines::XlirBackbone::Transformer).test);
+  bench::print_row("GraphBinMatch", experiment.run_graphbinmatch(true).test);
+  return 0;
+}

@@ -1,0 +1,223 @@
+#include "common.h"
+
+#include "backend/codegen.h"
+#include "decompiler/lift.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "opt/passes.h"
+
+namespace gbm::bench {
+
+bool fast_mode() {
+  const char* env = std::getenv("GBM_FAST");
+  return env && std::string(env) == "1";
+}
+
+Scale scale() {
+  Scale s;
+  if (fast_mode()) {
+    s.solutions_per_task = 2;
+    s.epochs = 2;
+    s.xlir_epochs = 2;
+    s.max_positives_per_task = 4;
+  }
+  return s;
+}
+
+std::vector<data::SourceFile> filter_lang(const std::vector<data::SourceFile>& files,
+                                          const std::vector<frontend::Lang>& langs) {
+  std::vector<data::SourceFile> out;
+  for (const auto& f : files) {
+    for (frontend::Lang l : langs) {
+      if (f.lang == l) {
+        out.push_back(f);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+SideData build_side(const std::vector<data::SourceFile>& files,
+                    const core::ArtifactOptions& options) {
+  SideData side;
+  for (const auto& file : files) {
+    try {
+      auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
+      opt::optimize(*module, options.opt_level);
+      std::string text;
+      graph::ProgramGraph g;
+      if (options.side == core::Side::SourceIR) {
+        text = ir::print_module(*module);
+        g = graph::build_graph(*module);
+      } else {
+        const backend::VBinary binary = backend::compile_module(*module, options.style);
+        auto lifted = decompiler::lift(binary);
+        text = ir::print_module(*lifted);
+        g = graph::build_graph(*lifted);
+      }
+      side.graph_nodes.push_back(g.num_nodes());
+      side.graphs.push_back(std::move(g));
+      side.ir_texts.push_back(std::move(text));
+      side.sources.push_back(file.source);
+      side.tasks.push_back(file.task_index);
+    } catch (const std::exception&) {
+      // non-compilable file — discarded, as in the paper
+    }
+  }
+  return side;
+}
+
+Experiment::Experiment(SideData a, SideData b, std::uint64_t seed)
+    : a_(std::move(a)), b_(std::move(b)) {
+  data::PairConfig pcfg;
+  pcfg.seed = seed;
+  pcfg.max_positives_per_task = scale().max_positives_per_task;
+  splits_ = data::make_pairs(a_.tasks, b_.tasks, pcfg);
+}
+
+Experiment::Result Experiment::run_graphbinmatch(bool use_full_text,
+                                                 std::uint64_t seed) const {
+  core::MatchingSystem::Config cfg;
+  cfg.model.vocab = 384;
+  cfg.model.embed_dim = 32;
+  cfg.model.hidden = 32;
+  cfg.model.layers = 2;
+  cfg.model.interaction = true;
+  cfg.use_full_text = use_full_text;
+  cfg.seed = seed;
+  core::MatchingSystem sys(cfg);
+  std::vector<const graph::ProgramGraph*> all;
+  for (const auto& g : a_.graphs) all.push_back(&g);
+  for (const auto& g : b_.graphs) all.push_back(&g);
+  sys.fit_tokenizer(all);
+
+  std::vector<gnn::EncodedGraph> ea, eb;
+  ea.reserve(a_.graphs.size());
+  eb.reserve(b_.graphs.size());
+  for (const auto& g : a_.graphs) ea.push_back(sys.encode(g));
+  for (const auto& g : b_.graphs) eb.push_back(sys.encode(g));
+  auto to_samples = [&](const std::vector<data::PairSpec>& specs) {
+    std::vector<gnn::PairSample> out;
+    out.reserve(specs.size());
+    for (const auto& s : specs) out.push_back({&ea[s.a], &eb[s.b], s.label});
+    return out;
+  };
+  const auto train = to_samples(splits_.train);
+  const auto test = to_samples(splits_.test);
+
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = scale().epochs;
+  tcfg.lr = scale().lr;
+  tcfg.seed = seed;
+  sys.train(train, tcfg);
+
+  Result result;
+  result.test_scores = sys.score_pairs(test);
+  for (const auto& s : splits_.test) {
+    result.test_labels.push_back(s.label);
+    result.test_nodes.emplace_back(a_.graph_nodes[s.a], b_.graph_nodes[s.b]);
+  }
+  result.test = eval::confusion(result.test_scores, result.test_labels, 0.5f);
+  return result;
+}
+
+Experiment::Result Experiment::run_xlir(baselines::XlirBackbone backbone,
+                                        std::uint64_t seed) const {
+  baselines::XlirConfig cfg;
+  cfg.backbone = backbone;
+  cfg.seed = seed;
+  baselines::XlirSystem sys(cfg);
+  std::vector<std::string> corpus = a_.ir_texts;
+  corpus.insert(corpus.end(), b_.ir_texts.begin(), b_.ir_texts.end());
+  sys.fit_tokenizer(corpus);
+  std::vector<baselines::EncodedSeq> ea, eb;
+  for (const auto& t : a_.ir_texts) ea.push_back(sys.encode(t));
+  for (const auto& t : b_.ir_texts) eb.push_back(sys.encode(t));
+  auto to_samples = [&](const std::vector<data::PairSpec>& specs) {
+    std::vector<baselines::XlirSystem::Sample> out;
+    for (const auto& s : specs) out.push_back({&ea[s.a], &eb[s.b], s.label});
+    return out;
+  };
+  baselines::XlirSystem::TrainOptions topt;
+  topt.epochs = scale().xlir_epochs;
+  topt.lr = scale().lr;
+  topt.seed = seed;
+  sys.train(to_samples(splits_.train), topt);
+
+  Result result;
+  result.test_scores = sys.score(to_samples(splits_.test));
+  for (const auto& s : splits_.test) result.test_labels.push_back(s.label);
+  result.test = eval::confusion(result.test_scores, result.test_labels, 0.5f);
+  return result;
+}
+
+namespace {
+
+template <class ScoreFn>
+Experiment::Result run_static_matcher(const data::SplitPairs& splits,
+                                      const ScoreFn& score_pair) {
+  Experiment::Result result;
+  std::vector<float> train_scores, train_labels;
+  for (const auto& s : splits.train) {
+    train_scores.push_back(static_cast<float>(score_pair(s.a, s.b)));
+    train_labels.push_back(s.label);
+  }
+  result.threshold = baselines::calibrate_threshold(train_scores, train_labels);
+  for (const auto& s : splits.test) {
+    result.test_scores.push_back(static_cast<float>(score_pair(s.a, s.b)));
+    result.test_labels.push_back(s.label);
+  }
+  result.test =
+      eval::confusion(result.test_scores, result.test_labels, result.threshold);
+  return result;
+}
+
+}  // namespace
+
+Experiment::Result Experiment::run_binpro() const {
+  // Features are derived from the IR texts (parse back).
+  std::vector<baselines::ModuleFeatures> fa, fb;
+  for (const auto& t : a_.ir_texts)
+    fa.push_back(baselines::extract_features(*ir::parse_module(t)));
+  for (const auto& t : b_.ir_texts)
+    fb.push_back(baselines::extract_features(*ir::parse_module(t)));
+  return run_static_matcher(splits_, [&](int i, int j) {
+    return baselines::binpro_similarity(fa[i], fb[j]);
+  });
+}
+
+Experiment::Result Experiment::run_b2sfinder() const {
+  std::vector<baselines::ModuleFeatures> fa, fb;
+  for (const auto& t : a_.ir_texts)
+    fa.push_back(baselines::extract_features(*ir::parse_module(t)));
+  for (const auto& t : b_.ir_texts)
+    fb.push_back(baselines::extract_features(*ir::parse_module(t)));
+  std::vector<const baselines::ModuleFeatures*> corpus;
+  for (const auto& f : fa) corpus.push_back(&f);
+  for (const auto& f : fb) corpus.push_back(&f);
+  const auto weights = baselines::B2SWeights::fit(corpus);
+  return run_static_matcher(splits_, [&](int i, int j) {
+    return baselines::b2sfinder_similarity(fa[i], fb[j], weights);
+  });
+}
+
+Experiment::Result Experiment::run_licca() const {
+  return run_static_matcher(splits_, [&](int i, int j) {
+    return baselines::licca_similarity(a_.sources[i], b_.sources[j]);
+  });
+}
+
+void print_row(const std::string& name, const eval::Confusion& c,
+               const std::string& paper) {
+  std::printf("  %-28s %s", name.c_str(), eval::fmt_prf(c).c_str());
+  if (!paper.empty()) std::printf("   | paper: %s", paper.c_str());
+  std::printf("\n");
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("  %-28s %-6s %-6s %-6s\n", "system", "P", "R", "F1");
+}
+
+}  // namespace gbm::bench

@@ -1,0 +1,89 @@
+// Shared experiment harness for the per-table/figure bench binaries.
+//
+// Each bench reproduces one table or figure of the paper: it synthesises
+// the corpus, builds artifacts through the full pipeline (front-end →
+// optimiser → backend → decompiler → ProGraML graph), trains the models,
+// and prints the paper's numbers next to the measured ones.
+//
+// Environment:
+//   GBM_FAST=1   — shrink corpus/epochs for smoke runs (CI-sized).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/static_matchers.h"
+#include "baselines/xlir.h"
+#include "core/pipeline.h"
+#include "datasets/pairs.h"
+#include "eval/metrics.h"
+#include "frontend/frontend.h"
+
+namespace gbm::bench {
+
+struct Scale {
+  int solutions_per_task = 4;
+  int epochs = 16;
+  int xlir_epochs = 6;
+  float lr = 5e-3f;
+  int max_positives_per_task = 10;
+};
+
+bool fast_mode();
+Scale scale();
+
+/// Splits a corpus by language.
+std::vector<data::SourceFile> filter_lang(const std::vector<data::SourceFile>& files,
+                                          const std::vector<frontend::Lang>& langs);
+
+/// One side of a matching experiment: program graphs + IR texts + labels.
+struct SideData {
+  std::vector<graph::ProgramGraph> graphs;
+  std::vector<std::string> ir_texts;  // printed IR (XLIR / static matcher input)
+  std::vector<std::string> sources;   // original source text (LICCA)
+  std::vector<long> graph_nodes;      // per artifact, for Table VII / Fig. 4
+  std::vector<int> tasks;
+};
+
+/// Builds graphs, IR texts and features for every compilable file.
+SideData build_side(const std::vector<data::SourceFile>& files,
+                    const core::ArtifactOptions& options);
+
+/// A full matching experiment between two sides.
+class Experiment {
+ public:
+  Experiment(SideData a, SideData b, std::uint64_t seed = 7);
+
+  const SideData& a() const { return a_; }
+  const SideData& b() const { return b_; }
+  const data::SplitPairs& splits() const { return splits_; }
+
+  struct Result {
+    eval::Confusion test;
+    std::vector<float> test_scores;
+    std::vector<float> test_labels;
+    // Node counts of the two graphs of each test pair (Table VII).
+    std::vector<std::pair<long, long>> test_nodes;
+    float threshold = 0.5f;
+  };
+
+  Result run_graphbinmatch(bool use_full_text, std::uint64_t seed = 7) const;
+  Result run_xlir(baselines::XlirBackbone backbone, std::uint64_t seed = 13) const;
+  Result run_binpro() const;
+  Result run_b2sfinder() const;
+  Result run_licca() const;
+
+ private:
+  SideData a_;
+  SideData b_;
+  data::SplitPairs splits_;
+};
+
+/// Prints "name  P R F1" next to the paper-reported numbers.
+void print_row(const std::string& name, const eval::Confusion& c,
+               const std::string& paper = "");
+void print_header(const std::string& title);
+
+}  // namespace gbm::bench

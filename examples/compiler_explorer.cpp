@@ -1,0 +1,84 @@
+// Compiler explorer: walk one program through every stage of the substrate —
+// front-end IR at each optimisation level, VBin machine code for both
+// code-generation styles, and the decompiler's lifted IR. This is the
+// "what does the model actually see?" tour of Figure 1's left side.
+//
+//   ./examples/compiler_explorer
+#include <cstdio>
+
+#include "backend/codegen.h"
+#include "backend/vm.h"
+#include "decompiler/lift.h"
+#include "frontend/frontend.h"
+#include "graph/program_graph.h"
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "opt/passes.h"
+
+using namespace gbm;
+
+int main() {
+  const char* source =
+      "long gcd(long a, long b) {\n"
+      "  while (b != 0) { long t = b; b = a % b; a = t; }\n"
+      "  return a;\n"
+      "}\n"
+      "int main() {\n"
+      "  print(gcd(read(), read()));\n"
+      "  return 0;\n"
+      "}\n";
+  std::printf("=== source (MiniC) ===\n%s\n", source);
+
+  // IR at each optimisation level.
+  for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
+    auto module = frontend::compile_source(source, frontend::Lang::C, "Main");
+    opt::optimize(*module, level);
+    const auto g = graph::build_graph(*module);
+    std::printf("=== IR at -%s: %ld instructions, graph %s ===\n",
+                opt::opt_level_name(level), module->instruction_count(),
+                g.stats().c_str());
+    if (level == opt::OptLevel::O2) std::printf("%s\n", ir::print_module(*module).c_str());
+  }
+
+  // Machine code, both toolchain styles.
+  auto module = frontend::compile_source(source, frontend::Lang::C, "Main");
+  opt::optimize(*module, opt::OptLevel::O1);
+  for (auto style : {backend::CodegenStyle::VClang, backend::CodegenStyle::VGcc}) {
+    const auto binary = backend::compile_module(*module, style);
+    const auto encoded = backend::encode(binary);
+    std::printf("=== %s binary: %ld instructions, %zu bytes encoded ===\n",
+                backend::style_name(style), binary.code_size(), encoded.size());
+  }
+  const auto binary = backend::compile_module(*module);
+  std::printf("\n=== disassembly (first 24 instructions of main) ===\n");
+  const std::string dis = backend::disassemble(binary);
+  std::size_t pos = 0;
+  for (int line = 0; line < 26 && pos != std::string::npos; ++line) {
+    const std::size_t next = dis.find('\n', pos);
+    std::printf("%s\n", dis.substr(pos, next - pos).c_str());
+    pos = next == std::string::npos ? next : next + 1;
+  }
+
+  // Execute: interpreter vs VM.
+  interp::ExecOptions io;
+  io.input = {252, 105};
+  const auto interp_result = interp::execute(*module, io);
+  const auto vm_result = backend::run_binary(binary, io);
+  std::printf("\ninterp output: %svm output:     %s(equal: %s)\n",
+              interp_result.output.c_str(), vm_result.output.c_str(),
+              interp_result.output == vm_result.output ? "yes" : "NO");
+
+  // Decompile and compare shapes.
+  auto lifted = decompiler::lift(binary);
+  const auto lifted_graph = graph::build_graph(*lifted);
+  const auto source_graph = graph::build_graph(*module);
+  std::printf("\n=== decompiled IR (RetDec substitute) ===\n");
+  std::printf("source IR graph:     %s\n", source_graph.stats().c_str());
+  std::printf("decompiled IR graph: %s\n", lifted_graph.stats().c_str());
+  const auto relift = interp::execute(*lifted, io);
+  std::printf("decompiled re-execution output equal: %s\n",
+              relift.output == interp_result.output ? "yes" : "NO");
+  std::printf("\n=== decompiled main (excerpt) ===\n%.900s...\n",
+              ir::print_function(*lifted->function("main")).c_str());
+  return 0;
+}

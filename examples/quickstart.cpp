@@ -1,0 +1,88 @@
+// Quickstart: the five-minute tour of the GraphBinMatch public API.
+//
+// Compile a C program to a binary, decompile it back to IR, compile a Java
+// program to source IR, turn both into ProGraML-style graphs, train a tiny
+// matcher on a handful of labelled pairs, and score a new pair.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/pipeline.h"
+
+using namespace gbm;
+
+int main() {
+  // 1. Two solutions of the same task ("sum of squares") in two languages,
+  //    plus one unrelated program.
+  data::SourceFile c_binary_side;
+  c_binary_side.source =
+      "int main() {\n"
+      "  long s = 0;\n"
+      "  long i;\n"
+      "  for (i = 1; i <= 6; i++) { s += i * i; }\n"
+      "  print(s);\n"
+      "  return 0;\n"
+      "}\n";
+  c_binary_side.lang = frontend::Lang::C;
+  c_binary_side.unit_name = "Main";
+
+  data::SourceFile java_source_side = c_binary_side;
+  java_source_side.source =
+      "class Main {\n"
+      "  public static void main(String[] args) {\n"
+      "    int s = 0;\n"
+      "    for (int i = 1; i <= 6; i++) { s = s + i * i; }\n"
+      "    System.out.println(s);\n"
+      "  }\n"
+      "}\n";
+  java_source_side.lang = frontend::Lang::Java;
+
+  data::SourceFile unrelated = c_binary_side;
+  unrelated.source =
+      "int main() { puts(\"hello, reverse engineer\"); print(424242);"
+      " return 0; }\n";
+
+  // 2. Artifacts: the C program goes through compile → binary → decompile;
+  //    the Java program stays as front-end IR (the paper's Figure 1).
+  core::ArtifactOptions binary_opts;
+  binary_opts.side = core::Side::Binary;
+  const auto binary_artifact = core::build_artifact(c_binary_side, binary_opts);
+  const auto source_artifact = core::build_artifact(java_source_side, {});
+  const auto unrelated_artifact = core::build_artifact(unrelated, {});
+  std::printf("binary artifact:   %s\n", binary_artifact.graph.stats().c_str());
+  std::printf("source artifact:   %s\n", source_artifact.graph.stats().c_str());
+  std::printf("unrelated source:  %s\n", unrelated_artifact.graph.stats().c_str());
+
+  // 3. A matching system: tokenizer fitted on the corpus, then a small
+  //    GraphBinMatch model trained on labelled pairs.
+  core::MatchingSystem::Config config;
+  config.model.vocab = 128;
+  config.model.embed_dim = 16;
+  config.model.hidden = 16;
+  config.model.layers = 1;
+  config.model.interaction = true;
+  config.model.dropout = 0.0f;
+  core::MatchingSystem matcher(config);
+  matcher.fit_tokenizer(
+      {&binary_artifact.graph, &source_artifact.graph, &unrelated_artifact.graph});
+  std::printf("tokenizer: vocab=%d, feature length=%d tokens\n",
+              matcher.tokenizer().vocab_size(), matcher.bag_len());
+
+  const auto bin_graph = matcher.encode(binary_artifact.graph);
+  const auto src_graph = matcher.encode(source_artifact.graph);
+  const auto other_graph = matcher.encode(unrelated_artifact.graph);
+
+  std::vector<gnn::PairSample> train = {{&bin_graph, &src_graph, 1.0f},
+                                        {&bin_graph, &other_graph, 0.0f}};
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 60;
+  tcfg.lr = 0.02f;
+  matcher.train(train, tcfg);
+
+  // 4. Score: matching pair vs non-matching pair.
+  std::printf("\nscore(C binary, Java source of same task)  = %.3f (want > 0.5)\n",
+              matcher.score(bin_graph, src_graph));
+  std::printf("score(C binary, unrelated program)         = %.3f (want < 0.5)\n",
+              matcher.score(bin_graph, other_graph));
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reverse-engineering scenario (paper §I): given an unknown *binary*,
+// retrieve the most similar *source files* from a corpus — "the retrieved
+// source code snippet enables researchers to understand what a binary code
+// fragment does".
+//
+// A GraphBinMatch model is trained on CLCDSA-style pairs, then an unseen
+// binary is scored against every source file in the corpus and the ranked
+// list is printed.
+//
+//   ./examples/reverse_engineering
+#include <algorithm>
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "datasets/pairs.h"
+#include "frontend/frontend.h"
+
+using namespace gbm;
+
+int main() {
+  // Corpus: several tasks, Java sources + C/C++ binaries.
+  auto cfg = data::clcdsa_config();
+  cfg.num_tasks = 10;
+  cfg.solutions_per_task_per_lang = 3;
+  cfg.broken_fraction = 0.0;
+  const auto files = data::generate_corpus(cfg);
+
+  std::vector<data::SourceFile> binaries, sources;
+  for (const auto& f : files) {
+    if (f.lang == frontend::Lang::Java) sources.push_back(f);
+    else binaries.push_back(f);
+  }
+
+  core::ArtifactOptions bin_opts;
+  bin_opts.side = core::Side::Binary;
+  const auto bin_artifacts = core::build_artifacts(binaries, bin_opts);
+  const auto src_artifacts = core::build_artifacts(sources, {});
+
+  core::MatchingSystem::Config mcfg;
+  mcfg.model.vocab = 384;
+  mcfg.model.embed_dim = 32;
+  mcfg.model.hidden = 32;
+  mcfg.model.layers = 2;
+  mcfg.model.interaction = true;
+  core::MatchingSystem matcher(mcfg);
+  std::vector<const graph::ProgramGraph*> graphs;
+  for (const auto& a : bin_artifacts) graphs.push_back(&a.graph);
+  for (const auto& a : src_artifacts) graphs.push_back(&a.graph);
+  matcher.fit_tokenizer(graphs);
+
+  std::vector<gnn::EncodedGraph> bin_enc, src_enc;
+  for (const auto& a : bin_artifacts) bin_enc.push_back(matcher.encode(a.graph));
+  for (const auto& a : src_artifacts) src_enc.push_back(matcher.encode(a.graph));
+
+  // The "unknown" query binary is held out of training. Use a structurally
+  // distinctive task (sorting) — trivially small accumulator loops (sum,
+  // factorial, gcd) genuinely blur together even for humans.
+  int query = 0;
+  for (std::size_t i = 0; i < binaries.size(); ++i) {
+    if (binaries[i].task_id == "sort_print") {
+      query = static_cast<int>(i);
+      break;
+    }
+  }
+  std::vector<gnn::PairSample> train;
+  tensor::RNG rng(5);
+  for (std::size_t i = 0; i < bin_enc.size(); ++i) {
+    if (static_cast<int>(i) == query) continue;
+    for (std::size_t j = 0; j < src_enc.size(); ++j) {
+      const bool same = bin_artifacts[i].task_index == src_artifacts[j].task_index;
+      if (same || rng.bernoulli(0.15))
+        train.push_back({&bin_enc[i], &src_enc[j], same ? 1.0f : 0.0f});
+    }
+  }
+  std::printf("training retrieval model on %zu pairs...\n", train.size());
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 18;
+  tcfg.lr = 6e-3f;
+  matcher.train(train, tcfg);
+
+  // Rank all sources for the held-out query binary.
+  std::printf("\nquery: stripped binary of task '%s' (%s, %ld VBin instructions)\n",
+              binaries[query].task_id.c_str(),
+              frontend::lang_name(binaries[query].lang),
+              bin_artifacts[query].binary_code_size);
+  std::vector<std::pair<float, std::size_t>> ranked;
+  for (std::size_t j = 0; j < src_enc.size(); ++j)
+    ranked.push_back({matcher.score(bin_enc[query], src_enc[j]), j});
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::printf("\ntop source candidates:\n");
+  int shown = 0;
+  int correct_in_top5 = 0;
+  for (const auto& [score, j] : ranked) {
+    if (shown++ >= 5) break;
+    const bool hit = src_artifacts[j].task_index == bin_artifacts[query].task_index;
+    correct_in_top5 += hit;
+    std::printf("  %.3f  task=%-16s %s\n", score, sources[j].task_id.c_str(),
+                hit ? "<-- correct task" : "");
+  }
+  std::printf("\n%d of top-5 candidates solve the query's task.\n", correct_in_top5);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// IR → VBin code generation ("the compiler backend").
+//
+// Allocation strategy is -O0 style: every IR value gets an 8-byte frame
+// slot; instructions load operands into scratch registers, compute, and
+// store back. Phis are lowered with a parallel-copy staging slot in each
+// predecessor. Two code generation styles model two toolchains (RQ3):
+//
+//  * VClang — straight slot code.
+//  * VGcc   — same semantics, but all slot traffic is funnelled through an
+//    extra register move and functions carry frame-setup boilerplate,
+//    yielding substantially larger code (and, after decompilation,
+//    substantially larger lifted IR — the ~70 % effect the paper reports).
+//
+// Unsupported (by construction of the front-ends): >6 call arguments,
+// double-typed function parameters/returns, dynamically sized allocas.
+#pragma once
+
+#include "backend/isa.h"
+#include "ir/module.h"
+
+namespace gbm::backend {
+
+enum class CodegenStyle { VClang, VGcc };
+
+const char* style_name(CodegenStyle style);
+
+/// Compiles a whole module. Throws std::logic_error on unsupported IR.
+VBinary compile_module(const ir::Module& m, CodegenStyle style = CodegenStyle::VClang);
+
+}  // namespace gbm::backend

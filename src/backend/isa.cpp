@@ -1,0 +1,201 @@
+#include "backend/isa.h"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace gbm::backend {
+
+const char* vop_name(VOp op) {
+  switch (op) {
+    case VOp::LDI: return "ldi";
+    case VOp::MOV: return "mov";
+    case VOp::ADD: return "add";
+    case VOp::SUB: return "sub";
+    case VOp::MUL: return "mul";
+    case VOp::DIV: return "div";
+    case VOp::REM: return "rem";
+    case VOp::AND: return "and";
+    case VOp::OR: return "or";
+    case VOp::XOR: return "xor";
+    case VOp::SHL: return "shl";
+    case VOp::SAR: return "sar";
+    case VOp::SX32: return "sx32";
+    case VOp::SX8: return "sx8";
+    case VOp::AND1: return "and1";
+    case VOp::FADD: return "fadd";
+    case VOp::FSUB: return "fsub";
+    case VOp::FMUL: return "fmul";
+    case VOp::FDIV: return "fdiv";
+    case VOp::CMPEQ: return "cmpeq";
+    case VOp::CMPNE: return "cmpne";
+    case VOp::CMPLT: return "cmplt";
+    case VOp::CMPLE: return "cmple";
+    case VOp::CMPGT: return "cmpgt";
+    case VOp::CMPGE: return "cmpge";
+    case VOp::FCMPEQ: return "fcmpeq";
+    case VOp::FCMPNE: return "fcmpne";
+    case VOp::FCMPLT: return "fcmplt";
+    case VOp::FCMPLE: return "fcmple";
+    case VOp::FCMPGT: return "fcmpgt";
+    case VOp::FCMPGE: return "fcmpge";
+    case VOp::LD1: return "ld1";
+    case VOp::LD4: return "ld4";
+    case VOp::LD8: return "ld8";
+    case VOp::ST1: return "st1";
+    case VOp::ST4: return "st4";
+    case VOp::ST8: return "st8";
+    case VOp::FLD: return "fld";
+    case VOp::FST: return "fst";
+    case VOp::ITOF: return "itof";
+    case VOp::FTOI: return "ftoi";
+    case VOp::FMOV: return "fmov";
+    case VOp::LEA: return "lea";
+    case VOp::GADDR: return "gaddr";
+    case VOp::JMP: return "jmp";
+    case VOp::JZ: return "jz";
+    case VOp::JNZ: return "jnz";
+    case VOp::CALL: return "call";
+    case VOp::SYSCALL: return "syscall";
+    case VOp::ENTER: return "enter";
+    case VOp::LEAVE: return "leave";
+    case VOp::RET: return "ret";
+    case VOp::HALT: return "halt";
+    case VOp::NOP: return "nop";
+  }
+  return "?";
+}
+
+bool vop_has_imm(VOp op) {
+  switch (op) {
+    case VOp::LDI: case VOp::LD1: case VOp::LD4: case VOp::LD8:
+    case VOp::ST1: case VOp::ST4: case VOp::ST8: case VOp::FLD: case VOp::FST:
+    case VOp::LEA: case VOp::GADDR: case VOp::JMP: case VOp::JZ: case VOp::JNZ:
+    case VOp::CALL: case VOp::SYSCALL: case VOp::ENTER:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string VInst::str() const {
+  char buf[96];
+  if (vop_has_imm(op))
+    std::snprintf(buf, sizeof buf, "%-8s a=%u b=%u c=%u imm=%lld", vop_name(op), a, b,
+                  c, static_cast<long long>(imm));
+  else
+    std::snprintf(buf, sizeof buf, "%-8s a=%u b=%u c=%u", vop_name(op), a, b, c);
+  return buf;
+}
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(static_cast<std::uint64_t>(v) >> (8 * i)));
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& bytes;
+  std::size_t pos = 0;
+  std::uint8_t u8() {
+    if (pos >= bytes.size()) throw std::runtime_error("vbin: truncated");
+    return bytes[pos++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::int64_t i64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return static_cast<std::int64_t>(v);
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const VBinary& bin) {
+  std::vector<std::uint8_t> out;
+  out.push_back('V'); out.push_back('B'); out.push_back('I'); out.push_back('N');
+  put_u32(out, 1);  // version
+  put_u32(out, static_cast<std::uint32_t>(bin.data.size()));
+  out.insert(out.end(), bin.data.begin(), bin.data.end());
+  put_u32(out, static_cast<std::uint32_t>(bin.global_offsets.size()));
+  for (std::int64_t off : bin.global_offsets) put_i64(out, off);
+  put_u32(out, static_cast<std::uint32_t>(bin.functions.size()));
+  put_u32(out, static_cast<std::uint32_t>(bin.entry));
+  for (const auto& fn : bin.functions) {
+    put_u32(out, static_cast<std::uint32_t>(fn.name.size()));
+    out.insert(out.end(), fn.name.begin(), fn.name.end());
+    put_u32(out, static_cast<std::uint32_t>(fn.arity));
+    out.push_back(fn.returns_float ? 1 : 0);
+    put_u32(out, static_cast<std::uint32_t>(fn.code.size()));
+    for (const auto& inst : fn.code) {
+      out.push_back(static_cast<std::uint8_t>(inst.op));
+      out.push_back(inst.a);
+      out.push_back(inst.b);
+      out.push_back(inst.c);
+      if (vop_has_imm(inst.op)) put_i64(out, inst.imm);
+    }
+  }
+  return out;
+}
+
+VBinary decode(const std::vector<std::uint8_t>& bytes) {
+  Reader r{bytes};
+  if (r.u8() != 'V' || r.u8() != 'B' || r.u8() != 'I' || r.u8() != 'N')
+    throw std::runtime_error("vbin: bad magic");
+  if (r.u32() != 1) throw std::runtime_error("vbin: bad version");
+  VBinary bin;
+  const std::uint32_t data_size = r.u32();
+  bin.data.resize(data_size);
+  for (std::uint32_t i = 0; i < data_size; ++i) bin.data[i] = r.u8();
+  const std::uint32_t num_globals = r.u32();
+  for (std::uint32_t i = 0; i < num_globals; ++i) bin.global_offsets.push_back(r.i64());
+  const std::uint32_t num_fns = r.u32();
+  bin.entry = static_cast<int>(r.u32());
+  for (std::uint32_t i = 0; i < num_fns; ++i) {
+    VFunction fn;
+    const std::uint32_t name_len = r.u32();
+    fn.name.resize(name_len);
+    for (std::uint32_t k = 0; k < name_len; ++k) fn.name[k] = static_cast<char>(r.u8());
+    fn.arity = static_cast<int>(r.u32());
+    fn.returns_float = r.u8() != 0;
+    const std::uint32_t n = r.u32();
+    fn.code.reserve(n);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      VInst inst;
+      inst.op = static_cast<VOp>(r.u8());
+      inst.a = r.u8();
+      inst.b = r.u8();
+      inst.c = r.u8();
+      if (vop_has_imm(inst.op)) inst.imm = r.i64();
+      fn.code.push_back(inst);
+    }
+    bin.functions.push_back(std::move(fn));
+  }
+  return bin;
+}
+
+std::string disassemble(const VBinary& bin) {
+  std::string out = "; vbin: " + std::to_string(bin.functions.size()) + " functions, " +
+                    std::to_string(bin.data.size()) + " data bytes\n";
+  for (std::size_t i = 0; i < bin.functions.size(); ++i) {
+    const auto& fn = bin.functions[i];
+    out += "fn " + std::to_string(i) + " <" + fn.name + "> arity=" +
+           std::to_string(fn.arity) + ":\n";
+    for (std::size_t k = 0; k < fn.code.size(); ++k) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%4zu: ", k);
+      out += buf + fn.code[k].str() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace gbm::backend

@@ -1,0 +1,94 @@
+// VBin: the virtual binary ISA (the "x86" of this reproduction).
+//
+// A fixed-register machine with 16 integer registers (r0..r15) and 8
+// floating registers (f0..f7). Conventions:
+//   r0  — integer/pointer return value and scratch
+//   r1..r6 — integer/pointer arguments
+//   f0  — float return, f1..f6 float arguments
+//   r13 — frame pointer (FP), r14 — stack pointer (SP) [VM-managed]
+//   r7..r12 — codegen scratch
+//
+// Code is position-independent per function; branch targets are instruction
+// indices within the function. A compiled program (VBinary) carries a data
+// section (globals), a function table with recovered arity, and an entry
+// index — the artifact the decompiler lifts back to IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gbm::backend {
+
+enum class VOp : std::uint8_t {
+  LDI,    // rd <- imm64
+  MOV,    // rd <- ra
+  ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SHL, SAR,  // rd <- ra op rb
+  SX32, SX8, AND1,  // rd <- truncate/sign-extend ra (i32/i8/i1 wrap semantics)
+  FADD, FSUB, FMUL, FDIV,  // fd <- fa op fb
+  CMPEQ, CMPNE, CMPLT, CMPLE, CMPGT, CMPGE,      // rd <- (ra ? rb)
+  FCMPEQ, FCMPNE, FCMPLT, FCMPLE, FCMPGT, FCMPGE,  // rd <- (fa ? fb)
+  LD1, LD4, LD8,  // rd <- mem[ra + imm] (sign-extending)
+  ST1, ST4, ST8,  // mem[ra + imm] <- rb
+  FLD, FST,       // fd <- mem[ra + imm] / mem[ra + imm] <- fb
+  ITOF, FTOI,     // fd <- (double)ra / rd <- (int64)fa
+  FMOV,           // fd <- fa
+  LEA,            // rd <- FP + imm (frame address)
+  GADDR,          // rd <- &data[imm]
+  JMP,            // pc <- imm (instruction index)
+  JZ, JNZ,        // if (ra ==/!= 0) pc <- imm
+  CALL,           // call function #imm
+  SYSCALL,        // runtime call #imm (args r1../f1.., result r0/f0)
+  ENTER,          // push FP; FP <- SP; SP -= imm
+  LEAVE,          // SP <- FP; FP <- pop
+  RET,
+  HALT,
+  NOP,
+};
+
+const char* vop_name(VOp op);
+bool vop_has_imm(VOp op);
+
+struct VInst {
+  VOp op = VOp::NOP;
+  std::uint8_t a = 0;  // rd / fd
+  std::uint8_t b = 0;  // ra / fa
+  std::uint8_t c = 0;  // rb / fb
+  std::int64_t imm = 0;
+
+  std::string str() const;
+};
+
+struct VFunction {
+  std::string name;   // symbol (kept for debugging; decompiler ignores it)
+  int arity = 0;      // recovered argument count
+  bool returns_float = false;
+  std::vector<VInst> code;
+};
+
+/// A complete "binary executable".
+struct VBinary {
+  std::vector<std::uint8_t> data;          // data section (globals image)
+  std::vector<std::int64_t> global_offsets;  // data offset per module global
+  std::vector<VFunction> functions;
+  int entry = -1;  // index of main
+
+  long code_size() const {
+    long n = 0;
+    for (const auto& f : functions) n += static_cast<long>(f.code.size());
+    return n;
+  }
+};
+
+/// Serialises to the on-disk/encoded byte format ("the binary file").
+std::vector<std::uint8_t> encode(const VBinary& bin);
+/// Decodes an encoded binary. Throws std::runtime_error on malformed input.
+VBinary decode(const std::vector<std::uint8_t>& bytes);
+
+/// Disassembly listing (for debugging and the binary-inspection example).
+std::string disassemble(const VBinary& bin);
+
+constexpr int kRegFP = 13;
+constexpr int kRegSP = 14;
+
+}  // namespace gbm::backend

@@ -1,0 +1,233 @@
+#include "backend/vm.h"
+
+#include <cstring>
+
+namespace gbm::backend {
+
+namespace {
+
+using interp::ProgramIO;
+using interp::Runtime;
+using interp::RuntimeMemory;
+using interp::TrapError;
+
+struct Frame {
+  int fn = 0;
+  std::size_t pc = 0;
+};
+
+class VM {
+ public:
+  VM(const VBinary& bin, const interp::ExecOptions& options)
+      : bin_(bin), options_(options), mem_(options.memory_bytes), runtime_(mem_, io_) {
+    io_.input = options.input;
+  }
+
+  interp::ExecResult run() {
+    interp::ExecResult result;
+    try {
+      result.exit_code = exec();
+    } catch (const TrapError& trap) {
+      result.trapped = true;
+      result.trap_message = trap.what();
+    }
+    result.output = io_.output;
+    result.steps = steps_;
+    return result;
+  }
+
+ private:
+  std::int64_t exec() {
+    // Materialise the data section and a downward-growing stack.
+    data_base_ = mem_.alloc(std::max<std::uint64_t>(bin_.data.size(), 8));
+    if (!bin_.data.empty()) mem_.store_bytes(data_base_, bin_.data.data(), bin_.data.size());
+    const std::uint64_t stack_bytes = 1 << 20;
+    const std::uint64_t stack_base = mem_.alloc(stack_bytes);
+    r_[kRegSP] = static_cast<std::int64_t>(stack_base + stack_bytes);
+    r_[kRegFP] = 0;
+
+    int fn = bin_.entry;
+    std::size_t pc = 0;
+    std::vector<Frame> call_stack;
+
+    while (true) {
+      const auto& code = bin_.functions[static_cast<std::size_t>(fn)].code;
+      if (pc >= code.size()) throw TrapError("pc out of range");
+      const VInst& inst = code[pc];
+      if (++steps_ > options_.fuel) throw TrapError("fuel exhausted");
+      std::size_t next = pc + 1;
+      switch (inst.op) {
+        case VOp::LDI: r_[inst.a] = inst.imm; break;
+        case VOp::MOV: r_[inst.a] = r_[inst.b]; break;
+        case VOp::ADD: r_[inst.a] = u64_op(r_[inst.b], r_[inst.c], '+'); break;
+        case VOp::SUB: r_[inst.a] = u64_op(r_[inst.b], r_[inst.c], '-'); break;
+        case VOp::MUL: r_[inst.a] = u64_op(r_[inst.b], r_[inst.c], '*'); break;
+        case VOp::DIV:
+          if (r_[inst.c] == 0) throw TrapError("division by zero");
+          if (r_[inst.b] == INT64_MIN && r_[inst.c] == -1) r_[inst.a] = r_[inst.b];
+          else r_[inst.a] = r_[inst.b] / r_[inst.c];
+          break;
+        case VOp::REM:
+          if (r_[inst.c] == 0) throw TrapError("remainder by zero");
+          if (r_[inst.b] == INT64_MIN && r_[inst.c] == -1) r_[inst.a] = 0;
+          else r_[inst.a] = r_[inst.b] % r_[inst.c];
+          break;
+        case VOp::AND: r_[inst.a] = r_[inst.b] & r_[inst.c]; break;
+        case VOp::OR: r_[inst.a] = r_[inst.b] | r_[inst.c]; break;
+        case VOp::XOR: r_[inst.a] = r_[inst.b] ^ r_[inst.c]; break;
+        case VOp::SHL:
+          r_[inst.a] = static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(r_[inst.b])
+              << (static_cast<std::uint64_t>(r_[inst.c]) & 63));
+          break;
+        case VOp::SAR:
+          r_[inst.a] = r_[inst.b] >> (static_cast<std::uint64_t>(r_[inst.c]) & 63);
+          break;
+        case VOp::SX32: r_[inst.a] = static_cast<std::int32_t>(r_[inst.b]); break;
+        case VOp::SX8: r_[inst.a] = static_cast<std::int8_t>(r_[inst.b]); break;
+        case VOp::AND1: r_[inst.a] = r_[inst.b] & 1; break;
+        case VOp::FADD: f_[inst.a] = f_[inst.b] + f_[inst.c]; break;
+        case VOp::FSUB: f_[inst.a] = f_[inst.b] - f_[inst.c]; break;
+        case VOp::FMUL: f_[inst.a] = f_[inst.b] * f_[inst.c]; break;
+        case VOp::FDIV: f_[inst.a] = f_[inst.b] / f_[inst.c]; break;
+        case VOp::CMPEQ: r_[inst.a] = r_[inst.b] == r_[inst.c]; break;
+        case VOp::CMPNE: r_[inst.a] = r_[inst.b] != r_[inst.c]; break;
+        case VOp::CMPLT: r_[inst.a] = r_[inst.b] < r_[inst.c]; break;
+        case VOp::CMPLE: r_[inst.a] = r_[inst.b] <= r_[inst.c]; break;
+        case VOp::CMPGT: r_[inst.a] = r_[inst.b] > r_[inst.c]; break;
+        case VOp::CMPGE: r_[inst.a] = r_[inst.b] >= r_[inst.c]; break;
+        case VOp::FCMPEQ: r_[inst.a] = f_[inst.b] == f_[inst.c]; break;
+        case VOp::FCMPNE: r_[inst.a] = f_[inst.b] != f_[inst.c]; break;
+        case VOp::FCMPLT: r_[inst.a] = f_[inst.b] < f_[inst.c]; break;
+        case VOp::FCMPLE: r_[inst.a] = f_[inst.b] <= f_[inst.c]; break;
+        case VOp::FCMPGT: r_[inst.a] = f_[inst.b] > f_[inst.c]; break;
+        case VOp::FCMPGE: r_[inst.a] = f_[inst.b] >= f_[inst.c]; break;
+        case VOp::LD1:
+          r_[inst.a] = mem_.load_int(addr(inst.b, inst.imm), 1);
+          break;
+        case VOp::LD4:
+          r_[inst.a] = mem_.load_int(addr(inst.b, inst.imm), 4);
+          break;
+        case VOp::LD8:
+          r_[inst.a] = mem_.load_int(addr(inst.b, inst.imm), 8);
+          break;
+        case VOp::ST1:
+          mem_.store_int(addr(inst.a, inst.imm), r_[inst.b], 1);
+          break;
+        case VOp::ST4:
+          mem_.store_int(addr(inst.a, inst.imm), r_[inst.b], 4);
+          break;
+        case VOp::ST8:
+          mem_.store_int(addr(inst.a, inst.imm), r_[inst.b], 8);
+          break;
+        case VOp::FLD:
+          f_[inst.a] = mem_.load_f64(addr(inst.b, inst.imm));
+          break;
+        case VOp::FST:
+          mem_.store_f64(addr(inst.a, inst.imm), f_[inst.b]);
+          break;
+        case VOp::ITOF: f_[inst.a] = static_cast<double>(r_[inst.b]); break;
+        case VOp::FTOI: r_[inst.a] = static_cast<std::int64_t>(f_[inst.b]); break;
+        case VOp::FMOV: f_[inst.a] = f_[inst.b]; break;
+        case VOp::LEA: r_[inst.a] = r_[kRegFP] + inst.imm; break;
+        case VOp::GADDR:
+          r_[inst.a] = static_cast<std::int64_t>(data_base_) + inst.imm;
+          break;
+        case VOp::JMP: next = static_cast<std::size_t>(inst.imm); break;
+        case VOp::JZ:
+          if (r_[inst.a] == 0) next = static_cast<std::size_t>(inst.imm);
+          break;
+        case VOp::JNZ:
+          if (r_[inst.a] != 0) next = static_cast<std::size_t>(inst.imm);
+          break;
+        case VOp::CALL: {
+          if (call_stack.size() > 600) throw TrapError("call stack overflow");
+          call_stack.push_back({fn, next});
+          fn = static_cast<int>(inst.imm);
+          if (fn < 0 || fn >= static_cast<int>(bin_.functions.size()))
+            throw TrapError("call to invalid function index");
+          next = 0;
+          break;
+        }
+        case VOp::SYSCALL: {
+          const auto& sig =
+              Runtime::table().at(static_cast<std::size_t>(inst.imm));
+          std::vector<std::int64_t> args;
+          int int_reg = 1, flt_reg = 1;
+          for (int i = 0; i < sig.num_args; ++i) {
+            // Only gbm_print_f64 takes a float argument (in f1).
+            if (sig.name == "gbm_print_f64") {
+              std::int64_t bits;
+              std::memcpy(&bits, &f_[flt_reg++], 8);
+              args.push_back(bits);
+            } else {
+              args.push_back(r_[int_reg++]);
+            }
+          }
+          r_[0] = runtime_.invoke(static_cast<int>(inst.imm), args);
+          break;
+        }
+        case VOp::ENTER: {
+          r_[kRegSP] -= 8;
+          mem_.store_int(static_cast<std::uint64_t>(r_[kRegSP]), r_[kRegFP], 8);
+          r_[kRegFP] = r_[kRegSP];
+          r_[kRegSP] -= inst.imm;
+          if (r_[kRegSP] < 0) throw TrapError("stack overflow");
+          break;
+        }
+        case VOp::LEAVE: {
+          r_[kRegSP] = r_[kRegFP];
+          r_[kRegFP] = mem_.load_int(static_cast<std::uint64_t>(r_[kRegSP]), 8);
+          r_[kRegSP] += 8;
+          break;
+        }
+        case VOp::RET: {
+          if (call_stack.empty()) return r_[0];
+          fn = call_stack.back().fn;
+          next = call_stack.back().pc;
+          call_stack.pop_back();
+          break;
+        }
+        case VOp::HALT:
+          return r_[0];
+        case VOp::NOP:
+          break;
+      }
+      pc = next;
+    }
+  }
+
+  /// Wrapping two's-complement arithmetic (overflow is defined, as on x86).
+  static std::int64_t u64_op(std::int64_t a, std::int64_t b, char op) {
+    const std::uint64_t x = static_cast<std::uint64_t>(a);
+    const std::uint64_t y = static_cast<std::uint64_t>(b);
+    switch (op) {
+      case '+': return static_cast<std::int64_t>(x + y);
+      case '-': return static_cast<std::int64_t>(x - y);
+      default: return static_cast<std::int64_t>(x * y);
+    }
+  }
+
+  std::uint64_t addr(int reg, std::int64_t off) const {
+    return static_cast<std::uint64_t>(r_[reg] + off);
+  }
+
+  const VBinary& bin_;
+  const interp::ExecOptions& options_;
+  RuntimeMemory mem_;
+  ProgramIO io_;
+  Runtime runtime_;
+  std::uint64_t data_base_ = 0;
+  std::int64_t r_[16] = {0};
+  double f_[8] = {0};
+  long steps_ = 0;
+};
+
+}  // namespace
+
+interp::ExecResult run_binary(const VBinary& bin, const interp::ExecOptions& options) {
+  VM vm(bin, options);
+  return vm.run();
+}
+
+}  // namespace gbm::backend

@@ -1,0 +1,16 @@
+// VBin virtual machine — executes compiled binaries with the same runtime
+// library and observable-I/O model as the IR interpreter, so
+// "source interpreted" and "binary executed" outputs are directly comparable.
+#pragma once
+
+#include "backend/isa.h"
+#include "interp/interp.h"
+
+namespace gbm::backend {
+
+/// Runs a binary from its entry function. Program-level failures (traps,
+/// fuel) are reported in the result, not thrown.
+interp::ExecResult run_binary(const VBinary& bin,
+                              const interp::ExecOptions& options = {});
+
+}  // namespace gbm::backend

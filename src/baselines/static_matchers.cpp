@@ -1,0 +1,329 @@
+#include "baselines/static_matchers.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace gbm::baselines {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+
+/// Multiset overlap similarity |A ∩ B| / max(|A|, |B|) (0/0 → 1: both empty).
+template <class T>
+double overlap(const std::multiset<T>& a, const std::multiset<T>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::multiset<T> inter;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(inter, inter.begin()));
+  return static_cast<double>(inter.size()) /
+         static_cast<double>(std::max(a.size(), b.size()));
+}
+
+/// Ratio similarity of two counts: min/max in [0,1] (0/0 → 1).
+double ratio(long a, long b) {
+  if (a == 0 && b == 0) return 1.0;
+  return static_cast<double>(std::min(a, b)) / static_cast<double>(std::max(a, b));
+}
+
+}  // namespace
+
+ModuleFeatures extract_features(const ir::Module& m) {
+  ModuleFeatures out;
+  for (const auto& g : m.globals()) {
+    if (g->is_string()) {
+      std::string text(g->data().begin(), g->data().end() - 1);
+      out.strings.insert(text);
+    }
+  }
+  for (const auto& fn : m.functions()) {
+    if (fn->is_declaration()) continue;
+    FunctionFeatures ff;
+    // Block order for back-edge (loop) detection.
+    std::map<const BasicBlock*, long> order;
+    long idx = 0;
+    for (const auto& bb : fn->blocks()) order[bb.get()] = idx++;
+    ff.blocks = idx;
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        ++ff.instructions;
+        for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+          if (inst->operand(i)->kind() == ir::ValueKind::ConstantInt) {
+            const long v = static_cast<const ir::ConstantInt*>(inst->operand(i))->value();
+            // BinPro/B2SFinder skip trivial constants (0, 1) as untraceable.
+            if (v != 0 && v != 1) ff.int_constants.insert(v);
+          }
+        }
+        switch (inst->opcode()) {
+          case Opcode::CondBr:
+            ++ff.branches;
+            break;
+          case Opcode::Switch:
+            ++ff.switches;
+            ff.switch_case_counts.insert(
+                static_cast<long>(inst->case_values().size()));
+            break;
+          case Opcode::Call:
+            if (inst->callee()) ff.callees.insert(inst->callee()->name());
+            break;
+          case Opcode::Alloca:
+            if (inst->pointee() && inst->pointee()->is_array())
+              ff.array_sizes.insert(inst->pointee()->length());
+            break;
+          default:
+            break;
+        }
+        if (inst->is_term()) {
+          for (BasicBlock* target : inst->targets()) {
+            if (order[target] <= order[bb.get()]) ++ff.loops;
+          }
+        }
+      }
+    }
+    out.total_instructions += ff.instructions;
+    out.functions.push_back(std::move(ff));
+  }
+  return out;
+}
+
+// ---- BinPro ----------------------------------------------------------------
+
+namespace {
+
+double function_similarity(const FunctionFeatures& a, const FunctionFeatures& b) {
+  // Numeric code properties compared by ratio, sets by overlap — the
+  // "best code properties" BinPro's ML stage selects are approximated by
+  // fixed weights favouring structure.
+  double score = 0.0;
+  score += 0.20 * ratio(a.instructions, b.instructions);
+  score += 0.15 * ratio(a.blocks, b.blocks);
+  score += 0.20 * ratio(a.loops, b.loops);
+  score += 0.15 * ratio(a.branches, b.branches);
+  score += 0.20 * overlap(a.int_constants, b.int_constants);
+  score += 0.10 * overlap(a.callees, b.callees);
+  return score;
+}
+
+}  // namespace
+
+double binpro_similarity(const ModuleFeatures& binary, const ModuleFeatures& source) {
+  if (binary.functions.empty() || source.functions.empty()) return 0.0;
+  // Greedy bipartite assignment: repeatedly take the best remaining pair.
+  std::vector<std::vector<double>> sim(binary.functions.size(),
+                                       std::vector<double>(source.functions.size()));
+  for (std::size_t i = 0; i < binary.functions.size(); ++i)
+    for (std::size_t j = 0; j < source.functions.size(); ++j)
+      sim[i][j] = function_similarity(binary.functions[i], source.functions[j]);
+  std::vector<bool> used_a(binary.functions.size()), used_b(source.functions.size());
+  const std::size_t matches =
+      std::min(binary.functions.size(), source.functions.size());
+  double total = 0.0;
+  for (std::size_t k = 0; k < matches; ++k) {
+    double best = -1.0;
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      if (used_a[i]) continue;
+      for (std::size_t j = 0; j < sim[i].size(); ++j) {
+        if (used_b[j]) continue;
+        if (sim[i][j] > best) {
+          best = sim[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    used_a[bi] = used_b[bj] = true;
+    total += best;
+  }
+  double score = total / static_cast<double>(matches);
+  // String evidence refines the match (BinPro's data constants).
+  score = 0.8 * score + 0.2 * overlap(binary.strings, source.strings);
+  // Penalise function-count mismatch.
+  score *= 0.5 + 0.5 * ratio(static_cast<long>(binary.functions.size()),
+                             static_cast<long>(source.functions.size()));
+  return score;
+}
+
+// ---- B2SFinder -------------------------------------------------------------
+
+B2SWeights B2SWeights::fit(const std::vector<const ModuleFeatures*>& corpus) {
+  B2SWeights w;
+  w.total_docs_ = std::max<long>(1, static_cast<long>(corpus.size()));
+  for (const ModuleFeatures* mf : corpus) {
+    std::set<long> consts;
+    for (const auto& fn : mf->functions)
+      consts.insert(fn.int_constants.begin(), fn.int_constants.end());
+    for (long c : consts) ++w.const_freq_[c];
+    std::set<std::string> strs(mf->strings.begin(), mf->strings.end());
+    for (const auto& s : strs) ++w.string_freq_[s];
+  }
+  return w;
+}
+
+double B2SWeights::weight_constant(long value) const {
+  auto it = const_freq_.find(value);
+  const long df = it == const_freq_.end() ? 1 : it->second;
+  return std::log(1.0 + static_cast<double>(total_docs_) / static_cast<double>(df));
+}
+
+double B2SWeights::weight_string(const std::string& s) const {
+  auto it = string_freq_.find(s);
+  const long df = it == string_freq_.end() ? 1 : it->second;
+  return std::log(1.0 + static_cast<double>(total_docs_) / static_cast<double>(df));
+}
+
+double b2sfinder_similarity(const ModuleFeatures& binary, const ModuleFeatures& source,
+                            const B2SWeights& weights) {
+  // Aggregate the seven traceable features module-wide.
+  FunctionFeatures a, b;
+  for (const auto& fn : binary.functions) {
+    a.instructions += fn.instructions;
+    a.loops += fn.loops;
+    a.branches += fn.branches;
+    a.switches += fn.switches;
+    a.int_constants.insert(fn.int_constants.begin(), fn.int_constants.end());
+    a.callees.insert(fn.callees.begin(), fn.callees.end());
+    a.array_sizes.insert(fn.array_sizes.begin(), fn.array_sizes.end());
+    a.switch_case_counts.insert(fn.switch_case_counts.begin(),
+                                fn.switch_case_counts.end());
+  }
+  for (const auto& fn : source.functions) {
+    b.instructions += fn.instructions;
+    b.loops += fn.loops;
+    b.branches += fn.branches;
+    b.switches += fn.switches;
+    b.int_constants.insert(fn.int_constants.begin(), fn.int_constants.end());
+    b.callees.insert(fn.callees.begin(), fn.callees.end());
+    b.array_sizes.insert(fn.array_sizes.begin(), fn.array_sizes.end());
+    b.switch_case_counts.insert(fn.switch_case_counts.begin(),
+                                fn.switch_case_counts.end());
+  }
+  // Weighted constant / string overlap (specificity-weighted instances).
+  double const_num = 0.0, const_den = 1e-9;
+  {
+    std::multiset<long> inter;
+    std::set_intersection(a.int_constants.begin(), a.int_constants.end(),
+                          b.int_constants.begin(), b.int_constants.end(),
+                          std::inserter(inter, inter.begin()));
+    for (long c : inter) const_num += weights.weight_constant(c);
+    const std::multiset<long>& bigger =
+        a.int_constants.size() > b.int_constants.size() ? a.int_constants
+                                                        : b.int_constants;
+    for (long c : bigger) const_den += weights.weight_constant(c);
+  }
+  double str_num = 0.0, str_den = 1e-9;
+  {
+    std::multiset<std::string> inter;
+    std::set_intersection(binary.strings.begin(), binary.strings.end(),
+                          source.strings.begin(), source.strings.end(),
+                          std::inserter(inter, inter.begin()));
+    for (const auto& s : inter) str_num += weights.weight_string(s);
+    const auto& bigger = binary.strings.size() > source.strings.size()
+                             ? binary.strings
+                             : source.strings;
+    for (const auto& s : bigger) str_den += weights.weight_string(s);
+  }
+  const bool any_strings = !binary.strings.empty() || !source.strings.empty();
+  double score = 0.0;
+  score += 0.30 * (const_num / const_den);
+  score += (any_strings ? 0.15 : 0.15 * 0.5) *
+           (any_strings ? str_num / str_den : 1.0);
+  score += 0.10 * ratio(a.switches, b.switches);
+  score += 0.10 * overlap(a.switch_case_counts, b.switch_case_counts);
+  score += 0.10 * ratio(a.branches, b.branches);
+  score += 0.15 * ratio(a.loops, b.loops);
+  score += 0.10 * overlap(a.array_sizes, b.array_sizes);
+  return score;
+}
+
+// ---- LICCA -------------------------------------------------------------------
+
+namespace {
+
+/// Normalised token stream: identifiers → ID, numbers → N, strings → S.
+std::vector<std::string> normalise_tokens(const std::string& source) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  static const std::set<std::string> kKeywords = {
+      "if", "else", "while", "for", "do", "return", "break", "continue",
+      "int", "long", "double", "void", "class", "static", "new", "boolean"};
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_'))
+        word += source[i++];
+      out.push_back(kKeywords.count(word) ? word : "ID");
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.'))
+        ++i;
+      out.push_back("N");
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      while (i < n && source[i] != '"') ++i;
+      if (i < n) ++i;
+      out.push_back("S");
+      continue;
+    }
+    out.push_back(std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+double lcs_ratio(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  std::vector<long> prev(m + 1, 0), cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      cur[j] = a[i - 1] == b[j - 1] ? prev[j - 1] + 1
+                                    : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[m]) / static_cast<double>(std::max(n, m));
+}
+
+}  // namespace
+
+double licca_similarity(const std::string& source_a, const std::string& source_b) {
+  const auto ta = normalise_tokens(source_a);
+  const auto tb = normalise_tokens(source_b);
+  // Multiset token overlap.
+  std::multiset<std::string> ma(ta.begin(), ta.end()), mb(tb.begin(), tb.end());
+  const double set_sim = overlap(ma, mb);
+  const double seq_sim = lcs_ratio(ta, tb);
+  return 0.5 * set_sim + 0.5 * seq_sim;
+}
+
+// ---- calibration -----------------------------------------------------------
+
+float calibrate_threshold(const std::vector<float>& scores,
+                          const std::vector<float>& labels) {
+  float best_threshold = 0.5f;
+  double best_f1 = -1.0;
+  for (float t = 0.02f; t < 1.0f; t += 0.02f) {
+    const auto c = eval::confusion(scores, labels, t);
+    if (c.f1() > best_f1) {
+      best_f1 = c.f1();
+      best_threshold = t;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace gbm::baselines

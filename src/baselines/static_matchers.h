@@ -1,0 +1,86 @@
+// Non-learned baselines: BinPro, B2SFinder (binary↔source), LICCA
+// (source↔source).
+//
+//  * BinPro (Miyani et al. 2017) — per-function static code properties
+//    matched with a bipartite assignment; the pair score aggregates the
+//    best function correspondences.
+//  * B2SFinder (Yuan et al. 2019) — seven "traceable features" (string
+//    literals, integer constants, switch/case groups, if/else structure,
+//    loop structure, callee imports, array sizes) matched with
+//    specificity-based weighting (rare feature instances count more).
+//  * LICCA (Vislavski et al. 2018) — source-level similarity over
+//    normalised token streams (identifiers abstracted), combining token
+//    multiset overlap and longest-common-subsequence structure.
+//
+// All three produce a similarity in [0,1]; a decision threshold is
+// calibrated on the training split (best F1), as the tools' own tuning
+// procedures do.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace gbm::baselines {
+
+// ---- feature extraction shared by BinPro / B2SFinder ----------------------
+
+struct FunctionFeatures {
+  long instructions = 0;
+  long blocks = 0;
+  long loops = 0;        // back edges (block to earlier/self block)
+  long branches = 0;     // conditional branches (if/else structure)
+  long switches = 0;
+  std::multiset<long> switch_case_counts;
+  std::multiset<long> int_constants;   // literal operand values
+  std::multiset<std::string> callees;  // called symbol names
+  std::multiset<long> array_sizes;     // alloca'd array lengths
+};
+
+struct ModuleFeatures {
+  std::vector<FunctionFeatures> functions;
+  std::multiset<std::string> strings;  // module string literals
+  long total_instructions = 0;
+};
+
+ModuleFeatures extract_features(const ir::Module& m);
+
+// ---- BinPro ---------------------------------------------------------------
+
+/// Similarity in [0,1] between a (decompiled) binary module and a source
+/// module via greedy bipartite function matching on numeric features.
+double binpro_similarity(const ModuleFeatures& binary, const ModuleFeatures& source);
+
+// ---- B2SFinder ------------------------------------------------------------
+
+/// Corpus-level feature weights (specificity = inverse frequency).
+class B2SWeights {
+ public:
+  static B2SWeights fit(const std::vector<const ModuleFeatures*>& corpus);
+  double weight_constant(long value) const;
+  double weight_string(const std::string& s) const;
+
+ private:
+  std::map<long, long> const_freq_;
+  std::map<std::string, long> string_freq_;
+  long total_docs_ = 1;
+};
+
+double b2sfinder_similarity(const ModuleFeatures& binary, const ModuleFeatures& source,
+                            const B2SWeights& weights);
+
+// ---- LICCA -----------------------------------------------------------------
+
+/// Source-text similarity with identifiers/literals normalised.
+double licca_similarity(const std::string& source_a, const std::string& source_b);
+
+// ---- threshold calibration ---------------------------------------------
+
+/// Best-F1 threshold over a labelled score list (grid 0.02).
+float calibrate_threshold(const std::vector<float>& scores,
+                          const std::vector<float>& labels);
+
+}  // namespace gbm::baselines

@@ -1,0 +1,167 @@
+#include "baselines/xlir.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace gbm::baselines {
+
+using tensor::RNG;
+using tensor::Tensor;
+
+XlirModel::XlirModel(const XlirConfig& config, RNG& rng)
+    : config_(config),
+      token_emb_(config.vocab, config.embed_dim, rng, "xlir.emb"),
+      lstm_(config.embed_dim, config.hidden, rng, "xlir.lstm"),
+      wq_(config.embed_dim, config.hidden, rng, false, "xlir.wq"),
+      wk_(config.embed_dim, config.hidden, rng, false, "xlir.wk"),
+      wv_(config.embed_dim, config.hidden, rng, false, "xlir.wv"),
+      wo_(config.hidden, config.hidden, rng, true, "xlir.wo"),
+      x_proj_(config.embed_dim, config.hidden, rng, false, "xlir.xproj"),
+      attn_norm_(config.hidden, "xlir.attn_norm"),
+      ffn1_(config.hidden, 2 * config.hidden, rng, true, "xlir.ffn1"),
+      ffn2_(2 * config.hidden, config.hidden, rng, true, "xlir.ffn2"),
+      ffn_norm_(config.hidden, "xlir.ffn_norm"),
+      pos_table_(Tensor::randn(config.max_seq, config.embed_dim, rng, 0.05f, true)),
+      head1_(2 * config.hidden, config.hidden, rng, true, "xlir.head1"),
+      head_norm_(config.hidden, "xlir.head_norm"),
+      head2_(config.hidden, 1, rng, true, "xlir.head2"),
+      dropout_(config.dropout) {}
+
+Tensor XlirModel::embed_seq(const EncodedSeq& seq, bool training, RNG& rng) const {
+  // Trailing padding is dropped before encoding: pooling over pad rows
+  // drowns the signal (BERT-style models mask padding for the same reason).
+  const int real = std::max(1, std::min<int>(seq.real_len,
+                                             static_cast<int>(seq.ids.size())));
+  const std::vector<int> ids(seq.ids.begin(), seq.ids.begin() + real);
+  Tensor x = token_emb_.forward_rows(ids);  // (T, embed)
+  if (config_.backbone == XlirBackbone::LSTM) {
+    const Tensor h = lstm_.forward_last(x);  // (1, hidden)
+    return dropout_.forward(h, training, rng);
+  }
+  // Transformer block: positions, single-head self-attention, FFN,
+  // mean+max pooling over time.
+  std::vector<int> pos(ids.size());
+  std::iota(pos.begin(), pos.end(), 0);
+  x = tensor::add(x, tensor::index_rows(pos_table_, pos));
+  const Tensor q = wq_.forward(x);
+  const Tensor k = wk_.forward(x);
+  const Tensor v = wv_.forward(x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(config_.hidden));
+  const Tensor attn =
+      tensor::softmax_rows(tensor::scale(tensor::matmul(q, tensor::transpose(k)), scale));
+  // Pre-norm style residual: without `x +` every row collapses to the
+  // sequence mean and the encoder cannot distinguish inputs.
+  Tensor h = tensor::add(x_proj_.forward(x), wo_.forward(tensor::matmul(attn, v)));
+  h = attn_norm_.forward(h);
+  Tensor f = ffn2_.forward(tensor::leaky_relu(ffn1_.forward(h)));
+  h = ffn_norm_.forward(tensor::add(h, f));
+  h = dropout_.forward(h, training, rng);
+  return tensor::mean_rows(h);  // (1, hidden)
+}
+
+Tensor XlirModel::forward_logit(const EncodedSeq& a, const EncodedSeq& b,
+                                bool training, RNG& rng) const {
+  const Tensor ga = embed_seq(a, training, rng);
+  const Tensor gb = embed_seq(b, training, rng);
+  Tensor h = tensor::concat_cols({ga, gb});
+  h = head1_.forward(h);
+  h = head_norm_.forward(h);
+  h = tensor::leaky_relu(h);
+  h = dropout_.forward(h, training, rng);
+  return head2_.forward(h);
+}
+
+float XlirModel::predict(const EncodedSeq& a, const EncodedSeq& b) const {
+  RNG dummy(1);
+  const Tensor logit = forward_logit(a, b, false, dummy);
+  return 1.0f / (1.0f + std::exp(-logit.item()));
+}
+
+std::vector<tensor::NamedParam> XlirModel::params() const {
+  std::vector<tensor::NamedParam> out;
+  auto push = [&out](const std::vector<tensor::NamedParam>& ps) {
+    for (auto& p : ps) out.push_back(p);
+  };
+  push(token_emb_.params());
+  if (config_.backbone == XlirBackbone::LSTM) {
+    push(lstm_.params());
+  } else {
+    push(wq_.params());
+    push(wk_.params());
+    push(wv_.params());
+    push(wo_.params());
+    push(x_proj_.params());
+    push(attn_norm_.params());
+    push(ffn1_.params());
+    push(ffn2_.params());
+    push(ffn_norm_.params());
+    out.push_back({"xlir.pos", pos_table_});
+  }
+  push(head1_.params());
+  push(head_norm_.params());
+  push(head2_.params());
+  return out;
+}
+
+// ---- system ---------------------------------------------------------------
+
+void XlirSystem::fit_tokenizer(const std::vector<std::string>& ir_texts) {
+  tokenizer_ = std::make_unique<tok::Tokenizer>(
+      tok::Tokenizer::train(ir_texts, config_.vocab));
+}
+
+EncodedSeq XlirSystem::encode(const std::string& ir_text) const {
+  if (!tokenizer_) throw std::logic_error("XlirSystem: tokenizer not fitted");
+  EncodedSeq seq;
+  const std::vector<int> all = tokenizer_->encode_all(ir_text);
+  seq.real_len = static_cast<int>(std::min<std::size_t>(
+      all.size(), static_cast<std::size_t>(config_.max_seq)));
+  seq.ids = tokenizer_->encode(ir_text, config_.max_seq);
+  return seq;
+}
+
+double XlirSystem::train(const std::vector<Sample>& samples,
+                         const TrainOptions& options) {
+  RNG rng(options.seed);
+  if (!model_) model_ = std::make_unique<XlirModel>(config_, rng);
+  tensor::AdamConfig adam_cfg;
+  adam_cfg.lr = options.lr;
+  tensor::Adam adam(model_->params(), adam_cfg);
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  double last = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    long batches = 0;
+    std::size_t i = 0;
+    while (i < order.size()) {
+      adam.zero_grad();
+      int in_batch = 0;
+      double batch_loss = 0.0;
+      for (; in_batch < options.batch_size && i < order.size(); ++in_batch, ++i) {
+        const Sample& s = samples[order[i]];
+        const Tensor logit = model_->forward_logit(*s.a, *s.b, true, rng);
+        const Tensor loss = tensor::bce_with_logits(logit, {s.label});
+        tensor::scale(loss, 1.0f / options.batch_size).backward();
+        batch_loss += loss.item();
+      }
+      tensor::clip_grad_norm(model_->params(), 5.0);
+      adam.step();
+      epoch_loss += batch_loss / std::max(in_batch, 1);
+      ++batches;
+    }
+    last = epoch_loss / std::max<long>(batches, 1);
+  }
+  return last;
+}
+
+std::vector<float> XlirSystem::score(const std::vector<Sample>& samples) const {
+  if (!model_) throw std::logic_error("XlirSystem: not trained");
+  std::vector<float> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(model_->predict(*s.a, *s.b));
+  return out;
+}
+
+}  // namespace gbm::baselines

@@ -1,0 +1,120 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+#include "decompiler/lift.h"
+#include "frontend/frontend.h"
+#include "tensor/serialize.h"
+
+namespace gbm::core {
+
+Artifact build_artifact(const data::SourceFile& file, const ArtifactOptions& options) {
+  Artifact artifact;
+  artifact.task_index = file.task_index;
+  artifact.lang = file.lang;
+  try {
+    auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
+    opt::optimize(*module, options.opt_level);
+    if (options.side == Side::SourceIR) {
+      artifact.ir_instructions = module->instruction_count();
+      artifact.graph = graph::build_graph(*module);
+    } else {
+      const backend::VBinary binary = backend::compile_module(*module, options.style);
+      artifact.binary_code_size = binary.code_size();
+      auto lifted = decompiler::lift(binary);
+      artifact.ir_instructions = lifted->instruction_count();
+      artifact.graph = graph::build_graph(*lifted);
+    }
+    artifact.ok = true;
+  } catch (const std::exception& e) {
+    artifact.ok = false;
+    artifact.error = e.what();
+  }
+  return artifact;
+}
+
+std::vector<Artifact> build_artifacts(const std::vector<data::SourceFile>& files,
+                                      const ArtifactOptions& options) {
+  std::vector<Artifact> out;
+  out.reserve(files.size());
+  for (const auto& file : files) out.push_back(build_artifact(file, options));
+  return out;
+}
+
+CorpusStats corpus_stats(const std::vector<data::SourceFile>& files,
+                         const ArtifactOptions& binary_options) {
+  CorpusStats stats;
+  stats.sources = static_cast<long>(files.size());
+  for (const auto& file : files) {
+    try {
+      auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
+      opt::optimize(*module, binary_options.opt_level);
+      ++stats.ir_ok;
+      const backend::VBinary binary =
+          backend::compile_module(*module, binary_options.style);
+      ++stats.binaries;
+      auto lifted = decompiler::lift(binary);
+      (void)lifted;
+      ++stats.decompiled;
+    } catch (const std::exception&) {
+      // counted by whichever stage it failed at
+    }
+  }
+  return stats;
+}
+
+void MatchingSystem::fit_tokenizer(
+    const std::vector<const graph::ProgramGraph*>& graphs) {
+  std::vector<std::string> corpus;
+  for (const graph::ProgramGraph* g : graphs) {
+    for (const auto& node : g->nodes)
+      corpus.push_back(node.feature(config_.use_full_text));
+  }
+  tokenizer_ = tok::Tokenizer::train(corpus, config_.model.vocab);
+  bag_len_ = config_.bag_len > 0 ? config_.bag_len
+                                 : tok::Tokenizer::choose_bag_len(corpus);
+}
+
+gnn::EncodedGraph MatchingSystem::encode(const graph::ProgramGraph& g) const {
+  if (!tokenizer_) throw std::logic_error("MatchingSystem: tokenizer not fitted");
+  return gnn::encode_graph(g, *tokenizer_, bag_len_, config_.use_full_text);
+}
+
+void MatchingSystem::ensure_model() {
+  if (!model_) {
+    tensor::RNG rng(config_.seed);
+    model_ = std::make_unique<gnn::GraphBinMatchModel>(config_.model, rng);
+  }
+}
+
+double MatchingSystem::train(const std::vector<gnn::PairSample>& pairs,
+                             const gnn::TrainConfig& train_config) {
+  ensure_model();
+  return gnn::train_model(*model_, pairs, train_config);
+}
+
+float MatchingSystem::score(const gnn::EncodedGraph& a,
+                            const gnn::EncodedGraph& b) const {
+  if (!model_) throw std::logic_error("MatchingSystem: model not trained");
+  return model_->predict(a, b);
+}
+
+std::vector<float> MatchingSystem::score_pairs(
+    const std::vector<gnn::PairSample>& pairs) const {
+  if (!model_) throw std::logic_error("MatchingSystem: model not trained");
+  return gnn::predict_scores(*model_, pairs);
+}
+
+void MatchingSystem::save(const std::string& path) const {
+  if (!model_) throw std::logic_error("MatchingSystem: nothing to save");
+  auto params = model_->params();
+  tensor::save_params(params, path);
+}
+
+void MatchingSystem::load(const std::string& path) {
+  ensure_model();
+  auto params = model_->params();
+  tensor::load_params(params, path);
+}
+
+}  // namespace gbm::core

@@ -1,0 +1,113 @@
+// End-to-end GraphBinMatch pipeline — the library's primary public API.
+//
+// Two halves:
+//   * artifact production — Figure 1's left side: a source file is compiled
+//     to IR (the Clang/JLang role) or compiled to a VBin binary and lifted
+//     back by the decompiler (the RetDec role); either way the result is a
+//     ProGraML-style program graph;
+//   * matching — a MatchingSystem owns the trained tokenizer and the
+//     GraphBinMatch model, and scores pairs of artifacts.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "backend/codegen.h"
+#include "datasets/corpus.h"
+#include "gnn/trainer.h"
+#include "graph/program_graph.h"
+#include "opt/passes.h"
+#include "tokenizer/tokenizer.h"
+
+namespace gbm::core {
+
+/// Which artifact of a source file enters the matcher.
+enum class Side {
+  SourceIR,  // front-end IR (paper: Clang/JLang output)
+  Binary,    // compile → binary → RetDec-style lift → decompiled IR
+};
+
+struct ArtifactOptions {
+  Side side = Side::SourceIR;
+  opt::OptLevel opt_level = opt::OptLevel::Oz;  // paper default "0z"
+  backend::CodegenStyle style = backend::CodegenStyle::VClang;
+};
+
+/// One processed file: its program graph plus provenance.
+struct Artifact {
+  int task_index = -1;
+  frontend::Lang lang = frontend::Lang::C;
+  bool ok = false;          // false → front-end (or toolchain) rejected it
+  std::string error;
+  graph::ProgramGraph graph;
+  long ir_instructions = 0;
+  long binary_code_size = 0;  // VBin instruction count (Binary side only)
+};
+
+/// Compiles one source file into an artifact. Never throws for compile
+/// errors; `ok` reports success.
+Artifact build_artifact(const data::SourceFile& file, const ArtifactOptions& options);
+
+/// Batch version.
+std::vector<Artifact> build_artifacts(const std::vector<data::SourceFile>& files,
+                                      const ArtifactOptions& options);
+
+/// Table I counters.
+struct CorpusStats {
+  long sources = 0;
+  long ir_ok = 0;
+  long binaries = 0;
+  long decompiled = 0;
+};
+CorpusStats corpus_stats(const std::vector<data::SourceFile>& files,
+                         const ArtifactOptions& binary_options);
+
+/// The trained matcher: tokenizer + GraphBinMatch model + featurisation
+/// choice. Handles encoding, training, scoring and (de)serialisation.
+class MatchingSystem {
+ public:
+  struct Config {
+    gnn::ModelConfig model;
+    bool use_full_text = true;  // paper: full_text beats text (Table VIII)
+    int bag_len = 0;            // 0 = corpus rule (avg → next power of two)
+    std::uint64_t seed = 7;
+  };
+
+  explicit MatchingSystem(Config config) : config_(std::move(config)) {}
+
+  /// Trains the tokenizer on the node features of the given graphs and
+  /// fixes the bag length. Must precede encode().
+  void fit_tokenizer(const std::vector<const graph::ProgramGraph*>& graphs);
+
+  gnn::EncodedGraph encode(const graph::ProgramGraph& g) const;
+
+  /// Trains the model on labelled encoded pairs.
+  double train(const std::vector<gnn::PairSample>& pairs,
+               const gnn::TrainConfig& train_config);
+
+  /// Matching score in [0,1] for two encoded graphs.
+  float score(const gnn::EncodedGraph& a, const gnn::EncodedGraph& b) const;
+  std::vector<float> score_pairs(const std::vector<gnn::PairSample>& pairs) const;
+
+  void save(const std::string& path) const;
+  /// Loads model parameters saved by save(); the tokenizer must have been
+  /// fitted on the same corpus (deterministic given the corpus).
+  void load(const std::string& path);
+
+  const tok::Tokenizer& tokenizer() const { return *tokenizer_; }
+  int bag_len() const { return bag_len_; }
+  const gnn::GraphBinMatchModel& model() const { return *model_; }
+  const Config& config() const { return config_; }
+
+ private:
+  void ensure_model();
+
+  Config config_;
+  std::optional<tok::Tokenizer> tokenizer_;
+  std::unique_ptr<gnn::GraphBinMatchModel> model_;
+  int bag_len_ = 0;
+};
+
+}  // namespace gbm::core

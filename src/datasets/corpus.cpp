@@ -1,0 +1,81 @@
+#include "datasets/corpus.h"
+
+namespace gbm::data {
+
+DatasetConfig clcdsa_config() {
+  DatasetConfig config;
+  config.langs = {frontend::Lang::C, frontend::Lang::Cpp, frontend::Lang::Java};
+  config.solutions_per_task_per_lang = 4;
+  config.seed = 42;
+  return config;
+}
+
+DatasetConfig poj_config() {
+  DatasetConfig config;
+  config.langs = {frontend::Lang::Cpp};
+  config.solutions_per_task_per_lang = 10;
+  config.seed = 1042;
+  return config;
+}
+
+namespace {
+
+/// Breaks a program so the front-end rejects it (parse or semantic error).
+std::string corrupt(const std::string& source, tensor::RNG& rng) {
+  std::string out = source;
+  switch (rng.uniform_int(0, 2)) {
+    case 0: {  // drop the last closing brace → parse error
+      const std::size_t pos = out.rfind('}');
+      if (pos != std::string::npos) out.erase(pos, 1);
+      break;
+    }
+    case 1: {  // drop the first semicolon → parse error
+      const std::size_t pos = out.find(';');
+      if (pos != std::string::npos) out.erase(pos, 1);
+      break;
+    }
+    default: {  // reference an undeclared variable → semantic error
+      const std::size_t pos = out.rfind('}');
+      if (pos != std::string::npos)
+        out.insert(pos, "  undeclared_thing = 1;\n");
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SourceFile> generate_corpus(const DatasetConfig& config) {
+  const auto& tasks = all_tasks();
+  const int task_count = config.num_tasks > 0
+                             ? std::min<int>(config.num_tasks,
+                                             static_cast<int>(tasks.size()))
+                             : static_cast<int>(tasks.size());
+  tensor::RNG rng(config.seed);
+  std::vector<SourceFile> files;
+  for (int t = 0; t < task_count; ++t) {
+    const TaskTemplate& task = tasks[static_cast<std::size_t>(t)];
+    for (frontend::Lang lang : config.langs) {
+      for (int k = 0; k < config.solutions_per_task_per_lang; ++k) {
+        SourceFile file;
+        file.task_id = task.id;
+        file.task_index = t;
+        file.lang = lang;
+        file.variant = k % task.num_variants;
+        file.style = random_style(rng);
+        file.unit_name = "Main";
+        file.source = task.emit(lang, file.variant, file.style);
+        file.sample_input = task.sample_input;
+        if (rng.bernoulli(config.broken_fraction)) {
+          file.source = corrupt(file.source, rng);
+          file.intact = false;
+        }
+        files.push_back(std::move(file));
+      }
+    }
+  }
+  return files;
+}
+
+}  // namespace gbm::data

@@ -1,0 +1,47 @@
+// Synthetic corpus generation (the CLCDSA / POJ-104 substitutes).
+//
+// A corpus is a list of source files: per task, per language, several
+// solutions with distinct algorithmic variants and style perturbations.
+// A configurable fraction of files is deliberately corrupted — these fail
+// the front-end and model the paper's "we discard any file that is not
+// compilable" step (the #Sources vs #LLVM-IR gap in Table I).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datasets/tasks.h"
+
+namespace gbm::data {
+
+struct SourceFile {
+  std::string task_id;
+  int task_index = 0;
+  frontend::Lang lang = frontend::Lang::C;
+  int variant = 0;
+  Style style;
+  std::string unit_name;
+  std::string source;
+  bool intact = true;  // false → deliberately corrupted ("not compilable")
+  std::vector<std::int64_t> sample_input;
+};
+
+struct DatasetConfig {
+  int num_tasks = 0;  // 0 = all templates
+  int solutions_per_task_per_lang = 4;
+  std::uint64_t seed = 42;
+  double broken_fraction = 0.05;
+  std::vector<frontend::Lang> langs = {frontend::Lang::C, frontend::Lang::Cpp,
+                                       frontend::Lang::Java};
+};
+
+/// CLCDSA-style: three languages.
+DatasetConfig clcdsa_config();
+/// POJ-104-style: C++ only, more solutions per task.
+DatasetConfig poj_config();
+
+/// Deterministic corpus for a config.
+std::vector<SourceFile> generate_corpus(const DatasetConfig& config);
+
+}  // namespace gbm::data

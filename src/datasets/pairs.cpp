@@ -1,0 +1,134 @@
+#include "datasets/pairs.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gbm::data {
+
+namespace {
+
+struct TaskBuckets {
+  std::map<int, std::vector<int>> a_by_task;
+  std::map<int, std::vector<int>> b_by_task;
+  std::vector<int> tasks;  // union of task ids, sorted
+};
+
+TaskBuckets bucket(const std::vector<int>& task_of_a, const std::vector<int>& task_of_b) {
+  TaskBuckets out;
+  for (std::size_t i = 0; i < task_of_a.size(); ++i)
+    out.a_by_task[task_of_a[i]].push_back(static_cast<int>(i));
+  for (std::size_t i = 0; i < task_of_b.size(); ++i)
+    out.b_by_task[task_of_b[i]].push_back(static_cast<int>(i));
+  std::set<int> ids;
+  for (auto& [t, v] : out.a_by_task) { (void)v; ids.insert(t); }
+  for (auto& [t, v] : out.b_by_task) { (void)v; ids.insert(t); }
+  out.tasks.assign(ids.begin(), ids.end());
+  return out;
+}
+
+/// Builds balanced pairs restricted to tasks in `allowed`.
+std::vector<PairSpec> build_for_tasks(const TaskBuckets& buckets,
+                                      const std::vector<int>& allowed,
+                                      const PairConfig& config, tensor::RNG& rng,
+                                      bool exclude_same_index) {
+  std::vector<PairSpec> out;
+  std::set<int> allowed_set(allowed.begin(), allowed.end());
+  // Positives.
+  for (int task : allowed) {
+    auto ait = buckets.a_by_task.find(task);
+    auto bit = buckets.b_by_task.find(task);
+    if (ait == buckets.a_by_task.end() || bit == buckets.b_by_task.end()) continue;
+    std::vector<PairSpec> cand;
+    for (int a : ait->second) {
+      for (int b : bit->second) {
+        if (exclude_same_index && a == b) continue;
+        cand.push_back({a, b, 1.0f});
+      }
+    }
+    rng.shuffle(cand);
+    const std::size_t cap =
+        std::min<std::size_t>(cand.size(),
+                              static_cast<std::size_t>(config.max_positives_per_task));
+    out.insert(out.end(), cand.begin(), cand.begin() + static_cast<long>(cap));
+  }
+  const std::size_t num_pos = out.size();
+  // Negatives: sample (a, b) with different tasks, both within the split.
+  std::vector<int> a_pool, b_pool;
+  for (int task : allowed) {
+    auto ait = buckets.a_by_task.find(task);
+    if (ait != buckets.a_by_task.end())
+      a_pool.insert(a_pool.end(), ait->second.begin(), ait->second.end());
+    auto bit = buckets.b_by_task.find(task);
+    if (bit != buckets.b_by_task.end())
+      b_pool.insert(b_pool.end(), bit->second.begin(), bit->second.end());
+  }
+  std::map<int, int> task_of_a_idx, task_of_b_idx;
+  for (const auto& [task, list] : buckets.a_by_task)
+    for (int i : list) task_of_a_idx[i] = task;
+  for (const auto& [task, list] : buckets.b_by_task)
+    for (int i : list) task_of_b_idx[i] = task;
+
+  const std::size_t want_neg =
+      static_cast<std::size_t>(static_cast<double>(num_pos) * config.negative_ratio);
+  std::set<std::pair<int, int>> seen;
+  std::size_t attempts = 0;
+  std::size_t negatives = 0;
+  while (negatives < want_neg && attempts < want_neg * 50 + 100) {
+    ++attempts;
+    if (a_pool.empty() || b_pool.empty()) break;
+    const int a = rng.pick(a_pool);
+    const int b = rng.pick(b_pool);
+    if (task_of_a_idx[a] == task_of_b_idx[b]) continue;
+    if (!seen.insert({a, b}).second) continue;
+    out.push_back({a, b, 0.0f});
+    ++negatives;
+  }
+  rng.shuffle(out);
+  return out;
+}
+
+}  // namespace
+
+SplitPairs make_pairs(const std::vector<int>& task_of_a,
+                      const std::vector<int>& task_of_b, const PairConfig& config,
+                      bool exclude_same_index) {
+  tensor::RNG rng(config.seed);
+  TaskBuckets buckets = bucket(task_of_a, task_of_b);
+  SplitPairs out;
+
+  if (config.protocol == SplitProtocol::ByTask) {
+    std::vector<int> tasks = buckets.tasks;
+    rng.shuffle(tasks);
+    const std::size_t n = tasks.size();
+    const std::size_t n_train =
+        static_cast<std::size_t>(static_cast<double>(n) * config.train_frac);
+    const std::size_t n_val =
+        static_cast<std::size_t>(static_cast<double>(n) * config.val_frac);
+    std::vector<int> train_tasks(tasks.begin(), tasks.begin() + static_cast<long>(n_train));
+    std::vector<int> val_tasks(tasks.begin() + static_cast<long>(n_train),
+                               tasks.begin() + static_cast<long>(n_train + n_val));
+    std::vector<int> test_tasks(tasks.begin() + static_cast<long>(n_train + n_val),
+                                tasks.end());
+    out.train = build_for_tasks(buckets, train_tasks, config, rng, exclude_same_index);
+    out.val = build_for_tasks(buckets, val_tasks, config, rng, exclude_same_index);
+    out.test = build_for_tasks(buckets, test_tasks, config, rng, exclude_same_index);
+    return out;
+  }
+
+  // ByPair: build over all tasks, then split the shuffled pair list.
+  std::vector<PairSpec> all =
+      build_for_tasks(buckets, buckets.tasks, config, rng, exclude_same_index);
+  const std::size_t n = all.size();
+  const std::size_t n_train =
+      static_cast<std::size_t>(static_cast<double>(n) * config.train_frac);
+  const std::size_t n_val =
+      static_cast<std::size_t>(static_cast<double>(n) * config.val_frac);
+  out.train.assign(all.begin(), all.begin() + static_cast<long>(n_train));
+  out.val.assign(all.begin() + static_cast<long>(n_train),
+                 all.begin() + static_cast<long>(n_train + n_val));
+  out.test.assign(all.begin() + static_cast<long>(n_train + n_val), all.end());
+  return out;
+}
+
+}  // namespace gbm::data

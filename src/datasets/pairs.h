@@ -1,0 +1,49 @@
+// Pair construction and dataset splitting (paper §II and §IV-B).
+//
+// Positive pairs: two artifacts derived from solutions to the *same* task;
+// negative pairs: different tasks. Splits are 6:2:2. Two split protocols:
+//   * ByTask (default) — whole tasks are held out; the model must match
+//     solutions of problems never seen in training (the stricter reading);
+//   * ByPair — pairs are split at random (the looser protocol some
+//     baselines use).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace gbm::data {
+
+struct PairSpec {
+  int a = 0;  // index into the A-side artifact list
+  int b = 0;  // index into the B-side artifact list
+  float label = 0.0f;
+};
+
+struct SplitPairs {
+  std::vector<PairSpec> train;
+  std::vector<PairSpec> val;
+  std::vector<PairSpec> test;
+};
+
+enum class SplitProtocol { ByTask, ByPair };
+
+struct PairConfig {
+  std::uint64_t seed = 7;
+  int max_positives_per_task = 8;  // cross-product cap
+  double negative_ratio = 1.0;     // negatives per positive (balanced = 1)
+  SplitProtocol protocol = SplitProtocol::ByTask;
+  double train_frac = 0.6;
+  double val_frac = 0.2;
+};
+
+/// Builds labelled pairs between an A-side and a B-side artifact list, given
+/// each artifact's task index. A and B may be the same list (source-source
+/// within one corpus); self-pairs (same index when the lists alias) are
+/// excluded by passing `exclude_same_index=true`.
+SplitPairs make_pairs(const std::vector<int>& task_of_a,
+                      const std::vector<int>& task_of_b, const PairConfig& config,
+                      bool exclude_same_index = false);
+
+}  // namespace gbm::data

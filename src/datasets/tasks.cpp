@@ -1,0 +1,903 @@
+#include "datasets/tasks.h"
+
+namespace gbm::data {
+
+namespace {
+
+using frontend::Lang;
+
+/// Small program-text writer that abstracts the MiniC / MiniJava surface
+/// differences (types, I/O spellings, array declarations, class wrapper).
+struct W {
+  Lang lang;
+  const Style& st;
+  std::string funcs;
+  std::string body;
+  int ind;
+
+  W(Lang lang_, const Style& st_) : lang(lang_), st(st_), ind(base_indent()) {}
+
+  bool java() const { return lang == Lang::Java; }
+  bool cpp() const { return lang == Lang::Cpp; }
+  int base_indent() const { return java() ? 2 : 1; }
+  std::string ty() const { return java() ? "int" : "long"; }
+  std::string read() const { return java() ? "Reader.read()" : "read()"; }
+
+  void b(const std::string& s) { body += std::string(ind * 2, ' ') + s + "\n"; }
+  void f(const std::string& s) {
+    funcs += std::string(java() ? 2 : 0, ' ') + s + "\n";
+  }
+  void print(const std::string& e) {
+    b(java() ? "System.out.println(" + e + ");" : "print(" + e + ");");
+  }
+  void decl(const std::string& name, const std::string& init) {
+    b(ty() + " " + name + " = " + init + ";");
+  }
+  void arr(const std::string& name, int n) {
+    if (java())
+      b("int[] " + name + " = new int[" + std::to_string(n) + "];");
+    else
+      b("long " + name + "[" + std::to_string(n) + "];");
+  }
+  /// Counting loop [from, to) with the style's loop shape.
+  void loop(const std::string& v, const std::string& from, const std::string& to,
+            const std::function<void()>& fn) {
+    if (st.while_loop) {
+      // Own block so the induction variable does not collide with a later
+      // loop reusing the same name in this scope.
+      b("{");
+      ++ind;
+      decl(v, from);
+      b("while (" + v + " < " + to + ") {");
+      ++ind;
+      fn();
+      b(v + " = " + v + " + 1;");
+      --ind;
+      b("}");
+      --ind;
+      b("}");
+      return;
+    }
+    {
+      b("for (" + ty() + " " + v + " = " + from + "; " + v + " < " + to + "; " + v +
+        "++) {");
+      ++ind;
+      fn();
+      --ind;
+      b("}");
+    }
+  }
+  void fill_read(const std::string& name, const std::string& n) {
+    loop("fi", "0", n, [&] { b(name + "[fi] = " + read() + ";"); });
+  }
+  void maybe_dead() {
+    if (st.dead_code) {
+      decl("scratch", std::to_string(19 + st.jitter));
+      b("scratch = scratch * 2 - 1;");
+    }
+  }
+
+  std::string prog() const {
+    if (java())
+      return "class Main {\n" + funcs +
+             "  public static void main(String[] args) {\n" + body + "  }\n}\n";
+    return funcs + "int main() {\n" + body + "  return 0;\n}\n";
+  }
+};
+
+/// Shorthand for defining a helper function in both surface syntaxes.
+/// `params` like "a,b" — all of the default integer type.
+void define_helper(W& w, const std::string& name, const std::string& params,
+                   const std::vector<std::string>& body_lines) {
+  std::string sig;
+  std::string param_list;
+  std::string sep;
+  std::string token;
+  for (char c : params + ",") {
+    if (c == ',') {
+      if (!token.empty()) {
+        param_list += sep + w.ty() + " " + token;
+        sep = ", ";
+      }
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (w.java())
+    sig = "static int " + name + "(" + param_list + ") {";
+  else
+    sig = "long " + name + "(" + param_list + ") {";
+  w.f(sig);
+  for (const auto& line : body_lines) w.f("  " + line);
+  w.f("}");
+}
+
+TaskTemplate make(const std::string& id, int variants,
+                  std::function<std::string(Lang, int, const Style&)> emit,
+                  std::vector<std::int64_t> input) {
+  TaskTemplate t;
+  t.id = id;
+  t.num_variants = variants;
+  t.emit = std::move(emit);
+  t.sample_input = std::move(input);
+  return t;
+}
+
+std::string num(long v) { return std::to_string(v); }
+
+}  // namespace
+
+Style random_style(tensor::RNG& rng) {
+  Style st;
+  st.while_loop = rng.bernoulli(0.4);
+  st.use_helper = rng.bernoulli(0.5);
+  st.dead_code = rng.bernoulli(0.3);
+  st.reverse_iter = rng.bernoulli(0.3);
+  st.jitter = static_cast<int>(rng.uniform_int(0, 3));
+  return st;
+}
+
+const std::vector<TaskTemplate>& all_tasks() {
+  static const std::vector<TaskTemplate> kTasks = [] {
+    std::vector<TaskTemplate> tasks;
+
+    // 1. Sum 1..n — loop / closed formula / recursion.
+    tasks.push_back(make(
+        "sum_to_n", 3,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          w.decl("n", w.read());
+          w.maybe_dead();
+          if (variant == 0) {
+            w.decl("total", "0");
+            w.loop("i", "1", "n + 1", [&] { w.b("total = total + i;"); });
+            w.print("total");
+          } else if (variant == 1) {
+            w.print("n * (n + 1) / 2");
+          } else {
+            define_helper(w, "sum_rec", "k",
+                          {"if (k <= 0) { return 0; }",
+                           "return k + sum_rec(k - 1);"});
+            w.print(w.java() ? "sum_rec(n)" : "sum_rec(n)");
+          }
+          return w.prog();
+        },
+        {25}));
+
+    // 2. Greatest common divisor — iterative mod / recursion / subtraction.
+    tasks.push_back(make(
+        "gcd", 3,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          if (variant == 0) {
+            w.decl("a", w.read());
+            w.decl("b", w.read());
+            w.b("while (b != 0) {");
+            ++w.ind;
+            w.decl("t", "b");
+            w.b("b = a % b;");
+            w.b("a = t;");
+            --w.ind;
+            w.b("}");
+            w.print("a");
+          } else if (variant == 1) {
+            define_helper(w, "gcd", "a,b",
+                          {"if (b == 0) { return a; }", "return gcd(b, a % b);"});
+            w.decl("x", w.read());
+            w.decl("y", w.read());
+            w.print("gcd(x, y)");
+          } else {
+            w.decl("a", w.read());
+            w.decl("b", w.read());
+            w.b("while (a != b) {");
+            ++w.ind;
+            w.b("if (a > b) { a = a - b; } else { b = b - a; }");
+            --w.ind;
+            w.b("}");
+            w.print("a");
+          }
+          return w.prog();
+        },
+        {84, 36}));
+
+    // 3. Fibonacci — iterative pair / array table / naive recursion.
+    tasks.push_back(make(
+        "fibonacci", 3,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          w.decl("n", w.read());
+          if (variant == 0) {
+            w.decl("a", "0");
+            w.decl("b", "1");
+            w.loop("i", "0", "n", [&] {
+              w.decl("t", "a + b");
+              w.b("a = b;");
+              w.b("b = t;");
+            });
+            w.print("a");
+          } else if (variant == 1) {
+            w.arr("fib", 24);
+            w.b("fib[0] = 0;");
+            w.b("fib[1] = 1;");
+            w.loop("i", "2", num(24), [&] { w.b("fib[i] = fib[i-1] + fib[i-2];"); });
+            w.print("fib[n]");
+          } else {
+            define_helper(w, "fib", "k",
+                          {"if (k < 2) { return k; }",
+                           "return fib(k - 1) + fib(k - 2);"});
+            w.print("fib(n)");
+          }
+          return w.prog();
+        },
+        {13}));
+
+    // 4. Factorial.
+    tasks.push_back(make(
+        "factorial", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          w.decl("n", w.read());
+          if (variant == 0) {
+            w.decl("acc", "1");
+            w.loop("i", "2", "n + 1", [&] { w.b("acc = acc * i;"); });
+            w.print("acc");
+          } else {
+            define_helper(w, "fact", "k",
+                          {"if (k <= 1) { return 1; }", "return k * fact(k - 1);"});
+            w.print("fact(n)");
+          }
+          return w.prog();
+        },
+        {10}));
+
+    // 5. Primality test — trial division / 6k±1 skip / even-first.
+    tasks.push_back(make(
+        "is_prime", 3,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          w.decl("n", w.read());
+          w.decl("prime", "1");
+          if (variant == 0) {
+            w.b("if (n < 2) { prime = 0; }");
+            w.loop("i", "2", "n", [&] { w.b("if (n % i == 0) { prime = 0; }"); });
+          } else if (variant == 1) {
+            w.b("if (n < 2) { prime = 0; }");
+            w.decl("i", "2");
+            w.b("while (i * i <= n) {");
+            ++w.ind;
+            w.b("if (n % i == 0) { prime = 0; }");
+            w.b("i = i + 1;");
+            --w.ind;
+            w.b("}");
+          } else {
+            w.b("if (n < 2) { prime = 0; }");
+            w.b("if (n > 2 && n % 2 == 0) { prime = 0; }");
+            w.decl("i", "3");
+            w.b("while (i * i <= n) {");
+            ++w.ind;
+            w.b("if (n % i == 0) { prime = 0; }");
+            w.b("i = i + 2;");
+            --w.ind;
+            w.b("}");
+          }
+          w.print("prime");
+          return w.prog();
+        },
+        {97}));
+
+    // 6. Count primes below N — sieve array / repeated trial division.
+    tasks.push_back(make(
+        "count_primes", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int limit = 50 + st.jitter;
+          if (variant == 0) {
+            w.arr("composite", limit);
+            w.decl("count", "0");
+            w.loop("i", "2", num(limit), [&] {
+              w.b("if (composite[i] == 0) {");
+              ++w.ind;
+              w.b("count = count + 1;");
+              w.decl("j", "i + i");
+              w.b("while (j < " + num(limit) + ") {");
+              ++w.ind;
+              w.b("composite[j] = 1;");
+              w.b("j = j + i;");
+              --w.ind;
+              w.b("}");
+              --w.ind;
+              w.b("}");
+            });
+            w.print("count");
+          } else {
+            define_helper(w, "check", "n",
+                          {"if (n < 2) { return 0; }",
+                           w.ty() + " i = 2;",
+                           "while (i * i <= n) { if (n % i == 0) { return 0; } i = i + 1; }",
+                           "return 1;"});
+            w.decl("count", "0");
+            w.loop("i", "2", num(limit), [&] { w.b("count = count + check(i);"); });
+            w.print("count");
+          }
+          return w.prog();
+        },
+        {}));
+
+    // 7. Sum of an input array.
+    tasks.push_back(make(
+        "array_sum", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 6 + st.jitter;
+          w.arr("a", n);
+          w.fill_read("a", num(n));
+          w.decl("total", "0");
+          if (variant == 0) {
+            w.loop("i", "0", num(n), [&] { w.b("total = total + a[i];"); });
+          } else {
+            w.decl("i", num(n - 1));
+            w.b("while (i >= 0) {");
+            ++w.ind;
+            w.b("total = total + a[i];");
+            w.b("i = i - 1;");
+            --w.ind;
+            w.b("}");
+          }
+          w.print("total");
+          return w.prog();
+        },
+        {4, 8, 15, 16, 23, 42, 7, 9, 11}));
+
+    // 8. Maximum element.
+    tasks.push_back(make(
+        "array_max", 3,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 7 + st.jitter;
+          w.arr("a", n);
+          w.fill_read("a", num(n));
+          if (variant == 0) {
+            w.decl("best", "a[0]");
+            w.loop("i", "1", num(n), [&] { w.b("if (a[i] > best) { best = a[i]; }"); });
+            w.print("best");
+          } else if (variant == 1 && lang != Lang::Java) {
+            // Library max (MiniC/MiniC++ std-lib flavour).
+            w.decl("best", "a[0]");
+            w.loop("i", "1", num(n), [&] { w.b("best = max(best, a[i]);"); });
+            w.print("best");
+          } else if (variant == 1) {
+            w.decl("best", "a[0]");
+            w.loop("i", "1", num(n), [&] { w.b("best = Math.max(best, a[i]);"); });
+            w.print("best");
+          } else {
+            w.decl("best", "0 - 1000000");
+            w.decl("idx", "0");
+            w.b("while (idx < " + num(n) + ") {");
+            ++w.ind;
+            w.b("if (a[idx] > best) { best = a[idx]; }");
+            w.b("idx = idx + 1;");
+            --w.ind;
+            w.b("}");
+            w.print("best");
+          }
+          return w.prog();
+        },
+        {12, 99, 7, 34, 2, 64, 31, 5, 5, 5}));
+
+    // 9. Reverse an array and print it.
+    tasks.push_back(make(
+        "array_reverse", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 5 + st.jitter;
+          w.arr("a", n);
+          w.fill_read("a", num(n));
+          if (variant == 0) {
+            w.decl("lo", "0");
+            w.decl("hi", num(n - 1));
+            w.b("while (lo < hi) {");
+            ++w.ind;
+            w.decl("t", "a[lo]");
+            w.b("a[lo] = a[hi];");
+            w.b("a[hi] = t;");
+            w.b("lo = lo + 1;");
+            w.b("hi = hi - 1;");
+            --w.ind;
+            w.b("}");
+            w.loop("i", "0", num(n), [&] { w.print("a[i]"); });
+          } else {
+            w.decl("i", num(n - 1));
+            w.b("while (i >= 0) {");
+            ++w.ind;
+            w.print("a[i]");
+            w.b("i = i - 1;");
+            --w.ind;
+            w.b("}");
+          }
+          return w.prog();
+        },
+        {3, 1, 4, 1, 5, 9, 2, 6}));
+
+    // 10. Sort and print — library sort / bubble / insertion / selection.
+    tasks.push_back(make(
+        "sort_print", 4,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 6 + st.jitter;
+          if (variant == 0 && lang == Lang::Cpp) {
+            // std::vector + std::sort flavour (MiniC++ only).
+            w.b("vec v;");
+            w.loop("i", "0", num(n), [&] { w.b("v.push(" + w.read() + ");"); });
+            w.b("v.sort();");
+            w.loop("i", "0", num(n), [&] { w.print("v.get(i)"); });
+            return w.prog();
+          }
+          w.arr("a", n);
+          w.fill_read("a", num(n));
+          if (variant == 0 && lang == Lang::C) {
+            w.b("sort(a, " + num(n) + ");");
+          } else if (variant == 0 || variant == 1) {
+            // Bubble sort.
+            w.loop("i", "0", num(n), [&] {
+              w.loop("j", "0", num(n - 1), [&] {
+                w.b("if (a[j] > a[j+1]) {");
+                ++w.ind;
+                w.decl("t", "a[j]");
+                w.b("a[j] = a[j+1];");
+                w.b("a[j+1] = t;");
+                --w.ind;
+                w.b("}");
+              });
+            });
+          } else if (variant == 2) {
+            // Insertion sort.
+            w.loop("i", "1", num(n), [&] {
+              w.decl("key", "a[i]");
+              w.decl("j", "i - 1");
+              w.b("while (j >= 0 && a[j] > key) {");
+              ++w.ind;
+              w.b("a[j+1] = a[j];");
+              w.b("j = j - 1;");
+              --w.ind;
+              w.b("}");
+              w.b("a[j+1] = key;");
+            });
+          } else {
+            // Selection sort.
+            w.loop("i", "0", num(n), [&] {
+              w.decl("m", "i");
+              w.loop("j", "i + 1", num(n), [&] {
+                w.b("if (a[j] < a[m]) { m = j; }");
+              });
+              w.decl("t", "a[i]");
+              w.b("a[i] = a[m];");
+              w.b("a[m] = t;");
+            });
+          }
+          w.loop("i", "0", num(n), [&] { w.print("a[i]"); });
+          return w.prog();
+        },
+        {42, 7, 19, 3, 88, 21, 11, 13, 17}));
+
+    // 11. Binary search over a filled sorted array.
+    tasks.push_back(make(
+        "binary_search", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 8;
+          w.arr("a", n);
+          w.loop("i", "0", num(n), [&] {
+            w.b("a[i] = i * " + num(3 + st.jitter) + ";");
+          });
+          w.decl("key", w.read());
+          if (variant == 0) {
+            w.decl("lo", "0");
+            w.decl("hi", num(n - 1));
+            w.decl("found", "0 - 1");
+            w.b("while (lo <= hi) {");
+            ++w.ind;
+            w.decl("mid", "(lo + hi) / 2");
+            w.b("if (a[mid] == key) { found = mid; hi = lo - 1; }");
+            w.b("else { if (a[mid] < key) { lo = mid + 1; } else { hi = mid - 1; } }");
+            --w.ind;
+            w.b("}");
+            w.print("found");
+          } else {
+            w.decl("found", "0 - 1");
+            w.loop("i", "0", num(n), [&] {
+              w.b("if (a[i] == key) { found = i; }");
+            });
+            w.print("found");
+          }
+          return w.prog();
+        },
+        {12}));
+
+    // 12. Integer palindrome check (digit reversal).
+    tasks.push_back(make(
+        "palindrome", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          w.decl("n", w.read());
+          w.decl("orig", "n");
+          w.decl("rev", "0");
+          w.b("while (n > 0) {");
+          ++w.ind;
+          w.b("rev = rev * 10 + n % 10;");
+          w.b("n = n / 10;");
+          --w.ind;
+          w.b("}");
+          if (variant == 0) {
+            w.b("if (rev == orig) { " +
+                std::string(w.java() ? "System.out.println(1);" : "print(1);") +
+                " } else { " +
+                std::string(w.java() ? "System.out.println(0);" : "print(0);") + " }");
+          } else {
+            w.print("rev == orig ? 1 : 0");
+          }
+          return w.prog();
+        },
+        {12321}));
+
+    // 13. Sum of digits.
+    tasks.push_back(make(
+        "digit_sum", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          w.decl("n", w.read());
+          if (variant == 0) {
+            w.decl("s", "0");
+            w.b("while (n > 0) {");
+            ++w.ind;
+            w.b("s = s + n % 10;");
+            w.b("n = n / 10;");
+            --w.ind;
+            w.b("}");
+            w.print("s");
+          } else {
+            define_helper(w, "dsum", "k",
+                          {"if (k == 0) { return 0; }",
+                           "return k % 10 + dsum(k / 10);"});
+            w.print("dsum(n)");
+          }
+          return w.prog();
+        },
+        {98765}));
+
+    // 14. Collatz step count.
+    tasks.push_back(make(
+        "collatz", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          w.decl("n", w.read());
+          w.decl("steps", "0");
+          w.b("while (n != 1) {");
+          ++w.ind;
+          if (variant == 0) {
+            w.b("if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }");
+          } else {
+            w.b("n = n % 2 == 0 ? n / 2 : 3 * n + 1;");
+          }
+          w.b("steps = steps + 1;");
+          --w.ind;
+          w.b("}");
+          w.print("steps");
+          return w.prog();
+        },
+        {27}));
+
+    // 15. Integer power — loop / fast exponentiation / library pow.
+    tasks.push_back(make(
+        "power", 3,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          w.decl("base", w.read());
+          w.decl("e", w.read());
+          if (variant == 0) {
+            w.decl("acc", "1");
+            w.loop("i", "0", "e", [&] { w.b("acc = acc * base;"); });
+            w.print("acc");
+          } else if (variant == 1) {
+            w.decl("acc", "1");
+            w.b("while (e > 0) {");
+            ++w.ind;
+            w.b("if (e % 2 == 1) { acc = acc * base; }");
+            w.b("base = base * base;");
+            w.b("e = e / 2;");
+            --w.ind;
+            w.b("}");
+            w.print("acc");
+          } else if (lang == Lang::Java) {
+            define_helper(w, "ipow", "b,k",
+                          {"if (k == 0) { return 1; }", "return b * ipow(b, k - 1);"});
+            w.print("ipow(base, e)");
+          } else {
+            w.print("pow(base, e)");
+          }
+          return w.prog();
+        },
+        {3, 7}));
+
+    // 16. Flattened matrix diagonal sum (k x k in one array).
+    tasks.push_back(make(
+        "diag_sum", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int k = 4;
+          w.arr("m", k * k);
+          w.fill_read("m", num(k * k));
+          w.decl("s", "0");
+          if (variant == 0) {
+            w.loop("i", "0", num(k),
+                   [&] { w.b("s = s + m[i * " + num(k) + " + i];"); });
+          } else {
+            w.decl("i", "0");
+            w.b("while (i < " + num(k * k) + ") {");
+            ++w.ind;
+            w.b("s = s + m[i];");
+            w.b("i = i + " + num(k + 1) + ";");
+            --w.ind;
+            w.b("}");
+          }
+          w.print("s");
+          return w.prog();
+        },
+        {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}));
+
+    // 17. Count even and odd inputs.
+    tasks.push_back(make(
+        "even_odd", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 9 + st.jitter;
+          w.decl("even", "0");
+          w.decl("odd", "0");
+          w.loop("i", "0", num(n), [&] {
+            w.decl("v", w.read());
+            if (variant == 0) {
+              w.b("if (v % 2 == 0) { even = even + 1; } else { odd = odd + 1; }");
+            } else {
+              w.b("even = even + (v % 2 == 0 ? 1 : 0);");
+              w.b("odd = odd + (v % 2 == 0 ? 0 : 1);");
+            }
+          });
+          w.print("even");
+          w.print("odd");
+          return w.prog();
+        },
+        {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}));
+
+    // 18. Second largest element.
+    tasks.push_back(make(
+        "second_largest", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 7;
+          w.arr("a", n);
+          w.fill_read("a", num(n));
+          if (variant == 0) {
+            w.decl("first", "0 - 1000000");
+            w.decl("second", "0 - 1000000");
+            w.loop("i", "0", num(n), [&] {
+              w.b("if (a[i] > first) { second = first; first = a[i]; }");
+              w.b("else { if (a[i] > second && a[i] < first) { second = a[i]; } }");
+            });
+            w.print("second");
+          } else {
+            // Sort (bubble) then scan from the top for a distinct value.
+            w.loop("i", "0", num(n), [&] {
+              w.loop("j", "0", num(n - 1), [&] {
+                w.b("if (a[j] > a[j+1]) {");
+                ++w.ind;
+                w.decl("t", "a[j]");
+                w.b("a[j] = a[j+1];");
+                w.b("a[j+1] = t;");
+                --w.ind;
+                w.b("}");
+              });
+            });
+            w.decl("k", num(n - 2));
+            w.b("while (k >= 0 && a[k] == a[" + num(n - 1) + "]) { k = k - 1; }");
+            w.print("a[k]");
+          }
+          return w.prog();
+        },
+        {10, 85, 23, 85, 47, 11, 62}));
+
+    // 19. Running mean of doubles (MiniC) / scaled integers (MiniJava).
+    tasks.push_back(make(
+        "running_mean", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 5;
+          if (lang == Lang::Java) {
+            // Java subset has no double: fixed-point by 100.
+            w.decl("acc", "0");
+            w.loop("i", "0", num(n), [&] { w.b("acc = acc + " + w.read() + ";"); });
+            w.print("acc * 100 / " + num(n));
+          } else if (variant == 0) {
+            w.b("double acc = 0.0;");
+            w.loop("i", "0", num(n), [&] {
+              w.b("double v = read();");
+              w.b("acc = acc + v;");
+            });
+            w.b("print(acc / " + num(n) + ".0);");
+          } else {
+            w.decl("acc", "0");
+            w.loop("i", "0", num(n), [&] { w.b("acc = acc + " + w.read() + ";"); });
+            w.b("double mean = acc;");
+            w.b("print(mean / " + num(n) + ".0);");
+          }
+          return w.prog();
+        },
+        {10, 20, 30, 40, 55}));
+
+    // 20. Dot product of two input vectors.
+    tasks.push_back(make(
+        "dot_product", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 5 + st.jitter;
+          w.arr("x", n);
+          w.arr("y", n);
+          w.fill_read("x", num(n));
+          w.fill_read("y", num(n));
+          w.decl("dot", "0");
+          if (variant == 0) {
+            w.loop("i", "0", num(n), [&] { w.b("dot = dot + x[i] * y[i];"); });
+          } else {
+            w.decl("i", num(n - 1));
+            w.b("while (i >= 0) {");
+            ++w.ind;
+            w.b("dot = dot + x[i] * y[i];");
+            w.b("i = i - 1;");
+            --w.ind;
+            w.b("}");
+          }
+          w.print("dot");
+          return w.prog();
+        },
+        {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}));
+
+    // 21. Minimum adjacent difference after sorting.
+    tasks.push_back(make(
+        "min_gap", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 6;
+          w.arr("a", n);
+          w.fill_read("a", num(n));
+          if (variant == 0 && lang == Lang::C) {
+            w.b("sort(a, " + num(n) + ");");
+          } else {
+            w.loop("i", "0", num(n), [&] {
+              w.loop("j", "0", num(n - 1), [&] {
+                w.b("if (a[j] > a[j+1]) {");
+                ++w.ind;
+                w.decl("t", "a[j]");
+                w.b("a[j] = a[j+1];");
+                w.b("a[j+1] = t;");
+                --w.ind;
+                w.b("}");
+              });
+            });
+          }
+          w.decl("best", "1000000");
+          w.loop("i", "1", num(n), [&] {
+            w.decl("d", "a[i] - a[i-1]");
+            if (lang == Lang::Java)
+              w.b("best = Math.min(best, d);");
+            else
+              w.b("best = min(best, d);");
+          });
+          w.print("best");
+          return w.prog();
+        },
+        {30, 5, 20, 9, 100, 57}));
+
+    // 22. Modular exponentiation.
+    tasks.push_back(make(
+        "mod_exp", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int mod = 1000 + st.jitter * 7;
+          w.decl("b", w.read());
+          w.decl("e", w.read());
+          w.decl("acc", "1");
+          if (variant == 0) {
+            w.loop("i", "0", "e", [&] {
+              w.b("acc = acc * b % " + num(mod) + ";");
+            });
+          } else {
+            w.b("b = b % " + num(mod) + ";");
+            w.b("while (e > 0) {");
+            ++w.ind;
+            w.b("if (e % 2 == 1) { acc = acc * b % " + num(mod) + "; }");
+            w.b("b = b * b % " + num(mod) + ";");
+            w.b("e = e / 2;");
+            --w.ind;
+            w.b("}");
+          }
+          w.print("acc");
+          return w.prog();
+        },
+        {7, 13}));
+
+    // 23. Count inversions (quadratic scan) — list-flavoured in Java/C++.
+    tasks.push_back(make(
+        "inversions", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 6;
+          if (variant == 1 && lang == Lang::Java) {
+            w.b("ArrayList a = new ArrayList();");
+            w.loop("i", "0", num(n), [&] { w.b("a.add(" + w.read() + ");"); });
+            w.decl("count", "0");
+            w.loop("i", "0", num(n), [&] {
+              w.loop("j", "i + 1", num(n), [&] {
+                w.b("if (a.get(i) > a.get(j)) { count = count + 1; }");
+              });
+            });
+            w.print("count");
+            return w.prog();
+          }
+          if (variant == 1 && lang == Lang::Cpp) {
+            w.b("vec a;");
+            w.loop("i", "0", num(n), [&] { w.b("a.push(" + w.read() + ");"); });
+            w.decl("count", "0");
+            w.loop("i", "0", num(n), [&] {
+              w.loop("j", "i + 1", num(n), [&] {
+                w.b("if (a.get(i) > a.get(j)) { count = count + 1; }");
+              });
+            });
+            w.print("count");
+            return w.prog();
+          }
+          w.arr("a", n);
+          w.fill_read("a", num(n));
+          w.decl("count", "0");
+          w.loop("i", "0", num(n), [&] {
+            w.loop("j", "i + 1", num(n), [&] {
+              w.b("if (a[i] > a[j]) { count = count + 1; }");
+            });
+          });
+          w.print("count");
+          return w.prog();
+        },
+        {5, 3, 8, 1, 9, 2}));
+
+    // 24. Triangular-number table with a switch-style classifier.
+    tasks.push_back(make(
+        "classify_mod3", 2,
+        [](Lang lang, int variant, const Style& st) {
+          W w(lang, st);
+          const int n = 8 + st.jitter;
+          w.loop("i", "1", num(n), [&] {
+            w.decl("r", "i % 3");
+            if (variant == 0) {
+              w.b("if (r == 0) { " +
+                  std::string(lang == Lang::Java ? "System.out.println(i * 2);"
+                                                 : "print(i * 2);") +
+                  " }");
+              w.b("else { if (r == 1) { " +
+                  std::string(lang == Lang::Java ? "System.out.println(i);"
+                                                 : "print(i);") +
+                  " } else { " +
+                  std::string(lang == Lang::Java ? "System.out.println(0 - i);"
+                                                 : "print(0 - i);") +
+                  " } }");
+            } else {
+              w.print("r == 0 ? i * 2 : (r == 1 ? i : 0 - i)");
+            }
+          });
+          return w.prog();
+        },
+        {}));
+
+    return tasks;
+  }();
+  return kTasks;
+}
+
+}  // namespace gbm::data

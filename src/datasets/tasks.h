@@ -1,0 +1,46 @@
+// Programming-task templates for the synthetic CLCDSA / POJ-104 corpora.
+//
+// Each template is one "competition problem". Its emitter produces a
+// complete solution program in MiniC, MiniC++ or MiniJava, selected by an
+// algorithmic variant index and perturbed by style knobs (loop shape,
+// helper extraction, dead code, constant jitter). Two solutions of the same
+// task are therefore genuinely different programs solving the same problem
+// — the positive-pair definition of the paper (§II) — while solutions of
+// different tasks differ in semantics, constants and structure.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "tensor/rng.h"
+
+namespace gbm::data {
+
+/// Style perturbations applied to a solution (seeded per file).
+struct Style {
+  bool while_loop = false;   // while-loops instead of for-loops
+  bool use_helper = false;   // extract core computation into a function
+  bool dead_code = false;    // insert harmless extra statements
+  bool reverse_iter = false; // iterate downwards where possible
+  int jitter = 0;            // small constant variation (0..3)
+};
+
+struct TaskTemplate {
+  std::string id;
+  int num_variants;  // algorithmic variants (all semantically equivalent
+                     // up to I/O behaviour on the task's input contract)
+  /// Emits a full program. `variant` in [0, num_variants).
+  std::function<std::string(frontend::Lang, int variant, const Style&)> emit;
+  /// Input values that exercise the program (for execution-based tests).
+  std::vector<std::int64_t> sample_input;
+};
+
+/// The full template catalogue (deterministic order).
+const std::vector<TaskTemplate>& all_tasks();
+
+/// Draws a random style from an RNG (deterministic given the RNG state).
+Style random_style(tensor::RNG& rng);
+
+}  // namespace gbm::data

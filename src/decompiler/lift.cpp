@@ -1,0 +1,397 @@
+#include "decompiler/lift.h"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "interp/runtime.h"
+#include "ir/builder.h"
+#include "opt/passes.h"
+
+namespace gbm::decompiler {
+
+namespace {
+
+using backend::VBinary;
+using backend::VFunction;
+using backend::VInst;
+using backend::VOp;
+using ir::BasicBlock;
+using ir::CmpPred;
+using ir::Opcode;
+using ir::Value;
+
+class Lifter {
+ public:
+  Lifter(const VBinary& bin, ir::Module& m) : bin_(bin), m_(m), b_(m) {}
+
+  void run() {
+    make_data_global();
+    declare_functions();
+    for (std::size_t i = 0; i < bin_.functions.size(); ++i)
+      lift_function(bin_.functions[i], lifted_[i]);
+  }
+
+ private:
+  void make_data_global() {
+    std::vector<std::uint8_t> data = bin_.data;
+    if (data.empty()) data.resize(8, 0);
+    data_ = m_.create_global(
+        "data", m_.types().array(m_.types().i8(), static_cast<long>(data.size())),
+        data, /*is_const=*/false);
+  }
+
+  void declare_functions() {
+    for (std::size_t i = 0; i < bin_.functions.size(); ++i) {
+      // Symbols are not trusted: functions are renamed, except the entry
+      // point which the loader identifies.
+      const std::string name =
+          static_cast<int>(i) == bin_.entry ? "main" : "fn" + std::to_string(i);
+      std::vector<const ir::Type*> params(
+          static_cast<std::size_t>(bin_.functions[i].arity), m_.types().i64());
+      lifted_.push_back(m_.create_function(name, m_.types().i64(), params));
+    }
+  }
+
+  /// Typed declaration of a recognised library (runtime) function.
+  ir::Function* runtime_decl(const std::string& name) {
+    if (ir::Function* f = m_.function(name)) return f;
+    auto& t = m_.types();
+    struct Sig { const ir::Type* ret; std::vector<const ir::Type*> params; };
+    // Built per module: Type pointers are interned per ir::Module.
+    std::map<std::string, Sig> sig_map;
+    {
+      auto* sigs = &sig_map;
+      (*sigs)["gbm_print_i64"] = {t.void_ty(), {t.i64()}};
+      (*sigs)["gbm_print_f64"] = {t.void_ty(), {t.f64()}};
+      (*sigs)["gbm_print_str"] = {t.void_ty(), {t.ptr()}};
+      (*sigs)["gbm_read_i64"] = {t.i64(), {}};
+      (*sigs)["gbm_alloc"] = {t.ptr(), {t.i64()}};
+      (*sigs)["jrt_newarray_i32"] = {t.ptr(), {t.i64()}};
+      (*sigs)["jrt_arraylen"] = {t.i64(), {t.ptr()}};
+      (*sigs)["jrt_boundscheck"] = {t.void_ty(), {t.ptr(), t.i64()}};
+      (*sigs)["jrt_box_i32"] = {t.ptr(), {t.i32()}};
+      (*sigs)["jrt_unbox_i32"] = {t.i32(), {t.ptr()}};
+      (*sigs)["jrt_list_new"] = {t.ptr(), {}};
+      (*sigs)["jrt_list_add"] = {t.void_ty(), {t.ptr(), t.ptr()}};
+      (*sigs)["jrt_list_get"] = {t.ptr(), {t.ptr(), t.i64()}};
+      (*sigs)["jrt_list_set"] = {t.void_ty(), {t.ptr(), t.i64(), t.ptr()}};
+      (*sigs)["jrt_list_size"] = {t.i64(), {t.ptr()}};
+      (*sigs)["jrt_println_i32"] = {t.void_ty(), {t.i32()}};
+      (*sigs)["jrt_println_str"] = {t.void_ty(), {t.ptr()}};
+      (*sigs)["jrt_string_charat"] = {t.i64(), {t.ptr(), t.i64()}};
+      (*sigs)["jrt_string_len"] = {t.i64(), {t.ptr()}};
+      (*sigs)["crt_sort_i64"] = {t.void_ty(), {t.ptr(), t.i64()}};
+      (*sigs)["crt_abs_i64"] = {t.i64(), {t.i64()}};
+      (*sigs)["crt_min_i64"] = {t.i64(), {t.i64(), t.i64()}};
+      (*sigs)["crt_max_i64"] = {t.i64(), {t.i64(), t.i64()}};
+      (*sigs)["crt_vec_new"] = {t.ptr(), {}};
+      (*sigs)["crt_vec_push"] = {t.void_ty(), {t.ptr(), t.i64()}};
+      (*sigs)["crt_vec_get"] = {t.i64(), {t.ptr(), t.i64()}};
+      (*sigs)["crt_vec_set"] = {t.void_ty(), {t.ptr(), t.i64(), t.i64()}};
+      (*sigs)["crt_vec_size"] = {t.i64(), {t.ptr()}};
+      (*sigs)["crt_vec_sort"] = {t.void_ty(), {t.ptr()}};
+      (*sigs)["crt_strlen"] = {t.i64(), {t.ptr()}};
+      (*sigs)["crt_pow_i64"] = {t.i64(), {t.i64(), t.i64()}};
+    }
+    auto it = sig_map.find(name);
+    if (it == sig_map.end()) throw std::runtime_error("lift: unknown import " + name);
+    return m_.create_function(name, it->second.ret, it->second.params);
+  }
+
+  // ---- register slots ---------------------------------------------------
+  Value* rload(int k) { return b_.load(m_.types().i64(), rslot_[k]); }
+  void rstore(int k, Value* v) { b_.store(v, rslot_[k]); }
+  Value* fload(int k) { return b_.load(m_.types().f64(), fslot_[k]); }
+  void fstore(int k, Value* v) { b_.store(v, fslot_[k]); }
+
+  Value* mem_ptr(int base_reg, std::int64_t off) {
+    Value* a = rload(base_reg);
+    if (off != 0) a = b_.binop(Opcode::Add, a, m_.const_i64(off));
+    return b_.cast(Opcode::IntToPtr, a, m_.types().ptr());
+  }
+
+  void lift_function(const VFunction& vf, ir::Function* fn) {
+    // ---- control-flow reconstruction: find leaders -----------------------
+    std::set<std::size_t> leaders{0};
+    for (std::size_t pc = 0; pc < vf.code.size(); ++pc) {
+      const VInst& inst = vf.code[pc];
+      if (inst.op == VOp::JMP || inst.op == VOp::JZ || inst.op == VOp::JNZ) {
+        leaders.insert(static_cast<std::size_t>(inst.imm));
+        if (pc + 1 < vf.code.size()) leaders.insert(pc + 1);
+      }
+      if ((inst.op == VOp::RET || inst.op == VOp::HALT) && pc + 1 < vf.code.size())
+        leaders.insert(pc + 1);
+    }
+    std::map<std::size_t, BasicBlock*> blocks;
+    for (std::size_t leader : leaders) blocks[leader] = fn->create_block("dec");
+
+    // ---- entry: register slots, recovered frame, parameters ---------------
+    BasicBlock* entry = blocks.at(0);
+    b_.set_insertion(entry);
+    for (int k = 0; k < 16; ++k) {
+      rslot_[k] = b_.alloca_(m_.types().i64());
+      rslot_[k]->set_name("r" + std::to_string(k));
+    }
+    for (int k = 0; k < 8; ++k) {
+      fslot_[k] = b_.alloca_(m_.types().f64());
+      fslot_[k]->set_name("f" + std::to_string(k));
+    }
+    // Zero-initialise registers (decompilers emit defined values).
+    for (int k = 0; k < 16; ++k) rstore(k, m_.const_i64(0));
+    std::int64_t frame_size = 0;
+    if (!vf.code.empty() && vf.code[0].op == VOp::ENTER) frame_size = vf.code[0].imm;
+    if (frame_size > 0) {
+      ir::Instruction* frame =
+          b_.alloca_(m_.types().array(m_.types().i8(), frame_size));
+      frame->set_name("stack");
+      Value* base = b_.cast(Opcode::PtrToInt, frame, m_.types().i64());
+      Value* top = b_.binop(Opcode::Add, base, m_.const_i64(frame_size));
+      rstore(backend::kRegFP, top);
+    }
+    for (int i = 0; i < vf.arity; ++i) rstore(1 + i, fn->arg(i));
+
+    // ---- lift instructions block by block ---------------------------------
+    for (auto it = blocks.begin(); it != blocks.end(); ++it) {
+      const std::size_t start = it->first;
+      auto next_it = std::next(it);
+      const std::size_t end = next_it == blocks.end() ? vf.code.size() : next_it->first;
+      b_.set_insertion(it->second);
+      bool terminated = false;
+      for (std::size_t pc = start; pc < end && !terminated; ++pc)
+        terminated = lift_inst(vf, pc, blocks);
+      if (!terminated) {
+        // Fallthrough into the next block.
+        if (next_it != blocks.end()) b_.br(next_it->second);
+        else b_.ret(m_.const_i64(0));
+      }
+    }
+  }
+
+  /// Lifts one instruction; returns true if it terminated the block.
+  bool lift_inst(const VFunction& vf, std::size_t pc,
+                 const std::map<std::size_t, BasicBlock*>& blocks) {
+    const VInst& inst = vf.code[pc];
+    auto& t = m_.types();
+    switch (inst.op) {
+      case VOp::LDI: rstore(inst.a, m_.const_i64(inst.imm)); return false;
+      case VOp::MOV: rstore(inst.a, rload(inst.b)); return false;
+      case VOp::ADD: case VOp::SUB: case VOp::MUL: case VOp::DIV: case VOp::REM:
+      case VOp::AND: case VOp::OR: case VOp::XOR: case VOp::SHL: case VOp::SAR: {
+        Opcode op;
+        switch (inst.op) {
+          case VOp::ADD: op = Opcode::Add; break;
+          case VOp::SUB: op = Opcode::Sub; break;
+          case VOp::MUL: op = Opcode::Mul; break;
+          case VOp::DIV: op = Opcode::SDiv; break;
+          case VOp::REM: op = Opcode::SRem; break;
+          case VOp::AND: op = Opcode::And; break;
+          case VOp::OR: op = Opcode::Or; break;
+          case VOp::XOR: op = Opcode::Xor; break;
+          case VOp::SHL: op = Opcode::Shl; break;
+          default: op = Opcode::AShr; break;
+        }
+        rstore(inst.a, b_.binop(op, rload(inst.b), rload(inst.c)));
+        return false;
+      }
+      case VOp::SX32: {
+        Value* v = b_.cast(Opcode::Trunc, rload(inst.b), t.i32());
+        rstore(inst.a, b_.cast(Opcode::SExt, v, t.i64()));
+        return false;
+      }
+      case VOp::SX8: {
+        Value* v = b_.cast(Opcode::Trunc, rload(inst.b), t.i8());
+        rstore(inst.a, b_.cast(Opcode::SExt, v, t.i64()));
+        return false;
+      }
+      case VOp::AND1:
+        rstore(inst.a, b_.binop(Opcode::And, rload(inst.b), m_.const_i64(1)));
+        return false;
+      case VOp::FADD: case VOp::FSUB: case VOp::FMUL: case VOp::FDIV: {
+        Opcode op = inst.op == VOp::FADD   ? Opcode::FAdd
+                    : inst.op == VOp::FSUB ? Opcode::FSub
+                    : inst.op == VOp::FMUL ? Opcode::FMul
+                                           : Opcode::FDiv;
+        fstore(inst.a, b_.binop(op, fload(inst.b), fload(inst.c)));
+        return false;
+      }
+      case VOp::CMPEQ: case VOp::CMPNE: case VOp::CMPLT:
+      case VOp::CMPLE: case VOp::CMPGT: case VOp::CMPGE: {
+        Value* c = b_.icmp(pred_of(inst.op), rload(inst.b), rload(inst.c));
+        rstore(inst.a, b_.cast(Opcode::ZExt, c, t.i64()));
+        return false;
+      }
+      case VOp::FCMPEQ: case VOp::FCMPNE: case VOp::FCMPLT:
+      case VOp::FCMPLE: case VOp::FCMPGT: case VOp::FCMPGE: {
+        Value* c = b_.fcmp(fpred_of(inst.op), fload(inst.b), fload(inst.c));
+        rstore(inst.a, b_.cast(Opcode::ZExt, c, t.i64()));
+        return false;
+      }
+      case VOp::LD1: {
+        Value* v = b_.load(t.i8(), mem_ptr(inst.b, inst.imm));
+        rstore(inst.a, b_.cast(Opcode::SExt, v, t.i64()));
+        return false;
+      }
+      case VOp::LD4: {
+        Value* v = b_.load(t.i32(), mem_ptr(inst.b, inst.imm));
+        rstore(inst.a, b_.cast(Opcode::SExt, v, t.i64()));
+        return false;
+      }
+      case VOp::LD8:
+        rstore(inst.a, b_.load(t.i64(), mem_ptr(inst.b, inst.imm)));
+        return false;
+      case VOp::ST1:
+        b_.store(b_.cast(Opcode::Trunc, rload(inst.b), t.i8()),
+                 mem_ptr(inst.a, inst.imm));
+        return false;
+      case VOp::ST4:
+        b_.store(b_.cast(Opcode::Trunc, rload(inst.b), t.i32()),
+                 mem_ptr(inst.a, inst.imm));
+        return false;
+      case VOp::ST8:
+        b_.store(rload(inst.b), mem_ptr(inst.a, inst.imm));
+        return false;
+      case VOp::FLD:
+        fstore(inst.a, b_.load(t.f64(), mem_ptr(inst.b, inst.imm)));
+        return false;
+      case VOp::FST:
+        b_.store(fload(inst.b), mem_ptr(inst.a, inst.imm));
+        return false;
+      case VOp::ITOF:
+        fstore(inst.a, b_.cast(Opcode::SIToFP, rload(inst.b), t.f64()));
+        return false;
+      case VOp::FTOI:
+        rstore(inst.a, b_.cast(Opcode::FPToSI, fload(inst.b), t.i64()));
+        return false;
+      case VOp::FMOV: fstore(inst.a, fload(inst.b)); return false;
+      case VOp::LEA: {
+        Value* fp = rload(backend::kRegFP);
+        rstore(inst.a, b_.binop(Opcode::Add, fp, m_.const_i64(inst.imm)));
+        return false;
+      }
+      case VOp::GADDR: {
+        Value* base = b_.cast(Opcode::PtrToInt, data_, t.i64());
+        rstore(inst.a, b_.binop(Opcode::Add, base, m_.const_i64(inst.imm)));
+        return false;
+      }
+      case VOp::JMP:
+        b_.br(blocks.at(static_cast<std::size_t>(inst.imm)));
+        return true;
+      case VOp::JZ: case VOp::JNZ: {
+        Value* v = rload(inst.a);
+        Value* c = b_.icmp(inst.op == VOp::JZ ? CmpPred::EQ : CmpPred::NE, v,
+                           m_.const_i64(0));
+        BasicBlock* taken = blocks.at(static_cast<std::size_t>(inst.imm));
+        BasicBlock* fall = blocks.at(pc + 1);
+        b_.cond_br(c, taken, fall);
+        return true;
+      }
+      case VOp::CALL: {
+        const int target = static_cast<int>(inst.imm);
+        ir::Function* callee = lifted_.at(static_cast<std::size_t>(target));
+        std::vector<Value*> args;
+        for (int i = 0; i < bin_.functions[target].arity; ++i)
+          args.push_back(rload(1 + i));
+        rstore(0, b_.call(callee, args));
+        return false;
+      }
+      case VOp::SYSCALL: {
+        const auto& sig =
+            interp::Runtime::table().at(static_cast<std::size_t>(inst.imm));
+        ir::Function* callee = runtime_decl(sig.name);
+        std::vector<Value*> args;
+        int int_reg = 1, flt_reg = 1;
+        for (std::size_t i = 0; i < callee->num_args(); ++i) {
+          const ir::Type* want = callee->arg(i)->type();
+          if (want->is_float()) {
+            args.push_back(fload(flt_reg++));
+          } else if (want->is_pointer()) {
+            args.push_back(b_.cast(Opcode::IntToPtr, rload(int_reg++), t.ptr()));
+          } else if (want->kind() == ir::TypeKind::I32) {
+            args.push_back(b_.cast(Opcode::Trunc, rload(int_reg++), t.i32()));
+          } else {
+            args.push_back(rload(int_reg++));
+          }
+        }
+        Value* result = b_.call(callee, args);
+        const ir::Type* rt = callee->return_type();
+        if (rt->is_pointer())
+          rstore(0, b_.cast(Opcode::PtrToInt, result, t.i64()));
+        else if (rt->kind() == ir::TypeKind::I32)
+          rstore(0, b_.cast(Opcode::SExt, result, t.i64()));
+        else if (!rt->is_void())
+          rstore(0, result);
+        return false;
+      }
+      case VOp::ENTER:  // frame recovered in entry setup
+      case VOp::LEAVE:  // no-op: each lifted frame is function-local
+      case VOp::NOP:
+        return false;
+      case VOp::RET:
+        b_.ret(rload(0));
+        return true;
+      case VOp::HALT:
+        b_.unreachable_();
+        return true;
+    }
+    return false;
+  }
+
+  static CmpPred pred_of(VOp op) {
+    switch (op) {
+      case VOp::CMPEQ: return CmpPred::EQ;
+      case VOp::CMPNE: return CmpPred::NE;
+      case VOp::CMPLT: return CmpPred::SLT;
+      case VOp::CMPLE: return CmpPred::SLE;
+      case VOp::CMPGT: return CmpPred::SGT;
+      default: return CmpPred::SGE;
+    }
+  }
+  static CmpPred fpred_of(VOp op) {
+    switch (op) {
+      case VOp::FCMPEQ: return CmpPred::EQ;
+      case VOp::FCMPNE: return CmpPred::NE;
+      case VOp::FCMPLT: return CmpPred::SLT;
+      case VOp::FCMPLE: return CmpPred::SLE;
+      case VOp::FCMPGT: return CmpPred::SGT;
+      default: return CmpPred::SGE;
+    }
+  }
+
+  const VBinary& bin_;
+  ir::Module& m_;
+  ir::IRBuilder b_;
+  ir::GlobalVar* data_ = nullptr;
+  std::vector<ir::Function*> lifted_;
+  ir::Instruction* rslot_[16] = {nullptr};
+  ir::Instruction* fslot_[8] = {nullptr};
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Module> lift(const VBinary& bin, const LiftOptions& options) {
+  auto m = std::make_unique<ir::Module>("decompiled");
+  Lifter lifter(bin, *m);
+  lifter.run();
+  if (options.cleanup) {
+    // RetDec-style cleanup: SSA-form register slots, folded address
+    // arithmetic, no dead loads. The result is compact decompiled IR that
+    // still carries the lifting scars (i64-only types, inttoptr memory
+    // access, renamed functions, restructured control flow).
+    for (const auto& fn : m->functions()) {
+      if (fn->is_declaration()) continue;
+      opt::mem2reg(*fn);
+      bool changed = true;
+      int rounds = 0;
+      while (changed && rounds++ < 6) {
+        changed = false;
+        changed |= opt::constant_fold(*fn);
+        changed |= opt::dead_code_elim(*fn);
+        changed |= opt::simplify_cfg(*fn);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace gbm::decompiler

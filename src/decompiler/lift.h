@@ -1,0 +1,37 @@
+// VBin → IR lifter (the RetDec substitute).
+//
+// Reverse-engineers a compiled binary back into IR the way a machine-code
+// decompiler does:
+//   * instruction decoding, then control-flow reconstruction from branch
+//     targets (leaders → basic blocks);
+//   * machine registers become i64/f64 stack slots; every register
+//     read/write is an explicit load/store;
+//   * the frame pointer is recovered as one opaque byte buffer per
+//     function — source-level variables and their types are *not*
+//     recovered (the paper's "decompiled IR differs from source IR" gap);
+//   * runtime calls (syscalls) are recognised by table and rebuilt with
+//     typed signatures, as RetDec does for known library imports;
+//   * functions are renamed fn0, fn1, ... (symbols are not trusted).
+//
+// The lifted module re-executes under the IR interpreter with the same
+// observable behaviour as the binary — validated by integration tests.
+#pragma once
+
+#include <memory>
+
+#include "backend/isa.h"
+#include "ir/module.h"
+
+namespace gbm::decompiler {
+
+struct LiftOptions {
+  /// Run a light cleanup (constant folding/DCE) after lifting, as real
+  /// decompilers do. Off = raw lifted code.
+  bool cleanup = true;
+};
+
+/// Lifts a decoded binary to a fresh IR module.
+std::unique_ptr<ir::Module> lift(const backend::VBinary& bin,
+                                 const LiftOptions& options = {});
+
+}  // namespace gbm::decompiler

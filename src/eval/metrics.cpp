@@ -1,0 +1,49 @@
+#include "eval/metrics.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace gbm::eval {
+
+Confusion confusion(const std::vector<float>& scores, const std::vector<float>& labels,
+                    float threshold) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("confusion: size mismatch");
+  Confusion c;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    const bool actual = labels[i] >= 0.5f;
+    if (predicted && actual) ++c.tp;
+    else if (predicted && !actual) ++c.fp;
+    else if (!predicted && !actual) ++c.tn;
+    else ++c.fn;
+  }
+  return c;
+}
+
+std::vector<ThresholdPoint> threshold_sweep(const std::vector<float>& scores,
+                                            const std::vector<float>& labels,
+                                            const std::vector<float>& thresholds) {
+  std::vector<ThresholdPoint> out;
+  out.reserve(thresholds.size());
+  for (float t : thresholds) {
+    const Confusion c = confusion(scores, labels, t);
+    out.push_back({t, c.precision(), c.recall(), c.f1(), c.accuracy()});
+  }
+  return out;
+}
+
+std::string fmt2(double v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+std::string fmt_prf(const Confusion& c) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%-6s %-6s %-6s", fmt2(c.precision()).c_str(),
+                fmt2(c.recall()).c_str(), fmt2(c.f1()).c_str());
+  return buf;
+}
+
+}  // namespace gbm::eval

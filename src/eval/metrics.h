@@ -1,0 +1,45 @@
+// Evaluation metrics (paper §IV-E): precision, recall, F1, accuracy from
+// the TP/TN/FP/FN confusion (Table II), plus the threshold sweep of Fig. 3
+// and small table-formatting helpers used by the bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gbm::eval {
+
+struct Confusion {
+  long tp = 0, fp = 0, tn = 0, fn = 0;
+
+  double precision() const { return tp + fp == 0 ? 0.0 : double(tp) / double(tp + fp); }
+  double recall() const { return tp + fn == 0 ? 0.0 : double(tp) / double(tp + fn); }
+  double f1() const {
+    const double p = precision(), r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  double accuracy() const {
+    const long total = tp + fp + tn + fn;
+    return total == 0 ? 0.0 : double(tp + tn) / double(total);
+  }
+};
+
+/// Thresholded confusion over parallel score/label arrays.
+Confusion confusion(const std::vector<float>& scores, const std::vector<float>& labels,
+                    float threshold = 0.5f);
+
+struct ThresholdPoint {
+  float threshold;
+  double precision, recall, f1, accuracy;
+};
+
+/// Metric curves over a threshold grid (Figure 3).
+std::vector<ThresholdPoint> threshold_sweep(const std::vector<float>& scores,
+                                            const std::vector<float>& labels,
+                                            const std::vector<float>& thresholds);
+
+/// "0.76" style fixed-2 formatting used by the paper's tables.
+std::string fmt2(double v);
+/// A metrics triple "P R F1" padded for table columns.
+std::string fmt_prf(const Confusion& c);
+
+}  // namespace gbm::eval

@@ -1,0 +1,43 @@
+#include "eval/retrieval.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gbm::eval {
+
+RetrievalScores evaluate_retrieval(const std::vector<RankedQuery>& queries) {
+  RetrievalScores out;
+  out.queries = static_cast<long>(queries.size());
+  if (queries.empty()) return out;
+  double p1 = 0, p5 = 0, hit5 = 0, mrr = 0;
+  for (const auto& q : queries) {
+    if (q.scores.size() != q.relevant.size())
+      throw std::invalid_argument("evaluate_retrieval: size mismatch");
+    std::vector<std::size_t> order(q.scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return q.scores[a] > q.scores[b];
+    });
+    long rel_top5 = 0;
+    double rr = 0.0;
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      if (!q.relevant[order[rank]]) continue;
+      if (rank < 5) ++rel_top5;
+      if (rr == 0.0) rr = 1.0 / static_cast<double>(rank + 1);
+    }
+    p1 += !order.empty() && q.relevant[order[0]] ? 1.0 : 0.0;
+    p5 += static_cast<double>(rel_top5) /
+          static_cast<double>(std::min<std::size_t>(5, order.size()));
+    hit5 += rel_top5 > 0 ? 1.0 : 0.0;
+    mrr += rr;
+  }
+  const double n = static_cast<double>(queries.size());
+  out.precision_at_1 = p1 / n;
+  out.precision_at_5 = p5 / n;
+  out.hit_at_5 = hit5 / n;
+  out.mrr = mrr / n;
+  return out;
+}
+
+}  // namespace gbm::eval

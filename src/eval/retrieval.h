@@ -1,0 +1,27 @@
+// Retrieval metrics for the ranking use-cases of §I (find the matching
+// source for a binary): precision@k, hit@k and mean reciprocal rank over a
+// set of queries, each with a scored candidate list.
+#pragma once
+
+#include <vector>
+
+namespace gbm::eval {
+
+struct RankedQuery {
+  std::vector<float> scores;   // one per candidate
+  std::vector<bool> relevant;  // parallel ground truth
+};
+
+struct RetrievalScores {
+  double precision_at_1 = 0.0;
+  double precision_at_5 = 0.0;
+  double hit_at_5 = 0.0;  // fraction of queries with ≥1 relevant in top 5
+  double mrr = 0.0;       // mean reciprocal rank of the first relevant hit
+  long queries = 0;
+};
+
+/// Aggregates ranking quality over all queries. Ties broken by candidate
+/// index (deterministic).
+RetrievalScores evaluate_retrieval(const std::vector<RankedQuery>& queries);
+
+}  // namespace gbm::eval

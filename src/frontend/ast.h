@@ -1,0 +1,147 @@
+// Language-neutral AST shared by the MiniC and MiniJava parsers.
+//
+// The two surface languages differ in syntax (declarations, class wrapper,
+// builtin spellings) but share expression/statement structure, so a single
+// AST keeps the lowering logic in one place. Language-specific semantics
+// (integer widths, bounds checks, runtime mapping) are applied by the
+// lowerer based on Program::language.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gbm::frontend {
+
+enum class Lang { C, Cpp, Java };
+
+/// Front-end types (mapped to IR types by the lowerer; MiniJava `int` is
+/// i32, MiniC `int` is i32, `long` is i64).
+enum class Ty : std::uint8_t {
+  Void, Bool, Int, Long, Double,
+  IntArray,   // MiniJava int[] (heap, bounds-checked) / MiniC int[N] (stack)
+  LongArray,  // MiniC long[N]
+  DoubleArray,
+  Vec,        // MiniC++ vec (std::vector<long>-like)
+  List,       // MiniJava ArrayList (boxed ints)
+  Str,        // string literal / String
+};
+
+const char* ty_name(Ty t);
+bool is_array(Ty t);
+Ty element_type(Ty t);
+
+// ---- expressions ------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  IntLit, FloatLit, StrLit, BoolLit,
+  Var,
+  Binary,   // op, lhs, rhs
+  Unary,    // op ("-", "!"), operand
+  Call,     // callee name, args (user function or builtin)
+  Index,    // base expr, index expr
+  Method,   // receiver expr, method name, args (vec/list/string methods)
+  NewArray, // element type, length expr (MiniJava `new int[n]`)
+  NewList,  // MiniJava `new ArrayList()`
+  Ternary,  // cond ? a : b
+};
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or,           // short-circuit logical
+  BitAnd, BitOr, BitXor, Shl, Shr,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  // literals
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string str_value;
+  bool bool_value = false;
+  // var / call / method
+  std::string name;
+  std::vector<ExprPtr> args;
+  // binary / unary / index / ternary
+  BinOp bin_op = BinOp::Add;
+  std::string un_op;
+  ExprPtr lhs, rhs, third;
+  // new array
+  Ty elem_ty = Ty::Int;
+
+  static ExprPtr make(ExprKind k, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = k;
+    e->line = line;
+    return e;
+  }
+};
+
+// ---- statements ----------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  Block,
+  VarDecl,   // type, name, optional init (or array size for stack arrays)
+  Assign,    // target (Var or Index expr), value; op for += / -=
+  If,        // cond, then, optional else
+  While,     // cond, body
+  DoWhile,   // body, cond
+  For,       // init stmt, cond, step stmt, body
+  Return,    // optional value
+  ExprStmt,  // expression evaluated for side effects
+  Break,
+  Continue,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  std::vector<StmtPtr> body;     // Block
+  Ty decl_ty = Ty::Void;         // VarDecl
+  std::string name;              // VarDecl
+  long array_size = 0;           // VarDecl of stack array (MiniC)
+  ExprPtr expr;                  // init / cond / return value / expr
+  ExprPtr target;                // Assign target
+  std::string assign_op;         // "", "+", "-" for compound assignment
+  StmtPtr then_branch, else_branch;  // If
+  StmtPtr init, step, loop_body;     // For / While body
+
+  static StmtPtr make(StmtKind k, int line) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = k;
+    s->line = line;
+    return s;
+  }
+};
+
+// ---- program -----------------------------------------------------------
+
+struct Param {
+  Ty type;
+  std::string name;
+};
+
+struct FuncDecl {
+  std::string name;
+  Ty return_type;
+  std::vector<Param> params;
+  StmtPtr body;  // Block
+  int line = 0;
+};
+
+struct Program {
+  Lang language = Lang::C;
+  std::string unit_name;  // class name (Java) or file stem
+  std::vector<FuncDecl> functions;
+};
+
+}  // namespace gbm::frontend

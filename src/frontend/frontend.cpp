@@ -1,0 +1,25 @@
+#include "frontend/frontend.h"
+
+namespace gbm::frontend {
+
+std::unique_ptr<ir::Module> compile_source(const std::string& source, Lang lang,
+                                           const std::string& unit_name) {
+  Program prog;
+  switch (lang) {
+    case Lang::C: prog = parse_minic(source, /*cpp_dialect=*/false, unit_name); break;
+    case Lang::Cpp: prog = parse_minic(source, /*cpp_dialect=*/true, unit_name); break;
+    case Lang::Java: prog = parse_minijava(source, unit_name); break;
+  }
+  return lower(prog);
+}
+
+const char* lang_name(Lang lang) {
+  switch (lang) {
+    case Lang::C: return "c";
+    case Lang::Cpp: return "cpp";
+    case Lang::Java: return "java";
+  }
+  return "?";
+}
+
+}  // namespace gbm::frontend

@@ -1,0 +1,20 @@
+// One-call front-end facade: source text → verified IR module.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "frontend/ast.h"
+#include "frontend/lower.h"
+#include "frontend/parsers.h"
+
+namespace gbm::frontend {
+
+/// Parses and lowers `source` in the given language. Throws CompileError on
+/// any syntax or semantic error ("file is not compilable" in dataset terms).
+std::unique_ptr<ir::Module> compile_source(const std::string& source, Lang lang,
+                                           const std::string& unit_name = "unit");
+
+const char* lang_name(Lang lang);
+
+}  // namespace gbm::frontend

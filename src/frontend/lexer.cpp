@@ -1,0 +1,207 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gbm::frontend {
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](Tok kind, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') { ++line; ++i; continue; }
+    if (c == ' ' || c == '\t' || c == '\r') { ++i; continue; }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) throw CompileError(line, "unterminated comment");
+      i += 2;
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) || src[i] == '_'))
+        ++i;
+      push(Tok::Ident, src.substr(start, i - start));
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+                       ((src[i] == '-' || src[i] == '+') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+        if (src[i] == '.' || src[i] == 'e' || src[i] == 'E') is_float = true;
+        ++i;
+      }
+      // Allow 'L' suffix on integers (MiniC long literals).
+      const std::string text = src.substr(start, i - start);
+      if (i < n && (src[i] == 'L' || src[i] == 'l') && !is_float) ++i;
+      Token t;
+      t.line = line;
+      t.text = text;
+      if (is_float) {
+        t.kind = Tok::FloatLit;
+        t.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = Tok::IntLit;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Strings.
+    if (c == '"') {
+      ++i;
+      std::string text;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < n) {
+          const char e = src[i + 1];
+          if (e == 'n') text += '\n';
+          else if (e == 't') text += '\t';
+          else if (e == '\\') text += '\\';
+          else if (e == '"') text += '"';
+          else throw CompileError(line, "bad escape in string");
+          i += 2;
+        } else {
+          if (src[i] == '\n') throw CompileError(line, "newline in string");
+          text += src[i++];
+        }
+      }
+      if (i >= n) throw CompileError(line, "unterminated string");
+      ++i;
+      push(Tok::StrLit, std::move(text));
+      continue;
+    }
+    // Character literal → integer token (MiniC only; 'a').
+    if (c == '\'') {
+      if (i + 2 < n && src[i + 2] == '\'') {
+        Token t;
+        t.kind = Tok::IntLit;
+        t.int_value = static_cast<unsigned char>(src[i + 1]);
+        t.line = line;
+        out.push_back(std::move(t));
+        i += 3;
+        continue;
+      }
+      throw CompileError(line, "bad character literal");
+    }
+    // Operators.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && src[i + 1] == b;
+    };
+    if (two('=', '=')) { push(Tok::EqEq); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::Ne); i += 2; continue; }
+    if (two('<', '=')) { push(Tok::Le); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::Ge); i += 2; continue; }
+    if (two('&', '&')) { push(Tok::AndAnd); i += 2; continue; }
+    if (two('|', '|')) { push(Tok::OrOr); i += 2; continue; }
+    if (two('<', '<')) { push(Tok::Shl); i += 2; continue; }
+    if (two('>', '>')) { push(Tok::Shr); i += 2; continue; }
+    if (two('+', '+')) { push(Tok::PlusPlus); i += 2; continue; }
+    if (two('-', '-')) { push(Tok::MinusMinus); i += 2; continue; }
+    if (two('+', '=')) { push(Tok::PlusAssign); i += 2; continue; }
+    if (two('-', '=')) { push(Tok::MinusAssign); i += 2; continue; }
+    switch (c) {
+      case '(': push(Tok::LParen); break;
+      case ')': push(Tok::RParen); break;
+      case '{': push(Tok::LBrace); break;
+      case '}': push(Tok::RBrace); break;
+      case '[': push(Tok::LBracket); break;
+      case ']': push(Tok::RBracket); break;
+      case ';': push(Tok::Semi); break;
+      case ',': push(Tok::Comma); break;
+      case '.': push(Tok::Dot); break;
+      case '=': push(Tok::Assign); break;
+      case '+': push(Tok::Plus); break;
+      case '-': push(Tok::Minus); break;
+      case '*': push(Tok::Star); break;
+      case '/': push(Tok::Slash); break;
+      case '%': push(Tok::Percent); break;
+      case '<': push(Tok::Lt); break;
+      case '>': push(Tok::Gt); break;
+      case '!': push(Tok::Not); break;
+      case '&': push(Tok::Amp); break;
+      case '|': push(Tok::Pipe); break;
+      case '^': push(Tok::Caret); break;
+      case '?': push(Tok::Question); break;
+      case ':': push(Tok::Colon); break;
+      default:
+        throw CompileError(line, std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+  push(Tok::End);
+  return out;
+}
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "<end>";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer";
+    case Tok::FloatLit: return "float";
+    case Tok::StrLit: return "string";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Semi: return ";";
+    case Tok::Comma: return ",";
+    case Tok::Dot: return ".";
+    case Tok::Assign: return "=";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Percent: return "%";
+    case Tok::Lt: return "<";
+    case Tok::Le: return "<=";
+    case Tok::Gt: return ">";
+    case Tok::Ge: return ">=";
+    case Tok::EqEq: return "==";
+    case Tok::Ne: return "!=";
+    case Tok::Not: return "!";
+    case Tok::AndAnd: return "&&";
+    case Tok::OrOr: return "||";
+    case Tok::Amp: return "&";
+    case Tok::Pipe: return "|";
+    case Tok::Caret: return "^";
+    case Tok::Shl: return "<<";
+    case Tok::Shr: return ">>";
+    case Tok::PlusPlus: return "++";
+    case Tok::MinusMinus: return "--";
+    case Tok::PlusAssign: return "+=";
+    case Tok::MinusAssign: return "-=";
+    case Tok::Question: return "?";
+    case Tok::Colon: return ":";
+  }
+  return "?";
+}
+
+}  // namespace gbm::frontend

@@ -1,0 +1,47 @@
+// Shared lexer for the MiniC and MiniJava front-ends. Both surface
+// languages use C-family tokens; keywords are classified by the parsers.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gbm::frontend {
+
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(int line, const std::string& msg)
+      : std::runtime_error("line " + std::to_string(line) + ": " + msg), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+enum class Tok : std::uint8_t {
+  End, Ident, IntLit, FloatLit, StrLit,
+  // punctuation / operators
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Dot, Assign,
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, EqEq, Ne, Not, AndAnd, OrOr,
+  Amp, Pipe, Caret, Shl, Shr,
+  PlusPlus, MinusMinus, PlusAssign, MinusAssign,
+  Question, Colon,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       // identifier / literal spelling
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+};
+
+/// Tokenises the whole input eagerly. Throws CompileError on bad input.
+std::vector<Token> lex(const std::string& source);
+
+const char* tok_name(Tok t);
+
+}  // namespace gbm::frontend

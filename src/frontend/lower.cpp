@@ -1,0 +1,817 @@
+#include "frontend/lower.h"
+
+#include <unordered_map>
+
+#include "frontend/lexer.h"
+#include "ir/builder.h"
+
+namespace gbm::frontend {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::CmpPred;
+using ir::Opcode;
+
+/// A typed IR value during expression lowering.
+struct TV {
+  ir::Value* v = nullptr;
+  Ty ty = Ty::Void;
+};
+
+struct VarInfo {
+  Ty ty = Ty::Void;
+  ir::Value* slot = nullptr;       // alloca holding the value
+  const ir::Type* ir_ty = nullptr; // type stored in the slot
+  bool direct = false;  // value IS the slot address (MiniC stack arrays)
+};
+
+class Lowerer {
+ public:
+  explicit Lowerer(const Program& prog)
+      : prog_(prog),
+        mod_(std::make_unique<ir::Module>(prog.unit_name)),
+        b_(*mod_) {}
+
+  std::unique_ptr<ir::Module> run() {
+    declare_signatures();
+    if (prog_.language == Lang::Java) make_clinit();
+    for (const auto& fn : prog_.functions) lower_function(fn);
+    return std::move(mod_);
+  }
+
+ private:
+  // ---- types ---------------------------------------------------------------
+  const ir::Type* ir_ty(Ty t) const {
+    auto& types = mod_->types();
+    switch (t) {
+      case Ty::Void: return types.void_ty();
+      case Ty::Bool: return types.i1();
+      case Ty::Int: return types.i32();
+      case Ty::Long: return types.i64();
+      case Ty::Double: return types.f64();
+      default: return types.ptr();  // arrays, vec, list, string
+    }
+  }
+
+  [[noreturn]] void err(int line, const std::string& msg) const {
+    throw CompileError(line, msg);
+  }
+
+  // ---- runtime declarations ----------------------------------------------
+  ir::Function* runtime_fn(const std::string& name) {
+    if (ir::Function* f = mod_->function(name)) return f;
+    auto& t = mod_->types();
+    using P = std::vector<const ir::Type*>;
+    struct Sig { const ir::Type* ret; P params; };
+    const std::unordered_map<std::string, Sig> sigs = {
+        {"gbm_print_i64", {t.void_ty(), {t.i64()}}},
+        {"gbm_print_f64", {t.void_ty(), {t.f64()}}},
+        {"gbm_print_str", {t.void_ty(), {t.ptr()}}},
+        {"gbm_read_i64", {t.i64(), {}}},
+        {"gbm_alloc", {t.ptr(), {t.i64()}}},
+        {"jrt_newarray_i32", {t.ptr(), {t.i64()}}},
+        {"jrt_arraylen", {t.i64(), {t.ptr()}}},
+        {"jrt_boundscheck", {t.void_ty(), {t.ptr(), t.i64()}}},
+        {"jrt_box_i32", {t.ptr(), {t.i32()}}},
+        {"jrt_unbox_i32", {t.i32(), {t.ptr()}}},
+        {"jrt_list_new", {t.ptr(), {}}},
+        {"jrt_list_add", {t.void_ty(), {t.ptr(), t.ptr()}}},
+        {"jrt_list_get", {t.ptr(), {t.ptr(), t.i64()}}},
+        {"jrt_list_set", {t.void_ty(), {t.ptr(), t.i64(), t.ptr()}}},
+        {"jrt_list_size", {t.i64(), {t.ptr()}}},
+        {"jrt_println_i32", {t.void_ty(), {t.i32()}}},
+        {"jrt_println_str", {t.void_ty(), {t.ptr()}}},
+        {"jrt_string_charat", {t.i64(), {t.ptr(), t.i64()}}},
+        {"jrt_string_len", {t.i64(), {t.ptr()}}},
+        {"crt_sort_i64", {t.void_ty(), {t.ptr(), t.i64()}}},
+        {"crt_abs_i64", {t.i64(), {t.i64()}}},
+        {"crt_min_i64", {t.i64(), {t.i64(), t.i64()}}},
+        {"crt_max_i64", {t.i64(), {t.i64(), t.i64()}}},
+        {"crt_vec_new", {t.ptr(), {}}},
+        {"crt_vec_push", {t.void_ty(), {t.ptr(), t.i64()}}},
+        {"crt_vec_get", {t.i64(), {t.ptr(), t.i64()}}},
+        {"crt_vec_set", {t.void_ty(), {t.ptr(), t.i64(), t.i64()}}},
+        {"crt_vec_size", {t.i64(), {t.ptr()}}},
+        {"crt_vec_sort", {t.void_ty(), {t.ptr()}}},
+        {"crt_strlen", {t.i64(), {t.ptr()}}},
+        {"crt_pow_i64", {t.i64(), {t.i64(), t.i64()}}},
+    };
+    auto it = sigs.find(name);
+    if (it == sigs.end()) throw std::logic_error("unknown runtime fn " + name);
+    return mod_->create_function(name, it->second.ret, it->second.params);
+  }
+
+  // ---- program structure ----------------------------------------------------
+  std::string mangled(const std::string& fn_name) const {
+    if (prog_.language == Lang::Java && fn_name != "main")
+      return prog_.unit_name + "_" + fn_name;
+    return fn_name;
+  }
+
+  void declare_signatures() {
+    for (const auto& fn : prog_.functions) {
+      std::vector<const ir::Type*> params;
+      for (const auto& p : fn.params) params.push_back(ir_ty(p.type));
+      // IR entry point always returns i32 (exit code).
+      const ir::Type* ret =
+          fn.name == "main" ? mod_->types().i32() : ir_ty(fn.return_type);
+      user_fns_[fn.name] = mod_->create_function(mangled(fn.name), ret, params);
+    }
+  }
+
+  void make_clinit() {
+    // JLang-style runtime state: a pending-exception flag checked after
+    // every call. This is the boilerplate that makes Java-derived IR
+    // severalfold larger than C/C++ IR for the same task (paper Fig. 4).
+    exc_flag_ = mod_->create_global("jexc", mod_->types().i32(), {}, false);
+    clinit_ = mod_->create_function(prog_.unit_name + "_clinit",
+                                    mod_->types().void_ty(), {});
+    BasicBlock* bb = clinit_->create_block("entry");
+    b_.set_insertion(bb);
+    b_.store(mod_->const_i32(0), exc_flag_);
+    b_.ret();
+  }
+
+  // ---- function lowering -----------------------------------------------------
+  void lower_function(const FuncDecl& fn) {
+    cur_ = user_fns_.at(fn.name);
+    cur_decl_ = &fn;
+    entry_ = cur_->create_block("entry");
+    unwind_bb_ = nullptr;
+    alloca_idx_ = 0;
+    scopes_.clear();
+    scopes_.emplace_back();
+    b_.set_insertion(entry_);
+
+    // Parameters spill to allocas (clang -O0 style).
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      const Param& p = fn.params[i];
+      ir::Value* slot = entry_alloca(ir_ty(p.type));
+      b_.store(cur_->arg(i), slot);
+      scopes_.back()[p.name] = {p.type, slot, ir_ty(p.type)};
+    }
+    if (prog_.language == Lang::Java && fn.name == "main")
+      b_.call(clinit_, {});
+
+    lower_stmt(*fn.body);
+
+    // Terminate any open block with a default return.
+    finalize_returns();
+    cur_decl_ = nullptr;
+  }
+
+  void finalize_returns() {
+    for (const auto& bb : cur_->blocks()) {
+      if (bb->terminator()) continue;
+      b_.set_insertion(bb.get());
+      const ir::Type* ret = cur_->return_type();
+      if (ret->is_void()) b_.ret();
+      else if (ret->is_float()) b_.ret(mod_->const_float(0.0));
+      else b_.ret(mod_->const_int(ret, 0));
+    }
+  }
+
+  ir::Value* entry_alloca(const ir::Type* ty, long array_len = 0) {
+    auto* inst = new ir::Instruction(Opcode::Alloca, mod_->types().ptr(),
+                                     cur_->next_value_name());
+    inst->set_pointee(array_len > 0 ? mod_->types().array(ty, array_len) : ty);
+    entry_->insert(alloca_idx_++, std::unique_ptr<ir::Instruction>(inst));
+    return inst;
+  }
+
+  // ---- scope helpers -----------------------------------------------------
+  VarInfo* find_var(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+  // ---- statements --------------------------------------------------------
+  void lower_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Block: {
+        scopes_.emplace_back();
+        for (const auto& child : s.body) lower_stmt(*child);
+        scopes_.pop_back();
+        break;
+      }
+      case StmtKind::VarDecl: lower_decl(s); break;
+      case StmtKind::Assign: lower_assign(s); break;
+      case StmtKind::If: lower_if(s); break;
+      case StmtKind::While: lower_while(s); break;
+      case StmtKind::DoWhile: lower_do_while(s); break;
+      case StmtKind::For: lower_for(s); break;
+      case StmtKind::Return: lower_return(s); break;
+      case StmtKind::ExprStmt: lower_expr(*s.expr); break;
+      case StmtKind::Break:
+        if (loops_.empty()) err(s.line, "break outside loop");
+        b_.br(loops_.back().break_bb);
+        start_dead_block();
+        break;
+      case StmtKind::Continue:
+        if (loops_.empty()) err(s.line, "continue outside loop");
+        b_.br(loops_.back().continue_bb);
+        start_dead_block();
+        break;
+    }
+  }
+
+  /// After an unconditional jump mid-block, subsequent statements are
+  /// unreachable; give them a fresh (dead) block so lowering can continue.
+  void start_dead_block() { b_.set_insertion(cur_->create_block("dead")); }
+
+  void lower_decl(const Stmt& s) {
+    if (find_var(s.name) && scopes_.back().count(s.name))
+      err(s.line, "redefinition of " + s.name);
+    if (is_array(s.decl_ty) && s.array_size > 0) {
+      // MiniC stack array.
+      if (prog_.language == Lang::Java) err(s.line, "stack arrays not in MiniJava");
+      ir::Value* slot = entry_alloca(ir_ty(element_type(s.decl_ty)), s.array_size);
+      scopes_.back()[s.name] = {s.decl_ty, slot, mod_->types().ptr(), /*direct=*/true};
+      return;
+    }
+    const ir::Type* ty = ir_ty(s.decl_ty);
+    ir::Value* slot = entry_alloca(ty);
+    scopes_.back()[s.name] = {s.decl_ty, slot, ty};
+    if (s.expr) {
+      TV init = lower_expr(*s.expr);
+      b_.store(coerce(init, s.decl_ty, s.line), slot);
+    } else if (s.decl_ty == Ty::Vec) {
+      b_.store(b_.call(runtime_fn("crt_vec_new"), {}), slot);
+    }
+  }
+
+  void lower_assign(const Stmt& s) {
+    const Expr& target = *s.target;
+    if (target.kind == ExprKind::Var) {
+      VarInfo* var = find_var(target.name);
+      if (!var) err(s.line, "undefined variable " + target.name);
+      if (var->direct) err(s.line, "cannot assign to array " + target.name);
+      TV value = lower_expr(*s.expr);
+      if (!s.assign_op.empty()) {
+        TV old{b_.load(var->ir_ty, var->slot), var->ty};
+        value = arith(s.assign_op == "+" ? BinOp::Add : BinOp::Sub, old, value, s.line);
+      }
+      b_.store(coerce(value, var->ty, s.line), var->slot);
+      return;
+    }
+    if (target.kind == ExprKind::Index) {
+      TV base = lower_expr(*target.lhs);
+      TV index = lower_expr(*target.rhs);
+      TV value = lower_expr(*s.expr);
+      if (!s.assign_op.empty()) {
+        TV old = load_element(base, index, s.line);
+        value = arith(s.assign_op == "+" ? BinOp::Add : BinOp::Sub, old, value, s.line);
+      }
+      store_element(base, index, value, s.line);
+      return;
+    }
+    err(s.line, "invalid assignment target");
+  }
+
+  void lower_if(const Stmt& s) {
+    ir::Value* cond = lower_cond(*s.expr);
+    BasicBlock* then_bb = cur_->create_block("if.then");
+    BasicBlock* merge_bb = cur_->create_block("if.end");
+    BasicBlock* else_bb = s.else_branch ? cur_->create_block("if.else") : merge_bb;
+    b_.cond_br(cond, then_bb, else_bb);
+    b_.set_insertion(then_bb);
+    lower_stmt(*s.then_branch);
+    if (!b_.block()->terminator()) b_.br(merge_bb);
+    if (s.else_branch) {
+      b_.set_insertion(else_bb);
+      lower_stmt(*s.else_branch);
+      if (!b_.block()->terminator()) b_.br(merge_bb);
+    }
+    b_.set_insertion(merge_bb);
+  }
+
+  void lower_while(const Stmt& s) {
+    BasicBlock* cond_bb = cur_->create_block("while.cond");
+    BasicBlock* body_bb = cur_->create_block("while.body");
+    BasicBlock* end_bb = cur_->create_block("while.end");
+    b_.br(cond_bb);
+    b_.set_insertion(cond_bb);
+    b_.cond_br(lower_cond(*s.expr), body_bb, end_bb);
+    loops_.push_back({end_bb, cond_bb});
+    b_.set_insertion(body_bb);
+    lower_stmt(*s.loop_body);
+    if (!b_.block()->terminator()) b_.br(cond_bb);
+    loops_.pop_back();
+    b_.set_insertion(end_bb);
+  }
+
+  void lower_do_while(const Stmt& s) {
+    BasicBlock* body_bb = cur_->create_block("do.body");
+    BasicBlock* cond_bb = cur_->create_block("do.cond");
+    BasicBlock* end_bb = cur_->create_block("do.end");
+    b_.br(body_bb);
+    loops_.push_back({end_bb, cond_bb});
+    b_.set_insertion(body_bb);
+    lower_stmt(*s.loop_body);
+    if (!b_.block()->terminator()) b_.br(cond_bb);
+    loops_.pop_back();
+    b_.set_insertion(cond_bb);
+    b_.cond_br(lower_cond(*s.expr), body_bb, end_bb);
+    b_.set_insertion(end_bb);
+  }
+
+  void lower_for(const Stmt& s) {
+    scopes_.emplace_back();
+    if (s.init) lower_stmt(*s.init);
+    BasicBlock* cond_bb = cur_->create_block("for.cond");
+    BasicBlock* body_bb = cur_->create_block("for.body");
+    BasicBlock* step_bb = cur_->create_block("for.step");
+    BasicBlock* end_bb = cur_->create_block("for.end");
+    b_.br(cond_bb);
+    b_.set_insertion(cond_bb);
+    if (s.expr) b_.cond_br(lower_cond(*s.expr), body_bb, end_bb);
+    else b_.br(body_bb);
+    loops_.push_back({end_bb, step_bb});
+    b_.set_insertion(body_bb);
+    lower_stmt(*s.loop_body);
+    if (!b_.block()->terminator()) b_.br(step_bb);
+    loops_.pop_back();
+    b_.set_insertion(step_bb);
+    if (s.step) lower_stmt(*s.step);
+    b_.br(cond_bb);
+    b_.set_insertion(end_bb);
+    scopes_.pop_back();
+  }
+
+  void lower_return(const Stmt& s) {
+    const bool is_main = cur_decl_->name == "main";
+    const Ty want = is_main ? Ty::Int : cur_decl_->return_type;
+    if (want == Ty::Void && !is_main) {
+      if (s.expr) err(s.line, "return value in void function");
+      b_.ret();
+    } else if (is_main && !s.expr) {
+      b_.ret(mod_->const_i32(0));
+    } else {
+      if (!s.expr) err(s.line, "missing return value");
+      TV v = lower_expr(*s.expr);
+      b_.ret(coerce(v, want, s.line));
+    }
+    start_dead_block();
+  }
+
+  // ---- expression lowering ----------------------------------------------
+  TV lower_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit: {
+        const Ty ty = prog_.language == Lang::Java
+                          ? Ty::Int
+                          : (e.int_value > INT32_MAX || e.int_value < INT32_MIN
+                                 ? Ty::Long
+                                 : Ty::Int);
+        return {mod_->const_int(ir_ty(ty), e.int_value), ty};
+      }
+      case ExprKind::FloatLit:
+        return {mod_->const_float(e.float_value), Ty::Double};
+      case ExprKind::BoolLit:
+        return {mod_->const_i1(e.bool_value), Ty::Bool};
+      case ExprKind::StrLit:
+        return {mod_->string_literal(e.str_value), Ty::Str};
+      case ExprKind::Var: {
+        VarInfo* var = find_var(e.name);
+        if (!var) err(e.line, "undefined variable " + e.name);
+        if (var->direct) return {var->slot, var->ty};
+        return {b_.load(var->ir_ty, var->slot), var->ty};
+      }
+      case ExprKind::Binary: return lower_binary(e);
+      case ExprKind::Unary: return lower_unary(e);
+      case ExprKind::Call: return lower_call(e);
+      case ExprKind::Index: {
+        TV base = lower_expr(*e.lhs);
+        TV index = lower_expr(*e.rhs);
+        return load_element(base, index, e.line);
+      }
+      case ExprKind::Method: return lower_method(e);
+      case ExprKind::NewArray: {
+        TV n = lower_expr(*e.lhs);
+        ir::Value* len = coerce(n, Ty::Long, e.line);
+        return {checked_call(runtime_fn("jrt_newarray_i32"), {len}), Ty::IntArray};
+      }
+      case ExprKind::NewList:
+        return {checked_call(runtime_fn("jrt_list_new"), {}), Ty::List};
+      case ExprKind::Ternary: return lower_ternary(e);
+    }
+    err(e.line, "unhandled expression");
+  }
+
+  TV lower_ternary(const Expr& e) {
+    ir::Value* cond = lower_cond(*e.lhs);
+    BasicBlock* then_bb = cur_->create_block("sel.then");
+    BasicBlock* else_bb = cur_->create_block("sel.else");
+    BasicBlock* merge_bb = cur_->create_block("sel.end");
+    b_.cond_br(cond, then_bb, else_bb);
+    b_.set_insertion(then_bb);
+    TV a = lower_expr(*e.rhs);
+    BasicBlock* a_end = b_.block();
+    b_.set_insertion(else_bb);
+    TV bv = lower_expr(*e.third);
+    BasicBlock* b_end = b_.block();
+    const Ty ty = promote(a.ty, bv.ty, e.line);
+    b_.set_insertion(a_end);
+    ir::Value* av = coerce(a, ty, e.line);
+    b_.br(merge_bb);
+    b_.set_insertion(b_end);
+    ir::Value* bvv = coerce(bv, ty, e.line);
+    b_.br(merge_bb);
+    b_.set_insertion(merge_bb);
+    ir::Instruction* phi = b_.phi(ir_ty(ty));
+    phi->add_incoming(av, a_end);
+    phi->add_incoming(bvv, b_end);
+    return {phi, ty};
+  }
+
+  TV lower_binary(const Expr& e) {
+    if (e.bin_op == BinOp::And || e.bin_op == BinOp::Or) return lower_logical(e);
+    TV l = lower_expr(*e.lhs);
+    TV r = lower_expr(*e.rhs);
+    switch (e.bin_op) {
+      case BinOp::Lt: case BinOp::Le: case BinOp::Gt: case BinOp::Ge:
+      case BinOp::Eq: case BinOp::Ne:
+        return compare(e.bin_op, l, r, e.line);
+      default:
+        return arith(e.bin_op, l, r, e.line);
+    }
+  }
+
+  TV lower_logical(const Expr& e) {
+    // Short-circuit evaluation with explicit control flow.
+    const bool is_and = e.bin_op == BinOp::And;
+    ir::Value* lhs = lower_cond(*e.lhs);
+    BasicBlock* lhs_end = b_.block();
+    BasicBlock* rhs_bb = cur_->create_block(is_and ? "and.rhs" : "or.rhs");
+    BasicBlock* merge_bb = cur_->create_block(is_and ? "and.end" : "or.end");
+    if (is_and) b_.cond_br(lhs, rhs_bb, merge_bb);
+    else b_.cond_br(lhs, merge_bb, rhs_bb);
+    b_.set_insertion(rhs_bb);
+    ir::Value* rhs = lower_cond(*e.rhs);
+    BasicBlock* rhs_end = b_.block();
+    b_.br(merge_bb);
+    b_.set_insertion(merge_bb);
+    ir::Instruction* phi = b_.phi(mod_->types().i1());
+    phi->add_incoming(mod_->const_i1(!is_and), lhs_end);
+    phi->add_incoming(rhs, rhs_end);
+    return {phi, Ty::Bool};
+  }
+
+  TV lower_unary(const Expr& e) {
+    TV v = lower_expr(*e.lhs);
+    if (e.un_op == "-") {
+      if (v.ty == Ty::Double)
+        return {b_.binop(Opcode::FSub, mod_->const_float(0.0), v.v), Ty::Double};
+      const Ty ty = v.ty == Ty::Long ? Ty::Long : Ty::Int;
+      ir::Value* val = coerce(v, ty, e.line);
+      return {b_.binop(Opcode::Sub, mod_->const_int(ir_ty(ty), 0), val), ty};
+    }
+    if (e.un_op == "!") {
+      ir::Value* c = lower_cond_value(v, e.line);
+      return {b_.icmp(CmpPred::EQ, c, mod_->const_i1(false)), Ty::Bool};
+    }
+    err(e.line, "unknown unary operator " + e.un_op);
+  }
+
+  /// MiniJava: after any call, test the pending-exception flag and branch
+  /// to the function's unwind block (the JVM's implicit exception edges).
+  void emit_exception_check() {
+    if (prog_.language != Lang::Java || !exc_flag_) return;
+    if (!unwind_bb_) {
+      unwind_bb_ = cur_->create_block("unwind");
+      BasicBlock* saved = b_.block();
+      b_.set_insertion(unwind_bb_);
+      const ir::Type* ret = cur_->return_type();
+      if (ret->is_void()) b_.ret();
+      else if (ret->is_float()) b_.ret(mod_->const_float(0.0));
+      else b_.ret(mod_->const_int(ret, 0));
+      b_.set_insertion(saved);
+    }
+    ir::Value* flag = b_.load(mod_->types().i32(), exc_flag_);
+    ir::Value* pending = b_.icmp(CmpPred::NE, flag, mod_->const_i32(0));
+    BasicBlock* cont = cur_->create_block("nothrow");
+    b_.cond_br(pending, unwind_bb_, cont);
+    b_.set_insertion(cont);
+  }
+
+  /// Call wrapper that appends the MiniJava exception check.
+  ir::Value* checked_call(ir::Function* callee, const std::vector<ir::Value*>& args) {
+    ir::Value* result = b_.call(callee, args);
+    emit_exception_check();
+    return result;
+  }
+
+  // ---- calls ----------------------------------------------------------------
+  TV lower_call(const Expr& e) {
+    const std::string& name = e.name;
+    auto arg = [&](std::size_t i) -> const Expr& { return *e.args[i]; };
+    const Lang lang = prog_.language;
+
+    // Builtins (language-specific spellings).
+    if (lang != Lang::Java) {
+      if (name == "print") {
+        TV v = lower_expr(arg(0));
+        if (v.ty == Ty::Double)
+          b_.call(runtime_fn("gbm_print_f64"), {v.v});
+        else
+          b_.call(runtime_fn("gbm_print_i64"), {coerce(v, Ty::Long, e.line)});
+        return {nullptr, Ty::Void};
+      }
+      if (name == "puts") {
+        if (arg(0).kind != ExprKind::StrLit) err(e.line, "puts needs a literal");
+        ir::Value* s = mod_->string_literal(arg(0).str_value + "\n");
+        b_.call(runtime_fn("gbm_print_str"), {s});
+        return {nullptr, Ty::Void};
+      }
+      if (name == "read")
+        return {b_.call(runtime_fn("gbm_read_i64"), {}), Ty::Long};
+      if (name == "abs" || name == "min" || name == "max" || name == "pow") {
+        std::vector<ir::Value*> args;
+        for (const auto& a : e.args) args.push_back(coerce(lower_expr(*a), Ty::Long, e.line));
+        const std::string rt = name == "pow" ? "crt_pow_i64" : "crt_" + name + "_i64";
+        return {b_.call(runtime_fn(rt), args), Ty::Long};
+      }
+      if (name == "sort") {
+        // sort(arr, n) — library sort over a long array.
+        TV base = lower_expr(arg(0));
+        if (base.ty == Ty::Vec) {
+          b_.call(runtime_fn("crt_vec_sort"), {base.v});
+          return {nullptr, Ty::Void};
+        }
+        if (base.ty != Ty::LongArray) err(e.line, "sort needs long[] or vec");
+        TV n = lower_expr(arg(1));
+        b_.call(runtime_fn("crt_sort_i64"), {base.v, coerce(n, Ty::Long, e.line)});
+        return {nullptr, Ty::Void};
+      }
+    } else {
+      if (name == "System.out.println") {
+        TV v = lower_expr(arg(0));
+        if (v.ty == Ty::Str)
+          checked_call(runtime_fn("jrt_println_str"), {v.v});
+        else
+          checked_call(runtime_fn("jrt_println_i32"), {coerce(v, Ty::Int, e.line)});
+        return {nullptr, Ty::Void};
+      }
+      if (name == "Reader.read" || name == "read") {
+        ir::Value* v = checked_call(runtime_fn("gbm_read_i64"), {});
+        return {b_.cast(Opcode::Trunc, v, mod_->types().i32()), Ty::Int};
+      }
+      if (name == "Math.abs" || name == "Math.min" || name == "Math.max") {
+        std::vector<ir::Value*> args;
+        for (const auto& a : e.args)
+          args.push_back(coerce(lower_expr(*a), Ty::Long, e.line));
+        const std::string rt = "crt_" + name.substr(5) + "_i64";
+        ir::Value* v = checked_call(runtime_fn(rt), args);
+        return {b_.cast(Opcode::Trunc, v, mod_->types().i32()), Ty::Int};
+      }
+    }
+
+    // User functions.
+    auto it = user_fns_.find(name);
+    if (it == user_fns_.end()) err(e.line, "call to undefined function " + name);
+    const FuncDecl* decl = nullptr;
+    for (const auto& f : prog_.functions)
+      if (f.name == name) decl = &f;
+    if (!decl || decl->params.size() != e.args.size())
+      err(e.line, "argument count mismatch calling " + name);
+    std::vector<ir::Value*> args;
+    for (std::size_t i = 0; i < e.args.size(); ++i)
+      args.push_back(coerce(lower_expr(arg(i)), decl->params[i].type, e.line));
+    ir::Value* result = checked_call(it->second, args);
+    return {decl->return_type == Ty::Void ? nullptr : result, decl->return_type};
+  }
+
+  TV lower_method(const Expr& e) {
+    TV recv = lower_expr(*e.lhs);
+    auto argv = [&](std::size_t i, Ty want) {
+      return coerce(lower_expr(*e.args[i]), want, e.line);
+    };
+    if (recv.ty == Ty::Vec) {
+      if (e.name == "push" || e.name == "add") {
+        b_.call(runtime_fn("crt_vec_push"), {recv.v, argv(0, Ty::Long)});
+        return TV{nullptr, Ty::Void};
+      }
+      if (e.name == "get")
+        return TV{b_.call(runtime_fn("crt_vec_get"), {recv.v, argv(0, Ty::Long)}),
+                  Ty::Long};
+      if (e.name == "set") {
+        b_.call(runtime_fn("crt_vec_set"),
+                {recv.v, argv(0, Ty::Long), argv(1, Ty::Long)});
+        return TV{nullptr, Ty::Void};
+      }
+      if (e.name == "size")
+        return TV{b_.call(runtime_fn("crt_vec_size"), {recv.v}), Ty::Long};
+      if (e.name == "sort") {
+        b_.call(runtime_fn("crt_vec_sort"), {recv.v});
+        return TV{nullptr, Ty::Void};
+      }
+      err(e.line, "unknown vec method " + e.name);
+    }
+    if (recv.ty == Ty::List) {
+      if (e.name == "add") {
+        ir::Value* boxed = checked_call(runtime_fn("jrt_box_i32"), {argv(0, Ty::Int)});
+        checked_call(runtime_fn("jrt_list_add"), {recv.v, boxed});
+        return TV{nullptr, Ty::Void};
+      }
+      if (e.name == "get") {
+        ir::Value* boxed =
+            checked_call(runtime_fn("jrt_list_get"), {recv.v, argv(0, Ty::Long)});
+        return TV{checked_call(runtime_fn("jrt_unbox_i32"), {boxed}), Ty::Int};
+      }
+      if (e.name == "set") {
+        ir::Value* boxed = checked_call(runtime_fn("jrt_box_i32"), {argv(1, Ty::Int)});
+        checked_call(runtime_fn("jrt_list_set"), {recv.v, argv(0, Ty::Long), boxed});
+        return TV{nullptr, Ty::Void};
+      }
+      if (e.name == "size") {
+        ir::Value* n = checked_call(runtime_fn("jrt_list_size"), {recv.v});
+        return TV{b_.cast(Opcode::Trunc, n, mod_->types().i32()), Ty::Int};
+      }
+      err(e.line, "unknown ArrayList method " + e.name);
+    }
+    if (recv.ty == Ty::IntArray && e.name == "length" && prog_.language == Lang::Java) {
+      ir::Value* n = checked_call(runtime_fn("jrt_arraylen"), {recv.v});
+      return TV{b_.cast(Opcode::Trunc, n, mod_->types().i32()), Ty::Int};
+    }
+    if (recv.ty == Ty::Str) {
+      if (e.name == "charAt") {
+        ir::Value* c =
+            checked_call(runtime_fn("jrt_string_charat"), {recv.v, argv(0, Ty::Long)});
+        return TV{b_.cast(Opcode::Trunc, c, mod_->types().i32()), Ty::Int};
+      }
+      if (e.name == "length") {
+        ir::Value* n = checked_call(runtime_fn("jrt_string_len"), {recv.v});
+        return TV{b_.cast(Opcode::Trunc, n, mod_->types().i32()), Ty::Int};
+      }
+    }
+    err(e.line, "unknown method " + e.name + " on " + ty_name(recv.ty));
+  }
+
+  // ---- element access -----------------------------------------------------
+  TV load_element(TV base, TV index, int line) {
+    if (base.ty == Ty::Vec)
+      return {b_.call(runtime_fn("crt_vec_get"),
+                      {base.v, coerce(index, Ty::Long, line)}),
+              Ty::Long};
+    if (base.ty == Ty::List) {
+      ir::Value* boxed = checked_call(runtime_fn("jrt_list_get"),
+                                 {base.v, coerce(index, Ty::Long, line)});
+      return {checked_call(runtime_fn("jrt_unbox_i32"), {boxed}), Ty::Int};
+    }
+    if (!is_array(base.ty)) err(line, "indexing non-array");
+    const Ty elem = element_type(base.ty);
+    ir::Value* ep = element_ptr(base, index, line);
+    return {b_.load(ir_ty(elem), ep), elem};
+  }
+
+  void store_element(TV base, TV index, TV value, int line) {
+    if (base.ty == Ty::Vec) {
+      b_.call(runtime_fn("crt_vec_set"),
+              {base.v, coerce(index, Ty::Long, line), coerce(value, Ty::Long, line)});
+      return;
+    }
+    if (base.ty == Ty::List) {
+      ir::Value* boxed =
+          checked_call(runtime_fn("jrt_box_i32"), {coerce(value, Ty::Int, line)});
+      checked_call(runtime_fn("jrt_list_set"),
+              {base.v, coerce(index, Ty::Long, line), boxed});
+      return;
+    }
+    if (!is_array(base.ty)) err(line, "indexing non-array");
+    const Ty elem = element_type(base.ty);
+    ir::Value* ep = element_ptr(base, index, line);
+    b_.store(coerce(value, elem, line), ep);
+  }
+
+  ir::Value* element_ptr(TV base, TV index, int line) {
+    ir::Value* idx = coerce(index, Ty::Long, line);
+    if (prog_.language == Lang::Java) {
+      // Heap array: header (8 bytes) + 4-byte elements, with bounds check.
+      checked_call(runtime_fn("jrt_boundscheck"), {base.v, idx});
+      ir::Value* scaled = b_.binop(Opcode::Mul, idx, mod_->const_i64(4));
+      ir::Value* off = b_.binop(Opcode::Add, scaled, mod_->const_i64(8));
+      return b_.gep(mod_->types().i8(), base.v, off);
+    }
+    return b_.gep(ir_ty(element_type(base.ty)), base.v, idx);
+  }
+
+  // ---- conversions / arithmetic ---------------------------------------------
+  Ty promote(Ty a, Ty b, int line) const {
+    if (a == b) return a;
+    if (a == Ty::Double || b == Ty::Double) return Ty::Double;
+    if (a == Ty::Long || b == Ty::Long) return Ty::Long;
+    if ((a == Ty::Int || a == Ty::Bool) && (b == Ty::Int || b == Ty::Bool))
+      return Ty::Int;
+    err(line, std::string("cannot combine ") + ty_name(a) + " and " + ty_name(b));
+  }
+
+  ir::Value* coerce(TV v, Ty want, int line) {
+    if (v.ty == want) return v.v;
+    auto& t = mod_->types();
+    if (want == Ty::Long && v.ty == Ty::Int) return b_.cast(Opcode::SExt, v.v, t.i64());
+    if (want == Ty::Long && v.ty == Ty::Bool) return b_.cast(Opcode::ZExt, v.v, t.i64());
+    if (want == Ty::Int && v.ty == Ty::Long) return b_.cast(Opcode::Trunc, v.v, t.i32());
+    if (want == Ty::Int && v.ty == Ty::Bool) return b_.cast(Opcode::ZExt, v.v, t.i32());
+    if (want == Ty::Double && v.ty == Ty::Int)
+      return b_.cast(Opcode::SIToFP, v.v, t.f64());
+    if (want == Ty::Double && v.ty == Ty::Long)
+      return b_.cast(Opcode::SIToFP, v.v, t.f64());
+    if (want == Ty::Bool) return lower_cond_value(v, line);
+    if (want == Ty::Long && v.ty == Ty::Double)
+      return b_.cast(Opcode::FPToSI, v.v, t.i64());
+    if (want == Ty::Int && v.ty == Ty::Double)
+      return b_.cast(Opcode::FPToSI, v.v, t.i32());
+    err(line, std::string("cannot convert ") + ty_name(v.ty) + " to " + ty_name(want));
+  }
+
+  TV arith(BinOp op, TV l, TV r, int line) {
+    const Ty ty = promote(l.ty, r.ty, line);
+    ir::Value* a = coerce(l, ty, line);
+    ir::Value* c = coerce(r, ty, line);
+    Opcode opc;
+    if (ty == Ty::Double) {
+      switch (op) {
+        case BinOp::Add: opc = Opcode::FAdd; break;
+        case BinOp::Sub: opc = Opcode::FSub; break;
+        case BinOp::Mul: opc = Opcode::FMul; break;
+        case BinOp::Div: opc = Opcode::FDiv; break;
+        default: err(line, "operator not defined on double");
+      }
+    } else {
+      switch (op) {
+        case BinOp::Add: opc = Opcode::Add; break;
+        case BinOp::Sub: opc = Opcode::Sub; break;
+        case BinOp::Mul: opc = Opcode::Mul; break;
+        case BinOp::Div: opc = Opcode::SDiv; break;
+        case BinOp::Rem: opc = Opcode::SRem; break;
+        case BinOp::BitAnd: opc = Opcode::And; break;
+        case BinOp::BitOr: opc = Opcode::Or; break;
+        case BinOp::BitXor: opc = Opcode::Xor; break;
+        case BinOp::Shl: opc = Opcode::Shl; break;
+        case BinOp::Shr: opc = Opcode::AShr; break;
+        default: err(line, "bad arithmetic operator");
+      }
+    }
+    return {b_.binop(opc, a, c), ty};
+  }
+
+  TV compare(BinOp op, TV l, TV r, int line) {
+    const Ty ty = promote(l.ty, r.ty, line);
+    ir::Value* a = coerce(l, ty, line);
+    ir::Value* c = coerce(r, ty, line);
+    CmpPred pred;
+    switch (op) {
+      case BinOp::Lt: pred = CmpPred::SLT; break;
+      case BinOp::Le: pred = CmpPred::SLE; break;
+      case BinOp::Gt: pred = CmpPred::SGT; break;
+      case BinOp::Ge: pred = CmpPred::SGE; break;
+      case BinOp::Eq: pred = CmpPred::EQ; break;
+      default: pred = CmpPred::NE; break;
+    }
+    ir::Value* v = ty == Ty::Double ? b_.fcmp(pred, a, c) : b_.icmp(pred, a, c);
+    return {v, Ty::Bool};
+  }
+
+  /// Lowers an expression used as a condition into an i1.
+  ir::Value* lower_cond(const Expr& e) { return lower_cond_value(lower_expr(e), e.line); }
+
+  ir::Value* lower_cond_value(TV v, int line) {
+    if (v.ty == Ty::Bool) return v.v;
+    if (v.ty == Ty::Int || v.ty == Ty::Long)
+      return b_.icmp(CmpPred::NE, v.v, mod_->const_int(ir_ty(v.ty), 0));
+    if (v.ty == Ty::Double)
+      return b_.fcmp(CmpPred::NE, v.v, mod_->const_float(0.0));
+    err(line, std::string("type ") + ty_name(v.ty) + " is not a condition");
+  }
+
+  struct LoopCtx {
+    BasicBlock* break_bb;
+    BasicBlock* continue_bb;
+  };
+
+  const Program& prog_;
+  std::unique_ptr<ir::Module> mod_;
+  ir::IRBuilder b_;
+  std::unordered_map<std::string, ir::Function*> user_fns_;
+  ir::Function* clinit_ = nullptr;
+  ir::GlobalVar* exc_flag_ = nullptr;   // MiniJava pending-exception flag
+  BasicBlock* unwind_bb_ = nullptr;     // per-function exception exit
+  ir::Function* cur_ = nullptr;
+  const FuncDecl* cur_decl_ = nullptr;
+  BasicBlock* entry_ = nullptr;
+  std::size_t alloca_idx_ = 0;
+  std::vector<std::unordered_map<std::string, VarInfo>> scopes_;
+  std::vector<LoopCtx> loops_;
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Module> lower(const Program& program) {
+  return Lowerer(program).run();
+}
+
+}  // namespace gbm::frontend

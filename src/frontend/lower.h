@@ -1,0 +1,28 @@
+// AST → IR lowering (the "code generation" half of the front-ends).
+//
+// Lowering style mirrors clang -O0: every local lives in an entry-block
+// alloca, all control flow is explicit blocks, and library constructs
+// become runtime calls. Language-specific behaviour:
+//
+//  * MiniC   — int=i32, long=i64, double=f64; stack arrays; no checks.
+//  * MiniC++ — MiniC plus vec/sort/min/max/abs lowered to crt_* calls.
+//  * MiniJava — int=i32 arithmetic; heap arrays with bounds checks; boxed
+//    ArrayList; println; a synthesized <Class>_clinit called from main
+//    (class-initialisation boilerplate, as JLang emits). These extra
+//    instructions reproduce the paper's observation that Java IR graphs
+//    are several times larger than C/C++ graphs for the same task.
+#pragma once
+
+#include <memory>
+
+#include "frontend/ast.h"
+#include "ir/module.h"
+
+namespace gbm::frontend {
+
+/// Lowers a parsed program to a fresh IR module. Performs type checking on
+/// the way; throws CompileError on semantic errors (undefined variables,
+/// type mismatches, bad calls).
+std::unique_ptr<ir::Module> lower(const Program& program);
+
+}  // namespace gbm::frontend

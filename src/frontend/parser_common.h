@@ -1,0 +1,61 @@
+// Token-stream cursor shared by both recursive-descent parsers.
+#pragma once
+
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+namespace gbm::frontend {
+
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& next() {
+    const Token& t = peek();
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
+  bool at(Tok k) const { return peek().kind == k; }
+  bool at_ident(const char* word) const {
+    return peek().kind == Tok::Ident && peek().text == word;
+  }
+  bool accept(Tok k) {
+    if (at(k)) {
+      next();
+      return true;
+    }
+    return false;
+  }
+  bool accept_ident(const char* word) {
+    if (at_ident(word)) {
+      next();
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(Tok k, const char* what) {
+    if (!at(k))
+      throw CompileError(peek().line, std::string("expected ") + what + ", found '" +
+                                          (peek().kind == Tok::Ident ? peek().text
+                                                                     : tok_name(peek().kind)) +
+                                          "'");
+    return next();
+  }
+  void expect_ident(const char* word) {
+    if (!accept_ident(word))
+      throw CompileError(peek().line, std::string("expected '") + word + "'");
+  }
+  int line() const { return peek().line; }
+
+ private:
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gbm::frontend

@@ -1,0 +1,550 @@
+#include "frontend/parsers.h"
+
+#include <functional>
+
+#include "frontend/parser_common.h"
+
+namespace gbm::frontend {
+
+namespace {
+
+/// Grammar shared by both languages: statements and expressions with
+/// C-family precedence. Language hooks: type parsing, primary expressions,
+/// declaration shapes.
+class BaseParser {
+ public:
+  explicit BaseParser(TokenStream ts) : ts_(std::move(ts)) {}
+  virtual ~BaseParser() = default;
+
+ protected:
+  // ---- expressions (precedence climbing) --------------------------------
+  ExprPtr parse_expr() { return parse_ternary(); }
+
+  ExprPtr parse_ternary() {
+    ExprPtr cond = parse_binary(0);
+    if (!ts_.accept(Tok::Question)) return cond;
+    auto e = Expr::make(ExprKind::Ternary, ts_.line());
+    e->lhs = std::move(cond);
+    e->rhs = parse_expr();
+    ts_.expect(Tok::Colon, "':'");
+    e->third = parse_expr();
+    return e;
+  }
+
+  struct OpLevel {
+    Tok tok;
+    BinOp op;
+    int prec;
+  };
+
+  static const std::vector<OpLevel>& op_table() {
+    static const std::vector<OpLevel> kOps = {
+        {Tok::OrOr, BinOp::Or, 1},    {Tok::AndAnd, BinOp::And, 2},
+        {Tok::Pipe, BinOp::BitOr, 3}, {Tok::Caret, BinOp::BitXor, 4},
+        {Tok::Amp, BinOp::BitAnd, 5}, {Tok::EqEq, BinOp::Eq, 6},
+        {Tok::Ne, BinOp::Ne, 6},      {Tok::Lt, BinOp::Lt, 7},
+        {Tok::Le, BinOp::Le, 7},      {Tok::Gt, BinOp::Gt, 7},
+        {Tok::Ge, BinOp::Ge, 7},      {Tok::Shl, BinOp::Shl, 8},
+        {Tok::Shr, BinOp::Shr, 8},    {Tok::Plus, BinOp::Add, 9},
+        {Tok::Minus, BinOp::Sub, 9},  {Tok::Star, BinOp::Mul, 10},
+        {Tok::Slash, BinOp::Div, 10}, {Tok::Percent, BinOp::Rem, 10},
+    };
+    return kOps;
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    while (true) {
+      const OpLevel* found = nullptr;
+      for (const auto& lvl : op_table()) {
+        if (ts_.at(lvl.tok) && lvl.prec >= min_prec) {
+          found = &lvl;
+          break;
+        }
+      }
+      if (!found) return lhs;
+      const int line = ts_.line();
+      ts_.next();
+      ExprPtr rhs = parse_binary(found->prec + 1);
+      auto e = Expr::make(ExprKind::Binary, line);
+      e->bin_op = found->op;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    const int line = ts_.line();
+    if (ts_.accept(Tok::Minus)) {
+      auto e = Expr::make(ExprKind::Unary, line);
+      e->un_op = "-";
+      e->lhs = parse_unary();
+      return e;
+    }
+    if (ts_.accept(Tok::Not)) {
+      auto e = Expr::make(ExprKind::Unary, line);
+      e->un_op = "!";
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    while (true) {
+      if (ts_.at(Tok::LBracket)) {
+        const int line = ts_.line();
+        ts_.next();
+        auto idx = Expr::make(ExprKind::Index, line);
+        idx->lhs = std::move(e);
+        idx->rhs = parse_expr();
+        ts_.expect(Tok::RBracket, "']'");
+        e = std::move(idx);
+      } else if (ts_.at(Tok::Dot)) {
+        const int line = ts_.line();
+        ts_.next();
+        const std::string method = ts_.expect(Tok::Ident, "method name").text;
+        auto m = Expr::make(ExprKind::Method, line);
+        m->name = method;
+        m->lhs = std::move(e);
+        if (ts_.accept(Tok::LParen)) {
+          if (!ts_.accept(Tok::RParen)) {
+            do {
+              m->args.push_back(parse_expr());
+            } while (ts_.accept(Tok::Comma));
+            ts_.expect(Tok::RParen, "')'");
+          }
+        }
+        e = std::move(m);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  virtual ExprPtr parse_primary() = 0;
+
+  ExprPtr parse_call(const std::string& name, int line) {
+    auto e = Expr::make(ExprKind::Call, line);
+    e->name = name;
+    ts_.expect(Tok::LParen, "'('");
+    if (!ts_.accept(Tok::RParen)) {
+      do {
+        e->args.push_back(parse_expr());
+      } while (ts_.accept(Tok::Comma));
+      ts_.expect(Tok::RParen, "')'");
+    }
+    return e;
+  }
+
+  // ---- statements --------------------------------------------------------
+  StmtPtr parse_block() {
+    const int line = ts_.line();
+    ts_.expect(Tok::LBrace, "'{'");
+    auto block = Stmt::make(StmtKind::Block, line);
+    while (!ts_.accept(Tok::RBrace)) {
+      if (ts_.at(Tok::End)) throw CompileError(ts_.line(), "unterminated block");
+      block->body.push_back(parse_statement());
+    }
+    return block;
+  }
+
+  StmtPtr parse_statement() {
+    const int line = ts_.line();
+    if (ts_.at(Tok::LBrace)) return parse_block();
+    if (ts_.accept_ident("if")) {
+      auto s = Stmt::make(StmtKind::If, line);
+      ts_.expect(Tok::LParen, "'('");
+      s->expr = parse_expr();
+      ts_.expect(Tok::RParen, "')'");
+      s->then_branch = parse_statement();
+      if (ts_.accept_ident("else")) s->else_branch = parse_statement();
+      return s;
+    }
+    if (ts_.accept_ident("while")) {
+      auto s = Stmt::make(StmtKind::While, line);
+      ts_.expect(Tok::LParen, "'('");
+      s->expr = parse_expr();
+      ts_.expect(Tok::RParen, "')'");
+      s->loop_body = parse_statement();
+      return s;
+    }
+    if (ts_.accept_ident("do")) {
+      auto s = Stmt::make(StmtKind::DoWhile, line);
+      s->loop_body = parse_statement();
+      ts_.expect_ident("while");
+      ts_.expect(Tok::LParen, "'('");
+      s->expr = parse_expr();
+      ts_.expect(Tok::RParen, "')'");
+      ts_.expect(Tok::Semi, "';'");
+      return s;
+    }
+    if (ts_.accept_ident("for")) {
+      auto s = Stmt::make(StmtKind::For, line);
+      ts_.expect(Tok::LParen, "'('");
+      if (!ts_.at(Tok::Semi)) s->init = parse_simple_statement();
+      ts_.expect(Tok::Semi, "';'");
+      if (!ts_.at(Tok::Semi)) s->expr = parse_expr();
+      ts_.expect(Tok::Semi, "';'");
+      if (!ts_.at(Tok::RParen)) s->step = parse_simple_statement();
+      ts_.expect(Tok::RParen, "')'");
+      s->loop_body = parse_statement();
+      return s;
+    }
+    if (ts_.accept_ident("return")) {
+      auto s = Stmt::make(StmtKind::Return, line);
+      if (!ts_.at(Tok::Semi)) s->expr = parse_expr();
+      ts_.expect(Tok::Semi, "';'");
+      return s;
+    }
+    if (ts_.accept_ident("break")) {
+      ts_.expect(Tok::Semi, "';'");
+      return Stmt::make(StmtKind::Break, line);
+    }
+    if (ts_.accept_ident("continue")) {
+      ts_.expect(Tok::Semi, "';'");
+      return Stmt::make(StmtKind::Continue, line);
+    }
+    StmtPtr s = parse_simple_statement();
+    ts_.expect(Tok::Semi, "';'");
+    return s;
+  }
+
+  /// Declaration, assignment or expression statement (no trailing ';').
+  StmtPtr parse_simple_statement() {
+    const int line = ts_.line();
+    Ty decl_ty;
+    if (try_parse_type(decl_ty)) {
+      auto s = Stmt::make(StmtKind::VarDecl, line);
+      s->decl_ty = decl_ty;
+      s->name = ts_.expect(Tok::Ident, "variable name").text;
+      if (ts_.accept(Tok::LBracket)) {  // MiniC stack array: long a[10];
+        const Token& n = ts_.expect(Tok::IntLit, "array size");
+        s->array_size = n.int_value;
+        ts_.expect(Tok::RBracket, "']'");
+        s->decl_ty = to_array_type(decl_ty, line);
+      } else if (ts_.accept(Tok::Assign)) {
+        s->expr = parse_expr();
+      }
+      return s;
+    }
+    // Assignment / increment / expression statement.
+    ExprPtr target = parse_expr();
+    if (ts_.at(Tok::Assign) || ts_.at(Tok::PlusAssign) || ts_.at(Tok::MinusAssign)) {
+      auto s = Stmt::make(StmtKind::Assign, line);
+      if (ts_.accept(Tok::PlusAssign)) s->assign_op = "+";
+      else if (ts_.accept(Tok::MinusAssign)) s->assign_op = "-";
+      else ts_.next();
+      s->target = std::move(target);
+      s->expr = parse_expr();
+      return s;
+    }
+    if (ts_.at(Tok::PlusPlus) || ts_.at(Tok::MinusMinus)) {
+      auto s = Stmt::make(StmtKind::Assign, line);
+      s->assign_op = ts_.accept(Tok::PlusPlus) ? "+" : (ts_.next(), "-");
+      s->target = std::move(target);
+      auto one = Expr::make(ExprKind::IntLit, line);
+      one->int_value = 1;
+      s->expr = std::move(one);
+      return s;
+    }
+    auto s = Stmt::make(StmtKind::ExprStmt, line);
+    s->expr = std::move(target);
+    return s;
+  }
+
+  static Ty to_array_type(Ty elem, int line) {
+    switch (elem) {
+      case Ty::Int: return Ty::IntArray;
+      case Ty::Long: return Ty::LongArray;
+      case Ty::Double: return Ty::DoubleArray;
+      default: throw CompileError(line, "cannot form array of this type");
+    }
+  }
+
+  /// If the lookahead is a type keyword, consumes it and returns true.
+  virtual bool try_parse_type(Ty& out) = 0;
+
+  TokenStream ts_;
+};
+
+// ---- MiniC ----------------------------------------------------------------
+
+class MiniCParser : public BaseParser {
+ public:
+  MiniCParser(TokenStream ts, bool cpp_dialect)
+      : BaseParser(std::move(ts)), cpp_(cpp_dialect) {}
+
+  Program run(const std::string& unit_name) {
+    Program prog;
+    prog.language = cpp_ ? Lang::Cpp : Lang::C;
+    prog.unit_name = unit_name;
+    while (!ts_.at(Tok::End)) prog.functions.push_back(parse_function());
+    return prog;
+  }
+
+ private:
+  bool try_parse_type(Ty& out) override {
+    if (ts_.at_ident("int")) { ts_.next(); out = Ty::Int; return true; }
+    if (ts_.at_ident("long")) { ts_.next(); out = Ty::Long; return true; }
+    if (ts_.at_ident("double")) { ts_.next(); out = Ty::Double; return true; }
+    if (ts_.at_ident("bool")) { ts_.next(); out = Ty::Bool; return true; }
+    if (cpp_ && ts_.at_ident("vec")) { ts_.next(); out = Ty::Vec; return true; }
+    return false;
+  }
+
+  FuncDecl parse_function() {
+    FuncDecl fn;
+    fn.line = ts_.line();
+    Ty ret;
+    if (ts_.accept_ident("void")) ret = Ty::Void;
+    else if (!try_parse_type(ret))
+      throw CompileError(ts_.line(), "expected return type");
+    fn.return_type = ret;
+    fn.name = ts_.expect(Tok::Ident, "function name").text;
+    ts_.expect(Tok::LParen, "'('");
+    if (!ts_.accept(Tok::RParen)) {
+      do {
+        Param p;
+        if (!try_parse_type(p.type))
+          throw CompileError(ts_.line(), "expected parameter type");
+        // `long* a` and `long a[]` both mean "array of long" here.
+        if (ts_.accept(Tok::Star)) p.type = to_array_type(p.type, ts_.line());
+        p.name = ts_.expect(Tok::Ident, "parameter name").text;
+        if (ts_.accept(Tok::LBracket)) {
+          ts_.expect(Tok::RBracket, "']'");
+          p.type = to_array_type(p.type, ts_.line());
+        }
+        fn.params.push_back(std::move(p));
+      } while (ts_.accept(Tok::Comma));
+      ts_.expect(Tok::RParen, "')'");
+    }
+    fn.body = parse_block();
+    return fn;
+  }
+
+  ExprPtr parse_primary() override {
+    const int line = ts_.line();
+    if (ts_.at(Tok::IntLit)) {
+      auto e = Expr::make(ExprKind::IntLit, line);
+      e->int_value = ts_.next().int_value;
+      return e;
+    }
+    if (ts_.at(Tok::FloatLit)) {
+      auto e = Expr::make(ExprKind::FloatLit, line);
+      e->float_value = ts_.next().float_value;
+      return e;
+    }
+    if (ts_.at(Tok::StrLit)) {
+      auto e = Expr::make(ExprKind::StrLit, line);
+      e->str_value = ts_.next().text;
+      return e;
+    }
+    if (ts_.accept(Tok::LParen)) {
+      ExprPtr e = parse_expr();
+      ts_.expect(Tok::RParen, "')'");
+      return e;
+    }
+    if (ts_.at(Tok::Ident)) {
+      const std::string name = ts_.next().text;
+      if (name == "true" || name == "false") {
+        auto e = Expr::make(ExprKind::BoolLit, line);
+        e->bool_value = (name == "true");
+        return e;
+      }
+      if (ts_.at(Tok::LParen)) return parse_call(name, line);
+      auto e = Expr::make(ExprKind::Var, line);
+      e->name = name;
+      return e;
+    }
+    throw CompileError(line, "expected expression");
+  }
+
+  bool cpp_;
+};
+
+// ---- MiniJava ---------------------------------------------------------------
+
+class MiniJavaParser : public BaseParser {
+ public:
+  explicit MiniJavaParser(TokenStream ts) : BaseParser(std::move(ts)) {}
+
+  Program run(const std::string& unit_name) {
+    Program prog;
+    prog.language = Lang::Java;
+    prog.unit_name = unit_name;
+    ts_.expect_ident("class");
+    prog.unit_name = ts_.expect(Tok::Ident, "class name").text;
+    ts_.expect(Tok::LBrace, "'{'");
+    while (!ts_.accept(Tok::RBrace)) {
+      if (ts_.at(Tok::End)) throw CompileError(ts_.line(), "unterminated class");
+      prog.functions.push_back(parse_method());
+    }
+    return prog;
+  }
+
+ private:
+  bool try_parse_type(Ty& out) override {
+    // `int` / `int[]` / `boolean` / `ArrayList` / `String`.
+    if (ts_.at_ident("int")) {
+      if (ts_.peek(1).kind == Tok::LBracket && ts_.peek(2).kind == Tok::RBracket) {
+        ts_.next(); ts_.next(); ts_.next();
+        out = Ty::IntArray;
+        return true;
+      }
+      // Disambiguate declaration from expression use (`int` only starts decls).
+      ts_.next();
+      out = Ty::Int;
+      return true;
+    }
+    if (ts_.at_ident("boolean")) { ts_.next(); out = Ty::Bool; return true; }
+    if (ts_.at_ident("ArrayList")) { ts_.next(); out = Ty::List; return true; }
+    if (ts_.at_ident("String") && ts_.peek(1).kind == Tok::Ident) {
+      ts_.next();
+      out = Ty::Str;
+      return true;
+    }
+    return false;
+  }
+
+  FuncDecl parse_method() {
+    FuncDecl fn;
+    fn.line = ts_.line();
+    ts_.accept_ident("public");
+    ts_.expect_ident("static");
+    Ty ret;
+    if (ts_.accept_ident("void")) ret = Ty::Void;
+    else if (!try_parse_type(ret))
+      throw CompileError(ts_.line(), "expected return type");
+    fn.return_type = ret;
+    fn.name = ts_.expect(Tok::Ident, "method name").text;
+    ts_.expect(Tok::LParen, "'('");
+    if (!ts_.accept(Tok::RParen)) {
+      do {
+        // `String[] args` of main is accepted and ignored.
+        if (ts_.at_ident("String") && ts_.peek(1).kind == Tok::LBracket) {
+          ts_.next(); ts_.next();
+          ts_.expect(Tok::RBracket, "']'");
+          ts_.expect(Tok::Ident, "parameter name");
+          continue;
+        }
+        Param p;
+        if (!try_parse_type(p.type))
+          throw CompileError(ts_.line(), "expected parameter type");
+        p.name = ts_.expect(Tok::Ident, "parameter name").text;
+        fn.params.push_back(std::move(p));
+      } while (ts_.accept(Tok::Comma));
+      ts_.expect(Tok::RParen, "')'");
+    }
+    fn.body = parse_block();
+    return fn;
+  }
+
+  ExprPtr parse_primary() override {
+    const int line = ts_.line();
+    if (ts_.at(Tok::IntLit)) {
+      auto e = Expr::make(ExprKind::IntLit, line);
+      e->int_value = ts_.next().int_value;
+      return e;
+    }
+    if (ts_.at(Tok::StrLit)) {
+      auto e = Expr::make(ExprKind::StrLit, line);
+      e->str_value = ts_.next().text;
+      return e;
+    }
+    if (ts_.accept(Tok::LParen)) {
+      ExprPtr e = parse_expr();
+      ts_.expect(Tok::RParen, "')'");
+      return e;
+    }
+    if (ts_.accept_ident("new")) {
+      if (ts_.accept_ident("int")) {
+        ts_.expect(Tok::LBracket, "'['");
+        auto e = Expr::make(ExprKind::NewArray, line);
+        e->elem_ty = Ty::Int;
+        e->lhs = parse_expr();
+        ts_.expect(Tok::RBracket, "']'");
+        return e;
+      }
+      if (ts_.accept_ident("ArrayList")) {
+        ts_.expect(Tok::LParen, "'('");
+        ts_.expect(Tok::RParen, "')'");
+        return Expr::make(ExprKind::NewList, line);
+      }
+      throw CompileError(line, "unsupported 'new' type");
+    }
+    if (ts_.at(Tok::Ident)) {
+      const std::string name = ts_.next().text;
+      if (name == "true" || name == "false") {
+        auto e = Expr::make(ExprKind::BoolLit, line);
+        e->bool_value = (name == "true");
+        return e;
+      }
+      // Qualified builtins: System.out.println(x), Reader.read(), Math.abs(x).
+      if ((name == "System" || name == "Reader" || name == "Math" ||
+           name == "Integer") &&
+          ts_.at(Tok::Dot)) {
+        std::string qualified = name;
+        while (ts_.accept(Tok::Dot)) {
+          qualified += "." + ts_.expect(Tok::Ident, "member").text;
+          if (ts_.at(Tok::LParen)) return parse_call(qualified, line);
+        }
+        throw CompileError(line, "expected call on " + qualified);
+      }
+      if (ts_.at(Tok::LParen)) return parse_call(name, line);
+      auto e = Expr::make(ExprKind::Var, line);
+      e->name = name;
+      return e;
+    }
+    throw CompileError(line, "expected expression");
+  }
+};
+
+}  // namespace
+
+const char* ty_name(Ty t) {
+  switch (t) {
+    case Ty::Void: return "void";
+    case Ty::Bool: return "bool";
+    case Ty::Int: return "int";
+    case Ty::Long: return "long";
+    case Ty::Double: return "double";
+    case Ty::IntArray: return "int[]";
+    case Ty::LongArray: return "long[]";
+    case Ty::DoubleArray: return "double[]";
+    case Ty::Vec: return "vec";
+    case Ty::List: return "ArrayList";
+    case Ty::Str: return "string";
+  }
+  return "?";
+}
+
+bool is_array(Ty t) {
+  return t == Ty::IntArray || t == Ty::LongArray || t == Ty::DoubleArray;
+}
+
+Ty element_type(Ty t) {
+  switch (t) {
+    case Ty::IntArray: return Ty::Int;
+    case Ty::LongArray: return Ty::Long;
+    case Ty::DoubleArray: return Ty::Double;
+    case Ty::Vec: return Ty::Long;
+    case Ty::List: return Ty::Int;
+    default: return Ty::Void;
+  }
+}
+
+Program parse_minic(const std::string& source, bool cpp_dialect,
+                    const std::string& unit_name) {
+  MiniCParser parser(TokenStream(lex(source)), cpp_dialect);
+  return parser.run(unit_name);
+}
+
+Program parse_minijava(const std::string& source, const std::string& unit_name) {
+  MiniJavaParser parser(TokenStream(lex(source)));
+  return parser.run(unit_name);
+}
+
+}  // namespace gbm::frontend

@@ -1,0 +1,28 @@
+// Entry points of the two surface-language parsers.
+//
+// MiniC is the Clang analogue front-end: C syntax with `int`/`long`/
+// `double`, stack arrays, and (in the "cpp" dialect) a `vec` container and
+// library algorithms mimicking std::vector / <algorithm>.
+//
+// MiniJava is the JLang analogue: a single class of static methods,
+// `int`/`boolean`/`int[]`/`ArrayList`, `System.out.println`, and implicit
+// array bounds checks.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace gbm::frontend {
+
+/// Parses MiniC source. `cpp_dialect` enables vec/sort/min/max/abs
+/// library constructs (the "C++" front-end). Throws CompileError.
+Program parse_minic(const std::string& source, bool cpp_dialect,
+                    const std::string& unit_name = "unit");
+
+/// Parses MiniJava source (one class with static methods). Throws
+/// CompileError.
+Program parse_minijava(const std::string& source,
+                       const std::string& unit_name = "Unit");
+
+}  // namespace gbm::frontend

@@ -1,0 +1,209 @@
+#include "gnn/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace gbm::gnn {
+
+using tensor::NamedParam;
+using tensor::RNG;
+using tensor::Tensor;
+
+// ---- encoding -----------------------------------------------------------
+
+EncodedGraph encode_graph(const graph::ProgramGraph& g, const tok::Tokenizer& tk,
+                          int bag_len, bool use_full_text) {
+  EncodedGraph out;
+  out.num_nodes = g.num_nodes();
+  out.bag_len = bag_len;
+  out.tokens.reserve(static_cast<std::size_t>(out.num_nodes * bag_len));
+  for (const auto& node : g.nodes) {
+    const std::vector<int> ids = tk.encode(node.feature(use_full_text), bag_len);
+    out.tokens.insert(out.tokens.end(), ids.begin(), ids.end());
+  }
+  for (const auto& e : g.edges) {
+    EdgeList& list = out.edges[static_cast<std::size_t>(e.kind)];
+    list.src.push_back(e.src);
+    list.dst.push_back(e.dst);
+    list.pos.push_back(e.position);
+  }
+  // Self-loops on every edge type (PyG GATv2Conv add_self_loops=True).
+  for (auto& list : out.edges) {
+    for (long i = 0; i < out.num_nodes; ++i) {
+      list.src.push_back(static_cast<int>(i));
+      list.dst.push_back(static_cast<int>(i));
+      list.pos.push_back(0);
+    }
+  }
+  return out;
+}
+
+// ---- GATv2 ----------------------------------------------------------------
+
+GATv2Conv::GATv2Conv(const GATv2Config& config, RNG& rng, std::string name)
+    : config_(config),
+      w_l_(config.in_dim, config.out_dim, rng, /*bias=*/true, name + ".wl"),
+      w_r_(config.in_dim, config.out_dim, rng, /*bias=*/false, name + ".wr"),
+      att_(Tensor::randn(config.out_dim, 1, rng,
+                         1.0f / static_cast<float>(std::sqrt(config.out_dim)), true)),
+      pos_table_(Tensor::randn(config.max_position, config.out_dim, rng, 0.05f, true)) {
+  att_name_ = name + ".att";
+  pos_name_ = name + ".pos";
+}
+
+Tensor GATv2Conv::forward(const Tensor& x, const EdgeList& edges,
+                          long num_nodes) const {
+  const Tensor hl = w_l_.forward(x);  // (N, out) target side
+  const Tensor hr = w_r_.forward(x);  // (N, out) source side
+  std::vector<int> pos_clamped(edges.pos.size());
+  for (std::size_t i = 0; i < edges.pos.size(); ++i)
+    pos_clamped[i] = std::min<long>(edges.pos[i], config_.max_position - 1);
+  const Tensor gs = tensor::index_rows(hr, edges.src);          // (E, out)
+  const Tensor gd = tensor::index_rows(hl, edges.dst);          // (E, out)
+  const Tensor pe = tensor::index_rows(pos_table_, pos_clamped);  // (E, out)
+  const Tensor act =
+      tensor::leaky_relu(tensor::add(tensor::add(gs, gd), pe), config_.negative_slope);
+  const Tensor scores = tensor::matmul(act, att_);  // (E, 1)
+  const Tensor alpha = tensor::segment_softmax(scores, edges.dst, num_nodes);
+  const Tensor messages = tensor::scale_rows(gs, alpha);
+  return tensor::scatter_add_rows(messages, edges.dst, num_nodes);
+}
+
+std::vector<NamedParam> GATv2Conv::params() const {
+  std::vector<NamedParam> out;
+  for (auto& p : w_l_.params()) out.push_back(p);
+  for (auto& p : w_r_.params()) out.push_back(p);
+  out.push_back({att_name_, att_});
+  out.push_back({pos_name_, pos_table_});
+  return out;
+}
+
+// ---- hetero layer -----------------------------------------------------------
+
+HeteroLayer::HeteroLayer(long in_dim, long out_dim, RNG& rng, std::string name) {
+  const char* kinds[3] = {"control", "data", "call"};
+  for (int k = 0; k < 3; ++k) {
+    GATv2Config cfg;
+    cfg.in_dim = in_dim;
+    cfg.out_dim = out_dim;
+    convs_[k] = GATv2Conv(cfg, rng, name + "." + kinds[k]);
+    norms_[k] = tensor::LayerNorm(out_dim, name + "." + kinds[k] + ".norm");
+  }
+}
+
+Tensor HeteroLayer::forward(const Tensor& x, const std::array<EdgeList, 3>& edges,
+                            long num_nodes) const {
+  Tensor fused;
+  for (int k = 0; k < 3; ++k) {
+    Tensor h = convs_[k].forward(x, edges[static_cast<std::size_t>(k)], num_nodes);
+    h = norms_[k].forward(h);
+    fused = k == 0 ? h : tensor::maximum(fused, h);
+  }
+  return fused;
+}
+
+std::vector<NamedParam> HeteroLayer::params() const {
+  std::vector<NamedParam> out;
+  for (int k = 0; k < 3; ++k) {
+    for (auto& p : convs_[k].params()) out.push_back(p);
+    for (auto& p : norms_[k].params()) out.push_back(p);
+  }
+  return out;
+}
+
+// ---- model ----------------------------------------------------------------
+
+GraphBinMatchModel::GraphBinMatchModel(const ModelConfig& config, RNG& rng)
+    : config_(config),
+      token_emb_(config.vocab, config.embed_dim, rng, "token_emb"),
+      input_proj_(config.embed_dim, config.hidden, rng, true, "input_proj"),
+      att_transform_(config.hidden, config.hidden, rng, false, "att_transform"),
+      fc1_((config.interaction ? 4 : 2) * graph_embedding_dim(config),
+           config.hidden, rng, true, "fc1"),
+      fc_norm_(config.hidden, "fc_norm"),
+      fc2_(config.hidden, 1, rng, true, "fc2"),
+      dropout_(config.dropout) {
+  layers_.reserve(static_cast<std::size_t>(config.layers));
+  for (int l = 0; l < config.layers; ++l)
+    layers_.push_back(
+        HeteroLayer(config.hidden, config.hidden, rng, "layer" + std::to_string(l)));
+}
+
+Tensor GraphBinMatchModel::embed_graph(const EncodedGraph& g, bool training,
+                                       RNG& rng) const {
+  if (g.num_nodes == 0)
+    throw std::invalid_argument("embed_graph: empty graph (failed artifact?)");
+  // Node features: embedding bag + max over the token sequence (§III-D:
+  // "utilize the max operation to reduce the two-dimensional feature
+  // vector to a single dimension").
+  Tensor h = token_emb_.forward_bag_max(g.tokens, g.num_nodes, g.bag_len,
+                                        tok::Tokenizer::kPad);
+  h = tensor::leaky_relu(input_proj_.forward(h));
+  for (const auto& layer : layers_) {
+    // Residual connection: without it, stacked LayerNorm + attention
+    // smoothing collapses all node embeddings toward the graph mean at
+    // initialisation (verified by the representation-collapse test), which
+    // stalls CPU-scale training. Documented deviation (DESIGN.md §5).
+    Tensor update = layer.forward(h, g.edges, g.num_nodes);
+    h = tensor::add(h, tensor::leaky_relu(update));
+    h = dropout_.forward(h, training, rng);
+  }
+  // SimGNN global attention pooling: c = tanh(mean(H) W); a = σ(H cᵀ);
+  // g = aᵀ H.
+  const Tensor c = tensor::tanh_t(att_transform_.forward(tensor::mean_rows(h)));
+  const Tensor scores = tensor::matmul(h, tensor::transpose(c));  // (N,1)
+  const Tensor attention = tensor::sigmoid(scores);
+  // Attention-weighted sum, scale-stabilised by the node count so graphs of
+  // very different sizes land on one embedding scale.
+  Tensor pooled = tensor::matmul(tensor::transpose(attention), h);  // (1, hidden)
+  pooled = tensor::scale(pooled, 1.0f / static_cast<float>(g.num_nodes));
+  // Max channel: the attention mean alone collapses across graphs (most
+  // programs share the same average instruction mix); the column-wise max
+  // preserves each graph's distinctive nodes — rare opcodes, constants,
+  // string literals. Documented deviation from the bare SimGNN pooling
+  // (DESIGN.md §5).
+  const Tensor peak = tensor::max_rows(h);
+  return tensor::concat_cols({pooled, peak});  // (1, 2*hidden)
+}
+
+Tensor GraphBinMatchModel::forward_logit(const EncodedGraph& a, const EncodedGraph& b,
+                                         bool training, RNG& rng) const {
+  const Tensor ga = embed_graph(a, training, rng);
+  const Tensor gb = embed_graph(b, training, rng);
+  std::vector<Tensor> parts{ga, gb};
+  if (config_.interaction) {
+    parts.push_back(tensor::abs_t(tensor::sub(ga, gb)));
+    parts.push_back(tensor::mul(ga, gb));
+  }
+  Tensor h = tensor::concat_cols(parts);
+  h = fc1_.forward(h);
+  h = fc_norm_.forward(h);
+  h = tensor::leaky_relu(h);
+  h = dropout_.forward(h, training, rng);
+  return fc2_.forward(h);  // (1,1) logit; σ applied by caller / loss
+}
+
+long graph_embedding_dim(const ModelConfig& config) { return 2 * config.hidden; }
+
+float GraphBinMatchModel::predict(const EncodedGraph& a, const EncodedGraph& b) const {
+  RNG dummy(1);
+  const Tensor logit = forward_logit(a, b, /*training=*/false, dummy);
+  return 1.0f / (1.0f + std::exp(-logit.item()));
+}
+
+std::vector<NamedParam> GraphBinMatchModel::params() const {
+  std::vector<NamedParam> out;
+  for (auto& p : token_emb_.params()) out.push_back(p);
+  for (auto& p : input_proj_.params()) out.push_back(p);
+  for (const auto& layer : layers_) {
+    for (auto& p : layer.params()) out.push_back(p);
+  }
+  for (auto& p : att_transform_.params()) out.push_back(p);
+  for (auto& p : fc1_.params()) out.push_back(p);
+  for (auto& p : fc_norm_.params()) out.push_back(p);
+  for (auto& p : fc2_.params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace gbm::gnn

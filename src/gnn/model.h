@@ -1,0 +1,132 @@
+// The Graph Binary Matching Similarity Neural Network (paper §III-D).
+//
+// Architecture, mirroring Figure 2:
+//   token-id bags → Embedding → max over tokens → node features
+//   → L × [per-edge-type GATv2Conv + LayerNorm, fused by stack-&-max]
+//   → SimGNN-style global attention pooling → graph embedding
+//   → concat(gA, gB) → FC → LayerNorm → LeakyReLU → Dropout → FC → σ.
+//
+// `ModelConfig.interaction` optionally appends |gA−gB| and gA⊙gB to the
+// concatenation — a documented CPU-scale training aid (DESIGN.md §5),
+// disabled for the paper-faithful architecture.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "graph/program_graph.h"
+#include "tensor/nn.h"
+#include "tokenizer/tokenizer.h"
+
+namespace gbm::gnn {
+
+/// One edge type as flat index arrays (plus self-loops, PyG-style).
+struct EdgeList {
+  std::vector<int> src;
+  std::vector<int> dst;
+  std::vector<int> pos;
+  long size() const { return static_cast<long>(src.size()); }
+};
+
+/// A program graph encoded for the model: token bags + 3 edge lists
+/// (control / data / call).
+struct EncodedGraph {
+  long num_nodes = 0;
+  int bag_len = 0;
+  std::vector<int> tokens;  // num_nodes * bag_len token ids
+  std::array<EdgeList, 3> edges;
+};
+
+/// Encodes a ProgramGraph with the given featurisation. Self-loops are
+/// appended to every edge type (as PyTorch-Geometric's GATv2Conv does).
+EncodedGraph encode_graph(const graph::ProgramGraph& g, const tok::Tokenizer& tk,
+                          int bag_len, bool use_full_text);
+
+struct GATv2Config {
+  long in_dim = 32;
+  long out_dim = 32;
+  long max_position = 8;  // edge positions clamp here
+  float negative_slope = 0.2f;
+};
+
+/// Single-head GATv2 convolution (Brody et al. 2022):
+///   e_ij = aᵀ LeakyReLU(W_l x_i + W_r x_j + P[pos_ij])
+///   α_ij = softmax_j over incoming edges of node i
+///   out_i = Σ_j α_ij (W_r x_j)
+class GATv2Conv : public tensor::Module {
+ public:
+  GATv2Conv() = default;
+  GATv2Conv(const GATv2Config& config, tensor::RNG& rng, std::string name);
+  tensor::Tensor forward(const tensor::Tensor& x, const EdgeList& edges,
+                         long num_nodes) const;
+  std::vector<tensor::NamedParam> params() const override;
+
+ private:
+  GATv2Config config_;
+  tensor::Linear w_l_;       // target transform
+  tensor::Linear w_r_;       // source transform
+  tensor::Tensor att_;       // (out_dim, 1)
+  tensor::Tensor pos_table_; // (max_position, out_dim)
+  std::string att_name_;
+  std::string pos_name_;
+};
+
+/// Heterogeneous layer: one GATv2 + LayerNorm per edge type, outputs fused
+/// with elementwise max ("Stack & Max" in Figure 2).
+class HeteroLayer : public tensor::Module {
+ public:
+  HeteroLayer() = default;
+  HeteroLayer(long in_dim, long out_dim, tensor::RNG& rng, std::string name);
+  tensor::Tensor forward(const tensor::Tensor& x,
+                         const std::array<EdgeList, 3>& edges, long num_nodes) const;
+  std::vector<tensor::NamedParam> params() const override;
+
+ private:
+  std::array<GATv2Conv, 3> convs_;
+  std::array<tensor::LayerNorm, 3> norms_;
+};
+
+struct ModelConfig {
+  int vocab = 512;
+  long embed_dim = 64;    // paper: 128
+  long hidden = 32;       // paper: 256
+  int layers = 3;         // paper: 5
+  float dropout = 0.2f;
+  bool interaction = false;
+  long max_position = 8;
+};
+
+/// Dimension of embed_graph's output (attention channel + max channel).
+long graph_embedding_dim(const ModelConfig& config);
+
+class GraphBinMatchModel : public tensor::Module {
+ public:
+  GraphBinMatchModel() = default;
+  GraphBinMatchModel(const ModelConfig& config, tensor::RNG& rng);
+
+  /// Graph-level embedding, shape (1, hidden).
+  tensor::Tensor embed_graph(const EncodedGraph& g, bool training,
+                             tensor::RNG& rng) const;
+  /// Match logit for a pair, shape (1, 1).
+  tensor::Tensor forward_logit(const EncodedGraph& a, const EncodedGraph& b,
+                               bool training, tensor::RNG& rng) const;
+  /// Matching score in [0, 1] (inference mode).
+  float predict(const EncodedGraph& a, const EncodedGraph& b) const;
+
+  std::vector<tensor::NamedParam> params() const override;
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  ModelConfig config_;
+  tensor::Embedding token_emb_;
+  tensor::Linear input_proj_;
+  std::vector<HeteroLayer> layers_;
+  tensor::Linear att_transform_;  // SimGNN global-context transform
+  tensor::Linear fc1_;
+  tensor::LayerNorm fc_norm_;
+  tensor::Linear fc2_;
+  tensor::Dropout dropout_{0.2f};
+};
+
+}  // namespace gbm::gnn

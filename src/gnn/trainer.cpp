@@ -1,0 +1,65 @@
+#include "gnn/trainer.h"
+
+#include <cstdio>
+#include <numeric>
+
+namespace gbm::gnn {
+
+using tensor::Adam;
+using tensor::AdamConfig;
+using tensor::RNG;
+using tensor::Tensor;
+
+double train_model(GraphBinMatchModel& model, const std::vector<PairSample>& train,
+                   const TrainConfig& config) {
+  RNG rng(config.seed);
+  AdamConfig adam_cfg;
+  adam_cfg.lr = config.lr;
+  Adam adam(model.params(), adam_cfg);
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    long batch_count = 0;
+    std::size_t i = 0;
+    while (i < order.size()) {
+      adam.zero_grad();
+      double batch_loss = 0.0;
+      int in_batch = 0;
+      for (; in_batch < config.batch_size && i < order.size(); ++in_batch, ++i) {
+        const PairSample& sample = train[order[i]];
+        const Tensor logit =
+            model.forward_logit(*sample.a, *sample.b, /*training=*/true, rng);
+        const Tensor loss = tensor::bce_with_logits(logit, {sample.label});
+        // Scale so gradient accumulation averages over the batch.
+        const Tensor scaled = tensor::scale(loss, 1.0f / config.batch_size);
+        scaled.backward();
+        batch_loss += loss.item();
+      }
+      if (config.grad_clip > 0) tensor::clip_grad_norm(model.params(), config.grad_clip);
+      adam.step();
+      epoch_loss += batch_loss / std::max(in_batch, 1);
+      ++batch_count;
+    }
+    last_epoch_loss = epoch_loss / std::max<long>(batch_count, 1);
+    if (config.on_epoch) config.on_epoch(epoch, last_epoch_loss);
+    if (config.verbose)
+      std::fprintf(stderr, "[train] epoch %d/%d loss=%.4f\n", epoch + 1,
+                   config.epochs, last_epoch_loss);
+  }
+  return last_epoch_loss;
+}
+
+std::vector<float> predict_scores(const GraphBinMatchModel& model,
+                                  const std::vector<PairSample>& pairs) {
+  std::vector<float> out;
+  out.reserve(pairs.size());
+  for (const auto& pair : pairs) out.push_back(model.predict(*pair.a, *pair.b));
+  return out;
+}
+
+}  // namespace gbm::gnn

@@ -1,0 +1,44 @@
+// Training loop for pairwise matching models (GraphBinMatch and, through
+// the same PairScorer interface, the XLIR baselines).
+//
+// Matches the paper's setup: BCE loss, Adam optimiser, mini-batch gradient
+// accumulation, fixed seed. The learning rate defaults higher than the
+// paper's 6.6e-5 because CPU-scale runs see far fewer updates (documented
+// in DESIGN.md §7).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gnn/model.h"
+#include "tensor/optim.h"
+
+namespace gbm::gnn {
+
+struct PairSample {
+  const EncodedGraph* a = nullptr;
+  const EncodedGraph* b = nullptr;
+  float label = 0.0f;
+};
+
+struct TrainConfig {
+  int epochs = 8;
+  int batch_size = 8;
+  float lr = 2e-3f;
+  double grad_clip = 5.0;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+  /// Optional per-epoch callback (epoch, mean train loss).
+  std::function<void(int, double)> on_epoch;
+};
+
+/// Trains the model in place; returns the final epoch's mean loss.
+double train_model(GraphBinMatchModel& model, const std::vector<PairSample>& train,
+                   const TrainConfig& config);
+
+/// Inference scores in [0,1] for each pair.
+std::vector<float> predict_scores(const GraphBinMatchModel& model,
+                                  const std::vector<PairSample>& pairs);
+
+}  // namespace gbm::gnn

@@ -1,0 +1,187 @@
+#include "graph/program_graph.h"
+
+#include <unordered_map>
+
+#include "ir/printer.h"
+
+namespace gbm::graph {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+class GraphBuilder {
+ public:
+  GraphBuilder(const ir::Module& m, const GraphOptions& options)
+      : m_(m), options_(options) {}
+
+  ProgramGraph run() {
+    // Pass 1: instruction nodes (and variable nodes for produced values).
+    int fn_index = 0;
+    for (const auto& fn : m_.functions()) {
+      if (fn->is_declaration()) continue;
+      for (const auto& arg : fn->args()) {
+        var_node_[arg.get()] =
+            add_node(NodeKind::Variable, arg->type()->str(),
+                     arg->type()->str() + " %" + arg->name(), fn_index);
+      }
+      for (const auto& bb : fn->blocks()) {
+        for (const auto& inst : bb->instructions()) {
+          const int node = add_node(NodeKind::Instruction,
+                                    ir::opcode_name(inst->opcode()),
+                                    ir::print_instruction(*inst), fn_index);
+          inst_node_[inst.get()] = node;
+          if (!inst->type()->is_void()) {
+            const int var =
+                add_node(NodeKind::Variable, inst->type()->str(),
+                         inst->type()->str() + " %" + inst->name(), fn_index);
+            var_node_[inst.get()] = var;
+            if (options_.data_edges) add_edge(EdgeKind::Data, node, var, 0);  // def
+          }
+        }
+      }
+      entry_inst_[fn.get()] = inst_node_.at(fn->entry()->instructions()[0].get());
+      ++fn_index;
+    }
+
+    // Pass 2: edges.
+    for (const auto& fn : m_.functions()) {
+      if (fn->is_declaration()) continue;
+      for (const auto& bb : fn->blocks()) {
+        const auto& insts = bb->instructions();
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+          const Instruction* inst = insts[i].get();
+          const int node = inst_node_.at(inst);
+          // Control: sequential flow within the block.
+          if (options_.control_edges && i + 1 < insts.size())
+            add_edge(EdgeKind::Control, node, inst_node_.at(insts[i + 1].get()), 0);
+          // Control: terminator → target block heads.
+          if (options_.control_edges && inst->is_term()) {
+            int pos = 0;
+            for (BasicBlock* target : inst->targets()) {
+              add_edge(EdgeKind::Control, node,
+                       inst_node_.at(target->instructions()[0].get()), pos++);
+            }
+          }
+          // Data: operand uses (variable / constant → instruction).
+          if (options_.data_edges) {
+            for (std::size_t op = 0; op < inst->num_operands(); ++op) {
+              const Value* v = inst->operand(op);
+              const int src = value_node(v);
+              if (src >= 0) add_edge(EdgeKind::Data, src, node, static_cast<int>(op));
+            }
+          }
+          // Call edges.
+          if (options_.call_edges && inst->opcode() == Opcode::Call) {
+            const Function* callee = inst->callee();
+            if (callee && !callee->is_declaration()) {
+              add_edge(EdgeKind::Call, node, entry_inst_.at(callee), 0);
+              // Return edges: every ret of the callee → this call site.
+              for (const auto& cb : callee->blocks()) {
+                const Instruction* term = cb->terminator();
+                if (term && term->opcode() == Opcode::Ret)
+                  add_edge(EdgeKind::Call, inst_node_.at(term), node, 1);
+              }
+            }
+          }
+        }
+      }
+    }
+    return std::move(graph_);
+  }
+
+ private:
+  int add_node(NodeKind kind, std::string text, std::string full_text, int fn) {
+    Node node;
+    node.kind = kind;
+    node.text = std::move(text);
+    node.full_text = std::move(full_text);
+    node.function = fn;
+    graph_.nodes.push_back(std::move(node));
+    return static_cast<int>(graph_.nodes.size()) - 1;
+  }
+
+  void add_edge(EdgeKind kind, int src, int dst, int position) {
+    graph_.edges.push_back({kind, src, dst, position});
+  }
+
+  /// Node for an operand value; creates constant nodes on first use.
+  int value_node(const Value* v) {
+    switch (v->kind()) {
+      case ir::ValueKind::Instruction:
+      case ir::ValueKind::Argument: {
+        auto it = var_node_.find(v);
+        return it == var_node_.end() ? -1 : it->second;
+      }
+      case ir::ValueKind::ConstantInt: {
+        auto it = const_node_.find(v);
+        if (it != const_node_.end()) return it->second;
+        const auto* c = static_cast<const ir::ConstantInt*>(v);
+        const int node =
+            add_node(NodeKind::Constant, c->type()->str(),
+                     c->type()->str() + " " + std::to_string(c->value()), -1);
+        const_node_[v] = node;
+        return node;
+      }
+      case ir::ValueKind::ConstantFloat: {
+        auto it = const_node_.find(v);
+        if (it != const_node_.end()) return it->second;
+        const int node = add_node(NodeKind::Constant, v->type()->str(),
+                                  v->type()->str() + " " + v->ref(), -1);
+        const_node_[v] = node;
+        return node;
+      }
+      case ir::ValueKind::Global: {
+        auto it = const_node_.find(v);
+        if (it != const_node_.end()) return it->second;
+        const auto* g = static_cast<const ir::GlobalVar*>(v);
+        // String globals expose their content as part of the feature —
+        // string literals are a strong matching signal.
+        std::string full = "ptr @" + g->name();
+        if (g->is_string()) {
+          full += " \"";
+          for (std::size_t i = 0; i + 1 < g->data().size(); ++i)
+            full += static_cast<char>(g->data()[i]);
+          full += "\"";
+        }
+        const int node = add_node(NodeKind::Constant, "ptr", full, -1);
+        const_node_[v] = node;
+        return node;
+      }
+      default:
+        return -1;
+    }
+  }
+
+  const ir::Module& m_;
+  const GraphOptions& options_;
+  ProgramGraph graph_;
+  std::unordered_map<const Value*, int> inst_node_;
+  std::unordered_map<const Value*, int> var_node_;
+  std::unordered_map<const Value*, int> const_node_;
+  std::unordered_map<const Function*, int> entry_inst_;
+};
+
+}  // namespace
+
+std::string ProgramGraph::stats() const {
+  return "nodes=" + std::to_string(num_nodes()) +
+         " (inst=" + std::to_string(count_nodes(NodeKind::Instruction)) +
+         ", var=" + std::to_string(count_nodes(NodeKind::Variable)) +
+         ", const=" + std::to_string(count_nodes(NodeKind::Constant)) +
+         ") edges=" + std::to_string(num_edges()) +
+         " (control=" + std::to_string(count_edges(EdgeKind::Control)) +
+         ", data=" + std::to_string(count_edges(EdgeKind::Data)) +
+         ", call=" + std::to_string(count_edges(EdgeKind::Call)) + ")";
+}
+
+ProgramGraph build_graph(const ir::Module& m, const GraphOptions& options) {
+  GraphBuilder builder(m, options);
+  return builder.run();
+}
+
+}  // namespace gbm::graph

@@ -1,0 +1,79 @@
+// ProGraML-style heterogeneous program graphs (Cummins et al. 2020), built
+// directly from IR modules.
+//
+// Schema (matching the paper's §III-B/C):
+//   * node kinds — instruction, variable (one per SSA value / argument),
+//     constant (one per distinct constant or global);
+//   * edge kinds — control (CFG successor), data (def: instruction→variable,
+//     use: variable/constant→instruction), call (call→callee entry,
+//     callee ret→call);
+//   * every edge carries a `position` (operand index for data-use edges,
+//     successor index for control edges — the paper's edge feature);
+//   * every node carries `text` (the opcode / type — ProGraML's default
+//     feature) and `full_text` (the complete printed instruction — the
+//     feature GraphBinMatch advocates), with `text` as fallback where no
+//     full text exists, exactly as §III-C describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace gbm::graph {
+
+enum class NodeKind : std::uint8_t { Instruction, Variable, Constant };
+enum class EdgeKind : std::uint8_t { Control, Data, Call };
+
+struct Node {
+  NodeKind kind;
+  std::string text;       // opcode (instructions) or type (values)
+  std::string full_text;  // full printed instruction / typed value; may be ""
+  int function = -1;      // defining function index, -1 for module-level
+
+  /// The feature string under the chosen featurisation: full_text with
+  /// fallback to text (the paper's rule).
+  const std::string& feature(bool use_full_text) const {
+    return use_full_text && !full_text.empty() ? full_text : text;
+  }
+};
+
+struct Edge {
+  EdgeKind kind;
+  int src;
+  int dst;
+  int position;
+};
+
+struct ProgramGraph {
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+
+  long num_nodes() const { return static_cast<long>(nodes.size()); }
+  long num_edges() const { return static_cast<long>(edges.size()); }
+  long count_nodes(NodeKind k) const {
+    long n = 0;
+    for (const auto& node : nodes) n += node.kind == k;
+    return n;
+  }
+  long count_edges(EdgeKind k) const {
+    long n = 0;
+    for (const auto& e : edges) n += e.kind == k;
+    return n;
+  }
+  std::string stats() const;
+};
+
+struct GraphOptions {
+  bool call_edges = true;
+  bool data_edges = true;
+  bool control_edges = true;
+};
+
+/// Builds the heterogeneous program graph of a module. Deterministic: node
+/// order follows module order (functions → blocks → instructions, then
+/// constants in first-use order).
+ProgramGraph build_graph(const ir::Module& m, const GraphOptions& options = {});
+
+}  // namespace gbm::graph

@@ -1,0 +1,374 @@
+#include "interp/interp.h"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace gbm::interp {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::TypeKind;
+using ir::Value;
+using ir::ValueKind;
+
+/// Runtime value: integer/pointer or double, selected by the static IR type.
+struct RV {
+  std::int64_t i = 0;
+  double d = 0.0;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const ir::Module& module, const ExecOptions& options)
+      : module_(module),
+        options_(options),
+        mem_(options.memory_bytes),
+        runtime_(mem_, io_) {
+    io_.input = options.input;
+    materialise_globals();
+  }
+
+  ExecResult run(const std::string& entry) {
+    ExecResult result;
+    const Function* fn = module_.function(entry);
+    if (!fn || fn->is_declaration())
+      throw std::logic_error("interp: no definition of entry @" + entry);
+    try {
+      const RV rv = call_function(fn, {});
+      result.exit_code = rv.i;
+    } catch (const TrapError& trap) {
+      result.trapped = true;
+      result.trap_message = trap.what();
+    }
+    result.output = io_.output;
+    result.steps = steps_;
+    return result;
+  }
+
+ private:
+  void materialise_globals() {
+    for (const auto& g : module_.globals()) {
+      const std::uint64_t addr =
+          mem_.alloc(static_cast<std::uint64_t>(g->pointee()->size_bytes()));
+      if (!g->data().empty())
+        mem_.store_bytes(addr, g->data().data(), g->data().size());
+      global_addr_[g.get()] = addr;
+    }
+  }
+
+  static int int_size(const Type* t) { return static_cast<int>(t->size_bytes()); }
+
+  RV constant_value(const Value* v) const {
+    RV rv;
+    switch (v->kind()) {
+      case ValueKind::ConstantInt:
+        rv.i = static_cast<const ir::ConstantInt*>(v)->value();
+        return rv;
+      case ValueKind::ConstantFloat:
+        rv.d = static_cast<const ir::ConstantFloat*>(v)->value();
+        return rv;
+      case ValueKind::Global:
+        rv.i = static_cast<std::int64_t>(
+            global_addr_.at(static_cast<const ir::GlobalVar*>(v)));
+        return rv;
+      default:
+        throw std::logic_error("interp: not a constant");
+    }
+  }
+
+  RV call_function(const Function* fn, const std::vector<RV>& args) {
+    if (++depth_ > 400) throw TrapError("call stack overflow");
+    std::unordered_map<const Value*, RV> frame;
+    for (std::size_t i = 0; i < fn->num_args(); ++i) frame[fn->arg(i)] = args[i];
+
+    auto value_of = [&](const Value* v) -> RV {
+      if (v->kind() == ValueKind::Instruction || v->kind() == ValueKind::Argument) {
+        auto it = frame.find(v);
+        if (it == frame.end()) throw TrapError("use of undefined value %" + v->name());
+        return it->second;
+      }
+      return constant_value(v);
+    };
+
+    const BasicBlock* block = fn->entry();
+    const BasicBlock* prev_block = nullptr;
+    while (true) {
+      // Phi nodes read their inputs simultaneously at block entry.
+      std::vector<std::pair<const Instruction*, RV>> phi_updates;
+      std::size_t idx = 0;
+      const auto& insts = block->instructions();
+      for (; idx < insts.size() && insts[idx]->opcode() == Opcode::Phi; ++idx) {
+        const Instruction* phi = insts[idx].get();
+        bool found = false;
+        for (std::size_t k = 0; k < phi->num_operands(); ++k) {
+          if (phi->incoming_blocks()[k] == prev_block) {
+            phi_updates.emplace_back(phi, value_of(phi->operand(k)));
+            found = true;
+            break;
+          }
+        }
+        if (!found) throw TrapError("phi has no incoming for predecessor");
+      }
+      for (auto& [phi, rv] : phi_updates) frame[phi] = rv;
+
+      for (; idx < insts.size(); ++idx) {
+        const Instruction* inst = insts[idx].get();
+        if (++steps_ > options_.fuel) throw TrapError("fuel exhausted");
+        switch (inst->opcode()) {
+          case Opcode::Phi:
+            throw TrapError("phi after non-phi instruction");
+          case Opcode::Alloca: {
+            std::int64_t count = 1;
+            if (inst->num_operands() == 1) count = value_of(inst->operand(0)).i;
+            if (count < 0) throw TrapError("negative alloca count");
+            RV rv;
+            rv.i = static_cast<std::int64_t>(mem_.alloc(
+                static_cast<std::uint64_t>(inst->pointee()->size_bytes() * count)));
+            frame[inst] = rv;
+            break;
+          }
+          case Opcode::Load: {
+            const std::uint64_t addr =
+                static_cast<std::uint64_t>(value_of(inst->operand(0)).i);
+            RV rv;
+            if (inst->type()->is_float())
+              rv.d = mem_.load_f64(addr);
+            else
+              rv.i = mem_.load_int(addr, int_size(inst->type()));
+            frame[inst] = rv;
+            break;
+          }
+          case Opcode::Store: {
+            const RV v = value_of(inst->operand(0));
+            const std::uint64_t addr =
+                static_cast<std::uint64_t>(value_of(inst->operand(1)).i);
+            const Type* ty = inst->operand(0)->type();
+            if (ty->is_float())
+              mem_.store_f64(addr, v.d);
+            else
+              mem_.store_int(addr, v.i, int_size(ty));
+            break;
+          }
+          case Opcode::Gep: {
+            const RV base = value_of(inst->operand(0));
+            const RV index = value_of(inst->operand(1));
+            RV rv;
+            rv.i = base.i + index.i * inst->pointee()->size_bytes();
+            frame[inst] = rv;
+            break;
+          }
+          case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::SDiv:
+          case Opcode::SRem: case Opcode::And: case Opcode::Or: case Opcode::Xor:
+          case Opcode::Shl: case Opcode::AShr: {
+            const std::int64_t a = value_of(inst->operand(0)).i;
+            const std::int64_t b = value_of(inst->operand(1)).i;
+            RV rv;
+            rv.i = eval_int_binop(inst->opcode(), a, b);
+            rv.i = truncate_to(rv.i, inst->type());
+            frame[inst] = rv;
+            break;
+          }
+          case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul: case Opcode::FDiv: {
+            const double a = value_of(inst->operand(0)).d;
+            const double b = value_of(inst->operand(1)).d;
+            RV rv;
+            switch (inst->opcode()) {
+              case Opcode::FAdd: rv.d = a + b; break;
+              case Opcode::FSub: rv.d = a - b; break;
+              case Opcode::FMul: rv.d = a * b; break;
+              default: rv.d = a / b; break;
+            }
+            frame[inst] = rv;
+            break;
+          }
+          case Opcode::ICmp: {
+            const std::int64_t a = value_of(inst->operand(0)).i;
+            const std::int64_t b = value_of(inst->operand(1)).i;
+            RV rv;
+            rv.i = eval_cmp(inst->pred(), a, b);
+            frame[inst] = rv;
+            break;
+          }
+          case Opcode::FCmp: {
+            const double a = value_of(inst->operand(0)).d;
+            const double b = value_of(inst->operand(1)).d;
+            RV rv;
+            switch (inst->pred()) {
+              case ir::CmpPred::EQ: rv.i = a == b; break;
+              case ir::CmpPred::NE: rv.i = a != b; break;
+              case ir::CmpPred::SLT: rv.i = a < b; break;
+              case ir::CmpPred::SLE: rv.i = a <= b; break;
+              case ir::CmpPred::SGT: rv.i = a > b; break;
+              case ir::CmpPred::SGE: rv.i = a >= b; break;
+            }
+            frame[inst] = rv;
+            break;
+          }
+          case Opcode::SExt: case Opcode::ZExt: case Opcode::Trunc:
+          case Opcode::PtrToInt: case Opcode::IntToPtr: {
+            RV rv = value_of(inst->operand(0));
+            if (inst->opcode() == Opcode::ZExt)
+              rv.i = zero_extend(rv.i, inst->operand(0)->type());
+            rv.i = truncate_to(rv.i, inst->type());
+            frame[inst] = rv;
+            break;
+          }
+          case Opcode::SIToFP: {
+            RV rv;
+            rv.d = static_cast<double>(value_of(inst->operand(0)).i);
+            frame[inst] = rv;
+            break;
+          }
+          case Opcode::FPToSI: {
+            RV rv;
+            rv.i = static_cast<std::int64_t>(value_of(inst->operand(0)).d);
+            rv.i = truncate_to(rv.i, inst->type());
+            frame[inst] = rv;
+            break;
+          }
+          case Opcode::Select: {
+            frame[inst] = value_of(inst->operand(0)).i
+                              ? value_of(inst->operand(1))
+                              : value_of(inst->operand(2));
+            break;
+          }
+          case Opcode::Call: {
+            const Function* callee = inst->callee();
+            std::vector<RV> call_args;
+            call_args.reserve(inst->num_operands());
+            for (std::size_t a = 0; a < inst->num_operands(); ++a)
+              call_args.push_back(value_of(inst->operand(a)));
+            RV rv;
+            if (callee->is_declaration()) {
+              std::vector<std::int64_t> raw;
+              raw.reserve(call_args.size());
+              for (std::size_t a = 0; a < call_args.size(); ++a) {
+                if (callee->arg(a)->type()->is_float()) {
+                  std::int64_t bits;
+                  std::memcpy(&bits, &call_args[a].d, 8);
+                  raw.push_back(bits);
+                } else {
+                  raw.push_back(call_args[a].i);
+                }
+              }
+              rv.i = runtime_.invoke(callee->name(), raw);
+            } else {
+              rv = call_function(callee, call_args);
+            }
+            if (!inst->type()->is_void()) frame[inst] = rv;
+            break;
+          }
+          case Opcode::Br:
+            prev_block = block;
+            block = inst->targets()[0];
+            goto next_block;
+          case Opcode::CondBr:
+            prev_block = block;
+            block = value_of(inst->operand(0)).i ? inst->targets()[0]
+                                                 : inst->targets()[1];
+            goto next_block;
+          case Opcode::Switch: {
+            const std::int64_t v = value_of(inst->operand(0)).i;
+            prev_block = block;
+            block = inst->targets()[0];  // default
+            for (std::size_t c = 0; c < inst->case_values().size(); ++c) {
+              if (inst->case_values()[c] == v) {
+                block = inst->targets()[c + 1];
+                break;
+              }
+            }
+            goto next_block;
+          }
+          case Opcode::Ret: {
+            --depth_;
+            return inst->num_operands() ? value_of(inst->operand(0)) : RV{};
+          }
+          case Opcode::Unreachable:
+            throw TrapError("executed unreachable");
+        }
+      }
+      throw TrapError("block fell through without terminator");
+    next_block:;
+    }
+  }
+
+  static std::int64_t eval_int_binop(Opcode op, std::int64_t a, std::int64_t b) {
+    switch (op) {
+      case Opcode::Add: return static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b));
+      case Opcode::Sub: return static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b));
+      case Opcode::Mul: return static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
+      case Opcode::SDiv:
+        if (b == 0) throw TrapError("division by zero");
+        if (a == INT64_MIN && b == -1) return a;
+        return a / b;
+      case Opcode::SRem:
+        if (b == 0) throw TrapError("remainder by zero");
+        if (a == INT64_MIN && b == -1) return 0;
+        return a % b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Shl: return static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(a) << (static_cast<std::uint64_t>(b) & 63));
+      case Opcode::AShr: return a >> (static_cast<std::uint64_t>(b) & 63);
+      default: throw std::logic_error("not an int binop");
+    }
+  }
+
+  static std::int64_t eval_cmp(ir::CmpPred pred, std::int64_t a, std::int64_t b) {
+    switch (pred) {
+      case ir::CmpPred::EQ: return a == b;
+      case ir::CmpPred::NE: return a != b;
+      case ir::CmpPred::SLT: return a < b;
+      case ir::CmpPred::SLE: return a <= b;
+      case ir::CmpPred::SGT: return a > b;
+      case ir::CmpPred::SGE: return a >= b;
+    }
+    return 0;
+  }
+
+  static std::int64_t truncate_to(std::int64_t v, const Type* ty) {
+    switch (ty->kind()) {
+      case TypeKind::I1: return v & 1;
+      case TypeKind::I8: return static_cast<std::int8_t>(v);
+      case TypeKind::I32: return static_cast<std::int32_t>(v);
+      default: return v;
+    }
+  }
+
+  static std::int64_t zero_extend(std::int64_t v, const Type* from) {
+    switch (from->kind()) {
+      case TypeKind::I1: return v & 1;
+      case TypeKind::I8: return static_cast<std::uint8_t>(v);
+      case TypeKind::I32: return static_cast<std::uint32_t>(v);
+      default: return v;
+    }
+  }
+
+  const ir::Module& module_;
+  const ExecOptions& options_;
+  RuntimeMemory mem_;
+  ProgramIO io_;
+  Runtime runtime_;
+  std::unordered_map<const ir::GlobalVar*, std::uint64_t> global_addr_;
+  long steps_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+ExecResult execute(const ir::Module& module, const ExecOptions& options,
+                   const std::string& entry) {
+  Interpreter interp(module, options);
+  return interp.run(entry);
+}
+
+}  // namespace gbm::interp

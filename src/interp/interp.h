@@ -1,0 +1,38 @@
+// Reference interpreter for GBM IR.
+//
+// Serves two purposes: (1) the semantic oracle for testing — front-end
+// lowering, every optimisation pass, the backend and the decompiler are all
+// validated by comparing observable output against this interpreter; and
+// (2) the "run the program" backend of examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/runtime.h"
+#include "ir/module.h"
+
+namespace gbm::interp {
+
+struct ExecResult {
+  std::string output;        // everything printed
+  std::int64_t exit_code = 0;  // main's return value
+  bool trapped = false;      // runtime trap (bounds, div-by-zero, fuel, ...)
+  std::string trap_message;
+  long steps = 0;  // instructions executed
+};
+
+struct ExecOptions {
+  std::vector<std::int64_t> input;  // stream for gbm_read_i64
+  long fuel = 20'000'000;           // instruction budget before trapping
+  std::size_t memory_bytes = 1 << 22;
+};
+
+/// Runs `entry` (default "main", no arguments) and returns the observable
+/// behaviour. Never throws for program-level traps; throws std::logic_error
+/// only for malformed modules (missing entry).
+ExecResult execute(const ir::Module& module, const ExecOptions& options = {},
+                   const std::string& entry = "main");
+
+}  // namespace gbm::interp

@@ -1,0 +1,119 @@
+// Flat byte-addressed memory shared by the IR interpreter and the VBin
+// virtual machine. Address 0 is a guard page (never allocated), globals are
+// materialised at the bottom, and the rest is a zero-initialised bump heap
+// (no free — program runs are short and bounded).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace gbm::interp {
+
+class TrapError : public std::runtime_error {
+ public:
+  explicit TrapError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+class RuntimeMemory {
+ public:
+  explicit RuntimeMemory(std::size_t capacity = 1 << 22)
+      : bytes_(capacity, 0), brk_(16) {}
+
+  /// Bump-allocates `n` zeroed bytes, 8-byte aligned. Returns the address.
+  std::uint64_t alloc(std::uint64_t n) {
+    brk_ = (brk_ + 7) & ~std::uint64_t{7};
+    if (brk_ + n > bytes_.size()) throw TrapError("out of memory");
+    const std::uint64_t addr = brk_;
+    brk_ += n;
+    return addr;
+  }
+
+  void check(std::uint64_t addr, std::uint64_t n) const {
+    if (addr == 0) throw TrapError("null pointer access");
+    if (addr + n > bytes_.size() || addr + n < addr)
+      throw TrapError("out-of-bounds memory access");
+  }
+
+  std::int64_t load_int(std::uint64_t addr, int size_bytes) const {
+    check(addr, static_cast<std::uint64_t>(size_bytes));
+    switch (size_bytes) {
+      case 1: {
+        std::int8_t v;
+        std::memcpy(&v, &bytes_[addr], 1);
+        return v;
+      }
+      case 4: {
+        std::int32_t v;
+        std::memcpy(&v, &bytes_[addr], 4);
+        return v;
+      }
+      case 8: {
+        std::int64_t v;
+        std::memcpy(&v, &bytes_[addr], 8);
+        return v;
+      }
+      default:
+        throw TrapError("bad load size");
+    }
+  }
+
+  void store_int(std::uint64_t addr, std::int64_t value, int size_bytes) {
+    check(addr, static_cast<std::uint64_t>(size_bytes));
+    switch (size_bytes) {
+      case 1: {
+        const std::int8_t v = static_cast<std::int8_t>(value);
+        std::memcpy(&bytes_[addr], &v, 1);
+        return;
+      }
+      case 4: {
+        const std::int32_t v = static_cast<std::int32_t>(value);
+        std::memcpy(&bytes_[addr], &v, 4);
+        return;
+      }
+      case 8:
+        std::memcpy(&bytes_[addr], &value, 8);
+        return;
+      default:
+        throw TrapError("bad store size");
+    }
+  }
+
+  double load_f64(std::uint64_t addr) const {
+    check(addr, 8);
+    double v;
+    std::memcpy(&v, &bytes_[addr], 8);
+    return v;
+  }
+
+  void store_f64(std::uint64_t addr, double value) {
+    check(addr, 8);
+    std::memcpy(&bytes_[addr], &value, 8);
+  }
+
+  void store_bytes(std::uint64_t addr, const std::uint8_t* src, std::size_t n) {
+    check(addr, n);
+    std::memcpy(&bytes_[addr], src, n);
+  }
+
+  std::string load_cstring(std::uint64_t addr) const {
+    std::string out;
+    while (true) {
+      check(addr, 1);
+      const char c = static_cast<char>(bytes_[addr++]);
+      if (!c) break;
+      out += c;
+      if (out.size() > 1 << 16) throw TrapError("unterminated string");
+    }
+    return out;
+  }
+
+  std::size_t capacity() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t brk_;
+};
+
+}  // namespace gbm::interp

@@ -1,0 +1,257 @@
+#include "interp/runtime.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+namespace gbm::interp {
+
+namespace {
+
+double bits_to_f64(std::int64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+}  // namespace
+
+const std::vector<RuntimeSignature>& Runtime::table() {
+  static const std::vector<RuntimeSignature> kTable = {
+      // Core I/O and allocation.
+      {"gbm_print_i64", 1, false},
+      {"gbm_print_f64", 1, false},
+      {"gbm_print_str", 1, false},
+      {"gbm_read_i64", 0, true},
+      {"gbm_alloc", 1, true},
+      // MiniJava runtime.
+      {"jrt_newarray_i32", 1, true},
+      {"jrt_arraylen", 1, true},
+      {"jrt_boundscheck", 2, false},
+      {"jrt_box_i32", 1, true},
+      {"jrt_unbox_i32", 1, true},
+      {"jrt_list_new", 0, true},
+      {"jrt_list_add", 2, false},
+      {"jrt_list_get", 2, true},
+      {"jrt_list_set", 3, false},
+      {"jrt_list_size", 1, true},
+      {"jrt_println_i32", 1, false},
+      {"jrt_println_str", 1, false},
+      {"jrt_string_charat", 2, true},
+      {"jrt_string_len", 1, true},
+      // MiniC / MiniC++ runtime ("standard library" calls).
+      {"crt_sort_i64", 2, false},
+      {"crt_abs_i64", 1, true},
+      {"crt_min_i64", 2, true},
+      {"crt_max_i64", 2, true},
+      {"crt_vec_new", 0, true},
+      {"crt_vec_push", 2, false},
+      {"crt_vec_get", 2, true},
+      {"crt_vec_set", 3, false},
+      {"crt_vec_size", 1, true},
+      {"crt_vec_sort", 1, false},
+      {"crt_strlen", 1, true},
+      {"crt_pow_i64", 2, true},
+  };
+  return kTable;
+}
+
+bool Runtime::is_runtime_fn(const std::string& name) { return syscall_id(name) >= 0; }
+
+int Runtime::syscall_id(const std::string& name) {
+  static const std::unordered_map<std::string, int> kIds = [] {
+    std::unordered_map<std::string, int> ids;
+    const auto& t = table();
+    for (std::size_t i = 0; i < t.size(); ++i) ids[t[i].name] = static_cast<int>(i);
+    return ids;
+  }();
+  auto it = kIds.find(name);
+  return it == kIds.end() ? -1 : it->second;
+}
+
+std::int64_t Runtime::invoke(const std::string& name,
+                             const std::vector<std::int64_t>& args) {
+  const int id = syscall_id(name);
+  if (id < 0) throw TrapError("unknown runtime function: " + name);
+  return invoke(id, args);
+}
+
+std::int64_t Runtime::invoke(int syscall, const std::vector<std::int64_t>& args) {
+  const auto& sig = table().at(static_cast<std::size_t>(syscall));
+  if (static_cast<int>(args.size()) != sig.num_args)
+    throw TrapError("runtime arity mismatch for " + sig.name);
+  const std::string& name = sig.name;
+  char buf[64];
+
+  if (name == "gbm_print_i64") {
+    std::snprintf(buf, sizeof buf, "%lld\n", static_cast<long long>(args[0]));
+    io_.output += buf;
+    return 0;
+  }
+  if (name == "gbm_print_f64") {
+    std::snprintf(buf, sizeof buf, "%.6g\n", bits_to_f64(args[0]));
+    io_.output += buf;
+    return 0;
+  }
+  if (name == "gbm_print_str") {
+    io_.output += mem_.load_cstring(static_cast<std::uint64_t>(args[0]));
+    return 0;
+  }
+  if (name == "gbm_read_i64")
+    return io_.input_pos < io_.input.size() ? io_.input[io_.input_pos++] : 0;
+  if (name == "gbm_alloc")
+    return static_cast<std::int64_t>(mem_.alloc(static_cast<std::uint64_t>(args[0])));
+
+  // ---- MiniJava ------------------------------------------------------------
+  if (name == "jrt_newarray_i32") {
+    const std::int64_t n = args[0];
+    if (n < 0) throw TrapError("negative array size");
+    const std::uint64_t p = mem_.alloc(8 + 4 * static_cast<std::uint64_t>(n));
+    mem_.store_int(p, n, 8);
+    return static_cast<std::int64_t>(p);
+  }
+  if (name == "jrt_arraylen")
+    return mem_.load_int(static_cast<std::uint64_t>(args[0]), 8);
+  if (name == "jrt_boundscheck") {
+    const std::int64_t len = mem_.load_int(static_cast<std::uint64_t>(args[0]), 8);
+    if (args[1] < 0 || args[1] >= len)
+      throw TrapError("ArrayIndexOutOfBounds: " + std::to_string(args[1]) + " of " +
+                      std::to_string(len));
+    return 0;
+  }
+  if (name == "jrt_box_i32") {
+    const std::uint64_t p = mem_.alloc(4);
+    mem_.store_int(p, args[0], 4);
+    return static_cast<std::int64_t>(p);
+  }
+  if (name == "jrt_unbox_i32")
+    return mem_.load_int(static_cast<std::uint64_t>(args[0]), 4);
+  if (name == "jrt_list_new") return static_cast<std::int64_t>(list_new());
+  if (name == "jrt_list_add") {
+    list_push(static_cast<std::uint64_t>(args[0]), args[1]);
+    return 0;
+  }
+  if (name == "jrt_list_get")
+    return list_get(static_cast<std::uint64_t>(args[0]), args[1]);
+  if (name == "jrt_list_set") {
+    list_set(static_cast<std::uint64_t>(args[0]), args[1], args[2]);
+    return 0;
+  }
+  if (name == "jrt_list_size")
+    return list_size(static_cast<std::uint64_t>(args[0]));
+  if (name == "jrt_println_i32") {
+    std::snprintf(buf, sizeof buf, "%d\n", static_cast<int>(args[0]));
+    io_.output += buf;
+    return 0;
+  }
+  if (name == "jrt_println_str") {
+    io_.output += mem_.load_cstring(static_cast<std::uint64_t>(args[0]));
+    io_.output += '\n';
+    return 0;
+  }
+  if (name == "jrt_string_charat") {
+    const std::string s = mem_.load_cstring(static_cast<std::uint64_t>(args[0]));
+    if (args[1] < 0 || args[1] >= static_cast<std::int64_t>(s.size()))
+      throw TrapError("StringIndexOutOfBounds");
+    return static_cast<unsigned char>(s[static_cast<std::size_t>(args[1])]);
+  }
+  if (name == "jrt_string_len")
+    return static_cast<std::int64_t>(
+        mem_.load_cstring(static_cast<std::uint64_t>(args[0])).size());
+
+  // ---- MiniC / MiniC++ -----------------------------------------------------
+  if (name == "crt_sort_i64") {
+    const std::uint64_t base = static_cast<std::uint64_t>(args[0]);
+    const std::int64_t n = args[1];
+    std::vector<std::int64_t> tmp(static_cast<std::size_t>(std::max<std::int64_t>(n, 0)));
+    for (std::int64_t i = 0; i < n; ++i) tmp[i] = mem_.load_int(base + 8 * i, 8);
+    std::sort(tmp.begin(), tmp.end());
+    for (std::int64_t i = 0; i < n; ++i) mem_.store_int(base + 8 * i, tmp[i], 8);
+    return 0;
+  }
+  if (name == "crt_abs_i64") return args[0] < 0 ? -args[0] : args[0];
+  if (name == "crt_min_i64") return std::min(args[0], args[1]);
+  if (name == "crt_max_i64") return std::max(args[0], args[1]);
+  if (name == "crt_vec_new") return static_cast<std::int64_t>(list_new());
+  if (name == "crt_vec_push") {
+    list_push(static_cast<std::uint64_t>(args[0]), args[1]);
+    return 0;
+  }
+  if (name == "crt_vec_get")
+    return list_get(static_cast<std::uint64_t>(args[0]), args[1]);
+  if (name == "crt_vec_set") {
+    list_set(static_cast<std::uint64_t>(args[0]), args[1], args[2]);
+    return 0;
+  }
+  if (name == "crt_vec_size")
+    return list_size(static_cast<std::uint64_t>(args[0]));
+  if (name == "crt_vec_sort") {
+    const std::uint64_t list = static_cast<std::uint64_t>(args[0]);
+    const std::int64_t n = list_size(list);
+    std::vector<std::int64_t> tmp(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) tmp[i] = list_get(list, i);
+    std::sort(tmp.begin(), tmp.end());
+    for (std::int64_t i = 0; i < n; ++i) list_set(list, i, tmp[i]);
+    return 0;
+  }
+  if (name == "crt_strlen")
+    return static_cast<std::int64_t>(
+        mem_.load_cstring(static_cast<std::uint64_t>(args[0])).size());
+  if (name == "crt_pow_i64") {
+    std::int64_t base = args[0], exp = args[1], acc = 1;
+    while (exp > 0) {
+      if (exp & 1) acc *= base;
+      base *= base;
+      exp >>= 1;
+    }
+    return acc;
+  }
+  throw TrapError("unimplemented runtime function: " + name);
+}
+
+// ---- growable list ---------------------------------------------------------
+
+std::uint64_t Runtime::list_new() {
+  const std::uint64_t hdr = mem_.alloc(24);
+  const std::uint64_t data = mem_.alloc(8 * 8);
+  mem_.store_int(hdr, 0, 8);       // size
+  mem_.store_int(hdr + 8, 8, 8);   // capacity
+  mem_.store_int(hdr + 16, static_cast<std::int64_t>(data), 8);
+  return hdr;
+}
+
+void Runtime::list_push(std::uint64_t list, std::int64_t value) {
+  std::int64_t size = mem_.load_int(list, 8);
+  std::int64_t cap = mem_.load_int(list + 8, 8);
+  std::uint64_t data = static_cast<std::uint64_t>(mem_.load_int(list + 16, 8));
+  if (size == cap) {
+    const std::int64_t new_cap = cap * 2;
+    const std::uint64_t new_data = mem_.alloc(8 * static_cast<std::uint64_t>(new_cap));
+    for (std::int64_t i = 0; i < size; ++i)
+      mem_.store_int(new_data + 8 * i, mem_.load_int(data + 8 * i, 8), 8);
+    mem_.store_int(list + 8, new_cap, 8);
+    mem_.store_int(list + 16, static_cast<std::int64_t>(new_data), 8);
+    data = new_data;
+  }
+  mem_.store_int(data + 8 * size, value, 8);
+  mem_.store_int(list, size + 1, 8);
+}
+
+std::int64_t Runtime::list_get(std::uint64_t list, std::int64_t index) {
+  const std::int64_t size = mem_.load_int(list, 8);
+  if (index < 0 || index >= size) throw TrapError("list index out of range");
+  const std::uint64_t data = static_cast<std::uint64_t>(mem_.load_int(list + 16, 8));
+  return mem_.load_int(data + 8 * index, 8);
+}
+
+void Runtime::list_set(std::uint64_t list, std::int64_t index, std::int64_t value) {
+  const std::int64_t size = mem_.load_int(list, 8);
+  if (index < 0 || index >= size) throw TrapError("list index out of range");
+  const std::uint64_t data = static_cast<std::uint64_t>(mem_.load_int(list + 16, 8));
+  mem_.store_int(data + 8 * index, value, 8);
+}
+
+std::int64_t Runtime::list_size(std::uint64_t list) { return mem_.load_int(list, 8); }
+
+}  // namespace gbm::interp

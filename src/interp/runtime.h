@@ -1,0 +1,63 @@
+// Library runtime shared by the IR interpreter and the VBin VM.
+//
+// The MiniC/MiniC++ front-end lowers standard-library constructs to crt_*
+// calls; MiniJava lowers its implicit runtime (array bounds checks, boxing,
+// ArrayList, println) to jrt_* calls. Both execution engines dispatch these
+// by name through this class, so a program observes identical library
+// behaviour whether it runs as interpreted IR, as a VBin binary, or as
+// re-interpreted decompiled IR.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "interp/memory.h"
+
+namespace gbm::interp {
+
+/// Observable I/O of one program execution.
+struct ProgramIO {
+  std::vector<std::int64_t> input;  // consumed by gbm_read_i64
+  std::size_t input_pos = 0;
+  std::string output;  // appended to by the print family
+};
+
+struct RuntimeSignature {
+  std::string name;
+  int num_args;
+  bool returns_value;  // integers/pointers only; runtime has no f64 returns
+                       // except gbm_read / print which are int-based
+};
+
+class Runtime {
+ public:
+  Runtime(RuntimeMemory& mem, ProgramIO& io) : mem_(mem), io_(io) {}
+
+  /// True if `name` is a known runtime function.
+  static bool is_runtime_fn(const std::string& name);
+  /// All runtime entry points (used by the VM syscall table and the
+  /// decompiler's library-call recognition). Index order is the syscall id.
+  static const std::vector<RuntimeSignature>& table();
+  /// Syscall id for a name, or -1.
+  static int syscall_id(const std::string& name);
+
+  /// Invokes a runtime function with integer/pointer arguments (doubles are
+  /// passed bit-cast). Returns the result (or 0 for void).
+  std::int64_t invoke(const std::string& name, const std::vector<std::int64_t>& args);
+  std::int64_t invoke(int syscall, const std::vector<std::int64_t>& args);
+
+ private:
+  // List layout: [size:i64][capacity:i64][data ptr:i64].
+  std::uint64_t list_new();
+  void list_push(std::uint64_t list, std::int64_t value);
+  std::int64_t list_get(std::uint64_t list, std::int64_t index);
+  void list_set(std::uint64_t list, std::int64_t index, std::int64_t value);
+  std::int64_t list_size(std::uint64_t list);
+
+  RuntimeMemory& mem_;
+  ProgramIO& io_;
+};
+
+}  // namespace gbm::interp

@@ -1,0 +1,147 @@
+// Convenience construction of IR instructions with automatic value naming,
+// mirroring llvm::IRBuilder. All front-ends and the decompiler lift through
+// this interface.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace gbm::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  Module& module() { return module_; }
+  void set_insertion(BasicBlock* bb) {
+    bb_ = bb;
+    func_ = bb ? bb->parent() : nullptr;
+  }
+  BasicBlock* block() const { return bb_; }
+  Function* function() const { return func_; }
+
+  // ---- memory ------------------------------------------------------------
+  Instruction* alloca_(const Type* ty, Value* count = nullptr) {
+    auto* inst = make(Opcode::Alloca, module_.types().ptr());
+    inst->set_pointee(ty);
+    if (count) inst->add_operand(count);
+    return append(inst);
+  }
+  Instruction* load(const Type* ty, Value* ptr) {
+    auto* inst = make(Opcode::Load, ty);
+    inst->set_pointee(ty);
+    inst->add_operand(ptr);
+    return append(inst);
+  }
+  Instruction* store(Value* value, Value* ptr) {
+    auto* inst = make(Opcode::Store, module_.types().void_ty());
+    inst->add_operand(value);
+    inst->add_operand(ptr);
+    return append(inst);
+  }
+  Instruction* gep(const Type* elem, Value* base, Value* index) {
+    auto* inst = make(Opcode::Gep, module_.types().ptr());
+    inst->set_pointee(elem);
+    inst->add_operand(base);
+    inst->add_operand(index);
+    return append(inst);
+  }
+
+  // ---- arithmetic -----------------------------------------------------------
+  Instruction* binop(Opcode op, Value* a, Value* b) {
+    if (!is_binary_int(op) && !is_binary_float(op))
+      throw std::logic_error("IRBuilder::binop: not a binary opcode");
+    auto* inst = make(op, a->type());
+    inst->add_operand(a);
+    inst->add_operand(b);
+    return append(inst);
+  }
+  Instruction* icmp(CmpPred pred, Value* a, Value* b) {
+    auto* inst = make(Opcode::ICmp, module_.types().i1());
+    inst->set_pred(pred);
+    inst->add_operand(a);
+    inst->add_operand(b);
+    return append(inst);
+  }
+  Instruction* fcmp(CmpPred pred, Value* a, Value* b) {
+    auto* inst = make(Opcode::FCmp, module_.types().i1());
+    inst->set_pred(pred);
+    inst->add_operand(a);
+    inst->add_operand(b);
+    return append(inst);
+  }
+  Instruction* cast(Opcode op, Value* v, const Type* to) {
+    if (!is_cast(op)) throw std::logic_error("IRBuilder::cast: not a cast opcode");
+    auto* inst = make(op, to);
+    inst->add_operand(v);
+    return append(inst);
+  }
+  Instruction* select(Value* cond, Value* a, Value* b) {
+    auto* inst = make(Opcode::Select, a->type());
+    inst->add_operand(cond);
+    inst->add_operand(a);
+    inst->add_operand(b);
+    return append(inst);
+  }
+
+  // ---- control flow -----------------------------------------------------
+  Instruction* br(BasicBlock* dest) {
+    auto* inst = make(Opcode::Br, module_.types().void_ty());
+    inst->add_target(dest);
+    return append(inst);
+  }
+  Instruction* cond_br(Value* cond, BasicBlock* if_true, BasicBlock* if_false) {
+    auto* inst = make(Opcode::CondBr, module_.types().void_ty());
+    inst->add_operand(cond);
+    inst->add_target(if_true);
+    inst->add_target(if_false);
+    return append(inst);
+  }
+  /// Cases are added afterwards with Instruction::add_case.
+  Instruction* switch_(Value* value, BasicBlock* default_dest) {
+    auto* inst = make(Opcode::Switch, module_.types().void_ty());
+    inst->add_operand(value);
+    inst->add_target(default_dest);
+    return append(inst);
+  }
+  Instruction* ret(Value* value = nullptr) {
+    auto* inst = make(Opcode::Ret, module_.types().void_ty());
+    if (value) inst->add_operand(value);
+    return append(inst);
+  }
+  Instruction* unreachable_() {
+    return append(make(Opcode::Unreachable, module_.types().void_ty()));
+  }
+
+  // ---- other --------------------------------------------------------------
+  Instruction* call(Function* callee, const std::vector<Value*>& args) {
+    auto* inst = make(Opcode::Call, callee->return_type());
+    inst->set_callee(callee);
+    for (Value* a : args) inst->add_operand(a);
+    return append(inst);
+  }
+  /// Incoming values are added afterwards with Instruction::add_incoming.
+  Instruction* phi(const Type* ty) { return append(make(Opcode::Phi, ty)); }
+
+ private:
+  Instruction* make(Opcode op, const Type* result_type) {
+    const bool produces = !result_type->is_void();
+    std::string name = produces && func_ ? func_->next_value_name() : "";
+    return new Instruction(op, result_type, std::move(name));
+  }
+  Instruction* append(Instruction* raw) {
+    if (!bb_) throw std::logic_error("IRBuilder: no insertion point");
+    if (raw->name().empty() && !raw->type()->is_void())
+      raw->set_name(func_->next_value_name());
+    return bb_->append(std::unique_ptr<Instruction>(raw));
+  }
+
+  Module& module_;
+  Function* func_ = nullptr;
+  BasicBlock* bb_ = nullptr;
+};
+
+}  // namespace gbm::ir

@@ -1,0 +1,118 @@
+// Instruction set of the GBM IR — the subset of LLVM needed to lower the
+// MiniC / MiniJava front-ends, run optimisation passes, generate VBin
+// machine code and lift decompiled binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/value.h"
+
+namespace gbm::ir {
+
+class BasicBlock;
+class Function;
+
+enum class Opcode : std::uint8_t {
+  // Memory
+  Alloca,  // result ptr; attribute: allocated type (+ optional count operand)
+  Load,    // result T; operand: ptr; attribute: loaded type
+  Store,   // void; operands: value, ptr
+  Gep,     // result ptr; operands: base ptr, index; attribute: element type
+  // Integer arithmetic / bitwise
+  Add, Sub, Mul, SDiv, SRem, And, Or, Xor, Shl, AShr,
+  // Floating arithmetic
+  FAdd, FSub, FMul, FDiv,
+  // Comparisons (predicate attribute)
+  ICmp, FCmp,
+  // Casts
+  SExt, ZExt, Trunc, SIToFP, FPToSI, PtrToInt, IntToPtr,
+  // Control flow
+  Br,       // no operands; one target block
+  CondBr,   // operand: i1 cond; two target blocks (true, false)
+  Switch,   // operand: int value; default block + (case constant, block) pairs
+  Ret,      // zero or one operand
+  Unreachable,
+  // Other
+  Call,     // operands: args; callee attribute
+  Phi,      // operands: incoming values; parallel incoming blocks
+  Select,   // operands: cond, true value, false value
+};
+
+enum class CmpPred : std::uint8_t { EQ, NE, SLT, SLE, SGT, SGE };
+
+const char* opcode_name(Opcode op);
+const char* pred_name(CmpPred p);
+bool is_terminator(Opcode op);
+bool is_binary_int(Opcode op);
+bool is_binary_float(Opcode op);
+bool is_cast(Opcode op);
+
+/// A single IR instruction. Owned by its BasicBlock.
+class Instruction : public Value {
+ public:
+  Instruction(Opcode op, const Type* result_type, std::string name);
+  ~Instruction() override;
+
+  Opcode opcode() const { return op_; }
+  BasicBlock* parent() const { return parent_; }
+  void set_parent(BasicBlock* bb) { parent_ = bb; }
+
+  // ---- operands ---------------------------------------------------------
+  const std::vector<Value*>& operands() const { return operands_; }
+  Value* operand(std::size_t i) const { return operands_[i]; }
+  std::size_t num_operands() const { return operands_.size(); }
+  void add_operand(Value* v);
+  void set_operand(std::size_t i, Value* v);
+  void drop_operands();  // removes this from all operand user lists
+
+  // ---- control-flow targets --------------------------------------------
+  const std::vector<BasicBlock*>& targets() const { return targets_; }
+  void add_target(BasicBlock* bb) { targets_.push_back(bb); }
+  void set_target(std::size_t i, BasicBlock* bb) { targets_[i] = bb; }
+
+  // ---- attributes ---------------------------------------------------------
+  CmpPred pred() const { return pred_; }
+  void set_pred(CmpPred p) { pred_ = p; }
+  /// Pointee/element type for Alloca (allocated), Load (loaded), Gep (element).
+  const Type* pointee() const { return pointee_; }
+  void set_pointee(const Type* t) { pointee_ = t; }
+  Function* callee() const { return callee_; }
+  void set_callee(Function* f) { callee_ = f; }
+
+  // Phi bookkeeping: incoming_blocks() is parallel to operands().
+  const std::vector<BasicBlock*>& incoming_blocks() const { return incoming_; }
+  void add_incoming(Value* v, BasicBlock* bb) {
+    add_operand(v);
+    incoming_.push_back(bb);
+  }
+  void set_incoming_block(std::size_t i, BasicBlock* bb) { incoming_[i] = bb; }
+  std::vector<BasicBlock*>& incoming_blocks_mut() { return incoming_; }
+  std::vector<std::int64_t>& case_values_mut() { return cases_; }
+
+  // Switch bookkeeping: case_values() is parallel to targets()[1..].
+  const std::vector<std::int64_t>& case_values() const { return cases_; }
+  void add_case(std::int64_t value, BasicBlock* bb) {
+    cases_.push_back(value);
+    add_target(bb);
+  }
+
+  bool is_term() const { return is_terminator(op_); }
+  /// True if removing the instruction cannot change observable behaviour
+  /// (no side effects and result unused checks are done by DCE itself).
+  bool has_side_effects() const;
+
+ private:
+  Opcode op_;
+  BasicBlock* parent_ = nullptr;
+  std::vector<Value*> operands_;
+  std::vector<BasicBlock*> targets_;
+  std::vector<BasicBlock*> incoming_;
+  std::vector<std::int64_t> cases_;
+  CmpPred pred_ = CmpPred::EQ;
+  const Type* pointee_ = nullptr;
+  Function* callee_ = nullptr;
+};
+
+}  // namespace gbm::ir

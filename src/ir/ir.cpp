@@ -1,0 +1,323 @@
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "ir/module.h"
+
+namespace gbm::ir {
+
+// ---- Value ----------------------------------------------------------------
+
+void Value::replace_all_uses_with(Value* replacement) {
+  // Copy: set_operand mutates users_.
+  std::vector<Instruction*> users_copy = users_;
+  for (Instruction* user : users_copy) {
+    for (std::size_t i = 0; i < user->num_operands(); ++i) {
+      if (user->operand(i) == this) user->set_operand(i, replacement);
+    }
+  }
+}
+
+std::string Value::ref() const {
+  switch (kind()) {
+    case ValueKind::ConstantInt:
+      return std::to_string(static_cast<const ConstantInt*>(this)->value());
+    case ValueKind::ConstantFloat: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%g",
+                    static_cast<const ConstantFloat*>(this)->value());
+      std::string s = buf;
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos && s.find("nan") == std::string::npos)
+        s += ".0";
+      return s;
+    }
+    case ValueKind::Global:
+      return "@" + name();
+    default:
+      return "%" + name();
+  }
+}
+
+bool GlobalVar::is_string() const {
+  if (data_.empty() || data_.back() != 0) return false;
+  for (std::size_t i = 0; i + 1 < data_.size(); ++i) {
+    if (data_[i] == 0) return false;
+    if (!std::isprint(data_[i]) && data_[i] != '\n' && data_[i] != '\t') return false;
+  }
+  return true;
+}
+
+// ---- Instruction -----------------------------------------------------------
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::Gep: return "getelementptr";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::AShr: return "ashr";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::SExt: return "sext";
+    case Opcode::ZExt: return "zext";
+    case Opcode::Trunc: return "trunc";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::PtrToInt: return "ptrtoint";
+    case Opcode::IntToPtr: return "inttoptr";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "br";
+    case Opcode::Switch: return "switch";
+    case Opcode::Ret: return "ret";
+    case Opcode::Unreachable: return "unreachable";
+    case Opcode::Call: return "call";
+    case Opcode::Phi: return "phi";
+    case Opcode::Select: return "select";
+  }
+  return "?";
+}
+
+const char* pred_name(CmpPred p) {
+  switch (p) {
+    case CmpPred::EQ: return "eq";
+    case CmpPred::NE: return "ne";
+    case CmpPred::SLT: return "slt";
+    case CmpPred::SLE: return "sle";
+    case CmpPred::SGT: return "sgt";
+    case CmpPred::SGE: return "sge";
+  }
+  return "?";
+}
+
+bool is_terminator(Opcode op) {
+  return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Switch ||
+         op == Opcode::Ret || op == Opcode::Unreachable;
+}
+
+bool is_binary_int(Opcode op) {
+  switch (op) {
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::SDiv:
+    case Opcode::SRem: case Opcode::And: case Opcode::Or: case Opcode::Xor:
+    case Opcode::Shl: case Opcode::AShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_binary_float(Opcode op) {
+  return op == Opcode::FAdd || op == Opcode::FSub || op == Opcode::FMul ||
+         op == Opcode::FDiv;
+}
+
+bool is_cast(Opcode op) {
+  switch (op) {
+    case Opcode::SExt: case Opcode::ZExt: case Opcode::Trunc: case Opcode::SIToFP:
+    case Opcode::FPToSI: case Opcode::PtrToInt: case Opcode::IntToPtr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Instruction::Instruction(Opcode op, const Type* result_type, std::string name)
+    : Value(ValueKind::Instruction, result_type, std::move(name)), op_(op) {}
+
+Instruction::~Instruction() { drop_operands(); }
+
+void Instruction::add_operand(Value* v) {
+  operands_.push_back(v);
+  v->add_user(this);
+}
+
+void Instruction::set_operand(std::size_t i, Value* v) {
+  operands_[i]->remove_user(this);
+  operands_[i] = v;
+  v->add_user(this);
+}
+
+void Instruction::drop_operands() {
+  for (Value* v : operands_) v->remove_user(this);
+  operands_.clear();
+  incoming_.clear();
+}
+
+bool Instruction::has_side_effects() const {
+  switch (op_) {
+    case Opcode::Store:
+    case Opcode::Call:  // conservatively: all calls
+    case Opcode::Ret:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Switch:
+    case Opcode::Unreachable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---- BasicBlock ------------------------------------------------------------
+
+bool BasicBlock::erase(Instruction* inst) {
+  for (std::size_t i = 0; i < insts_.size(); ++i) {
+    if (insts_[i].get() == inst) {
+      insts_.erase(insts_.begin() + static_cast<long>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<Instruction> BasicBlock::detach(Instruction* inst) {
+  for (std::size_t i = 0; i < insts_.size(); ++i) {
+    if (insts_[i].get() == inst) {
+      std::unique_ptr<Instruction> out = std::move(insts_[i]);
+      insts_.erase(insts_.begin() + static_cast<long>(i));
+      out->set_parent(nullptr);
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<BasicBlock*> BasicBlock::successors() const {
+  Instruction* term = terminator();
+  if (!term) return {};
+  return term->targets();
+}
+
+std::vector<BasicBlock*> BasicBlock::predecessors() const {
+  std::vector<BasicBlock*> preds;
+  for (const auto& bb : parent_->blocks()) {
+    for (BasicBlock* succ : bb->successors()) {
+      if (succ == this) {
+        preds.push_back(bb.get());
+        break;
+      }
+    }
+  }
+  return preds;
+}
+
+// ---- Function ---------------------------------------------------------------
+
+Function::Function(std::string name, const Type* return_type,
+                   std::vector<const Type*> param_types, Module* parent)
+    : name_(std::move(name)), return_type_(return_type), parent_(parent) {
+  for (std::size_t i = 0; i < param_types.size(); ++i) {
+    args_.push_back(std::make_unique<Argument>(
+        param_types[i], "arg" + std::to_string(i), this, static_cast<int>(i)));
+  }
+}
+
+BasicBlock* Function::create_block(const std::string& hint) {
+  blocks_.push_back(std::make_unique<BasicBlock>(next_block_name(hint), this));
+  return blocks_.back().get();
+}
+
+void Function::erase_block(BasicBlock* bb) {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].get() == bb) {
+      blocks_.erase(blocks_.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+  throw std::logic_error("erase_block: block not in function");
+}
+
+BasicBlock* Function::block_by_name(const std::string& name) const {
+  for (const auto& bb : blocks_)
+    if (bb->name() == name) return bb.get();
+  return nullptr;
+}
+
+long Function::instruction_count() const {
+  long n = 0;
+  for (const auto& bb : blocks_) n += static_cast<long>(bb->instructions().size());
+  return n;
+}
+
+// ---- Module ---------------------------------------------------------------
+
+Function* Module::create_function(const std::string& name, const Type* return_type,
+                                  std::vector<const Type*> param_types) {
+  funcs_.push_back(
+      std::make_unique<Function>(name, return_type, std::move(param_types), this));
+  return funcs_.back().get();
+}
+
+Function* Module::function(const std::string& name) const {
+  for (const auto& f : funcs_)
+    if (f->name() == name) return f.get();
+  return nullptr;
+}
+
+GlobalVar* Module::create_global(const std::string& name, const Type* pointee,
+                                 std::vector<std::uint8_t> data, bool is_const) {
+  globals_.push_back(std::make_unique<GlobalVar>(types_.ptr(), pointee, name,
+                                                 std::move(data), is_const));
+  return globals_.back().get();
+}
+
+GlobalVar* Module::string_literal(const std::string& text) {
+  auto it = string_pool_.find(text);
+  if (it != string_pool_.end()) return it->second;
+  std::vector<std::uint8_t> data(text.begin(), text.end());
+  data.push_back(0);
+  // Read the length before std::move(data) can be materialised (argument
+  // evaluation order is unspecified).
+  const long length = static_cast<long>(data.size());
+  GlobalVar* g = create_global("str" + std::to_string(string_counter_++),
+                               types_.array(types_.i8(), length), std::move(data),
+                               /*is_const=*/true);
+  string_pool_.emplace(text, g);
+  return g;
+}
+
+GlobalVar* Module::global(const std::string& name) const {
+  for (const auto& g : globals_)
+    if (g->name() == name) return g.get();
+  return nullptr;
+}
+
+ConstantInt* Module::const_int(const Type* type, std::int64_t value) {
+  const std::string key = type->str() + ":" + std::to_string(value);
+  auto it = int_pool_.find(key);
+  if (it != int_pool_.end()) return it->second;
+  auto c = std::make_unique<ConstantInt>(type, value);
+  ConstantInt* raw = c.get();
+  constants_.push_back(std::move(c));
+  int_pool_.emplace(key, raw);
+  return raw;
+}
+
+ConstantFloat* Module::const_float(double value) {
+  // Floats are not pooled (few of them; pooling by bit pattern adds noise).
+  auto c = std::make_unique<ConstantFloat>(types_.f64(), value);
+  ConstantFloat* raw = c.get();
+  constants_.push_back(std::move(c));
+  return raw;
+}
+
+long Module::instruction_count() const {
+  long n = 0;
+  for (const auto& f : funcs_) n += f->instruction_count();
+  return n;
+}
+
+}  // namespace gbm::ir

@@ -1,0 +1,150 @@
+// Module / Function / BasicBlock containers of the GBM IR.
+//
+// Ownership: Module owns globals, constants and functions; Function owns
+// arguments and blocks; BasicBlock owns instructions. All cross-references
+// (operands, targets, callees) are non-owning raw pointers whose lifetime
+// is bounded by the Module.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace gbm::ir {
+
+class Function;
+class Module;
+
+class BasicBlock {
+ public:
+  BasicBlock(std::string name, Function* parent)
+      : name_(std::move(name)), parent_(parent) {}
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  Function* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<Instruction>>& instructions() const {
+    return insts_;
+  }
+  bool empty() const { return insts_.empty(); }
+  Instruction* terminator() const {
+    return insts_.empty() || !insts_.back()->is_term() ? nullptr : insts_.back().get();
+  }
+
+  Instruction* append(std::unique_ptr<Instruction> inst) {
+    inst->set_parent(this);
+    insts_.push_back(std::move(inst));
+    return insts_.back().get();
+  }
+  Instruction* insert(std::size_t pos, std::unique_ptr<Instruction> inst) {
+    inst->set_parent(this);
+    insts_.insert(insts_.begin() + static_cast<long>(pos), std::move(inst));
+    return insts_[pos].get();
+  }
+  /// Removes (and destroys) the instruction at `pos`.
+  void erase(std::size_t pos) { insts_.erase(insts_.begin() + static_cast<long>(pos)); }
+  /// Removes the given instruction; returns true if found.
+  bool erase(Instruction* inst);
+  /// Detaches the instruction without destroying it (for moves).
+  std::unique_ptr<Instruction> detach(Instruction* inst);
+
+  /// Successor blocks (from the terminator), empty if no terminator.
+  std::vector<BasicBlock*> successors() const;
+  /// Predecessor blocks (computed by scanning the parent function).
+  std::vector<BasicBlock*> predecessors() const;
+
+ private:
+  std::string name_;
+  Function* parent_;
+  std::vector<std::unique_ptr<Instruction>> insts_;
+};
+
+class Function {
+ public:
+  Function(std::string name, const Type* return_type,
+           std::vector<const Type*> param_types, Module* parent);
+
+  const std::string& name() const { return name_; }
+  const Type* return_type() const { return return_type_; }
+  Module* parent() const { return parent_; }
+  bool is_declaration() const { return blocks_.empty(); }
+
+  const std::vector<std::unique_ptr<Argument>>& args() const { return args_; }
+  Argument* arg(std::size_t i) const { return args_[i].get(); }
+  std::size_t num_args() const { return args_.size(); }
+
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const { return blocks_; }
+  BasicBlock* entry() const { return blocks_.empty() ? nullptr : blocks_[0].get(); }
+  BasicBlock* create_block(const std::string& hint = "bb");
+  /// Removes (and destroys) a block; all instructions in it are dropped first.
+  void erase_block(BasicBlock* bb);
+  BasicBlock* block_by_name(const std::string& name) const;
+
+  /// Fresh SSA value name ("v1", "v2", ...). Deterministic per function.
+  std::string next_value_name() { return "v" + std::to_string(++value_counter_); }
+  /// Fresh block name.
+  std::string next_block_name(const std::string& hint) {
+    return hint + std::to_string(block_counter_++);
+  }
+
+  long instruction_count() const;
+
+ private:
+  std::string name_;
+  const Type* return_type_;
+  Module* parent_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  long value_counter_ = 0;
+  long block_counter_ = 0;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  TypeContext& types() { return types_; }
+  const TypeContext& types() const { return types_; }
+
+  // ---- functions ----------------------------------------------------------
+  Function* create_function(const std::string& name, const Type* return_type,
+                            std::vector<const Type*> param_types);
+  Function* function(const std::string& name) const;
+  const std::vector<std::unique_ptr<Function>>& functions() const { return funcs_; }
+
+  // ---- globals -------------------------------------------------------------
+  GlobalVar* create_global(const std::string& name, const Type* pointee,
+                           std::vector<std::uint8_t> data, bool is_const);
+  /// Interns a NUL-terminated string literal global; reuses duplicates.
+  GlobalVar* string_literal(const std::string& text);
+  GlobalVar* global(const std::string& name) const;
+  const std::vector<std::unique_ptr<GlobalVar>>& globals() const { return globals_; }
+
+  // ---- constants (interned, owned by the module) -----------------------------
+  ConstantInt* const_int(const Type* type, std::int64_t value);
+  ConstantFloat* const_float(double value);
+  ConstantInt* const_i1(bool v) { return const_int(types_.i1(), v ? 1 : 0); }
+  ConstantInt* const_i32(std::int32_t v) { return const_int(types_.i32(), v); }
+  ConstantInt* const_i64(std::int64_t v) { return const_int(types_.i64(), v); }
+
+  long instruction_count() const;
+
+ private:
+  std::string name_;
+  TypeContext types_;
+  std::vector<std::unique_ptr<Function>> funcs_;
+  std::vector<std::unique_ptr<GlobalVar>> globals_;
+  std::vector<std::unique_ptr<Value>> constants_;
+  std::unordered_map<std::string, ConstantInt*> int_pool_;
+  std::unordered_map<std::string, GlobalVar*> string_pool_;
+  int string_counter_ = 0;
+};
+
+}  // namespace gbm::ir

@@ -1,0 +1,553 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace gbm::ir {
+
+namespace {
+
+/// Cursor over one line of IR text.
+class LineLexer {
+ public:
+  LineLexer(const std::string& line, std::size_t line_no)
+      : s_(line), line_(line_no) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+  bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!try_consume(c)) fail(std::string("expected '") + c + "'");
+  }
+  bool try_word(const std::string& w) {
+    skip_ws();
+    if (s_.compare(pos_, w.size(), w) == 0) {
+      const std::size_t end = pos_ + w.size();
+      if (end == s_.size() || !is_ident_char(s_[end])) {
+        pos_ = end;
+        return true;
+      }
+    }
+    return false;
+  }
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() && is_ident_char(s_[pos_])) ++pos_;
+    if (start == pos_) fail("expected identifier");
+    return s_.substr(start, pos_ - start);
+  }
+  /// Signed integer or float literal; sets is_float accordingly.
+  std::string number(bool& is_float) {
+    skip_ws();
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    is_float = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            ((s_[pos_] == '-' || s_[pos_] == '+') &&
+             (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E')))) {
+      if (s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E') is_float = true;
+      ++pos_;
+    }
+    if (start == pos_) fail("expected number");
+    return s_.substr(start, pos_ - start);
+  }
+  std::string rest() {
+    skip_ws();
+    return s_.substr(pos_);
+  }
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError(line_, msg + " in: " + s_);
+  }
+  std::size_t line_no() const { return line_; }
+
+  static bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::size_t line_;
+};
+
+struct PendingFix {
+  Instruction* inst;
+  std::size_t op_index;
+  std::string name;  // value name without '%'
+  std::size_t line;
+};
+
+class ModuleParser {
+ public:
+  explicit ModuleParser(const std::string& text, const std::string& name)
+      : module_(std::make_unique<Module>(name)) {
+    split_lines(text);
+  }
+
+  std::unique_ptr<Module> run() {
+    scan_signatures();
+    parse_bodies();
+    return std::move(module_);
+  }
+
+ private:
+  void split_lines(const std::string& text) {
+    std::string cur;
+    for (char c : text) {
+      if (c == '\n') {
+        lines_.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) lines_.push_back(cur);
+  }
+
+  static bool blank_or_comment(const std::string& l) {
+    for (char c : l) {
+      if (c == ';') return true;
+      if (c != ' ' && c != '\t') return false;
+    }
+    return true;
+  }
+
+  const Type* parse_type(LineLexer& lex) {
+    if (lex.try_consume('[')) {
+      bool is_float = false;
+      const long n = std::atol(lex.number(is_float).c_str());
+      if (!lex.try_word("x")) lex.fail("expected 'x' in array type");
+      const Type* elem = parse_type(lex);
+      lex.expect(']');
+      return module_->types().array(elem, n);
+    }
+    const std::string name = lex.ident();
+    const Type* t = module_->types().by_name(name);
+    if (!t) lex.fail("unknown type " + name);
+    return t;
+  }
+
+  // Pass 1: create all globals and function signatures.
+  void scan_signatures() {
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      const std::string& line = lines_[i];
+      if (blank_or_comment(line)) continue;
+      LineLexer lex(line, i + 1);
+      if (lex.peek() == '@') {
+        parse_global(lex);
+      } else if (lex.try_word("declare") || lex.try_word("define")) {
+        parse_signature(lex);
+      }
+    }
+  }
+
+  void parse_global(LineLexer& lex) {
+    lex.expect('@');
+    const std::string name = lex.ident();
+    lex.expect('=');
+    bool is_const = false;
+    if (lex.try_word("constant")) is_const = true;
+    else if (!lex.try_word("global")) lex.fail("expected 'global' or 'constant'");
+    const Type* pointee = parse_type(lex);
+    std::vector<std::uint8_t> data;
+    if (lex.try_word("zeroinitializer")) {
+      // zero-filled
+    } else if (lex.try_consume('c')) {
+      lex.expect('"');
+      const std::string rest = lex.rest();
+      for (std::size_t p = 0; p < rest.size(); ++p) {
+        const char c = rest[p];
+        if (c == '"') break;
+        if (c == '\\') {
+          if (p + 1 < rest.size() && rest[p + 1] == 'n') { data.push_back('\n'); ++p; }
+          else if (p + 1 < rest.size() && rest[p + 1] == 't') { data.push_back('\t'); ++p; }
+          else if (p + 2 < rest.size()) {
+            const char hex[3] = {rest[p + 1], rest[p + 2], 0};
+            data.push_back(static_cast<std::uint8_t>(std::strtol(hex, nullptr, 16)));
+            p += 2;
+          }
+        } else {
+          data.push_back(static_cast<std::uint8_t>(c));
+        }
+      }
+    } else {
+      lex.fail("expected initializer");
+    }
+    module_->create_global(name, pointee, std::move(data), is_const);
+  }
+
+  void parse_signature(LineLexer& lex) {
+    const Type* ret = parse_type(lex);
+    lex.expect('@');
+    const std::string name = lex.ident();
+    lex.expect('(');
+    std::vector<const Type*> params;
+    if (!lex.try_consume(')')) {
+      do {
+        params.push_back(parse_type(lex));
+        lex.expect('%');
+        lex.ident();  // argument name (positional binding)
+      } while (lex.try_consume(','));
+      lex.expect(')');
+    }
+    module_->create_function(name, ret, std::move(params));
+  }
+
+  // Pass 2: parse function bodies.
+  void parse_bodies() {
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      if (blank_or_comment(lines_[i])) continue;
+      LineLexer lex(lines_[i], i + 1);
+      if (!lex.try_word("define")) continue;
+      i = parse_body(lex, i);
+    }
+  }
+
+  std::size_t parse_body(LineLexer& header, std::size_t header_idx) {
+    parse_type(header);
+    header.expect('@');
+    Function* fn = module_->function(header.ident());
+
+    values_.clear();
+    pending_.clear();
+    for (const auto& arg : fn->args()) values_["%" + arg->name()] = arg.get();
+
+    // Pre-create blocks so branch targets resolve forward.
+    std::size_t end = header_idx + 1;
+    std::vector<std::pair<std::size_t, std::string>> block_lines;
+    for (; end < lines_.size(); ++end) {
+      const std::string& l = lines_[end];
+      if (!l.empty() && l[0] == '}') break;
+      if (blank_or_comment(l)) continue;
+      const std::size_t colon = l.find(':');
+      const bool is_label = colon != std::string::npos &&
+                            l.find('=') == std::string::npos &&
+                            l.find("br ") == std::string::npos &&
+                            l.find("switch") == std::string::npos &&
+                            l.find("phi") == std::string::npos &&
+                            l.substr(0, 2) != "  ";
+      if (is_label) block_lines.emplace_back(end, l.substr(0, colon));
+    }
+    if (end >= lines_.size())
+      throw ParseError(header_idx + 1, "unterminated function body");
+    for (const auto& [line_no, name] : block_lines) {
+      (void)line_no;
+      blocks_by_name_[name] = fn->create_block("tmp");
+      blocks_by_name_[name]->set_name(name);
+    }
+
+    BasicBlock* current = nullptr;
+    for (std::size_t i = header_idx + 1; i < end; ++i) {
+      const std::string& l = lines_[i];
+      if (blank_or_comment(l)) continue;
+      if (l.substr(0, 2) != "  ") {  // label line
+        const std::size_t colon = l.find(':');
+        current = blocks_by_name_.at(l.substr(0, colon));
+        continue;
+      }
+      if (!current) throw ParseError(i + 1, "instruction before first label");
+      LineLexer lex(l, i + 1);
+      parse_instruction(lex, fn, current);
+    }
+
+    // Resolve forward value references (phis).
+    for (const auto& fix : pending_) {
+      auto it = values_.find("%" + fix.name);
+      if (it == values_.end())
+        throw ParseError(fix.line, "undefined value %" + fix.name);
+      fix.inst->set_operand(fix.op_index, it->second);
+    }
+    pending_.clear();
+    blocks_by_name_.clear();
+    return end;
+  }
+
+  Value* parse_value(LineLexer& lex, const Type* type, Instruction* inst_for_fixup,
+                     std::size_t op_index) {
+    if (lex.try_consume('%')) {
+      const std::string name = lex.ident();
+      auto it = values_.find("%" + name);
+      if (it != values_.end()) return it->second;
+      // Forward reference: use placeholder, patch later.
+      pending_.push_back({inst_for_fixup, op_index, name, lex.line_no()});
+      return module_->const_i64(0);
+    }
+    if (lex.try_consume('@')) {
+      const std::string name = lex.ident();
+      GlobalVar* g = module_->global(name);
+      if (!g) lex.fail("undefined global @" + name);
+      return g;
+    }
+    bool is_float = false;
+    const std::string num = lex.number(is_float);
+    if (is_float || type->is_float())
+      return module_->const_float(std::strtod(num.c_str(), nullptr));
+    return module_->const_int(type, std::strtoll(num.c_str(), nullptr, 10));
+  }
+
+  BasicBlock* parse_label(LineLexer& lex) {
+    if (!lex.try_word("label")) lex.fail("expected 'label'");
+    lex.expect('%');
+    const std::string name = lex.ident();
+    auto it = blocks_by_name_.find(name);
+    if (it == blocks_by_name_.end()) lex.fail("unknown block %" + name);
+    return it->second;
+  }
+
+  CmpPred parse_pred(LineLexer& lex) {
+    const std::string p = lex.ident();
+    if (p == "eq") return CmpPred::EQ;
+    if (p == "ne") return CmpPred::NE;
+    if (p == "slt") return CmpPred::SLT;
+    if (p == "sle") return CmpPred::SLE;
+    if (p == "sgt") return CmpPred::SGT;
+    if (p == "sge") return CmpPred::SGE;
+    lex.fail("unknown predicate " + p);
+  }
+
+  void register_value(Function* fn, Instruction* inst, const std::string& name) {
+    inst->set_name(name);
+    values_["%" + name] = inst;
+    // Keep the function's name counter ahead of parsed names.
+    if (name.size() > 1 && name[0] == 'v') {
+      bool digits = true;
+      for (std::size_t i = 1; i < name.size(); ++i)
+        digits = digits && std::isdigit(static_cast<unsigned char>(name[i]));
+      if (digits) {
+        const long id = std::atol(name.c_str() + 1);
+        while (true) {
+          const std::string next = fn->next_value_name();
+          if (std::atol(next.c_str() + 1) >= id) break;
+        }
+      }
+    }
+  }
+
+  void parse_instruction(LineLexer& lex, Function* fn, BasicBlock* bb) {
+    std::string result_name;
+    if (lex.peek() == '%') {
+      lex.expect('%');
+      result_name = lex.ident();
+      lex.expect('=');
+    }
+    auto append = [&](Instruction* inst) {
+      bb->append(std::unique_ptr<Instruction>(inst));
+      if (!result_name.empty()) register_value(fn, inst, result_name);
+      return inst;
+    };
+    auto& types = module_->types();
+
+    if (lex.try_word("alloca")) {
+      auto* inst = new Instruction(Opcode::Alloca, types.ptr(), "");
+      inst->set_pointee(parse_type(lex));
+      if (lex.try_consume(',')) {
+        const Type* cnt_ty = parse_type(lex);
+        inst->add_operand(parse_value(lex, cnt_ty, inst, 0));
+      }
+      append(inst);
+    } else if (lex.try_word("load")) {
+      const Type* ty = parse_type(lex);
+      auto* inst = new Instruction(Opcode::Load, ty, "");
+      inst->set_pointee(ty);
+      lex.expect(',');
+      parse_type(lex);  // ptr
+      inst->add_operand(parse_value(lex, types.ptr(), inst, 0));
+      append(inst);
+    } else if (lex.try_word("store")) {
+      const Type* ty = parse_type(lex);
+      auto* inst = new Instruction(Opcode::Store, types.void_ty(), "");
+      inst->add_operand(parse_value(lex, ty, inst, 0));
+      lex.expect(',');
+      parse_type(lex);  // ptr
+      inst->add_operand(parse_value(lex, types.ptr(), inst, 1));
+      append(inst);
+    } else if (lex.try_word("getelementptr")) {
+      auto* inst = new Instruction(Opcode::Gep, types.ptr(), "");
+      inst->set_pointee(parse_type(lex));
+      lex.expect(',');
+      parse_type(lex);  // ptr
+      inst->add_operand(parse_value(lex, types.ptr(), inst, 0));
+      lex.expect(',');
+      const Type* idx_ty = parse_type(lex);
+      inst->add_operand(parse_value(lex, idx_ty, inst, 1));
+      append(inst);
+    } else if (lex.try_word("icmp") || lex.try_word("fcmp")) {
+      // Both spell the same; the opcode is re-derived from the operand type.
+      const CmpPred pred = parse_pred(lex);
+      const Type* ty = parse_type(lex);
+      auto* inst = new Instruction(ty->is_float() ? Opcode::FCmp : Opcode::ICmp,
+                                   types.i1(), "");
+      inst->set_pred(pred);
+      inst->add_operand(parse_value(lex, ty, inst, 0));
+      lex.expect(',');
+      inst->add_operand(parse_value(lex, ty, inst, 1));
+      append(inst);
+    } else if (lex.try_word("br")) {
+      if (lex.try_word("label")) {
+        auto* inst = new Instruction(Opcode::Br, types.void_ty(), "");
+        lex.expect('%');
+        inst->add_target(blocks_by_name_.at(lex.ident()));
+        append(inst);
+      } else {
+        parse_type(lex);  // i1
+        auto* inst = new Instruction(Opcode::CondBr, types.void_ty(), "");
+        inst->add_operand(parse_value(lex, types.i1(), inst, 0));
+        lex.expect(',');
+        inst->add_target(parse_label(lex));
+        lex.expect(',');
+        inst->add_target(parse_label(lex));
+        append(inst);
+      }
+    } else if (lex.try_word("switch")) {
+      const Type* ty = parse_type(lex);
+      auto* inst = new Instruction(Opcode::Switch, types.void_ty(), "");
+      inst->add_operand(parse_value(lex, ty, inst, 0));
+      lex.expect(',');
+      inst->add_target(parse_label(lex));
+      lex.expect('[');
+      while (!lex.try_consume(']')) {
+        lex.try_consume(',');
+        if (lex.try_consume(']')) break;
+        parse_type(lex);
+        bool is_float = false;
+        const std::int64_t cv = std::strtoll(lex.number(is_float).c_str(), nullptr, 10);
+        lex.expect(',');
+        inst->add_case(cv, parse_label(lex));
+      }
+      append(inst);
+    } else if (lex.try_word("ret")) {
+      auto* inst = new Instruction(Opcode::Ret, types.void_ty(), "");
+      if (!lex.try_word("void")) {
+        const Type* ty = parse_type(lex);
+        inst->add_operand(parse_value(lex, ty, inst, 0));
+      }
+      append(inst);
+    } else if (lex.try_word("unreachable")) {
+      append(new Instruction(Opcode::Unreachable, types.void_ty(), ""));
+    } else if (lex.try_word("call")) {
+      parse_type(lex);  // return type (taken from callee)
+      lex.expect('@');
+      Function* callee = module_->function(lex.ident());
+      if (!callee) lex.fail("call to unknown function");
+      auto* inst = new Instruction(Opcode::Call, callee->return_type(), "");
+      inst->set_callee(callee);
+      lex.expect('(');
+      std::size_t op = 0;
+      if (!lex.try_consume(')')) {
+        do {
+          const Type* ty = parse_type(lex);
+          inst->add_operand(parse_value(lex, ty, inst, op++));
+        } while (lex.try_consume(','));
+        lex.expect(')');
+      }
+      append(inst);
+    } else if (lex.try_word("phi")) {
+      const Type* ty = parse_type(lex);
+      auto* inst = new Instruction(Opcode::Phi, ty, "");
+      std::size_t op = 0;
+      do {
+        lex.expect('[');
+        Value* v = parse_value(lex, ty, inst, op++);
+        lex.expect(',');
+        lex.expect('%');
+        BasicBlock* in = blocks_by_name_.at(lex.ident());
+        lex.expect(']');
+        inst->add_incoming(v, in);
+      } while (lex.try_consume(','));
+      append(inst);
+    } else if (lex.try_word("select")) {
+      parse_type(lex);  // i1
+      auto* inst = new Instruction(Opcode::Select, types.void_ty(), "");
+      inst->add_operand(parse_value(lex, types.i1(), inst, 0));
+      lex.expect(',');
+      const Type* ty = parse_type(lex);
+      // Rebuild with the right result type (cannot mutate type in place).
+      auto* typed = new Instruction(Opcode::Select, ty, "");
+      typed->add_operand(inst->operand(0));
+      for (auto& fix : pending_)
+        if (fix.inst == inst) fix.inst = typed;
+      delete inst;
+      typed->add_operand(parse_value(lex, ty, typed, 1));
+      lex.expect(',');
+      parse_type(lex);
+      typed->add_operand(parse_value(lex, ty, typed, 2));
+      append(typed);
+    } else {
+      // Casts and binary ops share the "<op> <ty> <a>[, <b>]" shape.
+      static const std::unordered_map<std::string, Opcode> kBinops = {
+          {"add", Opcode::Add},   {"sub", Opcode::Sub},   {"mul", Opcode::Mul},
+          {"sdiv", Opcode::SDiv}, {"srem", Opcode::SRem}, {"and", Opcode::And},
+          {"or", Opcode::Or},     {"xor", Opcode::Xor},   {"shl", Opcode::Shl},
+          {"ashr", Opcode::AShr}, {"fadd", Opcode::FAdd}, {"fsub", Opcode::FSub},
+          {"fmul", Opcode::FMul}, {"fdiv", Opcode::FDiv}};
+      static const std::unordered_map<std::string, Opcode> kCasts = {
+          {"sext", Opcode::SExt},       {"zext", Opcode::ZExt},
+          {"trunc", Opcode::Trunc},     {"sitofp", Opcode::SIToFP},
+          {"fptosi", Opcode::FPToSI},   {"ptrtoint", Opcode::PtrToInt},
+          {"inttoptr", Opcode::IntToPtr}};
+      const std::string word = lex.ident();
+      auto bit = kBinops.find(word);
+      if (bit != kBinops.end()) {
+        const Type* ty = parse_type(lex);
+        auto* inst = new Instruction(bit->second, ty, "");
+        inst->add_operand(parse_value(lex, ty, inst, 0));
+        lex.expect(',');
+        inst->add_operand(parse_value(lex, ty, inst, 1));
+        append(inst);
+        return;
+      }
+      auto cit = kCasts.find(word);
+      if (cit != kCasts.end()) {
+        const Type* from = parse_type(lex);
+        // Result type after 'to'; operand first.
+        auto* tmp = new Instruction(cit->second, types.void_ty(), "");
+        Value* v = parse_value(lex, from, tmp, 0);
+        if (!lex.try_word("to")) lex.fail("expected 'to' in cast");
+        const Type* to = parse_type(lex);
+        auto* inst = new Instruction(cit->second, to, "");
+        // Transfer any pending fixup from tmp to inst.
+        for (auto& fix : pending_)
+          if (fix.inst == tmp) fix.inst = inst;
+        delete tmp;
+        inst->add_operand(v);
+        append(inst);
+        return;
+      }
+      lex.fail("unknown instruction '" + word + "'");
+    }
+  }
+
+  std::unique_ptr<Module> module_;
+  std::vector<std::string> lines_;
+  std::unordered_map<std::string, Value*> values_;
+  std::unordered_map<std::string, BasicBlock*> blocks_by_name_;
+  std::vector<PendingFix> pending_;
+};
+
+}  // namespace
+
+std::unique_ptr<Module> parse_module(const std::string& text, const std::string& name) {
+  return ModuleParser(text, name).run();
+}
+
+}  // namespace gbm::ir

@@ -1,0 +1,29 @@
+// Parser for the textual IR produced by printer.h — round-trips
+// print_module output back into an in-memory Module. Used by tests and as
+// the on-disk exchange format for IR corpora.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "ir/module.h"
+
+namespace gbm::ir {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& msg)
+      : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Throws ParseError on malformed input.
+std::unique_ptr<Module> parse_module(const std::string& text,
+                                     const std::string& name = "parsed");
+
+}  // namespace gbm::ir

@@ -1,0 +1,156 @@
+#include "ir/printer.h"
+
+#include <cstdio>
+
+namespace gbm::ir {
+
+namespace {
+
+std::string typed_ref(const Value* v) { return v->type()->str() + " " + v->ref(); }
+
+}  // namespace
+
+std::string print_instruction(const Instruction& inst) {
+  std::string s;
+  const bool produces = !inst.type()->is_void();
+  if (produces) s += inst.ref() + " = ";
+  switch (inst.opcode()) {
+    case Opcode::Alloca:
+      s += "alloca " + inst.pointee()->str();
+      if (inst.num_operands() == 1) s += ", " + typed_ref(inst.operand(0));
+      break;
+    case Opcode::Load:
+      s += "load " + inst.pointee()->str() + ", ptr " + inst.operand(0)->ref();
+      break;
+    case Opcode::Store:
+      s += "store " + typed_ref(inst.operand(0)) + ", ptr " + inst.operand(1)->ref();
+      break;
+    case Opcode::Gep:
+      s += "getelementptr " + inst.pointee()->str() + ", ptr " +
+           inst.operand(0)->ref() + ", " + typed_ref(inst.operand(1));
+      break;
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::SDiv:
+    case Opcode::SRem: case Opcode::And: case Opcode::Or: case Opcode::Xor:
+    case Opcode::Shl: case Opcode::AShr:
+    case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul: case Opcode::FDiv:
+      s += std::string(opcode_name(inst.opcode())) + " " + inst.type()->str() + " " +
+           inst.operand(0)->ref() + ", " + inst.operand(1)->ref();
+      break;
+    case Opcode::ICmp:
+    case Opcode::FCmp:
+      s += std::string(opcode_name(inst.opcode())) + " " + pred_name(inst.pred()) +
+           " " + inst.operand(0)->type()->str() + " " + inst.operand(0)->ref() +
+           ", " + inst.operand(1)->ref();
+      break;
+    case Opcode::SExt: case Opcode::ZExt: case Opcode::Trunc: case Opcode::SIToFP:
+    case Opcode::FPToSI: case Opcode::PtrToInt: case Opcode::IntToPtr:
+      s += std::string(opcode_name(inst.opcode())) + " " + typed_ref(inst.operand(0)) +
+           " to " + inst.type()->str();
+      break;
+    case Opcode::Br:
+      s += "br label %" + inst.targets()[0]->name();
+      break;
+    case Opcode::CondBr:
+      s += "br i1 " + inst.operand(0)->ref() + ", label %" + inst.targets()[0]->name() +
+           ", label %" + inst.targets()[1]->name();
+      break;
+    case Opcode::Switch: {
+      s += "switch " + typed_ref(inst.operand(0)) + ", label %" +
+           inst.targets()[0]->name() + " [";
+      for (std::size_t i = 0; i < inst.case_values().size(); ++i) {
+        s += (i ? ", " : " ");
+        s += inst.operand(0)->type()->str() + " " +
+             std::to_string(inst.case_values()[i]) + ", label %" +
+             inst.targets()[i + 1]->name();
+      }
+      s += " ]";
+      break;
+    }
+    case Opcode::Ret:
+      s += inst.num_operands() ? "ret " + typed_ref(inst.operand(0)) : "ret void";
+      break;
+    case Opcode::Unreachable:
+      s += "unreachable";
+      break;
+    case Opcode::Call: {
+      s += "call " + inst.callee()->return_type()->str() + " @" +
+           inst.callee()->name() + "(";
+      for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+        if (i) s += ", ";
+        s += typed_ref(inst.operand(i));
+      }
+      s += ")";
+      break;
+    }
+    case Opcode::Phi: {
+      s += "phi " + inst.type()->str() + " ";
+      for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+        if (i) s += ", ";
+        s += "[ " + inst.operand(i)->ref() + ", %" +
+             inst.incoming_blocks()[i]->name() + " ]";
+      }
+      break;
+    }
+    case Opcode::Select:
+      s += "select i1 " + inst.operand(0)->ref() + ", " + typed_ref(inst.operand(1)) +
+           ", " + typed_ref(inst.operand(2));
+      break;
+  }
+  return s;
+}
+
+std::string print_block(const BasicBlock& bb) {
+  std::string s = bb.name() + ":\n";
+  for (const auto& inst : bb.instructions()) s += "  " + print_instruction(*inst) + "\n";
+  return s;
+}
+
+std::string print_function(const Function& fn) {
+  std::string s = fn.is_declaration() ? "declare " : "define ";
+  s += fn.return_type()->str() + " @" + fn.name() + "(";
+  for (std::size_t i = 0; i < fn.num_args(); ++i) {
+    if (i) s += ", ";
+    s += fn.arg(i)->type()->str() + " %" + fn.arg(i)->name();
+  }
+  s += ")";
+  if (fn.is_declaration()) return s + "\n";
+  s += " {\n";
+  for (const auto& bb : fn.blocks()) s += print_block(*bb);
+  return s + "}\n";
+}
+
+std::string print_module(const Module& m) {
+  std::string s = "; module " + m.name() + "\n";
+  for (const auto& g : m.globals()) {
+    s += "@" + g->name() + " = " + (g->is_const() ? "constant " : "global ") +
+         g->pointee()->str();
+    if (g->is_string()) {
+      s += " c\"";
+      for (std::size_t i = 0; i + 1 < g->data().size(); ++i) {
+        const char c = static_cast<char>(g->data()[i]);
+        if (c == '\n') s += "\\n";
+        else if (c == '\t') s += "\\t";
+        else if (c == '"') s += "\\22";
+        else if (c == '\\') s += "\\5C";
+        else s += c;
+      }
+      s += "\\00\"";
+    } else {
+      s += " zeroinitializer";
+    }
+    s += "\n";
+  }
+  if (!m.globals().empty()) s += "\n";
+  for (const auto& f : m.functions()) {
+    if (f->is_declaration()) s += print_function(*f);
+  }
+  for (const auto& f : m.functions()) {
+    if (!f->is_declaration()) {
+      s += "\n";
+      s += print_function(*f);
+    }
+  }
+  return s;
+}
+
+}  // namespace gbm::ir

@@ -1,0 +1,19 @@
+// Textual serialisation of GBM IR, in an LLVM-flavoured syntax.
+//
+// `print_instruction` produces the exact string used as the ProGraML
+// `full_text` node attribute, so the printer is part of the model's input
+// contract, not only a debugging aid.
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace gbm::ir {
+
+std::string print_instruction(const Instruction& inst);
+std::string print_block(const BasicBlock& bb);
+std::string print_function(const Function& fn);
+std::string print_module(const Module& m);
+
+}  // namespace gbm::ir

@@ -1,0 +1,143 @@
+// Type system of the GBM intermediate representation.
+//
+// A deliberately small analogue of LLVM's type system: scalar integer and
+// floating types, an opaque pointer, and sized arrays. Types are interned
+// in a TypeContext, so `const Type*` identity comparison is type equality.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gbm::ir {
+
+enum class TypeKind : std::uint8_t {
+  Void,
+  I1,   // boolean
+  I8,   // byte / char
+  I32,  // MiniJava int, MiniC int
+  I64,  // MiniC long, pointers-as-integers in lifted code
+  F64,  // MiniC double
+  Ptr,  // opaque pointer (pointee tracked per-instruction, as in modern LLVM)
+  Array,
+};
+
+class Type {
+ public:
+  TypeKind kind() const { return kind_; }
+  bool is_void() const { return kind_ == TypeKind::Void; }
+  bool is_integer() const {
+    return kind_ == TypeKind::I1 || kind_ == TypeKind::I8 || kind_ == TypeKind::I32 ||
+           kind_ == TypeKind::I64;
+  }
+  bool is_float() const { return kind_ == TypeKind::F64; }
+  bool is_pointer() const { return kind_ == TypeKind::Ptr; }
+  bool is_array() const { return kind_ == TypeKind::Array; }
+
+  /// Element type of an array; nullptr otherwise.
+  const Type* element() const { return element_; }
+  /// Number of elements of an array; 0 otherwise.
+  long length() const { return length_; }
+
+  /// Integer bit width (0 for non-integers).
+  int bits() const {
+    switch (kind_) {
+      case TypeKind::I1: return 1;
+      case TypeKind::I8: return 8;
+      case TypeKind::I32: return 32;
+      case TypeKind::I64: return 64;
+      default: return 0;
+    }
+  }
+
+  /// Storage size in bytes as laid out by the backend and interpreter.
+  long size_bytes() const {
+    switch (kind_) {
+      case TypeKind::Void: return 0;
+      case TypeKind::I1:
+      case TypeKind::I8: return 1;
+      case TypeKind::I32: return 4;
+      case TypeKind::I64:
+      case TypeKind::F64:
+      case TypeKind::Ptr: return 8;
+      case TypeKind::Array: return element_->size_bytes() * length_;
+    }
+    return 0;
+  }
+
+  std::string str() const {
+    switch (kind_) {
+      case TypeKind::Void: return "void";
+      case TypeKind::I1: return "i1";
+      case TypeKind::I8: return "i8";
+      case TypeKind::I32: return "i32";
+      case TypeKind::I64: return "i64";
+      case TypeKind::F64: return "double";
+      case TypeKind::Ptr: return "ptr";
+      case TypeKind::Array:
+        return "[" + std::to_string(length_) + " x " + element_->str() + "]";
+    }
+    return "?";
+  }
+
+ private:
+  friend class TypeContext;
+  Type(TypeKind kind, const Type* element, long length)
+      : kind_(kind), element_(element), length_(length) {}
+  TypeKind kind_;
+  const Type* element_;
+  long length_;
+};
+
+/// Owns and interns all types. One per Module (or shared across modules).
+class TypeContext {
+ public:
+  TypeContext() {
+    for (TypeKind k : {TypeKind::Void, TypeKind::I1, TypeKind::I8, TypeKind::I32,
+                       TypeKind::I64, TypeKind::F64, TypeKind::Ptr}) {
+      scalars_[static_cast<int>(k)] =
+          std::unique_ptr<Type>(new Type(k, nullptr, 0));
+    }
+  }
+  TypeContext(const TypeContext&) = delete;
+  TypeContext& operator=(const TypeContext&) = delete;
+
+  const Type* void_ty() const { return get(TypeKind::Void); }
+  const Type* i1() const { return get(TypeKind::I1); }
+  const Type* i8() const { return get(TypeKind::I8); }
+  const Type* i32() const { return get(TypeKind::I32); }
+  const Type* i64() const { return get(TypeKind::I64); }
+  const Type* f64() const { return get(TypeKind::F64); }
+  const Type* ptr() const { return get(TypeKind::Ptr); }
+
+  const Type* array(const Type* element, long length) {
+    auto key = std::make_pair(element, length);
+    auto it = arrays_.find(key);
+    if (it != arrays_.end()) return it->second.get();
+    auto ty = std::unique_ptr<Type>(new Type(TypeKind::Array, element, length));
+    const Type* raw = ty.get();
+    arrays_.emplace(key, std::move(ty));
+    return raw;
+  }
+
+  /// Parses a scalar type name ("i32", "double", "ptr", ...); nullptr if unknown.
+  const Type* by_name(const std::string& name) const {
+    if (name == "void") return void_ty();
+    if (name == "i1") return i1();
+    if (name == "i8") return i8();
+    if (name == "i32") return i32();
+    if (name == "i64") return i64();
+    if (name == "double") return f64();
+    if (name == "ptr") return ptr();
+    return nullptr;
+  }
+
+ private:
+  const Type* get(TypeKind k) const { return scalars_[static_cast<int>(k)].get(); }
+  std::unique_ptr<Type> scalars_[7];
+  std::map<std::pair<const Type*, long>, std::unique_ptr<Type>> arrays_;
+};
+
+}  // namespace gbm::ir

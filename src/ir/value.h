@@ -1,0 +1,130 @@
+// Value hierarchy of the GBM IR: constants, globals, arguments and
+// instructions all produce (or are) typed values referenced by operands.
+//
+// Use-def bookkeeping: every Value tracks the instructions that use it, so
+// passes can run replace_all_uses_with and dead-code elimination without
+// whole-function scans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace gbm::ir {
+
+class Instruction;
+class Function;
+
+enum class ValueKind : std::uint8_t {
+  ConstantInt,
+  ConstantFloat,
+  Global,
+  Argument,
+  Instruction,
+  BlockRef,  // only used transiently by the parser
+};
+
+class Value {
+ public:
+  Value(ValueKind kind, const Type* type, std::string name)
+      : kind_(kind), type_(type), name_(std::move(name)) {}
+  virtual ~Value() = default;
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  ValueKind kind() const { return kind_; }
+  const Type* type() const { return type_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  bool is_constant() const {
+    return kind_ == ValueKind::ConstantInt || kind_ == ValueKind::ConstantFloat;
+  }
+
+  const std::vector<Instruction*>& users() const { return users_; }
+  void add_user(Instruction* inst) { users_.push_back(inst); }
+  void remove_user(Instruction* inst) {
+    for (std::size_t i = 0; i < users_.size(); ++i) {
+      if (users_[i] == inst) {
+        users_[i] = users_.back();
+        users_.pop_back();
+        return;
+      }
+    }
+  }
+
+  /// Rewrites every use of this value to `replacement`.
+  void replace_all_uses_with(Value* replacement);
+
+  /// Reference spelling in printed IR ("%v1", "@g", "42", "3.5").
+  std::string ref() const;
+
+ private:
+  ValueKind kind_;
+  const Type* type_;
+  std::string name_;
+  std::vector<Instruction*> users_;
+};
+
+/// Integer constant (covers i1/i8/i32/i64; value stored sign-extended).
+class ConstantInt : public Value {
+ public:
+  ConstantInt(const Type* type, std::int64_t value)
+      : Value(ValueKind::ConstantInt, type, ""), value_(value) {}
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_;
+};
+
+/// Floating-point constant (f64).
+class ConstantFloat : public Value {
+ public:
+  ConstantFloat(const Type* type, double value)
+      : Value(ValueKind::ConstantFloat, type, ""), value_(value) {}
+  double value() const { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Module-level global. Its value is a pointer to storage of `pointee`
+/// type; `data` is the byte initialiser (zero-filled if shorter).
+class GlobalVar : public Value {
+ public:
+  GlobalVar(const Type* ptr_type, const Type* pointee, std::string name,
+            std::vector<std::uint8_t> data, bool is_const)
+      : Value(ValueKind::Global, ptr_type, std::move(name)),
+        pointee_(pointee),
+        data_(std::move(data)),
+        is_const_(is_const) {}
+  const Type* pointee() const { return pointee_; }
+  const std::vector<std::uint8_t>& data() const { return data_; }
+  bool is_const() const { return is_const_; }
+  /// True if the initialiser is printable text (string literal globals).
+  bool is_string() const;
+
+ private:
+  const Type* pointee_;
+  std::vector<std::uint8_t> data_;
+  bool is_const_;
+};
+
+/// Formal parameter of a function.
+class Argument : public Value {
+ public:
+  Argument(const Type* type, std::string name, Function* parent, int index)
+      : Value(ValueKind::Argument, type, std::move(name)),
+        parent_(parent),
+        index_(index) {}
+  Function* parent() const { return parent_; }
+  int index() const { return index_; }
+
+ private:
+  Function* parent_;
+  int index_;
+};
+
+}  // namespace gbm::ir

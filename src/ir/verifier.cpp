@@ -1,0 +1,191 @@
+#include "ir/verifier.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "ir/printer.h"
+
+namespace gbm::ir {
+
+namespace {
+
+class FunctionVerifier {
+ public:
+  explicit FunctionVerifier(const Function& fn) : fn_(fn) {}
+
+  void run(VerifyResult& out) {
+    if (fn_.is_declaration()) return;
+    collect_blocks();
+    check_names();
+    for (const auto& bb : fn_.blocks()) check_block(*bb);
+    out.errors.insert(out.errors.end(), errors_.begin(), errors_.end());
+  }
+
+ private:
+  void error(const Instruction* inst, const std::string& msg) {
+    std::string where = "@" + fn_.name();
+    if (inst) where += ": '" + print_instruction(*inst) + "'";
+    errors_.push_back(where + ": " + msg);
+  }
+
+  void collect_blocks() {
+    for (const auto& bb : fn_.blocks()) blocks_.insert(bb.get());
+  }
+
+  void check_names() {
+    std::unordered_set<std::string> seen;
+    for (const auto& bb : fn_.blocks()) {
+      if (!seen.insert(bb->name()).second)
+        errors_.push_back("@" + fn_.name() + ": duplicate block name " + bb->name());
+      for (const auto& inst : bb->instructions()) {
+        if (inst->type()->is_void()) continue;
+        if (!seen.insert(inst->name()).second)
+          error(inst.get(), "duplicate value name %" + inst->name());
+      }
+    }
+  }
+
+  void check_block(const BasicBlock& bb) {
+    if (bb.empty()) {
+      errors_.push_back("@" + fn_.name() + ": empty block " + bb.name());
+      return;
+    }
+    const auto& insts = bb.instructions();
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      const Instruction* inst = insts[i].get();
+      const bool last = (i + 1 == insts.size());
+      if (inst->is_term() != last)
+        error(inst, last ? "block does not end with a terminator"
+                         : "terminator in the middle of a block");
+      check_instruction(*inst, bb);
+    }
+  }
+
+  void check_instruction(const Instruction& inst, const BasicBlock& bb) {
+    for (BasicBlock* target : inst.targets()) {
+      if (!blocks_.count(target))
+        error(&inst, "branch target not in function");
+    }
+    switch (inst.opcode()) {
+      case Opcode::Alloca:
+        if (!inst.pointee()) error(&inst, "alloca without allocated type");
+        if (inst.num_operands() == 1 && !inst.operand(0)->type()->is_integer())
+          error(&inst, "alloca count must be integer");
+        break;
+      case Opcode::Load:
+        if (inst.num_operands() != 1 || !inst.operand(0)->type()->is_pointer())
+          error(&inst, "load operand must be a pointer");
+        break;
+      case Opcode::Store:
+        if (inst.num_operands() != 2 || !inst.operand(1)->type()->is_pointer())
+          error(&inst, "store needs (value, ptr)");
+        break;
+      case Opcode::Gep:
+        if (inst.num_operands() != 2 || !inst.operand(0)->type()->is_pointer() ||
+            !inst.operand(1)->type()->is_integer())
+          error(&inst, "gep needs (ptr, integer index)");
+        if (!inst.pointee()) error(&inst, "gep without element type");
+        break;
+      default:
+        break;
+    }
+    if (is_binary_int(inst.opcode())) {
+      if (inst.num_operands() != 2 ||
+          inst.operand(0)->type() != inst.operand(1)->type() ||
+          !inst.operand(0)->type()->is_integer())
+        error(&inst, "integer binop operand types must match and be integer");
+      else if (inst.type() != inst.operand(0)->type())
+        error(&inst, "binop result type mismatch");
+    }
+    if (is_binary_float(inst.opcode())) {
+      if (inst.num_operands() != 2 || !inst.operand(0)->type()->is_float() ||
+          !inst.operand(1)->type()->is_float())
+        error(&inst, "float binop operands must be double");
+    }
+    if (inst.opcode() == Opcode::ICmp) {
+      if (inst.num_operands() != 2 ||
+          inst.operand(0)->type() != inst.operand(1)->type())
+        error(&inst, "icmp operand types must match");
+      if (inst.type()->kind() != TypeKind::I1) error(&inst, "icmp must produce i1");
+    }
+    if (inst.opcode() == Opcode::CondBr) {
+      if (inst.num_operands() != 1 || inst.operand(0)->type()->kind() != TypeKind::I1)
+        error(&inst, "conditional branch needs an i1 condition");
+      if (inst.targets().size() != 2) error(&inst, "condbr needs two targets");
+    }
+    if (inst.opcode() == Opcode::Br && inst.targets().size() != 1)
+      error(&inst, "br needs one target");
+    if (inst.opcode() == Opcode::Switch) {
+      if (inst.targets().size() != inst.case_values().size() + 1)
+        error(&inst, "switch case/target count mismatch");
+    }
+    if (inst.opcode() == Opcode::Ret) {
+      const Type* want = fn_.return_type();
+      if (want->is_void()) {
+        if (inst.num_operands() != 0) error(&inst, "ret value in void function");
+      } else if (inst.num_operands() != 1 || inst.operand(0)->type() != want) {
+        error(&inst, "ret type does not match function return type");
+      }
+    }
+    if (inst.opcode() == Opcode::Call) {
+      const Function* callee = inst.callee();
+      if (!callee) {
+        error(&inst, "call without callee");
+      } else if (callee->num_args() != inst.num_operands()) {
+        error(&inst, "call argument count mismatch for @" + callee->name());
+      } else {
+        for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+          if (inst.operand(i)->type() != callee->arg(i)->type())
+            error(&inst, "call argument " + std::to_string(i) + " type mismatch");
+        }
+      }
+    }
+    if (inst.opcode() == Opcode::Phi) {
+      if (inst.num_operands() != inst.incoming_blocks().size()) {
+        error(&inst, "phi operand/block count mismatch");
+      } else {
+        auto preds = bb.predecessors();
+        std::set<BasicBlock*> pred_set(preds.begin(), preds.end());
+        std::set<BasicBlock*> seen;
+        for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+          BasicBlock* in = inst.incoming_blocks()[i];
+          if (!pred_set.count(in))
+            error(&inst, "phi incoming block " + in->name() + " is not a predecessor");
+          if (!seen.insert(in).second)
+            error(&inst, "phi has duplicate incoming block " + in->name());
+          if (inst.operand(i)->type() != inst.type())
+            error(&inst, "phi incoming value type mismatch");
+        }
+        if (seen.size() != pred_set.size())
+          error(&inst, "phi does not cover all predecessors");
+      }
+    }
+    if (inst.opcode() == Opcode::Select) {
+      if (inst.num_operands() != 3 ||
+          inst.operand(0)->type()->kind() != TypeKind::I1 ||
+          inst.operand(1)->type() != inst.operand(2)->type())
+        error(&inst, "select needs (i1, T, T)");
+    }
+  }
+
+  const Function& fn_;
+  std::unordered_set<const BasicBlock*> blocks_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+VerifyResult verify_function(const Function& fn) {
+  VerifyResult out;
+  FunctionVerifier(fn).run(out);
+  return out;
+}
+
+VerifyResult verify_module(const Module& m) {
+  VerifyResult out;
+  for (const auto& fn : m.functions()) FunctionVerifier(*fn).run(out);
+  return out;
+}
+
+}  // namespace gbm::ir

@@ -1,0 +1,29 @@
+// Structural and type validity checks for GBM IR. Run by tests after every
+// front-end lowering, optimisation pass and decompiler lift.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace gbm::ir {
+
+struct VerifyResult {
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+  std::string str() const {
+    std::string s;
+    for (const auto& e : errors) s += e + "\n";
+    return s;
+  }
+};
+
+/// Checks: every block has exactly one terminator (at the end); operand
+/// types match opcode contracts; branch targets belong to the function;
+/// phi incoming blocks are predecessors; calls match callee signatures;
+/// ret types match the function; names are unique per function.
+VerifyResult verify_module(const Module& m);
+VerifyResult verify_function(const Function& fn);
+
+}  // namespace gbm::ir

@@ -1,0 +1,155 @@
+// Control-flow graph simplification: unreachable block elimination,
+// straight-line block merging, and single-predecessor phi folding.
+#include <unordered_set>
+
+#include "opt/passes.h"
+
+namespace gbm::opt {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+void remove_phi_edge(BasicBlock* to, BasicBlock* from_pred) {
+  for (const auto& inst : to->instructions()) {
+    if (inst->opcode() != Opcode::Phi) break;
+    for (std::size_t i = 0; i < inst->incoming_blocks().size(); ++i) {
+      if (inst->incoming_blocks()[i] == from_pred) {
+        std::vector<Value*> ops(inst->operands().begin(), inst->operands().end());
+        std::vector<BasicBlock*> blocks = inst->incoming_blocks();
+        inst->drop_operands();
+        for (std::size_t k = 0; k < ops.size(); ++k) {
+          if (k == i) continue;
+          inst->add_incoming(ops[k], blocks[k]);
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Single-input phis become plain copies.
+bool fold_single_input_phis(ir::Function& fn) {
+  bool changed = false;
+  for (const auto& bb : fn.blocks()) {
+    bool again = true;
+    while (again) {
+      again = false;
+      for (const auto& inst_ptr : bb->instructions()) {
+        Instruction* inst = inst_ptr.get();
+        if (inst->opcode() != Opcode::Phi) break;
+        if (inst->num_operands() == 1) {
+          Value* v = inst->operand(0);
+          inst->replace_all_uses_with(v);
+          inst->drop_operands();
+          bb->erase(inst);
+          changed = true;
+          again = true;
+          break;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+bool remove_unreachable(ir::Function& fn) {
+  std::unordered_set<BasicBlock*> reachable;
+  std::vector<BasicBlock*> work{fn.entry()};
+  reachable.insert(fn.entry());
+  while (!work.empty()) {
+    BasicBlock* bb = work.back();
+    work.pop_back();
+    for (BasicBlock* succ : bb->successors()) {
+      if (reachable.insert(succ).second) work.push_back(succ);
+    }
+  }
+  std::vector<BasicBlock*> dead;
+  for (const auto& bb : fn.blocks()) {
+    if (!reachable.count(bb.get())) dead.push_back(bb.get());
+  }
+  if (dead.empty()) return false;
+  // Phis in reachable blocks must forget edges from dead predecessors.
+  for (BasicBlock* d : dead) {
+    for (BasicBlock* succ : d->successors()) {
+      if (reachable.count(succ)) remove_phi_edge(succ, d);
+    }
+  }
+  // Drop instructions first (clears operand uses), then the blocks.
+  for (BasicBlock* d : dead) {
+    for (const auto& inst : d->instructions()) {
+      inst->replace_all_uses_with(
+          fn.parent()->const_int(fn.parent()->types().i64(), 0));
+      inst->drop_operands();
+    }
+  }
+  for (BasicBlock* d : dead) fn.erase_block(d);
+  return true;
+}
+
+/// Merges `b` into its unique predecessor when the edge is unconditional.
+bool merge_chains(ir::Function& fn) {
+  bool changed = false;
+  bool again = true;
+  while (again) {
+    again = false;
+    for (const auto& bb_ptr : fn.blocks()) {
+      BasicBlock* b = bb_ptr.get();
+      if (b == fn.entry()) continue;
+      auto preds = b->predecessors();
+      if (preds.size() != 1) continue;
+      BasicBlock* pred = preds[0];
+      Instruction* term = pred->terminator();
+      if (!term || term->opcode() != Opcode::Br) continue;
+      if (term->targets()[0] != b) continue;
+      // Fold phis (single predecessor → single input).
+      while (!b->instructions().empty() &&
+             b->instructions()[0]->opcode() == Opcode::Phi) {
+        Instruction* phi = b->instructions()[0].get();
+        Value* v = phi->num_operands() ? phi->operand(0) : nullptr;
+        if (!v) break;
+        phi->replace_all_uses_with(v);
+        phi->drop_operands();
+        b->erase(phi);
+      }
+      // Retarget successor phis from b to pred (the edge origin changes).
+      for (BasicBlock* succ : b->successors()) {
+        for (const auto& inst : succ->instructions()) {
+          if (inst->opcode() != Opcode::Phi) break;
+          for (std::size_t i = 0; i < inst->incoming_blocks().size(); ++i) {
+            if (inst->incoming_blocks()[i] == b) inst->set_incoming_block(i, pred);
+          }
+        }
+      }
+      // Splice b's instructions after removing pred's terminator.
+      term->drop_operands();
+      pred->erase(term);
+      while (!b->instructions().empty()) {
+        Instruction* inst = b->instructions()[0].get();
+        auto owned = b->detach(inst);
+        pred->append(std::move(owned));
+      }
+      fn.erase_block(b);
+      changed = true;
+      again = true;
+      break;  // block list mutated; restart scan
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool simplify_cfg(ir::Function& fn) {
+  if (fn.is_declaration()) return false;
+  bool changed = false;
+  changed |= remove_unreachable(fn);
+  changed |= fold_single_input_phis(fn);
+  changed |= merge_chains(fn);
+  return changed;
+}
+
+}  // namespace gbm::opt

@@ -1,0 +1,191 @@
+// Function inlining. Callee blocks are cloned into the caller with a value
+// map; returns become branches to a continuation block (joined by a phi for
+// non-void callees). Cloned entry allocas are hoisted into the caller's
+// entry block so a later mem2reg can still promote them.
+#include <unordered_map>
+
+#include "opt/passes.h"
+
+namespace gbm::opt {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+bool is_directly_recursive(const Function* fn) {
+  for (const auto& bb : fn->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::Call && inst->callee() == fn) return true;
+    }
+  }
+  return false;
+}
+
+struct Cloner {
+  Function* caller;
+  const Function* callee;
+  std::unordered_map<const Value*, Value*> vmap;
+  std::unordered_map<const BasicBlock*, BasicBlock*> bmap;
+  struct Patch {
+    Instruction* inst;
+    std::size_t index;
+    const Value* old_value;
+  };
+  std::vector<Patch> patches;
+
+  Value* map_value(const Value* v) {
+    if (v->kind() == ir::ValueKind::ConstantInt ||
+        v->kind() == ir::ValueKind::ConstantFloat ||
+        v->kind() == ir::ValueKind::Global)
+      return const_cast<Value*>(v);
+    auto it = vmap.find(v);
+    return it == vmap.end() ? nullptr : it->second;
+  }
+
+  void clone_blocks() {
+    for (const auto& bb : callee->blocks())
+      bmap[bb.get()] = caller->create_block("inl");
+    for (const auto& bb : callee->blocks()) {
+      BasicBlock* nb = bmap[bb.get()];
+      for (const auto& inst : bb->instructions()) {
+        auto* ni = new Instruction(
+            inst->opcode(), inst->type(),
+            inst->type()->is_void() ? "" : caller->next_value_name());
+        ni->set_pred(inst->pred());
+        ni->set_pointee(inst->pointee());
+        ni->set_callee(inst->callee());
+        for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+          Value* mapped = map_value(inst->operand(i));
+          if (mapped) {
+            ni->add_operand(mapped);
+          } else {
+            // Forward reference (phi input): placeholder, patched later.
+            ni->add_operand(callee->parent()->const_i64(0));
+            patches.push_back({ni, i, inst->operand(i)});
+          }
+        }
+        for (BasicBlock* t : inst->targets()) ni->add_target(bmap.at(t));
+        for (BasicBlock* in : inst->incoming_blocks())
+          ni->incoming_blocks_mut().push_back(bmap.at(in));
+        for (std::int64_t cv : inst->case_values()) ni->case_values_mut().push_back(cv);
+        vmap[inst.get()] = ni;
+        // Hoist scalar allocas into the caller's entry block.
+        if (ni->opcode() == Opcode::Alloca && ni->num_operands() == 0)
+          caller->entry()->insert(0, std::unique_ptr<Instruction>(ni));
+        else
+          nb->append(std::unique_ptr<Instruction>(ni));
+      }
+    }
+    for (const auto& p : patches) {
+      Value* mapped = map_value(p.old_value);
+      if (!mapped) throw std::logic_error("inline: unresolved value");
+      p.inst->set_operand(p.index, mapped);
+    }
+  }
+};
+
+bool inline_one_site(Function& caller, Instruction* call) {
+  const Function* callee = call->callee();
+  BasicBlock* site = call->parent();
+
+  // Split: move everything after the call into a continuation block.
+  BasicBlock* cont = caller.create_block("inl.cont");
+  std::size_t call_idx = 0;
+  for (std::size_t i = 0; i < site->instructions().size(); ++i) {
+    if (site->instructions()[i].get() == call) {
+      call_idx = i;
+      break;
+    }
+  }
+  while (site->instructions().size() > call_idx + 1) {
+    Instruction* moved = site->instructions()[call_idx + 1].get();
+    cont->append(site->detach(moved));
+  }
+  // The site's terminator moved into cont; successor phis must retarget.
+  for (BasicBlock* succ : cont->successors()) {
+    for (const auto& inst : succ->instructions()) {
+      if (inst->opcode() != Opcode::Phi) break;
+      for (std::size_t i = 0; i < inst->incoming_blocks().size(); ++i) {
+        if (inst->incoming_blocks()[i] == site) inst->set_incoming_block(i, cont);
+      }
+    }
+  }
+
+  // Clone the callee.
+  Cloner cloner{&caller, callee, {}, {}, {}};
+  for (std::size_t i = 0; i < callee->num_args(); ++i)
+    cloner.vmap[callee->arg(i)] = call->operand(i);
+  cloner.clone_blocks();
+
+  // Rewrite cloned rets as branches to cont, collecting return values.
+  std::vector<std::pair<Value*, BasicBlock*>> returns;
+  for (const auto& bb : callee->blocks()) {
+    BasicBlock* nb = cloner.bmap.at(bb.get());
+    Instruction* term = nb->terminator();
+    if (!term || term->opcode() != Opcode::Ret) continue;
+    Value* rv = term->num_operands() ? term->operand(0) : nullptr;
+    term->drop_operands();
+    nb->erase(term);
+    auto* br = new Instruction(Opcode::Br, caller.parent()->types().void_ty(), "");
+    br->add_target(cont);
+    nb->append(std::unique_ptr<Instruction>(br));
+    returns.emplace_back(rv, nb);
+  }
+
+  // Join return values.
+  if (!call->type()->is_void()) {
+    if (returns.size() == 1) {
+      call->replace_all_uses_with(returns[0].first);
+    } else {
+      auto* phi = new Instruction(Opcode::Phi, call->type(), caller.next_value_name());
+      for (auto& [rv, nb] : returns) phi->add_incoming(rv, nb);
+      cont->insert(0, std::unique_ptr<Instruction>(phi));
+      call->replace_all_uses_with(phi);
+    }
+  }
+
+  // Branch from the site into the cloned entry, then drop the call.
+  BasicBlock* cloned_entry = cloner.bmap.at(callee->entry());
+  call->drop_operands();
+  site->erase(call);
+  auto* enter = new Instruction(Opcode::Br, caller.parent()->types().void_ty(), "");
+  enter->add_target(cloned_entry);
+  site->append(std::unique_ptr<Instruction>(enter));
+  return true;
+}
+
+}  // namespace
+
+bool inline_functions(ir::Module& m, int threshold) {
+  bool any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& fn : m.functions()) {
+      if (fn->is_declaration()) continue;
+      for (const auto& bb : fn->blocks()) {
+        for (const auto& inst : bb->instructions()) {
+          if (inst->opcode() != Opcode::Call) continue;
+          const Function* callee = inst->callee();
+          if (!callee || callee->is_declaration()) continue;
+          if (callee == fn.get()) continue;
+          if (callee->instruction_count() > threshold) continue;
+          if (is_directly_recursive(callee)) continue;
+          inline_one_site(*fn, inst.get());
+          changed = true;
+          any = true;
+          break;
+        }
+        if (changed) break;
+      }
+      if (changed) break;
+    }
+  }
+  return any;
+}
+
+}  // namespace gbm::opt

@@ -1,0 +1,328 @@
+// Local passes: constant folding, algebraic simplification, dead code
+// elimination, strength reduction.
+#include <cstdint>
+#include <optional>
+
+#include "opt/passes.h"
+
+namespace gbm::opt {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::CmpPred;
+using ir::ConstantInt;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+std::optional<std::int64_t> const_of(const Value* v) {
+  if (v->kind() == ir::ValueKind::ConstantInt)
+    return static_cast<const ConstantInt*>(v)->value();
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> fold_int(Opcode op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case Opcode::Add: return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b));
+    case Opcode::Sub: return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b));
+    case Opcode::Mul: return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
+    case Opcode::SDiv:
+      if (b == 0 || (a == INT64_MIN && b == -1)) return std::nullopt;
+      return a / b;
+    case Opcode::SRem:
+      if (b == 0 || (a == INT64_MIN && b == -1)) return std::nullopt;
+      return a % b;
+    case Opcode::And: return a & b;
+    case Opcode::Or: return a | b;
+    case Opcode::Xor: return a ^ b;
+    case Opcode::Shl: return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) << (static_cast<std::uint64_t>(b) & 63));
+    case Opcode::AShr: return a >> (static_cast<std::uint64_t>(b) & 63);
+    default: return std::nullopt;
+  }
+}
+
+std::int64_t truncate_to(std::int64_t v, const ir::Type* ty) {
+  switch (ty->kind()) {
+    case ir::TypeKind::I1: return v & 1;
+    case ir::TypeKind::I8: return static_cast<std::int8_t>(v);
+    case ir::TypeKind::I32: return static_cast<std::int32_t>(v);
+    default: return v;
+  }
+}
+
+bool eval_pred(CmpPred pred, std::int64_t a, std::int64_t b) {
+  switch (pred) {
+    case CmpPred::EQ: return a == b;
+    case CmpPred::NE: return a != b;
+    case CmpPred::SLT: return a < b;
+    case CmpPred::SLE: return a <= b;
+    case CmpPred::SGT: return a > b;
+    case CmpPred::SGE: return a >= b;
+  }
+  return false;
+}
+
+/// Drops the phi-incoming entries of `to` coming from `from_pred`.
+void remove_phi_edge(BasicBlock* to, BasicBlock* from_pred) {
+  for (const auto& inst : to->instructions()) {
+    if (inst->opcode() != Opcode::Phi) break;
+    for (std::size_t i = 0; i < inst->incoming_blocks().size(); ++i) {
+      if (inst->incoming_blocks()[i] == from_pred) {
+        // Erase operand i and its block entry.
+        std::vector<Value*> ops(inst->operands().begin(), inst->operands().end());
+        std::vector<BasicBlock*> blocks = inst->incoming_blocks();
+        inst->drop_operands();
+        for (std::size_t k = 0; k < ops.size(); ++k) {
+          if (k == i) continue;
+          inst->add_incoming(ops[k], blocks[k]);
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Replaces `inst` with `v` and removes it from its block.
+void replace_and_erase(Instruction* inst, Value* v) {
+  BasicBlock* bb = inst->parent();
+  inst->replace_all_uses_with(v);
+  inst->drop_operands();
+  bb->erase(inst);
+}
+
+}  // namespace
+
+bool constant_fold(ir::Function& fn) {
+  if (fn.is_declaration()) return false;
+  ir::Module& m = *fn.parent();
+  bool any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& bb : fn.blocks()) {
+      for (const auto& inst_ptr : bb->instructions()) {
+        Instruction* inst = inst_ptr.get();
+        const Opcode op = inst->opcode();
+        // ---- integer binops -------------------------------------------------
+        if (ir::is_binary_int(op)) {
+          auto a = const_of(inst->operand(0));
+          auto b = const_of(inst->operand(1));
+          if (a && b) {
+            if (auto r = fold_int(op, *a, *b)) {
+              replace_and_erase(inst, m.const_int(inst->type(), truncate_to(*r, inst->type())));
+              changed = true;
+              break;
+            }
+          }
+          // Algebraic identities: x+0, x-0, x*1, x*0, x&x, x|x.
+          Value* x = inst->operand(0);
+          if (b) {
+            if ((op == Opcode::Add || op == Opcode::Sub) && *b == 0) {
+              replace_and_erase(inst, x);
+              changed = true;
+              break;
+            }
+            if (op == Opcode::Mul && *b == 1) {
+              replace_and_erase(inst, x);
+              changed = true;
+              break;
+            }
+            if (op == Opcode::Mul && *b == 0) {
+              replace_and_erase(inst, m.const_int(inst->type(), 0));
+              changed = true;
+              break;
+            }
+            if (op == Opcode::SDiv && *b == 1) {
+              replace_and_erase(inst, x);
+              changed = true;
+              break;
+            }
+          }
+          if (a && (op == Opcode::Add || op == Opcode::Mul)) {
+            if ((op == Opcode::Add && *a == 0) || (op == Opcode::Mul && *a == 1)) {
+              replace_and_erase(inst, inst->operand(1));
+              changed = true;
+              break;
+            }
+          }
+          if ((op == Opcode::And || op == Opcode::Or) &&
+              inst->operand(0) == inst->operand(1)) {
+            replace_and_erase(inst, x);
+            changed = true;
+            break;
+          }
+          continue;
+        }
+        // ---- icmp --------------------------------------------------------
+        if (op == Opcode::ICmp) {
+          auto a = const_of(inst->operand(0));
+          auto b = const_of(inst->operand(1));
+          if (a && b) {
+            replace_and_erase(inst, m.const_i1(eval_pred(inst->pred(), *a, *b)));
+            changed = true;
+            break;
+          }
+          continue;
+        }
+        // ---- casts ---------------------------------------------------------
+        if (ir::is_cast(op) && op != Opcode::SIToFP && op != Opcode::FPToSI) {
+          if (auto a = const_of(inst->operand(0))) {
+            std::int64_t v = *a;
+            if (op == Opcode::ZExt) {
+              switch (inst->operand(0)->type()->kind()) {
+                case ir::TypeKind::I1: v &= 1; break;
+                case ir::TypeKind::I8: v = static_cast<std::uint8_t>(v); break;
+                case ir::TypeKind::I32: v = static_cast<std::uint32_t>(v); break;
+                default: break;
+              }
+            }
+            replace_and_erase(inst, m.const_int(inst->type(), truncate_to(v, inst->type())));
+            changed = true;
+            break;
+          }
+          continue;
+        }
+        // ---- select ---------------------------------------------------------
+        if (op == Opcode::Select) {
+          if (auto c = const_of(inst->operand(0))) {
+            replace_and_erase(inst, inst->operand(*c ? 1 : 2));
+            changed = true;
+            break;
+          }
+          continue;
+        }
+        // ---- constant conditional branch -----------------------------------
+        if (op == Opcode::CondBr) {
+          if (auto c = const_of(inst->operand(0))) {
+            BasicBlock* taken = inst->targets()[*c ? 0 : 1];
+            BasicBlock* dropped = inst->targets()[*c ? 1 : 0];
+            if (taken != dropped) remove_phi_edge(dropped, bb.get());
+            auto* br = new Instruction(Opcode::Br, m.types().void_ty(), "");
+            br->add_target(taken);
+            inst->drop_operands();
+            bb->erase(inst);
+            bb->append(std::unique_ptr<Instruction>(br));
+            changed = true;
+            break;
+          }
+          // Same target both ways → unconditional.
+          if (inst->targets()[0] == inst->targets()[1]) {
+            BasicBlock* t = inst->targets()[0];
+            auto* br = new Instruction(Opcode::Br, m.types().void_ty(), "");
+            br->add_target(t);
+            inst->drop_operands();
+            bb->erase(inst);
+            bb->append(std::unique_ptr<Instruction>(br));
+            changed = true;
+            break;
+          }
+          continue;
+        }
+        // ---- constant switch -------------------------------------------------
+        if (op == Opcode::Switch) {
+          if (auto c = const_of(inst->operand(0))) {
+            BasicBlock* taken = inst->targets()[0];
+            for (std::size_t k = 0; k < inst->case_values().size(); ++k) {
+              if (inst->case_values()[k] == *c) taken = inst->targets()[k + 1];
+            }
+            for (BasicBlock* t : inst->targets()) {
+              if (t != taken) remove_phi_edge(t, bb.get());
+            }
+            auto* br = new Instruction(Opcode::Br, m.types().void_ty(), "");
+            br->add_target(taken);
+            inst->drop_operands();
+            bb->erase(inst);
+            bb->append(std::unique_ptr<Instruction>(br));
+            changed = true;
+            break;
+          }
+          continue;
+        }
+      }
+      if (changed) break;
+    }
+    any = any || changed;
+  }
+  return any;
+}
+
+bool dead_code_elim(ir::Function& fn) {
+  if (fn.is_declaration()) return false;
+  bool any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& bb : fn.blocks()) {
+      const auto& insts = bb->instructions();
+      for (std::size_t i = insts.size(); i-- > 0;) {
+        Instruction* inst = insts[i].get();
+        if (inst->is_term() || inst->has_side_effects()) continue;
+        if (!inst->users().empty()) continue;
+        inst->drop_operands();
+        bb->erase(i);
+        changed = true;
+        any = true;
+      }
+    }
+  }
+  return any;
+}
+
+bool strength_reduce(ir::Function& fn) {
+  if (fn.is_declaration()) return false;
+  ir::Module& m = *fn.parent();
+  bool any = false;
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst_ptr : bb->instructions()) {
+      Instruction* inst = inst_ptr.get();
+      if (inst->opcode() == Opcode::Mul) {
+        auto b = const_of(inst->operand(1));
+        if (b && *b > 1 && (*b & (*b - 1)) == 0) {
+          int shift = 0;
+          for (std::int64_t v = *b; v > 1; v >>= 1) ++shift;
+          auto* shl = new Instruction(Opcode::Shl, inst->type(), fn.next_value_name());
+          shl->add_operand(inst->operand(0));
+          shl->add_operand(m.const_int(inst->type(), shift));
+          // Insert before inst, rewrite uses, drop inst.
+          BasicBlock* blk = inst->parent();
+          for (std::size_t i = 0; i < blk->instructions().size(); ++i) {
+            if (blk->instructions()[i].get() == inst) {
+              blk->insert(i, std::unique_ptr<Instruction>(shl));
+              break;
+            }
+          }
+          inst->replace_all_uses_with(shl);
+          inst->drop_operands();
+          blk->erase(inst);
+          any = true;
+          break;  // restart this block (iterator invalidated)
+        }
+      }
+      if (inst->opcode() == Opcode::Add && inst->operand(0) == inst->operand(1)) {
+        auto* shl = new Instruction(Opcode::Shl, inst->type(), fn.next_value_name());
+        shl->add_operand(inst->operand(0));
+        shl->add_operand(m.const_int(inst->type(), 1));
+        BasicBlock* blk = inst->parent();
+        for (std::size_t i = 0; i < blk->instructions().size(); ++i) {
+          if (blk->instructions()[i].get() == inst) {
+            blk->insert(i, std::unique_ptr<Instruction>(shl));
+            break;
+          }
+        }
+        inst->replace_all_uses_with(shl);
+        inst->drop_operands();
+        blk->erase(inst);
+        any = true;
+        break;
+      }
+    }
+  }
+  return any;
+}
+
+}  // namespace gbm::opt

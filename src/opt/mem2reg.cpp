@@ -1,0 +1,155 @@
+// SSA construction: promotes scalar allocas to registers.
+//
+// Uses the "maximal phis" strategy: a phi is placed in every block for every
+// promoted variable, then phi simplification (here) and DCE (separate pass)
+// prune the redundant ones. On the small functions this compiler handles,
+// simplicity beats the iterated-dominance-frontier construction.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "opt/passes.h"
+
+namespace gbm::opt {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+bool is_promotable(const Instruction* alloca_inst) {
+  if (alloca_inst->opcode() != Opcode::Alloca) return false;
+  if (alloca_inst->num_operands() != 0) return false;  // dynamic count
+  const ir::Type* ty = alloca_inst->pointee();
+  if (ty->is_array()) return false;
+  for (const Instruction* user : alloca_inst->users()) {
+    if (user->opcode() == Opcode::Load) continue;
+    // Address must be the store *target*, not the stored value.
+    if (user->opcode() == Opcode::Store && user->operand(1) == alloca_inst &&
+        user->operand(0) != alloca_inst)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+Value* zero_of(ir::Module& m, const ir::Type* ty) {
+  if (ty->is_float()) return m.const_float(0.0);
+  // ConstantInt carries the pointer type directly for null pointers.
+  return m.const_int(ty, 0);
+}
+
+/// Replaces phis whose inputs are all identical (ignoring self-references)
+/// until fixpoint.
+bool simplify_phis(Function& fn) {
+  bool any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& bb : fn.blocks()) {
+      for (const auto& inst_ptr : bb->instructions()) {
+        Instruction* inst = inst_ptr.get();
+        if (inst->opcode() != Opcode::Phi) continue;
+        Value* unique = nullptr;
+        bool trivial = true;
+        for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+          Value* v = inst->operand(i);
+          if (v == inst) continue;
+          if (!unique) unique = v;
+          else if (unique != v) { trivial = false; break; }
+        }
+        if (trivial && unique) {
+          inst->replace_all_uses_with(unique);
+          inst->drop_operands();
+          bb->erase(inst);
+          changed = true;
+          any = true;
+          break;  // iterator invalidated; rescan block
+        }
+      }
+    }
+  }
+  return any;
+}
+
+}  // namespace
+
+bool mem2reg(ir::Function& fn) {
+  if (fn.is_declaration()) return false;
+  ir::Module& m = *fn.parent();
+
+  std::vector<Instruction*> promotable;
+  for (const auto& inst : fn.entry()->instructions()) {
+    if (is_promotable(inst.get())) promotable.push_back(inst.get());
+  }
+  if (promotable.empty()) return false;
+
+  // One phi per (variable, non-entry block).
+  std::unordered_map<const BasicBlock*, std::unordered_map<Instruction*, Instruction*>>
+      phis;
+  for (const auto& bb : fn.blocks()) {
+    if (bb.get() == fn.entry()) continue;
+    for (Instruction* var : promotable) {
+      auto* phi = new Instruction(Opcode::Phi, var->pointee(), fn.next_value_name());
+      bb->insert(0, std::unique_ptr<Instruction>(phi));
+      phis[bb.get()][var] = phi;
+    }
+  }
+
+  // Rewrite loads/stores, tracking the reaching definition per block.
+  std::unordered_map<const BasicBlock*, std::unordered_map<Instruction*, Value*>>
+      end_def;
+  std::unordered_set<Instruction*> promoted_set(promotable.begin(), promotable.end());
+  for (const auto& bb : fn.blocks()) {
+    std::unordered_map<Instruction*, Value*> cur;
+    for (Instruction* var : promotable) {
+      cur[var] = bb.get() == fn.entry() ? zero_of(m, var->pointee())
+                                        : phis[bb.get()][var];
+    }
+    std::vector<Instruction*> dead;
+    for (const auto& inst_ptr : bb->instructions()) {
+      Instruction* inst = inst_ptr.get();
+      if (inst->opcode() == Opcode::Load && inst->num_operands() == 1) {
+        auto* src = dynamic_cast<Instruction*>(inst->operand(0));
+        if (src && promoted_set.count(src)) {
+          inst->replace_all_uses_with(cur[src]);
+          dead.push_back(inst);
+        }
+      } else if (inst->opcode() == Opcode::Store && inst->num_operands() == 2) {
+        auto* dst = dynamic_cast<Instruction*>(inst->operand(1));
+        if (dst && promoted_set.count(dst)) {
+          cur[dst] = inst->operand(0);
+          dead.push_back(inst);
+        }
+      }
+    }
+    for (Instruction* inst : dead) {
+      inst->drop_operands();
+      bb->erase(inst);
+    }
+    end_def[bb.get()] = std::move(cur);
+  }
+
+  // Wire phi inputs from predecessor end-of-block definitions.
+  for (const auto& bb : fn.blocks()) {
+    if (bb.get() == fn.entry()) continue;
+    for (BasicBlock* pred : bb->predecessors()) {
+      for (Instruction* var : promotable) {
+        phis[bb.get()][var]->add_incoming(end_def[pred][var], pred);
+      }
+    }
+  }
+
+  // Remove the allocas themselves.
+  for (Instruction* var : promotable) {
+    var->drop_operands();
+    fn.entry()->erase(var);
+  }
+
+  simplify_phis(fn);
+  return true;
+}
+
+}  // namespace gbm::opt

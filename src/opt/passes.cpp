@@ -1,0 +1,67 @@
+#include "opt/passes.h"
+
+#include <stdexcept>
+
+namespace gbm::opt {
+
+const char* opt_level_name(OptLevel level) {
+  switch (level) {
+    case OptLevel::O0: return "O0";
+    case OptLevel::O1: return "O1";
+    case OptLevel::O2: return "O2";
+    case OptLevel::O3: return "O3";
+    case OptLevel::Oz: return "Oz";
+  }
+  return "?";
+}
+
+OptLevel opt_level_from_name(const std::string& name) {
+  if (name == "O0") return OptLevel::O0;
+  if (name == "O1") return OptLevel::O1;
+  if (name == "O2") return OptLevel::O2;
+  if (name == "O3") return OptLevel::O3;
+  if (name == "Oz") return OptLevel::Oz;
+  throw std::invalid_argument("unknown optimisation level " + name);
+}
+
+namespace {
+
+void cleanup_round(ir::Module& m) {
+  for (const auto& fn : m.functions()) {
+    if (fn->is_declaration()) continue;
+    bool changed = true;
+    int rounds = 0;
+    while (changed && rounds++ < 8) {
+      changed = false;
+      changed |= constant_fold(*fn);
+      changed |= dead_code_elim(*fn);
+      changed |= simplify_cfg(*fn);
+    }
+  }
+}
+
+}  // namespace
+
+void optimize(ir::Module& m, OptLevel level) {
+  if (level == OptLevel::O0) return;
+
+  if (level == OptLevel::O2 || level == OptLevel::O3) {
+    inline_functions(m, level == OptLevel::O3 ? 120 : 40);
+  }
+  if (level == OptLevel::Oz) {
+    // Size-biased: only inline tiny callees (call overhead > body size).
+    inline_functions(m, 8);
+  }
+  for (const auto& fn : m.functions()) {
+    if (!fn->is_declaration()) mem2reg(*fn);
+  }
+  cleanup_round(m);
+  if (level == OptLevel::O3) {
+    for (const auto& fn : m.functions()) {
+      if (!fn->is_declaration()) strength_reduce(*fn);
+    }
+    cleanup_round(m);
+  }
+}
+
+}  // namespace gbm::opt

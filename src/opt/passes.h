@@ -1,0 +1,47 @@
+// Optimisation passes and -O pipelines (the paper's compiler optimisation
+// levels, RQ2). Each pass returns true if it changed the function/module.
+//
+// Pipelines (mirroring the spirit of clang's levels at our IR's scale):
+//   O0 — nothing.
+//   O1 — mem2reg, constant folding, DCE, CFG simplification (to fixpoint).
+//   O2 — O1 + function inlining (+ a second cleanup round).
+//   O3 — O2 + strength reduction + higher inline threshold.
+//   Oz — O1 + conservative inlining of single-block callees (size-biased).
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace gbm::opt {
+
+/// Promotes scalar entry-block allocas whose only uses are loads and stores
+/// to SSA values, inserting (maximal) phis that later simplification prunes.
+bool mem2reg(ir::Function& fn);
+
+/// Folds constant expressions, branch conditions and algebraic identities.
+bool constant_fold(ir::Function& fn);
+
+/// Deletes side-effect-free instructions with no users (iterates to fixpoint).
+bool dead_code_elim(ir::Function& fn);
+
+/// Removes unreachable blocks, merges straight-line chains, simplifies
+/// degenerate conditional branches and single-input phis.
+bool simplify_cfg(ir::Function& fn);
+
+/// Inlines calls to defined, non-recursive callees whose instruction count
+/// is at most `threshold`.
+bool inline_functions(ir::Module& m, int threshold);
+
+/// Local strength reduction (mul/div by powers of two, additive identities).
+bool strength_reduce(ir::Function& fn);
+
+enum class OptLevel { O0, O1, O2, O3, Oz };
+
+const char* opt_level_name(OptLevel level);
+OptLevel opt_level_from_name(const std::string& name);
+
+/// Runs the pipeline for `level` over every function in the module.
+void optimize(ir::Module& m, OptLevel level);
+
+}  // namespace gbm::opt

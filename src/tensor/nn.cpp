@@ -1,0 +1,103 @@
+#include "tensor/nn.h"
+
+#include <stdexcept>
+
+namespace gbm::tensor {
+
+// ---- Linear ------------------------------------------------------------
+
+Linear::Linear(long in_features, long out_features, RNG& rng, bool bias,
+               std::string name)
+    : name_(std::move(name)),
+      weight_(Tensor::xavier(in_features, out_features, rng, true)) {
+  if (bias) bias_ = Tensor::zeros(1, out_features, true);
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  Tensor y = matmul(x, weight_);
+  if (bias_.defined()) y = add(y, bias_);
+  return y;
+}
+
+std::vector<NamedParam> Linear::params() const {
+  std::vector<NamedParam> out{{name_ + ".weight", weight_}};
+  if (bias_.defined()) out.push_back({name_ + ".bias", bias_});
+  return out;
+}
+
+// ---- Embedding -----------------------------------------------------------
+
+Embedding::Embedding(long vocab, long dim, RNG& rng, std::string name)
+    : name_(std::move(name)),
+      table_(Tensor::randn(vocab, dim, rng, 0.1f, true)) {}
+
+Tensor Embedding::forward_bag_max(const std::vector<int>& ids, long n, long bag_len,
+                                  int pad_id) const {
+  return embedding_bag_max(table_, ids, n, bag_len, pad_id);
+}
+
+Tensor Embedding::forward_rows(const std::vector<int>& ids) const {
+  return index_rows(table_, ids);
+}
+
+std::vector<NamedParam> Embedding::params() const {
+  return {{name_ + ".table", table_}};
+}
+
+// ---- LayerNorm ----------------------------------------------------------
+
+LayerNorm::LayerNorm(long dim, std::string name)
+    : name_(std::move(name)),
+      gamma_(Tensor::full(1, dim, 1.0f, true)),
+      beta_(Tensor::zeros(1, dim, true)) {}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  return layer_norm_rows(x, gamma_, beta_);
+}
+
+std::vector<NamedParam> LayerNorm::params() const {
+  return {{name_ + ".gamma", gamma_}, {name_ + ".beta", beta_}};
+}
+
+// ---- LSTMCell -------------------------------------------------------------
+
+LSTMCell::LSTMCell(long input_dim, long hidden_dim, RNG& rng, std::string name)
+    : name_(std::move(name)),
+      hidden_(hidden_dim),
+      ih_(input_dim, 4 * hidden_dim, rng, true, name + ".ih"),
+      hh_(hidden_dim, 4 * hidden_dim, rng, false, name + ".hh") {}
+
+Tensor LSTMCell::forward_sequence(const Tensor& seq) const {
+  const long t_steps = seq.rows();
+  Tensor h = Tensor::zeros(1, hidden_);
+  Tensor c = Tensor::zeros(1, hidden_);
+  std::vector<Tensor> outputs;
+  outputs.reserve(t_steps);
+  for (long t = 0; t < t_steps; ++t) {
+    const Tensor xt = slice_rows(seq, t, t + 1);
+    const Tensor gates = add(ih_.forward(xt), hh_.forward(h));
+    // Gate layout: [input | forget | cell | output], each `hidden_` wide.
+    const Tensor i_g = sigmoid(slice_cols(gates, 0, hidden_));
+    const Tensor f_g = sigmoid(slice_cols(gates, hidden_, 2 * hidden_));
+    const Tensor g_g = tanh_t(slice_cols(gates, 2 * hidden_, 3 * hidden_));
+    const Tensor o_g = sigmoid(slice_cols(gates, 3 * hidden_, 4 * hidden_));
+    c = add(mul(f_g, c), mul(i_g, g_g));
+    h = mul(o_g, tanh_t(c));
+    outputs.push_back(h);
+  }
+  return concat_rows(outputs);
+}
+
+Tensor LSTMCell::forward_last(const Tensor& seq) const {
+  const Tensor all = forward_sequence(seq);
+  return slice_rows(all, all.rows() - 1, all.rows());
+}
+
+std::vector<NamedParam> LSTMCell::params() const {
+  std::vector<NamedParam> out;
+  for (auto& p : ih_.params()) out.push_back(p);
+  for (auto& p : hh_.params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace gbm::tensor

@@ -1,0 +1,124 @@
+// Neural-network building blocks on top of the autograd tensor.
+//
+// Modules own their parameters (Tensors with requires_grad=true) and expose
+// them through `params()` so optimisers and serialisation can walk a model
+// uniformly. Forward passes are plain functions of Tensors and build the
+// autograd graph implicitly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gbm::tensor {
+
+/// Named parameter handle used by optimisers and (de)serialisation.
+struct NamedParam {
+  std::string name;
+  Tensor tensor;
+};
+
+/// Base for parameterised modules. Children register their parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+  /// All trainable parameters (recursively).
+  virtual std::vector<NamedParam> params() const = 0;
+  void zero_grad() {
+    for (auto& p : params()) p.tensor.zero_grad();
+  }
+  /// Total number of trainable scalars.
+  long param_count() const {
+    long n = 0;
+    for (const auto& p : params()) n += p.tensor.size();
+    return n;
+  }
+};
+
+/// Affine map y = x W + b.
+class Linear : public Module {
+ public:
+  Linear() = default;
+  Linear(long in_features, long out_features, RNG& rng, bool bias = true,
+         std::string name = "linear");
+  Tensor forward(const Tensor& x) const;
+  std::vector<NamedParam> params() const override;
+  long in_features() const { return weight_.rows(); }
+  long out_features() const { return weight_.cols(); }
+
+ private:
+  std::string name_;
+  Tensor weight_;  // (in, out)
+  Tensor bias_;    // (1, out) — undefined if bias=false
+};
+
+/// Token embedding table; lookup is the fused embedding-bag-max op that
+/// implements the paper's "embedding layer + max over the token sequence".
+class Embedding : public Module {
+ public:
+  Embedding() = default;
+  Embedding(long vocab, long dim, RNG& rng, std::string name = "embedding");
+  /// ids is n bags of bag_len ids; returns (n, dim).
+  Tensor forward_bag_max(const std::vector<int>& ids, long n, long bag_len,
+                         int pad_id) const;
+  /// Plain row lookup: returns (ids.size(), dim).
+  Tensor forward_rows(const std::vector<int>& ids) const;
+  std::vector<NamedParam> params() const override;
+  long vocab() const { return table_.rows(); }
+  long dim() const { return table_.cols(); }
+
+ private:
+  std::string name_;
+  Tensor table_;  // (vocab, dim)
+};
+
+/// Per-row layer normalisation with learnable scale and shift.
+class LayerNorm : public Module {
+ public:
+  LayerNorm() = default;
+  explicit LayerNorm(long dim, std::string name = "layernorm");
+  Tensor forward(const Tensor& x) const;
+  std::vector<NamedParam> params() const override;
+
+ private:
+  std::string name_;
+  Tensor gamma_;  // (1, dim)
+  Tensor beta_;   // (1, dim)
+};
+
+/// Stateless dropout wrapper carrying its probability.
+class Dropout {
+ public:
+  explicit Dropout(float p = 0.5f) : p_(p) {}
+  Tensor forward(const Tensor& x, bool training, RNG& rng) const {
+    return dropout(x, p_, training, rng);
+  }
+  float p() const { return p_; }
+
+ private:
+  float p_;
+};
+
+/// A single LSTM layer processed step by step (used by the XLIR-LSTM
+/// baseline). Input is a (T, in) sequence; output is the final hidden state
+/// (1, hidden) or the full (T, hidden) sequence.
+class LSTMCell : public Module {
+ public:
+  LSTMCell() = default;
+  LSTMCell(long input_dim, long hidden_dim, RNG& rng, std::string name = "lstm");
+  /// Runs the recurrence over all T rows of `seq`; returns (T, hidden).
+  Tensor forward_sequence(const Tensor& seq) const;
+  /// Final hidden state only, (1, hidden).
+  Tensor forward_last(const Tensor& seq) const;
+  std::vector<NamedParam> params() const override;
+  long hidden_dim() const { return hidden_; }
+
+ private:
+  std::string name_;
+  long hidden_ = 0;
+  Linear ih_;  // input -> 4*hidden (i, f, g, o gates)
+  Linear hh_;  // hidden -> 4*hidden
+};
+
+}  // namespace gbm::tensor

@@ -1,0 +1,71 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+namespace gbm::tensor {
+
+Adam::Adam(std::vector<NamedParam> params, AdamConfig cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.tensor.size(), 0.0f);
+    v_.emplace_back(p.tensor.size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, t_);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    auto impl = params_[pi].tensor.impl();
+    impl->ensure_grad();
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (long i = 0; i < impl->size(); ++i) {
+      const float g = impl->grad[i];
+      m[i] = cfg_.beta1 * m[i] + (1.0f - cfg_.beta1) * g;
+      v[i] = cfg_.beta2 * v[i] + (1.0f - cfg_.beta2) * g * g;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      float upd = static_cast<float>(cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps));
+      if (cfg_.weight_decay > 0.0f) upd += cfg_.lr * cfg_.weight_decay * impl->val[i];
+      impl->val[i] -= upd;
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.tensor.zero_grad();
+}
+
+void SGD::step() {
+  for (auto& p : params_) {
+    auto impl = p.tensor.impl();
+    impl->ensure_grad();
+    for (long i = 0; i < impl->size(); ++i) impl->val[i] -= lr_ * impl->grad[i];
+  }
+}
+
+void SGD::zero_grad() {
+  for (auto& p : params_) p.tensor.zero_grad();
+}
+
+double clip_grad_norm(const std::vector<NamedParam>& params, double max_norm) {
+  double sq = 0.0;
+  for (const auto& p : params) {
+    auto impl = p.tensor.impl();
+    impl->ensure_grad();
+    for (float g : impl->grad) sq += double(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float s = static_cast<float>(max_norm / norm);
+    for (const auto& p : params)
+      for (auto& g : p.tensor.impl()->grad) g *= s;
+  }
+  return norm;
+}
+
+}  // namespace gbm::tensor

@@ -1,0 +1,54 @@
+// First-order optimisers over NamedParam lists, plus gradient clipping.
+// Adam follows Kingma & Ba (2014) with bias correction — the optimiser the
+// paper uses (lr 6.6e-5 at paper scale; benches document their own lr).
+#pragma once
+
+#include <vector>
+
+#include "tensor/nn.h"
+
+namespace gbm::tensor {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  // decoupled (AdamW-style)
+};
+
+class Adam {
+ public:
+  Adam(std::vector<NamedParam> params, AdamConfig cfg = {});
+  /// Applies one update using the gradients currently stored on the params.
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { cfg_.lr = lr; }
+  float lr() const { return cfg_.lr; }
+  long step_count() const { return t_; }
+
+ private:
+  std::vector<NamedParam> params_;
+  AdamConfig cfg_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  long t_ = 0;
+};
+
+/// Plain SGD (reference optimiser used in gradient-check tests).
+class SGD {
+ public:
+  SGD(std::vector<NamedParam> params, float lr) : params_(std::move(params)), lr_(lr) {}
+  void step();
+  void zero_grad();
+
+ private:
+  std::vector<NamedParam> params_;
+  float lr_;
+};
+
+/// Scales all gradients so the global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<NamedParam>& params, double max_norm);
+
+}  // namespace gbm::tensor

@@ -1,0 +1,77 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic components of the library (weight init, dropout, dataset
+// synthesis, shuffling) draw from this generator so that a fixed seed
+// reproduces a run bit-for-bit across platforms. std::mt19937_64 is used as
+// the engine because its output sequence is specified by the standard;
+// distributions are implemented here (not via <random> distribution objects,
+// whose sequences are implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gbm::tensor {
+
+class RNG {
+ public:
+  explicit RNG(std::uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  /// Raw 64-bit output (splitmix64 — small, fast, well distributed).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  long uniform_int(long lo, long hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<long>(next_u64() % span);
+  }
+
+  /// Standard normal via Box-Muller (no caching so the stream is stateless
+  /// with respect to call sites).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586 * u2);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_u64() % i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index of a non-empty container.
+  template <class T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(next_u64() % v.size())];
+  }
+
+  /// Fork a derived generator (stable with respect to the parent stream).
+  RNG fork() { return RNG(next_u64()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gbm::tensor

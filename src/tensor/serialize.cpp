@@ -1,0 +1,89 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gbm::tensor {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'B', 'M', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* p, std::size_t n) {
+  if (std::fwrite(p, 1, n, f) != n) throw std::runtime_error("save_params: write failed");
+}
+
+void read_bytes(std::FILE* f, void* p, std::size_t n) {
+  if (std::fread(p, 1, n, f) != n) throw std::runtime_error("load_params: truncated file");
+}
+
+}  // namespace
+
+void save_params(const std::vector<NamedParam>& params, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("save_params: cannot open " + path);
+  write_bytes(f.get(), kMagic, 4);
+  write_bytes(f.get(), &kVersion, sizeof kVersion);
+  const std::uint64_t count = params.size();
+  write_bytes(f.get(), &count, sizeof count);
+  for (const auto& p : params) {
+    const std::uint32_t len = static_cast<std::uint32_t>(p.name.size());
+    write_bytes(f.get(), &len, sizeof len);
+    write_bytes(f.get(), p.name.data(), len);
+    const std::int64_t rows = p.tensor.rows(), cols = p.tensor.cols();
+    write_bytes(f.get(), &rows, sizeof rows);
+    write_bytes(f.get(), &cols, sizeof cols);
+    write_bytes(f.get(), p.tensor.data().data(), sizeof(float) * p.tensor.size());
+  }
+}
+
+std::size_t load_params(std::vector<NamedParam>& params, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("load_params: cannot open " + path);
+  char magic[4];
+  read_bytes(f.get(), magic, 4);
+  if (std::string(magic, 4) != std::string(kMagic, 4))
+    throw std::runtime_error("load_params: bad magic");
+  std::uint32_t version = 0;
+  read_bytes(f.get(), &version, sizeof version);
+  if (version != kVersion) throw std::runtime_error("load_params: unsupported version");
+  std::uint64_t count = 0;
+  read_bytes(f.get(), &count, sizeof count);
+
+  std::unordered_map<std::string, Tensor*> by_name;
+  for (auto& p : params) by_name[p.name] = &p.tensor;
+
+  std::size_t restored = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t len = 0;
+    read_bytes(f.get(), &len, sizeof len);
+    std::string name(len, '\0');
+    read_bytes(f.get(), name.data(), len);
+    std::int64_t rows = 0, cols = 0;
+    read_bytes(f.get(), &rows, sizeof rows);
+    read_bytes(f.get(), &cols, sizeof cols);
+    std::vector<float> values(static_cast<std::size_t>(rows * cols));
+    read_bytes(f.get(), values.data(), sizeof(float) * values.size());
+    auto it = by_name.find(name);
+    if (it == by_name.end()) continue;  // unknown tensors are skipped
+    Tensor& t = *it->second;
+    if (t.rows() != rows || t.cols() != cols)
+      throw std::runtime_error("load_params: shape mismatch for " + name);
+    t.mutable_data() = std::move(values);
+    ++restored;
+  }
+  return restored;
+}
+
+}  // namespace gbm::tensor

@@ -1,0 +1,23 @@
+// Binary (de)serialisation of named parameter sets, so trained models can be
+// saved from one example/bench and reloaded in another.
+//
+// Format: magic "GBMT", u32 version, u64 count, then per tensor:
+//   u32 name_len, name bytes, i64 rows, i64 cols, rows*cols f32 values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/nn.h"
+
+namespace gbm::tensor {
+
+/// Writes all parameters to `path`. Throws std::runtime_error on I/O failure.
+void save_params(const std::vector<NamedParam>& params, const std::string& path);
+
+/// Loads values into matching (by name and shape) parameters of `params`.
+/// Returns the number of tensors restored; throws on I/O or format errors,
+/// and on shape mismatch for a matching name.
+std::size_t load_params(std::vector<NamedParam>& params, const std::string& path);
+
+}  // namespace gbm::tensor

@@ -1,0 +1,921 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gbm::tensor {
+
+namespace {
+
+std::shared_ptr<TensorImpl> make_impl(long rows, long cols, bool rg) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->val.assign(static_cast<std::size_t>(rows * cols), 0.0f);
+  impl->requires_grad = rg;
+  return impl;
+}
+
+[[noreturn]] void shape_error(const char* op, const Tensor& a, const Tensor& b) {
+  throw std::invalid_argument(std::string(op) + ": incompatible shapes (" +
+                              std::to_string(a.rows()) + "x" + std::to_string(a.cols()) +
+                              ") vs (" + std::to_string(b.rows()) + "x" +
+                              std::to_string(b.cols()) + ")");
+}
+
+bool same_shape(const Tensor& a, const Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols();
+}
+
+bool row_broadcastable(const Tensor& a, const Tensor& b) {
+  return b.rows() == 1 && a.cols() == b.cols();
+}
+
+}  // namespace
+
+// ---- factories --------------------------------------------------------
+
+Tensor Tensor::zeros(long rows, long cols, bool requires_grad) {
+  return Tensor(make_impl(rows, cols, requires_grad));
+}
+
+Tensor Tensor::full(long rows, long cols, float value, bool requires_grad) {
+  auto impl = make_impl(rows, cols, requires_grad);
+  std::fill(impl->val.begin(), impl->val.end(), value);
+  return Tensor(impl);
+}
+
+Tensor Tensor::from(std::vector<float> values, long rows, long cols, bool requires_grad) {
+  if (static_cast<long>(values.size()) != rows * cols)
+    throw std::invalid_argument("Tensor::from: size mismatch");
+  auto impl = make_impl(rows, cols, requires_grad);
+  impl->val = std::move(values);
+  return Tensor(impl);
+}
+
+Tensor Tensor::randn(long rows, long cols, RNG& rng, float stddev, bool requires_grad) {
+  auto impl = make_impl(rows, cols, requires_grad);
+  for (auto& v : impl->val) v = static_cast<float>(rng.normal()) * stddev;
+  return Tensor(impl);
+}
+
+Tensor Tensor::xavier(long fan_in, long fan_out, RNG& rng, bool requires_grad) {
+  auto impl = make_impl(fan_in, fan_out, requires_grad);
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (auto& v : impl->val) v = static_cast<float>(rng.uniform(-limit, limit));
+  return Tensor(impl);
+}
+
+// ---- accessors --------------------------------------------------------
+
+float Tensor::item() const {
+  if (size() != 1) throw std::logic_error("Tensor::item on non-scalar");
+  return impl_->val[0];
+}
+
+Tensor Tensor::detach() const {
+  auto impl = make_impl(rows(), cols(), false);
+  impl->val = impl_->val;
+  return Tensor(impl);
+}
+
+void Tensor::zero_grad() {
+  impl_->ensure_grad();
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+void Tensor::backward() const {
+  if (size() != 1) throw std::logic_error("Tensor::backward requires a scalar root");
+  // Topological order via iterative post-order DFS.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, std::size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->inputs.size()) {
+      TensorImpl* child = node->inputs[next_child++].get();
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  for (TensorImpl* n : order) n->ensure_grad();
+  impl_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward) (*it)->backward();
+  }
+}
+
+std::string Tensor::to_string(int max_rows, int max_cols) const {
+  std::string out = "Tensor(" + std::to_string(rows()) + "x" + std::to_string(cols()) + ")[";
+  char buf[32];
+  for (long r = 0; r < std::min<long>(rows(), max_rows); ++r) {
+    out += (r ? "; " : "");
+    for (long c = 0; c < std::min<long>(cols(), max_cols); ++c) {
+      std::snprintf(buf, sizeof buf, "%s%.4g", c ? ", " : "", at(r, c));
+      out += buf;
+    }
+    if (cols() > max_cols) out += ", ...";
+  }
+  if (rows() > max_rows) out += "; ...";
+  return out + "]";
+}
+
+// ---- helpers for op construction ---------------------------------------
+
+namespace {
+
+Tensor unary_op(const Tensor& a, long rows, long cols,
+                const std::function<void(const TensorImpl&, TensorImpl&)>& fwd,
+                const std::function<void(TensorImpl&, TensorImpl&)>& bwd) {
+  auto out = make_impl(rows, cols, a.requires_grad());
+  fwd(*a.impl(), *out);
+  if (out->requires_grad) {
+    out->inputs = {a.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl();
+    out->backward = [o, ai, bwd]() {
+      ai->ensure_grad();
+      bwd(*ai, *o);
+    };
+  }
+  return Tensor(out);
+}
+
+}  // namespace
+
+// ---- elementwise algebra ------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  const bool bc = !same_shape(a, b) && row_broadcastable(a, b);
+  if (!same_shape(a, b) && !bc) shape_error("add", a, b);
+  auto out = make_impl(a.rows(), a.cols(), a.requires_grad() || b.requires_grad());
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  const long n = a.rows(), d = a.cols();
+  for (long r = 0; r < n; ++r)
+    for (long c = 0; c < d; ++c)
+      out->val[r * d + c] = av[r * d + c] + (bc ? bv[c] : bv[r * d + c]);
+  if (out->requires_grad) {
+    out->inputs = {a.impl(), b.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl(), bi = b.impl();
+    out->backward = [o, ai, bi, bc, n, d]() {
+      if (ai->requires_grad) {
+        ai->ensure_grad();
+        for (long i = 0; i < n * d; ++i) ai->grad[i] += o->grad[i];
+      }
+      if (bi->requires_grad) {
+        bi->ensure_grad();
+        if (bc) {
+          for (long r = 0; r < n; ++r)
+            for (long c = 0; c < d; ++c) bi->grad[c] += o->grad[r * d + c];
+        } else {
+          for (long i = 0; i < n * d; ++i) bi->grad[i] += o->grad[i];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) { return add(a, neg(b)); }
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  const bool bc = !same_shape(a, b) && row_broadcastable(a, b);
+  if (!same_shape(a, b) && !bc) shape_error("mul", a, b);
+  auto out = make_impl(a.rows(), a.cols(), a.requires_grad() || b.requires_grad());
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  const long n = a.rows(), d = a.cols();
+  for (long r = 0; r < n; ++r)
+    for (long c = 0; c < d; ++c)
+      out->val[r * d + c] = av[r * d + c] * (bc ? bv[c] : bv[r * d + c]);
+  if (out->requires_grad) {
+    out->inputs = {a.impl(), b.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl(), bi = b.impl();
+    out->backward = [o, ai, bi, bc, n, d]() {
+      if (ai->requires_grad) {
+        ai->ensure_grad();
+        for (long r = 0; r < n; ++r)
+          for (long c = 0; c < d; ++c)
+            ai->grad[r * d + c] += o->grad[r * d + c] * (bc ? bi->val[c] : bi->val[r * d + c]);
+      }
+      if (bi->requires_grad) {
+        bi->ensure_grad();
+        if (bc) {
+          for (long r = 0; r < n; ++r)
+            for (long c = 0; c < d; ++c)
+              bi->grad[c] += o->grad[r * d + c] * ai->val[r * d + c];
+        } else {
+          for (long i = 0; i < n * d; ++i) bi->grad[i] += o->grad[i] * ai->val[i];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor scale(const Tensor& a, float s) {
+  return unary_op(
+      a, a.rows(), a.cols(),
+      [s](const TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i) o.val[i] = x.val[i] * s;
+      },
+      [s](TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i) x.grad[i] += o.grad[i] * s;
+      });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(
+      a, a.rows(), a.cols(),
+      [s](const TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i) o.val[i] = x.val[i] + s;
+      },
+      [](TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i) x.grad[i] += o.grad[i];
+      });
+}
+
+Tensor neg(const Tensor& a) { return scale(a, -1.0f); }
+
+Tensor abs_t(const Tensor& a) {
+  return unary_op(
+      a, a.rows(), a.cols(),
+      [](const TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i) o.val[i] = std::fabs(x.val[i]);
+      },
+      [](TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i)
+          x.grad[i] += o.grad[i] * (x.val[i] >= 0.0f ? 1.0f : -1.0f);
+      });
+}
+
+Tensor maximum(const Tensor& a, const Tensor& b) {
+  if (!same_shape(a, b)) shape_error("maximum", a, b);
+  auto out = make_impl(a.rows(), a.cols(), a.requires_grad() || b.requires_grad());
+  for (long i = 0; i < a.size(); ++i)
+    out->val[i] = std::max(a.data()[i], b.data()[i]);
+  if (out->requires_grad) {
+    out->inputs = {a.impl(), b.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl(), bi = b.impl();
+    out->backward = [o, ai, bi]() {
+      for (long i = 0; i < o->size(); ++i) {
+        // Ties route the gradient to the first argument.
+        if (ai->val[i] >= bi->val[i]) {
+          if (ai->requires_grad) { ai->ensure_grad(); ai->grad[i] += o->grad[i]; }
+        } else if (bi->requires_grad) {
+          bi->ensure_grad();
+          bi->grad[i] += o->grad[i];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+// ---- dense linear algebra -------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) shape_error("matmul", a, b);
+  const long n = a.rows(), k = a.cols(), m = b.cols();
+  auto out = make_impl(n, m, a.requires_grad() || b.requires_grad());
+  const float* A = a.data().data();
+  const float* B = b.data().data();
+  float* C = out->val.data();
+  // i-k-j loop order: unit-stride inner loop over both B and C rows.
+  for (long i = 0; i < n; ++i) {
+    float* Ci = C + i * m;
+    for (long kk = 0; kk < k; ++kk) {
+      const float aik = A[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* Bk = B + kk * m;
+      for (long j = 0; j < m; ++j) Ci[j] += aik * Bk[j];
+    }
+  }
+  if (out->requires_grad) {
+    out->inputs = {a.impl(), b.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl(), bi = b.impl();
+    out->backward = [o, ai, bi, n, k, m]() {
+      const float* G = o->grad.data();
+      if (ai->requires_grad) {
+        ai->ensure_grad();  // dA = G * B^T
+        float* dA = ai->grad.data();
+        const float* B = bi->val.data();
+        for (long i = 0; i < n; ++i)
+          for (long j = 0; j < m; ++j) {
+            const float g = G[i * m + j];
+            if (g == 0.0f) continue;
+            const float* Bcol = B + j;  // column j, stride m
+            for (long kk = 0; kk < k; ++kk) dA[i * k + kk] += g * Bcol[kk * m];
+          }
+      }
+      if (bi->requires_grad) {
+        bi->ensure_grad();  // dB = A^T * G
+        float* dB = bi->grad.data();
+        const float* A = ai->val.data();
+        for (long kk = 0; kk < k; ++kk)
+          for (long i = 0; i < n; ++i) {
+            const float aik = A[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* Gi = G + i * m;
+            for (long j = 0; j < m; ++j) dB[kk * m + j] += aik * Gi[j];
+          }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor transpose(const Tensor& a) {
+  const long n = a.rows(), d = a.cols();
+  auto out = make_impl(d, n, a.requires_grad());
+  for (long r = 0; r < n; ++r)
+    for (long c = 0; c < d; ++c) out->val[c * n + r] = a.data()[r * d + c];
+  if (out->requires_grad) {
+    out->inputs = {a.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl();
+    out->backward = [o, ai, n, d]() {
+      ai->ensure_grad();
+      for (long r = 0; r < n; ++r)
+        for (long c = 0; c < d; ++c) ai->grad[r * d + c] += o->grad[c * n + r];
+    };
+  }
+  return Tensor(out);
+}
+
+// ---- nonlinearities ---------------------------------------------------
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(
+      a, a.rows(), a.cols(),
+      [](const TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i)
+          o.val[i] = 1.0f / (1.0f + std::exp(-x.val[i]));
+      },
+      [](TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i)
+          x.grad[i] += o.grad[i] * o.val[i] * (1.0f - o.val[i]);
+      });
+}
+
+Tensor tanh_t(const Tensor& a) {
+  return unary_op(
+      a, a.rows(), a.cols(),
+      [](const TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i) o.val[i] = std::tanh(x.val[i]);
+      },
+      [](TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i)
+          x.grad[i] += o.grad[i] * (1.0f - o.val[i] * o.val[i]);
+      });
+}
+
+Tensor exp_t(const Tensor& a) {
+  return unary_op(
+      a, a.rows(), a.cols(),
+      [](const TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i) o.val[i] = std::exp(x.val[i]);
+      },
+      [](TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i) x.grad[i] += o.grad[i] * o.val[i];
+      });
+}
+
+Tensor log_t(const Tensor& a) {
+  return unary_op(
+      a, a.rows(), a.cols(),
+      [](const TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i)
+          o.val[i] = std::log(std::max(x.val[i], 1e-12f));
+      },
+      [](TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i)
+          x.grad[i] += o.grad[i] / std::max(x.val[i], 1e-12f);
+      });
+}
+
+Tensor relu(const Tensor& a) { return leaky_relu(a, 0.0f); }
+
+Tensor leaky_relu(const Tensor& a, float negative_slope) {
+  return unary_op(
+      a, a.rows(), a.cols(),
+      [negative_slope](const TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i)
+          o.val[i] = x.val[i] > 0.0f ? x.val[i] : negative_slope * x.val[i];
+      },
+      [negative_slope](TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i)
+          x.grad[i] += o.grad[i] * (x.val[i] > 0.0f ? 1.0f : negative_slope);
+      });
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  const long n = a.rows(), d = a.cols();
+  return unary_op(
+      a, n, d,
+      [n, d](const TensorImpl& x, TensorImpl& o) {
+        for (long r = 0; r < n; ++r) {
+          float mx = -std::numeric_limits<float>::infinity();
+          for (long c = 0; c < d; ++c) mx = std::max(mx, x.val[r * d + c]);
+          float sum = 0.0f;
+          for (long c = 0; c < d; ++c) {
+            o.val[r * d + c] = std::exp(x.val[r * d + c] - mx);
+            sum += o.val[r * d + c];
+          }
+          for (long c = 0; c < d; ++c) o.val[r * d + c] /= sum;
+        }
+      },
+      [n, d](TensorImpl& x, TensorImpl& o) {
+        for (long r = 0; r < n; ++r) {
+          float dot = 0.0f;
+          for (long c = 0; c < d; ++c) dot += o.grad[r * d + c] * o.val[r * d + c];
+          for (long c = 0; c < d; ++c)
+            x.grad[r * d + c] += o.val[r * d + c] * (o.grad[r * d + c] - dot);
+        }
+      });
+}
+
+// ---- reductions --------------------------------------------------------
+
+Tensor sum_all(const Tensor& a) {
+  return unary_op(
+      a, 1, 1,
+      [](const TensorImpl& x, TensorImpl& o) {
+        double s = 0.0;
+        for (long i = 0; i < x.size(); ++i) s += x.val[i];
+        o.val[0] = static_cast<float>(s);
+      },
+      [](TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i) x.grad[i] += o.grad[0];
+      });
+}
+
+Tensor mean_all(const Tensor& a) { return scale(sum_all(a), 1.0f / a.size()); }
+
+Tensor sum_rows(const Tensor& a) {
+  const long n = a.rows(), d = a.cols();
+  return unary_op(
+      a, 1, d,
+      [n, d](const TensorImpl& x, TensorImpl& o) {
+        for (long r = 0; r < n; ++r)
+          for (long c = 0; c < d; ++c) o.val[c] += x.val[r * d + c];
+      },
+      [n, d](TensorImpl& x, TensorImpl& o) {
+        for (long r = 0; r < n; ++r)
+          for (long c = 0; c < d; ++c) x.grad[r * d + c] += o.grad[c];
+      });
+}
+
+Tensor mean_rows(const Tensor& a) {
+  return scale(sum_rows(a), 1.0f / static_cast<float>(a.rows()));
+}
+
+Tensor max_rows(const Tensor& a) {
+  const long n = a.rows(), d = a.cols();
+  auto out = make_impl(1, d, a.requires_grad());
+  std::vector<int> argmax(d, 0);
+  for (long c = 0; c < d; ++c) {
+    float best = a.data()[c];
+    for (long r = 1; r < n; ++r) {
+      if (a.data()[r * d + c] > best) {
+        best = a.data()[r * d + c];
+        argmax[c] = static_cast<int>(r);
+      }
+    }
+    out->val[c] = best;
+  }
+  if (out->requires_grad) {
+    out->inputs = {a.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl();
+    out->backward = [o, ai, argmax, d]() {
+      ai->ensure_grad();
+      for (long c = 0; c < d; ++c) ai->grad[argmax[c] * d + c] += o->grad[c];
+    };
+  }
+  return Tensor(out);
+}
+
+// ---- shape ops ---------------------------------------------------------
+
+Tensor concat_cols(const std::vector<Tensor>& xs) {
+  if (xs.empty()) throw std::invalid_argument("concat_cols: empty input");
+  const long n = xs[0].rows();
+  long total = 0;
+  bool rg = false;
+  for (const auto& x : xs) {
+    if (x.rows() != n) shape_error("concat_cols", xs[0], x);
+    total += x.cols();
+    rg = rg || x.requires_grad();
+  }
+  auto out = make_impl(n, total, rg);
+  long off = 0;
+  for (const auto& x : xs) {
+    const long d = x.cols();
+    for (long r = 0; r < n; ++r)
+      std::copy_n(x.data().begin() + r * d, d, out->val.begin() + r * total + off);
+    off += d;
+  }
+  if (rg) {
+    for (const auto& x : xs) out->inputs.push_back(x.impl());
+    TensorImpl* o = out.get();
+    auto inputs = out->inputs;
+    out->backward = [o, inputs, n, total]() {
+      long off2 = 0;
+      for (const auto& xi : inputs) {
+        const long d = xi->cols;
+        if (xi->requires_grad) {
+          xi->ensure_grad();
+          for (long r = 0; r < n; ++r)
+            for (long c = 0; c < d; ++c)
+              xi->grad[r * d + c] += o->grad[r * total + off2 + c];
+        }
+        off2 += d;
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor concat_rows(const std::vector<Tensor>& xs) {
+  if (xs.empty()) throw std::invalid_argument("concat_rows: empty input");
+  const long d = xs[0].cols();
+  long total = 0;
+  bool rg = false;
+  for (const auto& x : xs) {
+    if (x.cols() != d) shape_error("concat_rows", xs[0], x);
+    total += x.rows();
+    rg = rg || x.requires_grad();
+  }
+  auto out = make_impl(total, d, rg);
+  long off = 0;
+  for (const auto& x : xs) {
+    std::copy(x.data().begin(), x.data().end(), out->val.begin() + off * d);
+    off += x.rows();
+  }
+  if (rg) {
+    for (const auto& x : xs) out->inputs.push_back(x.impl());
+    TensorImpl* o = out.get();
+    auto inputs = out->inputs;
+    out->backward = [o, inputs, d]() {
+      long off2 = 0;
+      for (const auto& xi : inputs) {
+        if (xi->requires_grad) {
+          xi->ensure_grad();
+          for (long i = 0; i < xi->size(); ++i) xi->grad[i] += o->grad[off2 * d + i];
+        }
+        off2 += xi->rows;
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor slice_rows(const Tensor& a, long begin, long end) {
+  if (begin < 0 || end > a.rows() || begin > end)
+    throw std::out_of_range("slice_rows: bad range");
+  const long d = a.cols(), n = end - begin;
+  auto out = make_impl(n, d, a.requires_grad());
+  std::copy_n(a.data().begin() + begin * d, n * d, out->val.begin());
+  if (out->requires_grad) {
+    out->inputs = {a.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl();
+    out->backward = [o, ai, begin, d]() {
+      ai->ensure_grad();
+      for (long i = 0; i < o->size(); ++i) ai->grad[begin * d + i] += o->grad[i];
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor slice_cols(const Tensor& a, long begin, long end) {
+  if (begin < 0 || end > a.cols() || begin > end)
+    throw std::out_of_range("slice_cols: bad range");
+  const long n = a.rows(), d = a.cols(), w = end - begin;
+  auto out = make_impl(n, w, a.requires_grad());
+  for (long r = 0; r < n; ++r)
+    std::copy_n(a.data().begin() + r * d + begin, w, out->val.begin() + r * w);
+  if (out->requires_grad) {
+    out->inputs = {a.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl();
+    out->backward = [o, ai, begin, d, w, n]() {
+      ai->ensure_grad();
+      for (long r = 0; r < n; ++r)
+        for (long c = 0; c < w; ++c)
+          ai->grad[r * d + begin + c] += o->grad[r * w + c];
+    };
+  }
+  return Tensor(out);
+}
+
+// ---- gather / scatter ---------------------------------------------------
+
+Tensor index_rows(const Tensor& a, const std::vector<int>& idx) {
+  const long d = a.cols(), n = static_cast<long>(idx.size());
+  auto out = make_impl(n, d, a.requires_grad());
+  for (long i = 0; i < n; ++i)
+    std::copy_n(a.data().begin() + static_cast<long>(idx[i]) * d, d,
+                out->val.begin() + i * d);
+  if (out->requires_grad) {
+    out->inputs = {a.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl();
+    out->backward = [o, ai, idx, d, n]() {
+      ai->ensure_grad();
+      for (long i = 0; i < n; ++i)
+        for (long c = 0; c < d; ++c)
+          ai->grad[static_cast<long>(idx[i]) * d + c] += o->grad[i * d + c];
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor scatter_add_rows(const Tensor& a, const std::vector<int>& idx, long out_rows) {
+  if (static_cast<long>(idx.size()) != a.rows())
+    throw std::invalid_argument("scatter_add_rows: index count != rows");
+  const long d = a.cols(), n = a.rows();
+  auto out = make_impl(out_rows, d, a.requires_grad());
+  for (long i = 0; i < n; ++i)
+    for (long c = 0; c < d; ++c)
+      out->val[static_cast<long>(idx[i]) * d + c] += a.data()[i * d + c];
+  if (out->requires_grad) {
+    out->inputs = {a.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl();
+    out->backward = [o, ai, idx, d, n]() {
+      ai->ensure_grad();
+      for (long i = 0; i < n; ++i)
+        for (long c = 0; c < d; ++c)
+          ai->grad[i * d + c] += o->grad[static_cast<long>(idx[i]) * d + c];
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor segment_softmax(const Tensor& scores, const std::vector<int>& seg, long nseg) {
+  if (scores.cols() != 1 || static_cast<long>(seg.size()) != scores.rows())
+    throw std::invalid_argument("segment_softmax: scores must be (E,1) with E segment ids");
+  const long e = scores.rows();
+  auto out = make_impl(e, 1, scores.requires_grad());
+  std::vector<float> seg_max(nseg, -std::numeric_limits<float>::infinity());
+  std::vector<double> seg_sum(nseg, 0.0);
+  for (long i = 0; i < e; ++i)
+    seg_max[seg[i]] = std::max(seg_max[seg[i]], scores.data()[i]);
+  for (long i = 0; i < e; ++i) {
+    out->val[i] = std::exp(scores.data()[i] - seg_max[seg[i]]);
+    seg_sum[seg[i]] += out->val[i];
+  }
+  for (long i = 0; i < e; ++i)
+    out->val[i] = static_cast<float>(out->val[i] / seg_sum[seg[i]]);
+  if (out->requires_grad) {
+    out->inputs = {scores.impl()};
+    TensorImpl* o = out.get();
+    auto si = scores.impl();
+    out->backward = [o, si, seg, nseg, e]() {
+      si->ensure_grad();
+      std::vector<double> dot(nseg, 0.0);  // sum_j y_j g_j per segment
+      for (long i = 0; i < e; ++i) dot[seg[i]] += double(o->val[i]) * o->grad[i];
+      for (long i = 0; i < e; ++i)
+        si->grad[i] += o->val[i] * (o->grad[i] - static_cast<float>(dot[seg[i]]));
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor scale_rows(const Tensor& a, const Tensor& s) {
+  if (s.cols() != 1 || s.rows() != a.rows()) shape_error("scale_rows", a, s);
+  const long n = a.rows(), d = a.cols();
+  auto out = make_impl(n, d, a.requires_grad() || s.requires_grad());
+  for (long r = 0; r < n; ++r)
+    for (long c = 0; c < d; ++c)
+      out->val[r * d + c] = a.data()[r * d + c] * s.data()[r];
+  if (out->requires_grad) {
+    out->inputs = {a.impl(), s.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl(), si = s.impl();
+    out->backward = [o, ai, si, n, d]() {
+      if (ai->requires_grad) {
+        ai->ensure_grad();
+        for (long r = 0; r < n; ++r)
+          for (long c = 0; c < d; ++c)
+            ai->grad[r * d + c] += o->grad[r * d + c] * si->val[r];
+      }
+      if (si->requires_grad) {
+        si->ensure_grad();
+        for (long r = 0; r < n; ++r) {
+          float acc = 0.0f;
+          for (long c = 0; c < d; ++c) acc += o->grad[r * d + c] * ai->val[r * d + c];
+          si->grad[r] += acc;
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+// ---- embedding ----------------------------------------------------------
+
+Tensor embedding_bag_max(const Tensor& table, const std::vector<int>& ids, long n,
+                         long bag_len, int pad_id) {
+  if (static_cast<long>(ids.size()) != n * bag_len)
+    throw std::invalid_argument("embedding_bag_max: ids size mismatch");
+  const long d = table.cols();
+  auto out = make_impl(n, d, table.requires_grad());
+  // argmax[i*d+c] records which table row won the max for (bag i, dim c),
+  // or -1 if the bag was entirely padding.
+  std::vector<int> argmax(static_cast<std::size_t>(n * d), -1);
+  for (long i = 0; i < n; ++i) {
+    bool any = false;
+    for (long l = 0; l < bag_len; ++l) {
+      const int id = ids[i * bag_len + l];
+      if (id == pad_id) continue;
+      const float* row = table.data().data() + static_cast<long>(id) * d;
+      if (!any) {
+        for (long c = 0; c < d; ++c) {
+          out->val[i * d + c] = row[c];
+          argmax[i * d + c] = id;
+        }
+        any = true;
+      } else {
+        for (long c = 0; c < d; ++c) {
+          if (row[c] > out->val[i * d + c]) {
+            out->val[i * d + c] = row[c];
+            argmax[i * d + c] = id;
+          }
+        }
+      }
+    }
+  }
+  if (out->requires_grad) {
+    out->inputs = {table.impl()};
+    TensorImpl* o = out.get();
+    auto ti = table.impl();
+    out->backward = [o, ti, argmax, n, d]() {
+      ti->ensure_grad();
+      for (long i = 0; i < n * d; ++i) {
+        const int id = argmax[i];
+        if (id >= 0) ti->grad[static_cast<long>(id) * d + (i % d)] += o->grad[i];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+// ---- regularisation -----------------------------------------------------
+
+Tensor dropout(const Tensor& a, float p, bool training, RNG& rng) {
+  if (!training || p <= 0.0f) return a;
+  const float keep = 1.0f - p;
+  auto mask = std::make_shared<std::vector<float>>(a.size());
+  for (auto& m : *mask) m = rng.bernoulli(keep) ? 1.0f / keep : 0.0f;
+  return unary_op(
+      a, a.rows(), a.cols(),
+      [mask](const TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i) o.val[i] = x.val[i] * (*mask)[i];
+      },
+      [mask](TensorImpl& x, TensorImpl& o) {
+        for (long i = 0; i < x.size(); ++i) x.grad[i] += o.grad[i] * (*mask)[i];
+      });
+}
+
+Tensor layer_norm_rows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                       float eps) {
+  const long n = x.rows(), d = x.cols();
+  if (gamma.rows() != 1 || gamma.cols() != d) shape_error("layer_norm gamma", x, gamma);
+  if (beta.rows() != 1 || beta.cols() != d) shape_error("layer_norm beta", x, beta);
+  auto out = make_impl(n, d,
+                       x.requires_grad() || gamma.requires_grad() || beta.requires_grad());
+  auto xhat = std::make_shared<std::vector<float>>(static_cast<std::size_t>(n * d));
+  auto inv_std = std::make_shared<std::vector<float>>(static_cast<std::size_t>(n));
+  for (long r = 0; r < n; ++r) {
+    double mean = 0.0;
+    for (long c = 0; c < d; ++c) mean += x.data()[r * d + c];
+    mean /= d;
+    double var = 0.0;
+    for (long c = 0; c < d; ++c) {
+      const double diff = x.data()[r * d + c] - mean;
+      var += diff * diff;
+    }
+    var /= d;
+    const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+    (*inv_std)[r] = is;
+    for (long c = 0; c < d; ++c) {
+      (*xhat)[r * d + c] = (x.data()[r * d + c] - static_cast<float>(mean)) * is;
+      out->val[r * d + c] = (*xhat)[r * d + c] * gamma.data()[c] + beta.data()[c];
+    }
+  }
+  if (out->requires_grad) {
+    out->inputs = {x.impl(), gamma.impl(), beta.impl()};
+    TensorImpl* o = out.get();
+    auto xi = x.impl(), gi = gamma.impl(), bi = beta.impl();
+    out->backward = [o, xi, gi, bi, xhat, inv_std, n, d]() {
+      if (bi->requires_grad) {
+        bi->ensure_grad();
+        for (long r = 0; r < n; ++r)
+          for (long c = 0; c < d; ++c) bi->grad[c] += o->grad[r * d + c];
+      }
+      if (gi->requires_grad) {
+        gi->ensure_grad();
+        for (long r = 0; r < n; ++r)
+          for (long c = 0; c < d; ++c)
+            gi->grad[c] += o->grad[r * d + c] * (*xhat)[r * d + c];
+      }
+      if (xi->requires_grad) {
+        xi->ensure_grad();
+        for (long r = 0; r < n; ++r) {
+          // dxhat = dy * gamma; dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)) * inv_std
+          double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
+          for (long c = 0; c < d; ++c) {
+            const double dxh = double(o->grad[r * d + c]) * gi->val[c];
+            mean_dxhat += dxh;
+            mean_dxhat_xhat += dxh * (*xhat)[r * d + c];
+          }
+          mean_dxhat /= d;
+          mean_dxhat_xhat /= d;
+          for (long c = 0; c < d; ++c) {
+            const double dxh = double(o->grad[r * d + c]) * gi->val[c];
+            xi->grad[r * d + c] += static_cast<float>(
+                (dxh - mean_dxhat - (*xhat)[r * d + c] * mean_dxhat_xhat) *
+                (*inv_std)[r]);
+          }
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+// ---- losses --------------------------------------------------------------
+
+Tensor bce_with_logits(const Tensor& logits, const std::vector<float>& targets) {
+  if (logits.cols() != 1 || static_cast<long>(targets.size()) != logits.rows())
+    throw std::invalid_argument("bce_with_logits: logits must be (n,1) with n targets");
+  const long n = logits.rows();
+  auto out = make_impl(1, 1, logits.requires_grad());
+  double loss = 0.0;
+  for (long i = 0; i < n; ++i) {
+    const double x = logits.data()[i];
+    const double y = targets[i];
+    // max(x,0) - x*y + log(1 + exp(-|x|)) — stable for large |x|.
+    loss += std::max(x, 0.0) - x * y + std::log1p(std::exp(-std::fabs(x)));
+  }
+  out->val[0] = static_cast<float>(loss / n);
+  if (out->requires_grad) {
+    out->inputs = {logits.impl()};
+    TensorImpl* o = out.get();
+    auto li = logits.impl();
+    out->backward = [o, li, targets, n]() {
+      li->ensure_grad();
+      for (long i = 0; i < n; ++i) {
+        const float sig = 1.0f / (1.0f + std::exp(-li->val[i]));
+        li->grad[i] += o->grad[0] * (sig - targets[i]) / n;
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor mse_loss(const Tensor& pred, const std::vector<float>& targets) {
+  if (static_cast<long>(targets.size()) != pred.size())
+    throw std::invalid_argument("mse_loss: target size mismatch");
+  const long n = pred.size();
+  auto out = make_impl(1, 1, pred.requires_grad());
+  double loss = 0.0;
+  for (long i = 0; i < n; ++i) {
+    const double diff = pred.data()[i] - targets[i];
+    loss += diff * diff;
+  }
+  out->val[0] = static_cast<float>(loss / n);
+  if (out->requires_grad) {
+    out->inputs = {pred.impl()};
+    TensorImpl* o = out.get();
+    auto pi = pred.impl();
+    out->backward = [o, pi, targets, n]() {
+      pi->ensure_grad();
+      for (long i = 0; i < n; ++i)
+        pi->grad[i] += o->grad[0] * 2.0f * (pi->val[i] - targets[i]) / n;
+    };
+  }
+  return Tensor(out);
+}
+
+}  // namespace gbm::tensor

@@ -1,0 +1,160 @@
+// A small dense 2-D float tensor with reverse-mode automatic
+// differentiation.
+//
+// This module replaces the role PyTorch / PyTorch-Geometric play in the
+// original GraphBinMatch implementation. Design constraints:
+//
+//  * every tensor is a dense row-major (rows x cols) float matrix; scalars
+//    are 1x1 — two dimensions are sufficient for every layer in the paper
+//    (node-feature matrices, edge score vectors, graph embeddings);
+//  * value semantics: `Tensor` is a cheap shared handle onto an immutable
+//    autograd node; operations build a DAG, `backward()` runs reverse-mode
+//    accumulation over a topological order;
+//  * deterministic: no global state, all randomness is passed in as RNG.
+//
+// The op set is exactly what the GraphBinMatch model family needs:
+// dense algebra, row gather/scatter for message passing, segment softmax
+// for GATv2 attention, embedding-bag-max for node featurisation, layer
+// norm, dropout and a numerically stable BCE-with-logits loss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace gbm::tensor {
+
+struct TensorImpl {
+  long rows = 0;
+  long cols = 0;
+  std::vector<float> val;
+  std::vector<float> grad;  // allocated lazily by ensure_grad()
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  std::function<void()> backward;  // accumulates into inputs' grads
+
+  long size() const { return rows * cols; }
+  void ensure_grad() {
+    if (grad.size() != static_cast<std::size_t>(size())) grad.assign(size(), 0.0f);
+  }
+};
+
+/// Shared handle to an autograd node. Copy is O(1).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // ---- factories -------------------------------------------------------
+  static Tensor zeros(long rows, long cols, bool requires_grad = false);
+  static Tensor full(long rows, long cols, float value, bool requires_grad = false);
+  static Tensor from(std::vector<float> values, long rows, long cols,
+                     bool requires_grad = false);
+  /// Gaussian init with standard deviation `stddev`.
+  static Tensor randn(long rows, long cols, RNG& rng, float stddev,
+                      bool requires_grad = true);
+  /// Xavier/Glorot uniform init for a (fan_in x fan_out) weight.
+  static Tensor xavier(long fan_in, long fan_out, RNG& rng,
+                       bool requires_grad = true);
+
+  // ---- accessors -------------------------------------------------------
+  bool defined() const { return impl_ != nullptr; }
+  long rows() const { return impl_->rows; }
+  long cols() const { return impl_->cols; }
+  long size() const { return impl_->size(); }
+  bool requires_grad() const { return impl_->requires_grad; }
+  const std::vector<float>& data() const { return impl_->val; }
+  std::vector<float>& mutable_data() { return impl_->val; }
+  const std::vector<float>& grad() const { return impl_->grad; }
+  float at(long r, long c) const { return impl_->val[r * impl_->cols + c]; }
+  /// Value of a 1x1 tensor.
+  float item() const;
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+  /// Copy of the value with no autograd history.
+  Tensor detach() const;
+  /// Zero this node's gradient buffer (used on parameters between steps).
+  void zero_grad();
+  /// Reverse-mode accumulation from this scalar (1x1) tensor.
+  void backward() const;
+
+  std::string to_string(int max_rows = 6, int max_cols = 8) const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+// ---- elementwise algebra (row-broadcast: (n,d) op (1,d) is allowed) ------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+Tensor add_scalar(const Tensor& a, float s);
+Tensor neg(const Tensor& a);
+Tensor abs_t(const Tensor& a);
+Tensor maximum(const Tensor& a, const Tensor& b);  // elementwise max
+
+// ---- dense linear algebra -------------------------------------------------
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor transpose(const Tensor& a);
+
+// ---- nonlinearities ---------------------------------------------------
+Tensor sigmoid(const Tensor& a);
+Tensor tanh_t(const Tensor& a);
+Tensor exp_t(const Tensor& a);
+Tensor log_t(const Tensor& a);  // clamps input at 1e-12
+Tensor relu(const Tensor& a);
+Tensor leaky_relu(const Tensor& a, float negative_slope = 0.01f);
+Tensor softmax_rows(const Tensor& a);
+
+// ---- reductions --------------------------------------------------------
+Tensor sum_all(const Tensor& a);    // -> 1x1
+Tensor mean_all(const Tensor& a);   // -> 1x1
+Tensor sum_rows(const Tensor& a);   // (n,d) -> (1,d)
+Tensor mean_rows(const Tensor& a);  // (n,d) -> (1,d)
+Tensor max_rows(const Tensor& a);   // (n,d) -> (1,d), column-wise max
+
+// ---- shape ops ---------------------------------------------------------
+Tensor concat_cols(const std::vector<Tensor>& xs);  // same rows
+Tensor concat_rows(const std::vector<Tensor>& xs);  // same cols
+Tensor slice_rows(const Tensor& a, long begin, long end);  // [begin, end)
+Tensor slice_cols(const Tensor& a, long begin, long end);  // [begin, end)
+
+// ---- gather / scatter (message passing primitives) ---------------------
+/// out[i] = a[idx[i]] — row gather.
+Tensor index_rows(const Tensor& a, const std::vector<int>& idx);
+/// out[idx[i]] += a[i] — row scatter-add into `out_rows` rows.
+Tensor scatter_add_rows(const Tensor& a, const std::vector<int>& idx, long out_rows);
+/// Softmax of scores (E x 1) within segments given by `seg` (values in
+/// [0, nseg)). Standard GAT attention normalisation over incoming edges.
+Tensor segment_softmax(const Tensor& scores, const std::vector<int>& seg, long nseg);
+/// out[i][c] = a[i][c] * s[i][0] — per-row scalar scaling (attention
+/// weighting of per-edge messages).
+Tensor scale_rows(const Tensor& a, const Tensor& s);
+
+// ---- embedding ----------------------------------------------------------
+/// For each of `n` bags of `bag_len` token ids, looks up rows of `table`
+/// (vocab x dim) and reduces with elementwise max, ignoring `pad_id`
+/// entries. A bag of only padding produces a zero row. This is the paper's
+/// "embedding layer then max" node featurisation in one fused op.
+Tensor embedding_bag_max(const Tensor& table, const std::vector<int>& ids,
+                         long n, long bag_len, int pad_id);
+
+// ---- regularisation -----------------------------------------------------
+Tensor dropout(const Tensor& a, float p, bool training, RNG& rng);
+/// Per-row layer normalisation with learnable gamma/beta (1 x d).
+Tensor layer_norm_rows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                       float eps = 1e-5f);
+
+// ---- losses --------------------------------------------------------------
+/// Numerically stable mean binary-cross-entropy on logits (n x 1).
+Tensor bce_with_logits(const Tensor& logits, const std::vector<float>& targets);
+/// Mean squared error against constant targets (n x d).
+Tensor mse_loss(const Tensor& pred, const std::vector<float>& targets);
+
+}  // namespace gbm::tensor

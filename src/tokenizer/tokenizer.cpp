@@ -1,0 +1,103 @@
+#include "tokenizer/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gbm::tok {
+
+namespace {
+
+bool word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '-';
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::split(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == ' ' || c == '\t') { ++i; continue; }
+    if (c == '%') {
+      // SSA value reference → [VAR] (paper: "convert all LLVM-IR variables
+      // to a special token named [VAR]").
+      ++i;
+      while (i < n && word_char(text[i])) ++i;
+      out.push_back("[VAR]");
+      continue;
+    }
+    if (c == '@') {
+      // Symbol reference: keep the name (library calls are informative).
+      std::size_t start = i++;
+      while (i < n && word_char(text[i])) ++i;
+      out.push_back(text.substr(start, i - start));
+      continue;
+    }
+    if (word_char(c)) {
+      std::size_t start = i;
+      while (i < n && word_char(text[i])) ++i;
+      out.push_back(text.substr(start, i - start));
+      continue;
+    }
+    // Punctuation: one token per character (=, commas, brackets, quotes).
+    out.push_back(std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+Tokenizer Tokenizer::train(const std::vector<std::string>& corpus, int max_vocab) {
+  std::unordered_map<std::string, long> freq;
+  for (const auto& text : corpus) {
+    for (auto& token : split(text)) ++freq[token];
+  }
+  std::vector<std::pair<std::string, long>> ranked(freq.begin(), freq.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+
+  Tokenizer tk;
+  tk.id_to_token_ = {"[PAD]", "[UNK]", "[VAR]"};
+  for (const auto& [token, count] : ranked) {
+    (void)count;
+    if (static_cast<int>(tk.id_to_token_.size()) >= max_vocab) break;
+    if (token == "[VAR]") continue;  // already a special
+    tk.id_to_token_.push_back(token);
+  }
+  for (std::size_t id = 0; id < tk.id_to_token_.size(); ++id)
+    tk.token_to_id_[tk.id_to_token_[id]] = static_cast<int>(id);
+  return tk;
+}
+
+int Tokenizer::id_of(const std::string& token) const {
+  auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? kUnk : it->second;
+}
+
+std::vector<int> Tokenizer::encode_all(const std::string& text) const {
+  std::vector<int> out;
+  for (auto& token : split(text)) out.push_back(id_of(token));
+  return out;
+}
+
+std::vector<int> Tokenizer::encode(const std::string& text, int max_len) const {
+  std::vector<int> ids = encode_all(text);
+  ids.resize(static_cast<std::size_t>(max_len), kPad);
+  return ids;
+}
+
+int Tokenizer::choose_bag_len(const std::vector<std::string>& corpus) {
+  if (corpus.empty()) return 4;
+  long total = 0;
+  for (const auto& text : corpus) total += static_cast<long>(split(text).size());
+  const double mean = static_cast<double>(total) / static_cast<double>(corpus.size());
+  int len = 4;
+  while (len < mean && len < 4096) len *= 2;
+  return len;
+}
+
+}  // namespace gbm::tok

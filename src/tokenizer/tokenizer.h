@@ -1,0 +1,53 @@
+// Tokenizer for IR instruction text (node features), substituting for the
+// HuggingFace GPT tokenizer of the paper (§III-C).
+//
+// Policy (paper-faithful):
+//   * SSA value references (%v12, %arg0) are rewritten to the special
+//     [VAR] token before vocabulary building;
+//   * the vocabulary is trained on a corpus and capped (the paper uses
+//     2048 entries; the cap is a parameter here);
+//   * node feature vectors are the token-id sequences, truncated/padded to
+//     the corpus-average token count rounded up to the next power of two
+//     ([PAD] fill) — the paper's exact length rule;
+//   * unknown tokens map to [UNK].
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gbm::tok {
+
+class Tokenizer {
+ public:
+  static constexpr int kPad = 0;
+  static constexpr int kUnk = 1;
+  static constexpr int kVar = 2;
+
+  /// Trains a vocabulary over the corpus (most frequent tokens first),
+  /// capped to `max_vocab` entries including the three specials.
+  static Tokenizer train(const std::vector<std::string>& corpus, int max_vocab);
+
+  /// Splits a feature string into raw word tokens with [VAR] rewriting.
+  /// Exposed for testing and vocabulary inspection.
+  static std::vector<std::string> split(const std::string& text);
+
+  /// Encodes to exactly `max_len` ids (truncate / [PAD]-fill).
+  std::vector<int> encode(const std::string& text, int max_len) const;
+  /// Encodes without padding or truncation.
+  std::vector<int> encode_all(const std::string& text) const;
+
+  int vocab_size() const { return static_cast<int>(id_to_token_.size()); }
+  int id_of(const std::string& token) const;
+  const std::string& token_of(int id) const { return id_to_token_[id]; }
+
+  /// The paper's feature-length rule: mean token count over the corpus,
+  /// rounded up to the next power of two (at least 4).
+  static int choose_bag_len(const std::vector<std::string>& corpus);
+
+ private:
+  std::unordered_map<std::string, int> token_to_id_;
+  std::vector<std::string> id_to_token_;
+};
+
+}  // namespace gbm::tok

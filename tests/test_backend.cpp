@@ -1,0 +1,234 @@
+// Backend and decompiler tests: encoder/decoder round-trip, VM execution
+// against the interpreter oracle, and the full binary→lift→re-interpret
+// property over the task corpus.
+#include <gtest/gtest.h>
+
+#include "backend/codegen.h"
+#include "backend/vm.h"
+#include "datasets/tasks.h"
+#include "decompiler/lift.h"
+#include "frontend/frontend.h"
+#include "interp/interp.h"
+#include "ir/verifier.h"
+#include "opt/passes.h"
+
+namespace gbm::backend {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTrip) {
+  VBinary bin;
+  bin.data = {1, 2, 3, 4, 5};
+  bin.global_offsets = {0};
+  VFunction fn;
+  fn.name = "main";
+  fn.arity = 2;
+  fn.code.push_back({VOp::ENTER, 0, 0, 0, 32});
+  fn.code.push_back({VOp::LDI, 3, 0, 0, -123456789});
+  fn.code.push_back({VOp::ADD, 1, 2, 3, 0});
+  fn.code.push_back({VOp::RET, 0, 0, 0, 0});
+  bin.functions.push_back(fn);
+  bin.entry = 0;
+
+  const auto bytes = encode(bin);
+  const VBinary decoded = decode(bytes);
+  ASSERT_EQ(decoded.functions.size(), 1u);
+  EXPECT_EQ(decoded.data, bin.data);
+  EXPECT_EQ(decoded.entry, 0);
+  EXPECT_EQ(decoded.functions[0].name, "main");
+  EXPECT_EQ(decoded.functions[0].arity, 2);
+  ASSERT_EQ(decoded.functions[0].code.size(), 4u);
+  EXPECT_EQ(decoded.functions[0].code[1].imm, -123456789);
+  EXPECT_EQ(decoded.functions[0].code[2].op, VOp::ADD);
+  EXPECT_EQ(decoded.functions[0].code[2].c, 3);
+}
+
+TEST(Isa, DecodeRejectsGarbage) {
+  EXPECT_THROW(decode({1, 2, 3}), std::runtime_error);
+  std::vector<std::uint8_t> bad = {'V', 'B', 'I', 'N', 9, 9, 9, 9};
+  EXPECT_THROW(decode(bad), std::runtime_error);
+}
+
+TEST(Isa, DisassembleMentionsFunctions) {
+  auto m = frontend::compile_source("int main(){ print(1); return 0; }",
+                                    frontend::Lang::C, "Main");
+  const auto bin = compile_module(*m);
+  const std::string dis = disassemble(bin);
+  EXPECT_NE(dis.find("fn 0 <main>"), std::string::npos);
+  EXPECT_NE(dis.find("syscall"), std::string::npos);
+}
+
+TEST(Vm, ExitCodeAndOutput) {
+  auto m = frontend::compile_source("int main(){ print(7); return 3; }",
+                                    frontend::Lang::C, "Main");
+  const auto r = run_binary(compile_module(*m));
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_EQ(r.output, "7\n");
+}
+
+TEST(Vm, TrapsOnDivisionByZero) {
+  auto m = frontend::compile_source(
+      "int main(){ long a = read(); print(1 / a); return 0; }",
+      frontend::Lang::C, "Main");
+  const auto r = run_binary(compile_module(*m));
+  EXPECT_TRUE(r.trapped);
+}
+
+TEST(Vm, FuelLimitStopsInfiniteLoops) {
+  auto m = frontend::compile_source(
+      "int main(){ long i = 0; while (1 > 0) { i = i + 1; } return 0; }",
+      frontend::Lang::C, "Main");
+  interp::ExecOptions opts;
+  opts.fuel = 10000;
+  const auto r = run_binary(compile_module(*m), opts);
+  EXPECT_TRUE(r.trapped);
+  EXPECT_NE(r.trap_message.find("fuel"), std::string::npos);
+}
+
+TEST(Vm, GccStyleProducesLargerCode) {
+  auto m = frontend::compile_source(
+      "int main(){ long s = 0; long i; for (i = 0; i < 5; i++) { s += i; }"
+      " print(s); return 0; }",
+      frontend::Lang::C, "Main");
+  const auto clang_bin = compile_module(*m, CodegenStyle::VClang);
+  const auto gcc_bin = compile_module(*m, CodegenStyle::VGcc);
+  EXPECT_GT(gcc_bin.code_size(), clang_bin.code_size());
+  // Same behaviour regardless of style.
+  EXPECT_EQ(run_binary(clang_bin).output, run_binary(gcc_bin).output);
+}
+
+TEST(Decompiler, LiftedModuleVerifies) {
+  auto m = frontend::compile_source(
+      "long f(long a, long b) { return a * b + 2; }"
+      "int main(){ print(f(read(), read())); return 0; }",
+      frontend::Lang::C, "Main");
+  auto lifted = decompiler::lift(compile_module(*m));
+  const auto vr = ir::verify_module(*lifted);
+  EXPECT_TRUE(vr.ok()) << vr.str();
+}
+
+TEST(Decompiler, FunctionsAreRenamed) {
+  auto m = frontend::compile_source(
+      "long helper(long a) { return a + 1; }"
+      "int main(){ print(helper(1)); return 0; }",
+      frontend::Lang::C, "Main");
+  auto lifted = decompiler::lift(compile_module(*m));
+  EXPECT_EQ(lifted->function("helper"), nullptr);  // symbol not trusted
+  EXPECT_NE(lifted->function("main"), nullptr);    // entry recovered
+  bool has_fn_name = false;
+  for (const auto& fn : lifted->functions())
+    has_fn_name = has_fn_name || fn->name().rfind("fn", 0) == 0;
+  EXPECT_TRUE(has_fn_name);
+}
+
+TEST(Decompiler, TypesCollapseToI64) {
+  auto m = frontend::compile_source(
+      "int main(){ int x = read(); print(x + 1); return 0; }",
+      frontend::Lang::C, "Main");
+  auto lifted = decompiler::lift(compile_module(*m));
+  // Lifted arithmetic is i64 (type loss); i32 survives only at memory ops.
+  long i64_ops = 0, i32_ops = 0;
+  for (const auto& fn : lifted->functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (!ir::is_binary_int(inst->opcode())) continue;
+        i64_ops += inst->type()->kind() == ir::TypeKind::I64;
+        i32_ops += inst->type()->kind() == ir::TypeKind::I32;
+      }
+    }
+  }
+  EXPECT_GT(i64_ops, 0);
+  EXPECT_EQ(i32_ops, 0);
+}
+
+TEST(Decompiler, RuntimeCallsRecognised) {
+  auto m = frontend::compile_source("int main(){ print(read()); return 0; }",
+                                    frontend::Lang::C, "Main");
+  auto lifted = decompiler::lift(compile_module(*m));
+  EXPECT_NE(lifted->function("gbm_print_i64"), nullptr);
+  EXPECT_NE(lifted->function("gbm_read_i64"), nullptr);
+}
+
+TEST(Decompiler, RawLiftWithoutCleanupIsBigger) {
+  auto m = frontend::compile_source(
+      "int main(){ long s = 0; long i; for (i = 0; i < 4; i++) { s += i; }"
+      " print(s); return 0; }",
+      frontend::Lang::C, "Main");
+  const auto bin = compile_module(*m);
+  decompiler::LiftOptions raw;
+  raw.cleanup = false;
+  auto lifted_raw = decompiler::lift(bin, raw);
+  auto lifted_clean = decompiler::lift(bin);
+  EXPECT_GT(lifted_raw->instruction_count(), lifted_clean->instruction_count());
+  // Both re-execute identically.
+  EXPECT_EQ(interp::execute(*lifted_raw).output, interp::execute(*lifted_clean).output);
+}
+
+// ---- corpus-wide property: interp == VM == decompiled re-interp ------------
+
+struct BinCase {
+  int task;
+  frontend::Lang lang;
+  CodegenStyle style;
+  opt::OptLevel level;
+  std::string name;
+};
+
+std::vector<BinCase> bin_cases() {
+  std::vector<BinCase> cases;
+  const auto& tasks = data::all_tasks();
+  for (int t = 0; t < static_cast<int>(tasks.size()); ++t) {
+    const frontend::Lang lang = t % 3 == 0   ? frontend::Lang::C
+                                : t % 3 == 1 ? frontend::Lang::Cpp
+                                             : frontend::Lang::Java;
+    const CodegenStyle style = t % 2 == 0 ? CodegenStyle::VClang : CodegenStyle::VGcc;
+    const opt::OptLevel level = t % 4 == 0   ? opt::OptLevel::O0
+                                : t % 4 == 1 ? opt::OptLevel::O1
+                                : t % 4 == 2 ? opt::OptLevel::O2
+                                             : opt::OptLevel::Oz;
+    BinCase c;
+    c.task = t;
+    c.lang = lang;
+    c.style = style;
+    c.level = level;
+    c.name = tasks[t].id + "_" + frontend::lang_name(lang) + "_" +
+             style_name(style) + "_" + opt::opt_level_name(level);
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+class BinaryRoundTripTest : public ::testing::TestWithParam<BinCase> {};
+
+TEST_P(BinaryRoundTripTest, InterpVmAndLiftedAgree) {
+  const BinCase& c = GetParam();
+  const auto& task = data::all_tasks()[static_cast<std::size_t>(c.task)];
+  const std::string src = task.emit(c.lang, 0, data::Style{});
+  auto module = frontend::compile_source(src, c.lang, "Main");
+  opt::optimize(*module, c.level);
+  interp::ExecOptions opts;
+  opts.input = task.sample_input;
+  const auto reference = interp::execute(*module, opts);
+  ASSERT_FALSE(reference.trapped) << reference.trap_message;
+
+  const VBinary bin = decode(encode(compile_module(*module, c.style)));
+  const auto vm_result = run_binary(bin, opts);
+  EXPECT_FALSE(vm_result.trapped) << vm_result.trap_message;
+  EXPECT_EQ(vm_result.output, reference.output);
+  EXPECT_EQ(vm_result.exit_code, reference.exit_code);
+
+  auto lifted = decompiler::lift(bin);
+  ASSERT_TRUE(ir::verify_module(*lifted).ok()) << ir::verify_module(*lifted).str();
+  const auto relifted = interp::execute(*lifted, opts);
+  EXPECT_FALSE(relifted.trapped) << relifted.trap_message;
+  EXPECT_EQ(relifted.output, reference.output);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, BinaryRoundTripTest,
+                         ::testing::ValuesIn(bin_cases()),
+                         [](const ::testing::TestParamInfo<BinCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace gbm::backend

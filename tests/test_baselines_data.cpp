@@ -1,0 +1,394 @@
+// Baseline, dataset, pairing and metric tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/static_matchers.h"
+#include "baselines/xlir.h"
+#include "datasets/corpus.h"
+#include "datasets/pairs.h"
+#include "eval/metrics.h"
+#include "eval/retrieval.h"
+#include "frontend/frontend.h"
+#include "frontend/lexer.h"
+#include "ir/printer.h"
+
+namespace gbm {
+namespace {
+
+using frontend::Lang;
+
+std::unique_ptr<ir::Module> compile(const char* src, Lang lang = Lang::C) {
+  return frontend::compile_source(src, lang, "Main");
+}
+
+// ---- feature extraction ----------------------------------------------------
+
+TEST(Features, CountsConstantsStringsLoops) {
+  auto m = compile(
+      "int main(){ long s = 0; long i; for (i = 0; i < 17; i++) { s += 13; }"
+      " puts(\"marker\"); print(s); return 0; }");
+  const auto f = baselines::extract_features(*m);
+  ASSERT_EQ(f.functions.size(), 1u);
+  EXPECT_GT(f.functions[0].instructions, 0);
+  EXPECT_GT(f.functions[0].loops, 0);
+  EXPECT_TRUE(f.functions[0].int_constants.count(17));
+  EXPECT_TRUE(f.functions[0].int_constants.count(13));
+  EXPECT_FALSE(f.functions[0].int_constants.count(0));  // trivial consts skipped
+  EXPECT_EQ(f.strings.size(), 1u);
+  EXPECT_NE(f.strings.find("marker\n"), f.strings.end());
+}
+
+TEST(Features, CalleeNamesRecorded) {
+  auto m = compile(
+      "long f(long x){ return x; } int main(){ print(f(read())); return 0; }");
+  const auto feat = baselines::extract_features(*m);
+  bool saw_user_call = false;
+  for (const auto& fn : feat.functions) saw_user_call |= fn.callees.count("f") > 0;
+  EXPECT_TRUE(saw_user_call);
+}
+
+TEST(Features, ArraySizes) {
+  auto m = compile("int main(){ long a[12]; a[0]=1; print(a[0]); return 0; }");
+  const auto feat = baselines::extract_features(*m);
+  EXPECT_TRUE(feat.functions[0].array_sizes.count(12));
+}
+
+// ---- BinPro / B2SFinder ------------------------------------------------------
+
+TEST(BinPro, SelfSimilarityBeatsCrossTask) {
+  auto a1 = compile("int main(){ long i; long s=0; for(i=0;i<9;i++){s+=i*7;}"
+                    " print(s); return 0; }");
+  auto a2 = compile("int main(){ long k; long t=0; for(k=0;k<9;k++){t+=k*7;}"
+                    " print(t); return 0; }");
+  auto b = compile("int main(){ puts(\"completely different\"); print(1234567);"
+                   " return 0; }");
+  const auto fa1 = baselines::extract_features(*a1);
+  const auto fa2 = baselines::extract_features(*a2);
+  const auto fb = baselines::extract_features(*b);
+  const double same = baselines::binpro_similarity(fa1, fa2);
+  const double diff = baselines::binpro_similarity(fa1, fb);
+  EXPECT_GT(same, diff);
+  EXPECT_GE(same, 0.0);
+  EXPECT_LE(same, 1.0001);
+}
+
+TEST(B2SFinder, WeightsFavourRareFeatures) {
+  auto common = compile("int main(){ print(2); return 0; }");
+  auto rare = compile("int main(){ print(987654); return 0; }");
+  const auto fc = baselines::extract_features(*common);
+  const auto fr = baselines::extract_features(*rare);
+  std::vector<const baselines::ModuleFeatures*> corpus = {&fc, &fc, &fc, &fr};
+  const auto w = baselines::B2SWeights::fit(corpus);
+  EXPECT_GT(w.weight_constant(987654), w.weight_constant(2));
+}
+
+TEST(B2SFinder, SimilarityInRange) {
+  auto a = compile("int main(){ long i; for(i=0;i<31;i++){ print(i); } return 0; }");
+  auto b = compile("int main(){ long j; for(j=0;j<31;j++){ print(j); } return 0; }");
+  const auto fa = baselines::extract_features(*a);
+  const auto fb = baselines::extract_features(*b);
+  const auto w = baselines::B2SWeights::fit({&fa, &fb});
+  const double s = baselines::b2sfinder_similarity(fa, fb, w);
+  EXPECT_GT(s, 0.4);  // near-identical programs
+  EXPECT_LE(s, 1.0001);
+}
+
+// ---- LICCA --------------------------------------------------------------------
+
+TEST(Licca, IdenticalSourcesScoreHigh) {
+  const std::string src = "int main(){ long a = 1; print(a); return 0; }";
+  EXPECT_NEAR(baselines::licca_similarity(src, src), 1.0, 1e-9);
+}
+
+TEST(Licca, RenamedIdentifiersStillMatch) {
+  const std::string a = "int main(){ long alpha = 5; print(alpha * 2); return 0; }";
+  const std::string b = "int main(){ long beta = 9; print(beta * 3); return 0; }";
+  EXPECT_GT(baselines::licca_similarity(a, b), 0.9);  // normalised identifiers
+}
+
+TEST(Licca, DifferentStructureScoresLower) {
+  const std::string a = "int main(){ long x = 1; print(x); return 0; }";
+  const std::string b =
+      "long f(long n){ if (n < 2) { return n; } return f(n-1)+f(n-2); }"
+      "int main(){ long i; for(i=0;i<9;i++){ print(f(i)); } return 0; }";
+  EXPECT_LT(baselines::licca_similarity(a, b),
+            baselines::licca_similarity(a, a));
+}
+
+TEST(Calibration, FindsSeparatingThreshold) {
+  const std::vector<float> scores = {0.1f, 0.2f, 0.3f, 0.8f, 0.9f, 0.95f};
+  const std::vector<float> labels = {0, 0, 0, 1, 1, 1};
+  const float t = baselines::calibrate_threshold(scores, labels);
+  EXPECT_GT(t, 0.3f);
+  EXPECT_LE(t, 0.8f);
+  EXPECT_DOUBLE_EQ(eval::confusion(scores, labels, t).f1(), 1.0);
+}
+
+// ---- XLIR -----------------------------------------------------------------------
+
+TEST(Xlir, EncodePadsToMaxSeqAndRecordsRealLength) {
+  baselines::XlirConfig cfg;
+  cfg.max_seq = 32;
+  baselines::XlirSystem sys(cfg);
+  sys.fit_tokenizer({"add i64 sub"});
+  const auto seq = sys.encode("add i64");
+  EXPECT_EQ(seq.ids.size(), 32u);
+  EXPECT_EQ(seq.real_len, 2);
+  // Very long input: real_len capped at max_seq.
+  std::string longtext;
+  for (int i = 0; i < 100; ++i) longtext += "add ";
+  EXPECT_EQ(sys.encode(longtext).real_len, 32);
+}
+
+TEST(Xlir, BothBackbonesTrainAndScore) {
+  auto m1 = compile("int main(){ print(1); return 0; }");
+  auto m2 = compile("int main(){ long i; for(i=0;i<3;i++){ print(i*i); } return 0; }");
+  const std::string t1 = ir::print_module(*m1);
+  const std::string t2 = ir::print_module(*m2);
+  for (auto backbone :
+       {baselines::XlirBackbone::LSTM, baselines::XlirBackbone::Transformer}) {
+    baselines::XlirConfig cfg;
+    cfg.backbone = backbone;
+    cfg.max_seq = 48;
+    cfg.embed_dim = 8;
+    cfg.hidden = 8;
+    baselines::XlirSystem sys(cfg);
+    sys.fit_tokenizer({t1, t2});
+    auto e1 = sys.encode(t1);
+    auto e2 = sys.encode(t2);
+    std::vector<baselines::XlirSystem::Sample> samples = {{&e1, &e1, 1.0f},
+                                                          {&e1, &e2, 0.0f}};
+    baselines::XlirSystem::TrainOptions topt;
+    topt.epochs = 2;
+    const double loss = sys.train(samples, topt);
+    EXPECT_TRUE(std::isfinite(loss));
+    const auto scores = sys.score(samples);
+    for (float s : scores) {
+      EXPECT_GE(s, 0.0f);
+      EXPECT_LE(s, 1.0f);
+    }
+  }
+}
+
+TEST(Xlir, TransformerSeparatesToySequences) {
+  // Regression test for the missing attention residual: without `x +` in
+  // the block, every row collapses to the sequence mean and this fails.
+  baselines::XlirConfig cfg;
+  cfg.backbone = baselines::XlirBackbone::Transformer;
+  cfg.max_seq = 32;
+  cfg.embed_dim = 16;
+  cfg.hidden = 16;
+  baselines::XlirSystem sys(cfg);
+  sys.fit_tokenizer({"add i64 mul sub", "load store ptr gep load store"});
+  auto a = sys.encode("add i64 mul sub add i64 mul");
+  auto b = sys.encode("load store ptr gep load store ptr");
+  std::vector<baselines::XlirSystem::Sample> train = {
+      {&a, &a, 1}, {&b, &b, 1}, {&a, &b, 0}, {&b, &a, 0}};
+  baselines::XlirSystem::TrainOptions topt;
+  topt.epochs = 60;
+  topt.lr = 0.01f;
+  sys.train(train, topt);
+  const auto s = sys.score(train);
+  EXPECT_GT(s[0], 0.5f);
+  EXPECT_GT(s[1], 0.5f);
+  EXPECT_LT(s[2], 0.5f);
+  EXPECT_LT(s[3], 0.5f);
+}
+
+// ---- datasets -------------------------------------------------------------------
+
+TEST(Corpus, DeterministicForSeed) {
+  auto cfg = data::clcdsa_config();
+  cfg.num_tasks = 5;
+  const auto a = data::generate_corpus(cfg);
+  const auto b = data::generate_corpus(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].source, b[i].source);
+}
+
+TEST(Corpus, BrokenFractionProducesUncompilableFiles) {
+  auto cfg = data::clcdsa_config();
+  cfg.num_tasks = 8;
+  cfg.broken_fraction = 0.5;
+  const auto files = data::generate_corpus(cfg);
+  long broken = 0, compile_failures = 0;
+  for (const auto& f : files) {
+    broken += !f.intact;
+    if (!f.intact) {
+      try {
+        frontend::compile_source(f.source, f.lang, f.unit_name);
+      } catch (const frontend::CompileError&) {
+        ++compile_failures;
+      }
+    }
+  }
+  EXPECT_GT(broken, 0);
+  EXPECT_EQ(broken, compile_failures);  // every corrupted file really fails
+}
+
+TEST(Corpus, IntactFilesAllCompile) {
+  auto cfg = data::clcdsa_config();
+  cfg.broken_fraction = 0.0;
+  cfg.solutions_per_task_per_lang = 2;
+  const auto files = data::generate_corpus(cfg);
+  for (const auto& f : files) {
+    EXPECT_NO_THROW(frontend::compile_source(f.source, f.lang, f.unit_name))
+        << f.task_id << " " << frontend::lang_name(f.lang) << "\n" << f.source;
+  }
+}
+
+TEST(Corpus, CoversRequestedLanguages) {
+  const auto files = data::generate_corpus(data::clcdsa_config());
+  bool has_c = false, has_cpp = false, has_java = false;
+  for (const auto& f : files) {
+    has_c |= f.lang == Lang::C;
+    has_cpp |= f.lang == Lang::Cpp;
+    has_java |= f.lang == Lang::Java;
+  }
+  EXPECT_TRUE(has_c);
+  EXPECT_TRUE(has_cpp);
+  EXPECT_TRUE(has_java);
+}
+
+TEST(Pairs, LabelsMatchTasks) {
+  std::vector<int> ta = {0, 0, 1, 1, 2, 2};
+  std::vector<int> tb = {0, 1, 1, 2, 2, 2};
+  data::PairConfig cfg;
+  cfg.protocol = data::SplitProtocol::ByPair;
+  const auto splits = data::make_pairs(ta, tb, cfg);
+  auto check = [&](const std::vector<data::PairSpec>& pairs) {
+    for (const auto& p : pairs) {
+      const bool same_task = ta[p.a] == tb[p.b];
+      EXPECT_EQ(p.label >= 0.5f, same_task);
+    }
+  };
+  check(splits.train);
+  check(splits.val);
+  check(splits.test);
+}
+
+TEST(Pairs, ByTaskSplitHasNoTaskLeakage) {
+  std::vector<int> tasks;
+  for (int t = 0; t < 10; ++t)
+    for (int k = 0; k < 4; ++k) tasks.push_back(t);
+  data::PairConfig cfg;
+  const auto splits = data::make_pairs(tasks, tasks, cfg, true);
+  auto tasks_of = [&](const std::vector<data::PairSpec>& pairs) {
+    std::set<int> out;
+    for (const auto& p : pairs) {
+      out.insert(tasks[p.a]);
+      out.insert(tasks[p.b]);
+    }
+    return out;
+  };
+  const auto train_tasks = tasks_of(splits.train);
+  const auto test_tasks = tasks_of(splits.test);
+  for (int t : test_tasks) EXPECT_EQ(train_tasks.count(t), 0u);
+}
+
+TEST(Pairs, RoughlyBalanced) {
+  std::vector<int> tasks;
+  for (int t = 0; t < 12; ++t)
+    for (int k = 0; k < 4; ++k) tasks.push_back(t);
+  const auto splits = data::make_pairs(tasks, tasks, {}, true);
+  long pos = 0, neg = 0;
+  for (const auto& p : splits.train) (p.label >= 0.5f ? pos : neg) += 1;
+  EXPECT_GT(pos, 0);
+  EXPECT_NEAR(static_cast<double>(pos), static_cast<double>(neg), pos * 0.2 + 2);
+}
+
+TEST(Pairs, ExcludeSameIndex) {
+  std::vector<int> tasks = {0, 0, 0};
+  data::PairConfig cfg;
+  cfg.protocol = data::SplitProtocol::ByPair;
+  cfg.train_frac = 1.0;
+  cfg.val_frac = 0.0;
+  const auto splits = data::make_pairs(tasks, tasks, cfg, true);
+  for (const auto& p : splits.train) EXPECT_NE(p.a, p.b);
+}
+
+// ---- metrics ------------------------------------------------------------------
+
+TEST(Metrics, ConfusionCounts) {
+  const std::vector<float> scores = {0.9f, 0.2f, 0.7f, 0.4f};
+  const std::vector<float> labels = {1, 1, 0, 0};
+  const auto c = eval::confusion(scores, labels, 0.5f);
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.5);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+}
+
+TEST(Metrics, EdgeCasesZeroDivision) {
+  eval::Confusion c;
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(Metrics, ThresholdSweepMonotoneRecall) {
+  std::vector<float> scores, labels;
+  tensor::RNG rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const bool pos = rng.bernoulli(0.5);
+    scores.push_back(static_cast<float>(rng.uniform(pos ? 0.3 : 0.0, pos ? 1.0 : 0.7)));
+    labels.push_back(pos ? 1.0f : 0.0f);
+  }
+  const auto sweep =
+      eval::threshold_sweep(scores, labels, {0.1f, 0.3f, 0.5f, 0.7f, 0.9f});
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    EXPECT_LE(sweep[i].recall, sweep[i - 1].recall + 1e-9);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  EXPECT_THROW(eval::confusion({0.5f}, {1.0f, 0.0f}), std::invalid_argument);
+}
+
+// ---- retrieval metrics -------------------------------------------------------
+
+TEST(Retrieval, PerfectRanking) {
+  eval::RankedQuery q;
+  q.scores = {0.9f, 0.5f, 0.1f};
+  q.relevant = {true, false, false};
+  const auto r = eval::evaluate_retrieval({q});
+  EXPECT_DOUBLE_EQ(r.precision_at_1, 1.0);
+  EXPECT_DOUBLE_EQ(r.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(r.hit_at_5, 1.0);
+}
+
+TEST(Retrieval, ReciprocalRankOfSecondPlace) {
+  eval::RankedQuery q;
+  q.scores = {0.9f, 0.8f, 0.1f};
+  q.relevant = {false, true, false};
+  const auto r = eval::evaluate_retrieval({q});
+  EXPECT_DOUBLE_EQ(r.precision_at_1, 0.0);
+  EXPECT_DOUBLE_EQ(r.mrr, 0.5);
+}
+
+TEST(Retrieval, AveragesOverQueries) {
+  eval::RankedQuery hit;
+  hit.scores = {0.9f, 0.1f};
+  hit.relevant = {true, false};
+  eval::RankedQuery miss;
+  miss.scores = {0.9f, 0.1f};
+  miss.relevant = {false, true};
+  const auto r = eval::evaluate_retrieval({hit, miss});
+  EXPECT_DOUBLE_EQ(r.precision_at_1, 0.5);
+  EXPECT_DOUBLE_EQ(r.mrr, 0.75);
+  EXPECT_EQ(r.queries, 2);
+}
+
+TEST(Retrieval, EmptyAndMismatch) {
+  EXPECT_EQ(eval::evaluate_retrieval({}).queries, 0);
+  eval::RankedQuery bad;
+  bad.scores = {0.5f};
+  EXPECT_THROW(eval::evaluate_retrieval({bad}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbm

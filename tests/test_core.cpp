@@ -1,0 +1,172 @@
+// End-to-end pipeline tests: artifact production on both sides, corpus
+// statistics, and a miniature train/score cycle through the public API.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "datasets/pairs.h"
+#include "interp/interp.h"
+
+namespace gbm::core {
+namespace {
+
+data::SourceFile make_file(const char* src, frontend::Lang lang, int task = 0) {
+  data::SourceFile f;
+  f.source = src;
+  f.lang = lang;
+  f.task_index = task;
+  f.unit_name = "Main";
+  return f;
+}
+
+TEST(Artifacts, SourceSideProducesGraph) {
+  const auto artifact = build_artifact(
+      make_file("int main(){ print(1); return 0; }", frontend::Lang::C), {});
+  ASSERT_TRUE(artifact.ok) << artifact.error;
+  EXPECT_GT(artifact.graph.num_nodes(), 0);
+  EXPECT_GT(artifact.ir_instructions, 0);
+  EXPECT_EQ(artifact.binary_code_size, 0);  // source side: no binary
+}
+
+TEST(Artifacts, BinarySideGoesThroughDecompiler) {
+  ArtifactOptions opts;
+  opts.side = Side::Binary;
+  const auto artifact = build_artifact(
+      make_file("int main(){ print(1); return 0; }", frontend::Lang::C), opts);
+  ASSERT_TRUE(artifact.ok) << artifact.error;
+  EXPECT_GT(artifact.binary_code_size, 0);
+  EXPECT_GT(artifact.graph.num_nodes(), 0);
+}
+
+TEST(Artifacts, BinarySideGraphIsLarger) {
+  const auto file = make_file(
+      "int main(){ long s = 0; long i; for(i=0;i<5;i++){ s += i; } print(s);"
+      " return 0; }",
+      frontend::Lang::C);
+  const auto src_art = build_artifact(file, {});
+  ArtifactOptions bin_opts;
+  bin_opts.side = Side::Binary;
+  const auto bin_art = build_artifact(file, bin_opts);
+  // Decompiled IR is typeless register code: bigger graphs.
+  EXPECT_GT(bin_art.graph.num_nodes(), src_art.graph.num_nodes());
+}
+
+TEST(Artifacts, CompileErrorReported) {
+  const auto artifact =
+      build_artifact(make_file("int main({", frontend::Lang::C), {});
+  EXPECT_FALSE(artifact.ok);
+  EXPECT_FALSE(artifact.error.empty());
+  EXPECT_EQ(artifact.graph.num_nodes(), 0);
+}
+
+TEST(Artifacts, OptLevelChangesGraph) {
+  const auto file = make_file(
+      "int main(){ long a = 2 * 3 + 4; print(a); return 0; }", frontend::Lang::C);
+  ArtifactOptions o0;
+  o0.opt_level = opt::OptLevel::O0;
+  ArtifactOptions o2;
+  o2.opt_level = opt::OptLevel::O2;
+  const auto a0 = build_artifact(file, o0);
+  const auto a2 = build_artifact(file, o2);
+  EXPECT_LT(a2.graph.num_nodes(), a0.graph.num_nodes());
+}
+
+TEST(CorpusStats, CountsDecreaseMonotonically) {
+  auto cfg = data::clcdsa_config();
+  cfg.num_tasks = 6;
+  cfg.solutions_per_task_per_lang = 2;
+  cfg.broken_fraction = 0.3;
+  const auto files = data::generate_corpus(cfg);
+  ArtifactOptions bin_opts;
+  bin_opts.side = Side::Binary;
+  const auto stats = corpus_stats(files, bin_opts);
+  EXPECT_EQ(stats.sources, static_cast<long>(files.size()));
+  EXPECT_LT(stats.ir_ok, stats.sources);  // corrupted files rejected
+  EXPECT_LE(stats.binaries, stats.ir_ok);
+  EXPECT_LE(stats.decompiled, stats.binaries);
+  EXPECT_GT(stats.decompiled, 0);
+}
+
+TEST(MatchingSystem, RequiresTokenizerBeforeEncode) {
+  MatchingSystem::Config cfg;
+  MatchingSystem sys(cfg);
+  graph::ProgramGraph g;
+  EXPECT_THROW(sys.encode(g), std::logic_error);
+}
+
+TEST(MatchingSystem, RequiresTrainingBeforeScore) {
+  MatchingSystem::Config cfg;
+  MatchingSystem sys(cfg);
+  gnn::EncodedGraph g;
+  EXPECT_THROW(sys.score(g, g), std::logic_error);
+}
+
+TEST(MatchingSystem, BagLenFollowsCorpusRule) {
+  const auto a = build_artifact(
+      make_file("int main(){ print(1); return 0; }", frontend::Lang::C), {});
+  MatchingSystem::Config cfg;
+  MatchingSystem sys(cfg);
+  sys.fit_tokenizer({&a.graph});
+  // Power of two, at least 4.
+  const int len = sys.bag_len();
+  EXPECT_GE(len, 4);
+  EXPECT_EQ(len & (len - 1), 0);
+}
+
+TEST(MatchingSystem, EndToEndTrainAndScore) {
+  // Two tasks, two languages: a miniature version of the Table III setup.
+  std::vector<data::SourceFile> files;
+  files.push_back(make_file(
+      "int main(){ long s=0; long i; for(i=0;i<7;i++){ s+=i*3; } print(s);"
+      " return 0; }",
+      frontend::Lang::C, 0));
+  files.push_back(make_file(
+      "class A { public static void main(String[] args) { int s=0;"
+      " for (int i=0;i<7;i++){ s=s+i*3; } System.out.println(s); } }",
+      frontend::Lang::Java, 0));
+  files.push_back(make_file(
+      "int main(){ puts(\"xyz\"); print(999983); return 0; }", frontend::Lang::C,
+      1));
+  files.push_back(make_file(
+      "class A { public static void main(String[] args) {"
+      " System.out.println(\"xyz\"); System.out.println(999983); } }",
+      frontend::Lang::Java, 1));
+
+  ArtifactOptions bin_opts;
+  bin_opts.side = Side::Binary;
+  const auto bin0 = build_artifact(files[0], bin_opts);
+  const auto bin1 = build_artifact(files[2], bin_opts);
+  const auto src0 = build_artifact(files[1], {});
+  const auto src1 = build_artifact(files[3], {});
+  ASSERT_TRUE(bin0.ok && bin1.ok && src0.ok && src1.ok);
+
+  MatchingSystem::Config cfg;
+  cfg.model.vocab = 128;
+  cfg.model.embed_dim = 16;
+  cfg.model.hidden = 16;
+  cfg.model.layers = 1;
+  cfg.model.interaction = true;
+  cfg.model.dropout = 0.0f;
+  MatchingSystem sys(cfg);
+  sys.fit_tokenizer({&bin0.graph, &bin1.graph, &src0.graph, &src1.graph});
+  auto e_bin0 = sys.encode(bin0.graph);
+  auto e_bin1 = sys.encode(bin1.graph);
+  auto e_src0 = sys.encode(src0.graph);
+  auto e_src1 = sys.encode(src1.graph);
+
+  std::vector<gnn::PairSample> train = {{&e_bin0, &e_src0, 1.0f},
+                                        {&e_bin1, &e_src1, 1.0f},
+                                        {&e_bin0, &e_src1, 0.0f},
+                                        {&e_bin1, &e_src0, 0.0f}};
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 80;
+  tcfg.lr = 0.02f;
+  tcfg.batch_size = 4;
+  sys.train(train, tcfg);
+  EXPECT_GT(sys.score(e_bin0, e_src0), 0.5f);
+  EXPECT_GT(sys.score(e_bin1, e_src1), 0.5f);
+  EXPECT_LT(sys.score(e_bin0, e_src1), 0.5f);
+  EXPECT_LT(sys.score(e_bin1, e_src0), 0.5f);
+}
+
+}  // namespace
+}  // namespace gbm::core

@@ -1,0 +1,222 @@
+// Front-end tests: lexer units, parser errors, and the big property suite —
+// every task template × language × variant must compile, verify, and
+// execute without trapping; MiniC and MiniJava solutions of the same task
+// variant family must be deterministic.
+#include <gtest/gtest.h>
+
+#include "datasets/tasks.h"
+#include "frontend/frontend.h"
+#include "frontend/lexer.h"
+#include "interp/interp.h"
+#include "ir/verifier.h"
+
+namespace gbm::frontend {
+namespace {
+
+TEST(Lexer, TokenKinds) {
+  auto toks = lex("int x = 42; // comment\n x += 1.5e2; \"str\\n\" 'a'");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[3].kind, Tok::IntLit);
+  EXPECT_EQ(toks[3].int_value, 42);
+  // After ';': x += 1.5e2
+  EXPECT_EQ(toks[6].kind, Tok::PlusAssign);
+  EXPECT_EQ(toks[7].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(toks[7].float_value, 150.0);
+  EXPECT_EQ(toks[9].kind, Tok::StrLit);
+  EXPECT_EQ(toks[9].text, "str\n");
+  EXPECT_EQ(toks[10].kind, Tok::IntLit);
+  EXPECT_EQ(toks[10].int_value, 'a');
+}
+
+TEST(Lexer, TracksLines) {
+  auto toks = lex("a\nb\n\nc");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_THROW(lex("\"unterminated"), CompileError);
+  EXPECT_THROW(lex("/* unterminated"), CompileError);
+  EXPECT_THROW(lex("a $ b"), CompileError);
+}
+
+TEST(ParserErrors, MiniC) {
+  EXPECT_THROW(compile_source("int main() { return 0 }", Lang::C), CompileError);
+  EXPECT_THROW(compile_source("int main() { long x = ; }", Lang::C), CompileError);
+  EXPECT_THROW(compile_source("int main() { undefined_var = 1; return 0; }", Lang::C),
+               CompileError);
+  EXPECT_THROW(compile_source("int main() { vec v; return 0; }", Lang::C),
+               CompileError);  // vec is a C++-dialect type
+  EXPECT_THROW(compile_source("int main() { break; }", Lang::C), CompileError);
+}
+
+TEST(ParserErrors, MiniJava) {
+  EXPECT_THROW(compile_source("class A { static int f() { return } }", Lang::Java),
+               CompileError);
+  EXPECT_THROW(compile_source("int main() { return 0; }", Lang::Java), CompileError);
+  EXPECT_THROW(
+      compile_source("class A { public static void main(String[] args) {"
+                     " long x = 1; } }", Lang::Java),
+      CompileError);  // no long in MiniJava
+}
+
+TEST(Semantics, CIntWidths) {
+  // int is 32-bit (wraps), long is 64-bit.
+  const char* src =
+      "int main() { int x = 2000000000; x = x + x; print(x);"
+      " long y = 2000000000; y = y + y; print(y); return 0; }";
+  auto m = compile_source(src, Lang::C);
+  auto r = interp::execute(*m);
+  EXPECT_EQ(r.output, "-294967296\n4000000000\n");
+}
+
+TEST(Semantics, JavaIntWraps) {
+  const char* src =
+      "class A { public static void main(String[] args) {"
+      " int x = 2000000000; System.out.println(x + x); } }";
+  auto m = compile_source(src, Lang::Java);
+  auto r = interp::execute(*m);
+  EXPECT_EQ(r.output, "-294967296\n");
+}
+
+TEST(Semantics, ShortCircuit) {
+  // RHS division by zero must not execute when LHS decides.
+  const char* src =
+      "int main() { long a = 0; if (a != 0 && 10 / a > 1) { print(1); }"
+      " else { print(2); } return 0; }";
+  auto r = interp::execute(*compile_source(src, Lang::C));
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.output, "2\n");
+}
+
+TEST(Semantics, BreakContinue) {
+  const char* src =
+      "int main() { long i; long s = 0;"
+      " for (i = 0; i < 10; i++) { if (i == 3) { continue; }"
+      " if (i == 6) { break; } s += i; } print(s); return 0; }";
+  auto r = interp::execute(*compile_source(src, Lang::C));
+  EXPECT_EQ(r.output, "12\n");  // 0+1+2+4+5
+}
+
+TEST(Semantics, DoWhile) {
+  const char* src =
+      "int main() { long i = 9; do { print(i); i++; } while (i < 9);"
+      " return 0; }";
+  auto r = interp::execute(*compile_source(src, Lang::C));
+  EXPECT_EQ(r.output, "9\n");  // body runs at least once
+}
+
+TEST(Semantics, Recursion) {
+  const char* src =
+      "long ack(long m, long n) { if (m == 0) { return n + 1; }"
+      " if (n == 0) { return ack(m - 1, 1); }"
+      " return ack(m - 1, ack(m, n - 1)); }"
+      "int main() { print(ack(2, 3)); return 0; }";
+  auto r = interp::execute(*compile_source(src, Lang::C));
+  EXPECT_EQ(r.output, "9\n");
+}
+
+TEST(Semantics, JavaBoundsCheckTraps) {
+  const char* src =
+      "class A { public static void main(String[] args) {"
+      " int[] a = new int[3]; a[5] = 1; } }";
+  auto r = interp::execute(*compile_source(src, Lang::Java));
+  EXPECT_TRUE(r.trapped);
+  EXPECT_NE(r.trap_message.find("ArrayIndexOutOfBounds"), std::string::npos);
+}
+
+TEST(Semantics, CStackArrayNoChecks) {
+  // MiniC has no bounds checking: in-bounds is fine, semantics C-like.
+  const char* src =
+      "int main() { long a[3]; a[0]=1; a[1]=2; a[2]=3; print(a[0]+a[2]);"
+      " return 0; }";
+  auto r = interp::execute(*compile_source(src, Lang::C));
+  EXPECT_EQ(r.output, "4\n");
+}
+
+TEST(Semantics, DivisionByZeroTraps) {
+  auto r = interp::execute(
+      *compile_source("int main(){ long a = read(); print(10 / a); return 0; }",
+                      Lang::C),
+      {});  // input empty → read() = 0
+  EXPECT_TRUE(r.trapped);
+}
+
+TEST(Semantics, JavaClinitIsCalled) {
+  auto m = compile_source(
+      "class Foo { public static void main(String[] args) {"
+      " System.out.println(1); } }",
+      Lang::Java);
+  EXPECT_NE(m->function("Foo_clinit"), nullptr);
+}
+
+TEST(Semantics, JavaMethodMangling) {
+  auto m = compile_source(
+      "class Foo { static int helper(int x) { return x; }"
+      " public static void main(String[] args) {"
+      " System.out.println(helper(3)); } }",
+      Lang::Java);
+  EXPECT_NE(m->function("Foo_helper"), nullptr);
+  EXPECT_NE(m->function("main"), nullptr);
+}
+
+// ---- the task-template property suite ------------------------------------
+
+struct TaskCase {
+  int task;
+  Lang lang;
+  int variant;
+  std::string name;
+};
+
+std::vector<TaskCase> all_task_cases() {
+  std::vector<TaskCase> cases;
+  const auto& tasks = data::all_tasks();
+  for (int t = 0; t < static_cast<int>(tasks.size()); ++t) {
+    for (Lang lang : {Lang::C, Lang::Cpp, Lang::Java}) {
+      for (int v = 0; v < tasks[t].num_variants; ++v) {
+        TaskCase c;
+        c.task = t;
+        c.lang = lang;
+        c.variant = v;
+        c.name = tasks[t].id + "_" + lang_name(lang) + "_v" + std::to_string(v);
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  return cases;
+}
+
+class TaskTemplateTest : public ::testing::TestWithParam<TaskCase> {};
+
+TEST_P(TaskTemplateTest, CompilesVerifiesAndRuns) {
+  const TaskCase& c = GetParam();
+  const auto& task = data::all_tasks()[static_cast<std::size_t>(c.task)];
+  for (const data::Style style : {data::Style{}, data::Style{true, true, true, true, 2}}) {
+    const std::string src = task.emit(c.lang, c.variant, style);
+    auto module = compile_source(src, c.lang, "Main");
+    const auto vr = ir::verify_module(*module);
+    ASSERT_TRUE(vr.ok()) << vr.str() << "\nsource:\n" << src;
+    interp::ExecOptions opts;
+    opts.input = task.sample_input;
+    const auto result = interp::execute(*module, opts);
+    EXPECT_FALSE(result.trapped)
+        << result.trap_message << "\nsource:\n" << src;
+    EXPECT_FALSE(result.output.empty()) << "program produced no output";
+    // Same style twice → deterministic output.
+    const auto again = interp::execute(*module, opts);
+    EXPECT_EQ(result.output, again.output);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, TaskTemplateTest,
+                         ::testing::ValuesIn(all_task_cases()),
+                         [](const ::testing::TestParamInfo<TaskCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace gbm::frontend

@@ -1,0 +1,182 @@
+// Program-graph schema and tokenizer policy tests.
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "graph/program_graph.h"
+#include "tokenizer/tokenizer.h"
+
+namespace gbm {
+namespace {
+
+using frontend::Lang;
+
+graph::ProgramGraph graph_of(const char* src, Lang lang = Lang::C) {
+  auto m = frontend::compile_source(src, lang, "Main");
+  return graph::build_graph(*m);
+}
+
+TEST(ProgramGraph, HasAllNodeKinds) {
+  const auto g = graph_of(
+      "int main(){ long a = read(); print(a + 41); puts(\"hi\"); return 0; }");
+  EXPECT_GT(g.count_nodes(graph::NodeKind::Instruction), 0);
+  EXPECT_GT(g.count_nodes(graph::NodeKind::Variable), 0);
+  EXPECT_GT(g.count_nodes(graph::NodeKind::Constant), 0);
+  EXPECT_EQ(g.num_nodes(), g.count_nodes(graph::NodeKind::Instruction) +
+                               g.count_nodes(graph::NodeKind::Variable) +
+                               g.count_nodes(graph::NodeKind::Constant));
+}
+
+TEST(ProgramGraph, EdgeEndpointsInRange) {
+  const auto g = graph_of(
+      "long f(long x){ return x * 2; } int main(){ print(f(3)); return 0; }");
+  for (const auto& e : g.edges) {
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, g.num_nodes());
+    EXPECT_GE(e.dst, 0);
+    EXPECT_LT(e.dst, g.num_nodes());
+    EXPECT_GE(e.position, 0);
+  }
+}
+
+TEST(ProgramGraph, CallEdgesLinkFunctions) {
+  const auto g = graph_of(
+      "long f(long x){ return x + 1; } int main(){ print(f(1)); return 0; }");
+  // call → entry and ret → call: at least two call edges.
+  EXPECT_GE(g.count_edges(graph::EdgeKind::Call), 2);
+}
+
+TEST(ProgramGraph, NoCallEdgesWithoutUserCalls) {
+  const auto g = graph_of("int main(){ long a = 1; print(a); return 0; }");
+  // Runtime declarations don't produce call-flow edges (no body).
+  EXPECT_EQ(g.count_edges(graph::EdgeKind::Call), 0);
+}
+
+TEST(ProgramGraph, ControlFlowFollowsBranches) {
+  const auto g_straight = graph_of("int main(){ print(1); return 0; }");
+  const auto g_branchy = graph_of(
+      "int main(){ if (read() > 0) { print(1); } else { print(2); } return 0; }");
+  EXPECT_GT(g_branchy.count_edges(graph::EdgeKind::Control),
+            g_straight.count_edges(graph::EdgeKind::Control));
+}
+
+TEST(ProgramGraph, DataEdgePositionsAreOperandIndices) {
+  const auto g = graph_of("int main(){ long a = read(); print(a - 5); return 0; }");
+  bool saw_position_one = false;
+  for (const auto& e : g.edges)
+    if (e.kind == graph::EdgeKind::Data && e.position == 1) saw_position_one = true;
+  EXPECT_TRUE(saw_position_one);  // second operands exist
+}
+
+TEST(ProgramGraph, FullTextFallsBackToText) {
+  graph::Node node;
+  node.text = "add";
+  node.full_text = "";
+  EXPECT_EQ(node.feature(true), "add");
+  node.full_text = "%v1 = add i64 %v0, 1";
+  EXPECT_EQ(node.feature(true), "%v1 = add i64 %v0, 1");
+  EXPECT_EQ(node.feature(false), "add");
+}
+
+TEST(ProgramGraph, StringLiteralsAppearInConstantFeatures) {
+  const auto g = graph_of("int main(){ puts(\"needle42\"); return 0; }");
+  bool found = false;
+  for (const auto& n : g.nodes)
+    found = found || n.full_text.find("needle42") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(ProgramGraph, Deterministic) {
+  const char* src =
+      "int main(){ long s = 0; long i; for (i = 0; i < 4; i++){ s += i; }"
+      " print(s); return 0; }";
+  const auto a = graph_of(src);
+  const auto b = graph_of(src);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (long i = 0; i < a.num_nodes(); ++i)
+    EXPECT_EQ(a.nodes[i].full_text, b.nodes[i].full_text);
+}
+
+TEST(ProgramGraph, JavaGraphsBiggerThanC) {
+  // Paper Fig. 4: Java usage habits (boxing, checks, runtime) inflate IR.
+  const char* c_src =
+      "int main(){ long a[3]; long i; for (i=0;i<3;i++){ a[i]=read(); }"
+      " print(a[0]+a[1]+a[2]); return 0; }";
+  const char* j_src =
+      "class A { public static void main(String[] args) {"
+      " int[] a = new int[3]; for (int i=0;i<3;i++){ a[i]=Reader.read(); }"
+      " System.out.println(a[0]+a[1]+a[2]); } }";
+  const auto gc = graph_of(c_src, Lang::C);
+  const auto gj = graph_of(j_src, Lang::Java);
+  EXPECT_GT(gj.num_nodes(), gc.num_nodes());
+}
+
+// ---- tokenizer ------------------------------------------------------------
+
+TEST(Tokenizer, SplitRewritesVariables) {
+  const auto toks = tok::Tokenizer::split("%v1 = add i64 %v0, 42");
+  const std::vector<std::string> expected = {"[VAR]", "=", "add", "i64",
+                                             "[VAR]", ",", "42"};
+  EXPECT_EQ(toks, expected);
+}
+
+TEST(Tokenizer, SplitKeepsSymbols) {
+  const auto toks = tok::Tokenizer::split("call void @gbm_print_i64(i64 %v3)");
+  EXPECT_NE(std::find(toks.begin(), toks.end(), "@gbm_print_i64"), toks.end());
+}
+
+TEST(Tokenizer, VocabularyCapRespected) {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 200; ++i) corpus.push_back("tok" + std::to_string(i));
+  const auto tk = tok::Tokenizer::train(corpus, 50);
+  EXPECT_LE(tk.vocab_size(), 50);
+  EXPECT_GE(tk.vocab_size(), 4);  // specials + something
+}
+
+TEST(Tokenizer, SpecialsHaveFixedIds) {
+  const auto tk = tok::Tokenizer::train({"a b c"}, 100);
+  EXPECT_EQ(tk.token_of(tok::Tokenizer::kPad), "[PAD]");
+  EXPECT_EQ(tk.token_of(tok::Tokenizer::kUnk), "[UNK]");
+  EXPECT_EQ(tk.token_of(tok::Tokenizer::kVar), "[VAR]");
+}
+
+TEST(Tokenizer, UnknownMapsToUnk) {
+  const auto tk = tok::Tokenizer::train({"alpha beta"}, 100);
+  const auto ids = tk.encode("gamma alpha", 4);
+  EXPECT_EQ(ids[0], tok::Tokenizer::kUnk);
+  EXPECT_EQ(ids[1], tk.id_of("alpha"));
+  EXPECT_EQ(ids[2], tok::Tokenizer::kPad);
+  EXPECT_EQ(ids[3], tok::Tokenizer::kPad);
+}
+
+TEST(Tokenizer, PadTruncatePolicy) {
+  const auto tk = tok::Tokenizer::train({"a b c d e f"}, 100);
+  EXPECT_EQ(tk.encode("a b c d e f", 3).size(), 3u);
+  EXPECT_EQ(tk.encode("a", 5).size(), 5u);
+}
+
+TEST(Tokenizer, FrequencyOrderedVocab) {
+  const auto tk =
+      tok::Tokenizer::train({"x x x y y z"}, 100);
+  EXPECT_LT(tk.id_of("x"), tk.id_of("y"));
+  EXPECT_LT(tk.id_of("y"), tk.id_of("z"));
+}
+
+TEST(Tokenizer, BagLenIsNextPowerOfTwoOfMean) {
+  // Mean token count 6 → 8.
+  const std::vector<std::string> corpus = {"a b c d e f", "a b c d e f"};
+  EXPECT_EQ(tok::Tokenizer::choose_bag_len(corpus), 8);
+  // Mean 2 → 4 (minimum).
+  EXPECT_EQ(tok::Tokenizer::choose_bag_len({"a b"}), 4);
+}
+
+TEST(Tokenizer, DeterministicTraining) {
+  std::vector<std::string> corpus = {"add i64", "mul i64", "add i32"};
+  const auto a = tok::Tokenizer::train(corpus, 64);
+  const auto b = tok::Tokenizer::train(corpus, 64);
+  ASSERT_EQ(a.vocab_size(), b.vocab_size());
+  for (int i = 0; i < a.vocab_size(); ++i) EXPECT_EQ(a.token_of(i), b.token_of(i));
+}
+
+}  // namespace
+}  // namespace gbm

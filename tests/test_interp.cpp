@@ -1,0 +1,244 @@
+// Interpreter and runtime-library tests: memory safety, trap semantics,
+// runtime function behaviour, I/O, and execution limits.
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "interp/interp.h"
+#include "interp/memory.h"
+#include "interp/runtime.h"
+#include "ir/parser.h"
+
+namespace gbm::interp {
+namespace {
+
+ExecResult run(const char* src, std::vector<std::int64_t> input = {},
+               frontend::Lang lang = frontend::Lang::C) {
+  auto m = frontend::compile_source(src, lang, "Main");
+  ExecOptions opts;
+  opts.input = std::move(input);
+  return execute(*m, opts);
+}
+
+// ---- RuntimeMemory ---------------------------------------------------------
+
+TEST(Memory, NullAccessTraps) {
+  RuntimeMemory mem;
+  EXPECT_THROW(mem.load_int(0, 8), TrapError);
+  EXPECT_THROW(mem.store_int(0, 1, 8), TrapError);
+}
+
+TEST(Memory, OutOfBoundsTraps) {
+  RuntimeMemory mem(1024);
+  EXPECT_THROW(mem.load_int(1020, 8), TrapError);
+  EXPECT_THROW(mem.load_int(~0ULL - 4, 8), TrapError);  // overflow guard
+}
+
+TEST(Memory, AllocAlignsAndZeroes) {
+  RuntimeMemory mem;
+  const auto a = mem.alloc(3);
+  const auto b = mem.alloc(8);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 8, 0u);
+  EXPECT_GE(b, a + 3);
+  EXPECT_EQ(mem.load_int(b, 8), 0);
+}
+
+TEST(Memory, SignExtendingLoads) {
+  RuntimeMemory mem;
+  const auto p = mem.alloc(16);
+  mem.store_int(p, -1, 1);
+  EXPECT_EQ(mem.load_int(p, 1), -1);
+  mem.store_int(p, 0x80000000LL, 4);
+  EXPECT_EQ(mem.load_int(p, 4), static_cast<std::int32_t>(0x80000000));
+}
+
+TEST(Memory, F64RoundTrip) {
+  RuntimeMemory mem;
+  const auto p = mem.alloc(8);
+  mem.store_f64(p, 3.14159);
+  EXPECT_DOUBLE_EQ(mem.load_f64(p), 3.14159);
+}
+
+TEST(Memory, CStringTerminatorRequired) {
+  RuntimeMemory mem(256);
+  const auto p = mem.alloc(16);
+  mem.store_bytes(p, reinterpret_cast<const std::uint8_t*>("hi"), 3);
+  EXPECT_EQ(mem.load_cstring(p), "hi");
+}
+
+// ---- Runtime -----------------------------------------------------------------
+
+TEST(RuntimeLib, SyscallTableIsConsistent) {
+  const auto& table = Runtime::table();
+  EXPECT_GT(table.size(), 20u);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(Runtime::syscall_id(table[i].name), static_cast<int>(i));
+    EXPECT_TRUE(Runtime::is_runtime_fn(table[i].name));
+  }
+  EXPECT_FALSE(Runtime::is_runtime_fn("no_such_function"));
+  EXPECT_EQ(Runtime::syscall_id("no_such_function"), -1);
+}
+
+TEST(RuntimeLib, ListGrowsBeyondInitialCapacity) {
+  RuntimeMemory mem;
+  ProgramIO io;
+  Runtime rt(mem, io);
+  const auto list = rt.invoke("jrt_list_new", {});
+  for (int i = 0; i < 50; ++i) rt.invoke("jrt_list_add", {list, i * 11});
+  EXPECT_EQ(rt.invoke("jrt_list_size", {list}), 50);
+  EXPECT_EQ(rt.invoke("jrt_list_get", {list, 49}), 49 * 11);
+  EXPECT_THROW(rt.invoke("jrt_list_get", {list, 50}), TrapError);
+}
+
+TEST(RuntimeLib, SortSortsMemory) {
+  RuntimeMemory mem;
+  ProgramIO io;
+  Runtime rt(mem, io);
+  const auto base = rt.invoke("gbm_alloc", {4 * 8});
+  const std::int64_t values[] = {42, 7, 19, 3};
+  for (int i = 0; i < 4; ++i)
+    mem.store_int(static_cast<std::uint64_t>(base + 8 * i), values[i], 8);
+  rt.invoke("crt_sort_i64", {base, 4});
+  EXPECT_EQ(mem.load_int(static_cast<std::uint64_t>(base), 8), 3);
+  EXPECT_EQ(mem.load_int(static_cast<std::uint64_t>(base + 24), 8), 42);
+}
+
+TEST(RuntimeLib, BoundsCheckSemantics) {
+  RuntimeMemory mem;
+  ProgramIO io;
+  Runtime rt(mem, io);
+  const auto arr = rt.invoke("jrt_newarray_i32", {3});
+  EXPECT_EQ(rt.invoke("jrt_arraylen", {arr}), 3);
+  EXPECT_NO_THROW(rt.invoke("jrt_boundscheck", {arr, 2}));
+  EXPECT_THROW(rt.invoke("jrt_boundscheck", {arr, 3}), TrapError);
+  EXPECT_THROW(rt.invoke("jrt_boundscheck", {arr, -1}), TrapError);
+  EXPECT_THROW(rt.invoke("jrt_newarray_i32", {-5}), TrapError);
+}
+
+TEST(RuntimeLib, ArityMismatchTraps) {
+  RuntimeMemory mem;
+  ProgramIO io;
+  Runtime rt(mem, io);
+  EXPECT_THROW(rt.invoke("crt_abs_i64", {1, 2}), TrapError);
+}
+
+TEST(RuntimeLib, PowMatchesReference) {
+  RuntimeMemory mem;
+  ProgramIO io;
+  Runtime rt(mem, io);
+  EXPECT_EQ(rt.invoke("crt_pow_i64", {2, 10}), 1024);
+  EXPECT_EQ(rt.invoke("crt_pow_i64", {7, 0}), 1);
+  EXPECT_EQ(rt.invoke("crt_pow_i64", {-3, 3}), -27);
+}
+
+// ---- interpreter ------------------------------------------------------------
+
+TEST(Interp, ReadsInputInOrderThenZero) {
+  const auto r = run("int main(){ print(read()); print(read()); print(read());"
+                     " return 0; }", {11, 22});
+  EXPECT_EQ(r.output, "11\n22\n0\n");
+}
+
+TEST(Interp, ExitCodeFromMain) {
+  EXPECT_EQ(run("int main(){ return 42; }").exit_code, 42);
+}
+
+TEST(Interp, FuelExhaustionTrap) {
+  auto m = frontend::compile_source(
+      "int main(){ long i = 0; while (i >= 0) { i = i + 1; } return 0; }",
+      frontend::Lang::C, "Main");
+  ExecOptions opts;
+  opts.fuel = 5000;
+  const auto r = execute(*m, opts);
+  EXPECT_TRUE(r.trapped);
+  EXPECT_NE(r.trap_message.find("fuel"), std::string::npos);
+  EXPECT_GT(r.steps, 4999);
+}
+
+TEST(Interp, StackOverflowTrap) {
+  const auto r = run("long f(long n) { return f(n + 1); }"
+                     "int main(){ print(f(0)); return 0; }");
+  EXPECT_TRUE(r.trapped);
+  EXPECT_NE(r.trap_message.find("stack"), std::string::npos);
+}
+
+TEST(Interp, SignedRemainderSemantics) {
+  const auto r = run("int main(){ print(0 - 7 % 3); print((0 - 7) % 3);"
+                     " return 0; }");
+  // C semantics: -(7%3) = -1; (-7)%3 = -1.
+  EXPECT_EQ(r.output, "-1\n-1\n");
+}
+
+TEST(Interp, ShiftSemantics) {
+  const auto r = run("int main(){ long x = 1; print(x << 10);"
+                     " long y = 0 - 1024; print(y >> 3); return 0; }");
+  EXPECT_EQ(r.output, "1024\n-128\n");
+}
+
+TEST(Interp, FloatPrinting) {
+  const auto r = run("int main(){ double x = 0.5; print(x + 0.25); return 0; }");
+  EXPECT_EQ(r.output, "0.75\n");
+}
+
+TEST(Interp, MissingEntryThrows) {
+  auto m = ir::parse_module("define i64 @foo() {\nentry0:\n  ret i64 0\n}\n");
+  EXPECT_THROW(execute(*m), std::logic_error);
+}
+
+TEST(Interp, ExecuteNamedEntry) {
+  auto m = ir::parse_module(
+      "define i64 @helper() {\nentry0:\n  ret i64 99\n}\n");
+  const auto r = execute(*m, {}, "helper");
+  EXPECT_EQ(r.exit_code, 99);
+}
+
+TEST(Interp, UnreachableTraps) {
+  auto m = ir::parse_module(
+      "define i64 @main() {\nentry0:\n  unreachable\n}\n");
+  const auto r = execute(*m);
+  EXPECT_TRUE(r.trapped);
+}
+
+TEST(Interp, SwitchDispatch) {
+  const char* text =
+      "declare void @gbm_print_i64(i64 %arg0)\n"
+      "declare i64 @gbm_read_i64()\n"
+      "define i64 @main() {\n"
+      "entry0:\n"
+      "  %v1 = call i64 @gbm_read_i64()\n"
+      "  switch i64 %v1, label %def [ i64 1, label %one, i64 2, label %two ]\n"
+      "one:\n"
+      "  call void @gbm_print_i64(i64 100)\n"
+      "  ret i64 0\n"
+      "two:\n"
+      "  call void @gbm_print_i64(i64 200)\n"
+      "  ret i64 0\n"
+      "def:\n"
+      "  call void @gbm_print_i64(i64 999)\n"
+      "  ret i64 0\n"
+      "}\n";
+  auto m = ir::parse_module(text);
+  ExecOptions opts;
+  opts.input = {2};
+  EXPECT_EQ(execute(*m, opts).output, "200\n");
+  opts.input = {7};
+  EXPECT_EQ(execute(*m, opts).output, "999\n");
+}
+
+TEST(Interp, JavaProgramEndToEnd) {
+  const auto r = run(
+      "class M { static int twice(int x) { return x * 2; }\n"
+      "  public static void main(String[] args) {\n"
+      "    ArrayList l = new ArrayList();\n"
+      "    for (int i = 0; i < 4; i++) { l.add(twice(Reader.read())); }\n"
+      "    int s = 0;\n"
+      "    for (int i = 0; i < l.size(); i++) { s = s + l.get(i); }\n"
+      "    System.out.println(s);\n"
+      "  } }",
+      {1, 2, 3, 4}, frontend::Lang::Java);
+  EXPECT_FALSE(r.trapped) << r.trap_message;
+  EXPECT_EQ(r.output, "20\n");
+}
+
+}  // namespace
+}  // namespace gbm::interp

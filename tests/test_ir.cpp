@@ -1,0 +1,283 @@
+// IR object model, printer/parser round-trip and verifier tests.
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "interp/interp.h"
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace gbm::ir {
+namespace {
+
+TEST(Types, InterningAndProperties) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.i32(), ctx.i32());
+  EXPECT_EQ(ctx.array(ctx.i64(), 5), ctx.array(ctx.i64(), 5));
+  EXPECT_NE(ctx.array(ctx.i64(), 5), ctx.array(ctx.i64(), 6));
+  EXPECT_EQ(ctx.i32()->size_bytes(), 4);
+  EXPECT_EQ(ctx.i64()->size_bytes(), 8);
+  EXPECT_EQ(ctx.array(ctx.i32(), 10)->size_bytes(), 40);
+  EXPECT_EQ(ctx.f64()->str(), "double");
+  EXPECT_EQ(ctx.array(ctx.i8(), 3)->str(), "[3 x i8]");
+  EXPECT_TRUE(ctx.i1()->is_integer());
+  EXPECT_FALSE(ctx.ptr()->is_integer());
+  EXPECT_EQ(ctx.by_name("i32"), ctx.i32());
+  EXPECT_EQ(ctx.by_name("bogus"), nullptr);
+}
+
+TEST(Values, ConstantPoolingAndRefs) {
+  Module m("t");
+  EXPECT_EQ(m.const_i64(42), m.const_i64(42));
+  EXPECT_NE(m.const_i64(42), m.const_i32(42));
+  EXPECT_EQ(m.const_i64(-3)->ref(), "-3");
+  EXPECT_EQ(m.const_float(2.5)->ref(), "2.5");
+  EXPECT_EQ(m.const_float(3.0)->ref(), "3.0");  // trailing .0 kept distinct
+}
+
+TEST(Values, StringLiteralInterning) {
+  Module m("t");
+  GlobalVar* a = m.string_literal("hello");
+  GlobalVar* b = m.string_literal("hello");
+  GlobalVar* c = m.string_literal("world");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a->is_string());
+  EXPECT_EQ(a->data().size(), 6u);  // includes NUL
+  EXPECT_EQ(a->pointee()->length(), 6);
+}
+
+TEST(Builder, UseDefBookkeeping) {
+  Module m("t");
+  Function* fn = m.create_function("f", m.types().i64(), {m.types().i64()});
+  BasicBlock* bb = fn->create_block("entry");
+  IRBuilder b(m);
+  b.set_insertion(bb);
+  Instruction* x = b.binop(Opcode::Add, fn->arg(0), m.const_i64(1));
+  Instruction* y = b.binop(Opcode::Mul, x, x);
+  b.ret(y);
+  EXPECT_EQ(x->users().size(), 2u);  // both mul operands
+  EXPECT_EQ(fn->arg(0)->users().size(), 1u);
+  // RAUW rewrites both uses.
+  x->replace_all_uses_with(m.const_i64(7));
+  EXPECT_TRUE(x->users().empty());
+  EXPECT_EQ(y->operand(0), m.const_i64(7));
+  EXPECT_EQ(y->operand(1), m.const_i64(7));
+}
+
+TEST(Builder, NamesAreUniquePerFunction) {
+  Module m("t");
+  Function* fn = m.create_function("f", m.types().void_ty(), {});
+  BasicBlock* bb = fn->create_block("entry");
+  IRBuilder b(m);
+  b.set_insertion(bb);
+  Instruction* a = b.binop(Opcode::Add, m.const_i64(1), m.const_i64(2));
+  Instruction* c = b.binop(Opcode::Add, m.const_i64(3), m.const_i64(4));
+  EXPECT_NE(a->name(), c->name());
+  b.ret();
+}
+
+TEST(Builder, BlockSuccessorsAndPredecessors) {
+  Module m("t");
+  Function* fn = m.create_function("f", m.types().void_ty(), {});
+  BasicBlock* entry = fn->create_block("entry");
+  BasicBlock* then_bb = fn->create_block("then");
+  BasicBlock* else_bb = fn->create_block("else");
+  IRBuilder b(m);
+  b.set_insertion(entry);
+  b.cond_br(m.const_i1(true), then_bb, else_bb);
+  b.set_insertion(then_bb);
+  b.ret();
+  b.set_insertion(else_bb);
+  b.ret();
+  EXPECT_EQ(entry->successors().size(), 2u);
+  EXPECT_EQ(then_bb->predecessors().size(), 1u);
+  EXPECT_EQ(then_bb->predecessors()[0], entry);
+}
+
+TEST(Printer, InstructionSpellings) {
+  Module m("t");
+  Function* fn = m.create_function("f", m.types().i64(), {m.types().i64()});
+  BasicBlock* bb = fn->create_block("entry");
+  IRBuilder b(m);
+  b.set_insertion(bb);
+  Instruction* add = b.binop(Opcode::Add, fn->arg(0), m.const_i64(5));
+  EXPECT_EQ(print_instruction(*add), "%v1 = add i64 %arg0, 5");
+  Instruction* cmp = b.icmp(CmpPred::SLT, add, m.const_i64(10));
+  EXPECT_EQ(print_instruction(*cmp), "%v2 = icmp slt i64 %v1, 10");
+  Instruction* sel = b.select(cmp, add, m.const_i64(0));
+  EXPECT_EQ(print_instruction(*sel), "%v3 = select i1 %v2, i64 %v1, i64 0");
+  Instruction* ret = b.ret(sel);
+  EXPECT_EQ(print_instruction(*ret), "ret i64 %v3");
+}
+
+// Round-trip: print → parse → print must be a fixpoint, and execution
+// behaviour must be identical. Parameterised over the language front-ends.
+struct RoundTripCase {
+  const char* name;
+  const char* source;
+  frontend::Lang lang;
+  std::vector<std::int64_t> input;
+};
+
+class RoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(RoundTripTest, PrintParseFixpointAndSemantics) {
+  const auto& param = GetParam();
+  auto module = frontend::compile_source(param.source, param.lang, "Main");
+  ASSERT_TRUE(verify_module(*module).ok()) << verify_module(*module).str();
+
+  const std::string text1 = print_module(*module);
+  auto reparsed = parse_module(text1, module->name());
+  ASSERT_TRUE(verify_module(*reparsed).ok()) << verify_module(*reparsed).str();
+  const std::string text2 = print_module(*reparsed);
+  EXPECT_EQ(text1, text2);
+
+  interp::ExecOptions opts;
+  opts.input = param.input;
+  const auto r1 = interp::execute(*module, opts);
+  const auto r2 = interp::execute(*reparsed, opts);
+  EXPECT_FALSE(r1.trapped) << r1.trap_message;
+  EXPECT_EQ(r1.output, r2.output);
+  EXPECT_EQ(r1.exit_code, r2.exit_code);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTripTest,
+    ::testing::Values(
+        RoundTripCase{"arith", "int main(){ long a = read(); print(a*3+1); return 0; }",
+                      frontend::Lang::C, {14}},
+        RoundTripCase{"loops_arrays",
+                      "int main(){ long v[4]; long i; for(i=0;i<4;i++){v[i]=read();}"
+                      " sort(v,4); for(i=0;i<4;i++){print(v[i]);} return 0; }",
+                      frontend::Lang::C, {9, 2, 7, 4}},
+        RoundTripCase{"floats",
+                      "int main(){ double x = 1.5; double y = x * 4.0 - 0.5;"
+                      " print(y); puts(\"done\"); return 0; }",
+                      frontend::Lang::C, {}},
+        RoundTripCase{"functions",
+                      "long f(long a, long b){ return a*b + 1; }"
+                      "int main(){ print(f(read(), 6)); return 0; }",
+                      frontend::Lang::C, {7}},
+        RoundTripCase{"ternary_logic",
+                      "int main(){ long a = read(); long b = read();"
+                      " print(a > b && a % 2 == 0 ? a : b); return 0; }",
+                      frontend::Lang::C, {8, 3}},
+        RoundTripCase{"cpp_vec",
+                      "int main(){ vec v; long i; for(i=0;i<5;i++){ v.push(read()); }"
+                      " v.sort(); print(v.get(0)); print(v.get(4)); return 0; }",
+                      frontend::Lang::Cpp, {5, 1, 9, 3, 7}},
+        RoundTripCase{"java_basic",
+                      "class A { public static void main(String[] args) {"
+                      " int x = Reader.read(); System.out.println(x * 2); } }",
+                      frontend::Lang::Java, {21}},
+        RoundTripCase{"java_arrays",
+                      "class A { public static void main(String[] args) {"
+                      " int[] a = new int[3]; for (int i = 0; i < 3; i++) "
+                      "{ a[i] = Reader.read(); } int s = 0; for (int i = 0; i < "
+                      "a.length; i++) { s = s + a[i]; } System.out.println(s); } }",
+                      frontend::Lang::Java, {4, 5, 6}},
+        RoundTripCase{"java_list",
+                      "class A { public static void main(String[] args) {"
+                      " ArrayList l = new ArrayList(); l.add(10); l.add(20);"
+                      " System.out.println(l.get(0) + l.get(1) + l.size()); } }",
+                      frontend::Lang::Java, {}}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_module("define i32 @f("), ParseError);
+  EXPECT_THROW(parse_module("define i32 @f() {\nentry0:\n  bogus i32 1\n}\n"),
+               ParseError);
+  EXPECT_THROW(parse_module("define i32 @f() {\nentry0:\n  ret i32 %undefined\n}\n"),
+               ParseError);
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Module m("t");
+  Function* fn = m.create_function("f", m.types().void_ty(), {});
+  BasicBlock* bb = fn->create_block("entry");
+  IRBuilder b(m);
+  b.set_insertion(bb);
+  b.binop(Opcode::Add, m.const_i64(1), m.const_i64(2));
+  EXPECT_FALSE(verify_function(*fn).ok());
+}
+
+TEST(Verifier, CatchesTypeMismatch) {
+  Module m("t");
+  Function* fn = m.create_function("f", m.types().void_ty(), {});
+  BasicBlock* bb = fn->create_block("entry");
+  auto* bad = new Instruction(Opcode::Add, m.types().i64(), "v1");
+  bad->add_operand(m.const_i64(1));
+  bad->add_operand(m.const_i32(2));  // mixed widths
+  bb->append(std::unique_ptr<Instruction>(bad));
+  IRBuilder b(m);
+  b.set_insertion(bb);
+  b.ret();
+  EXPECT_FALSE(verify_function(*fn).ok());
+}
+
+TEST(Verifier, CatchesBadRetType) {
+  Module m("t");
+  Function* fn = m.create_function("f", m.types().i32(), {});
+  BasicBlock* bb = fn->create_block("entry");
+  IRBuilder b(m);
+  b.set_insertion(bb);
+  b.ret(m.const_i64(1));  // i64 returned from i32 function
+  EXPECT_FALSE(verify_function(*fn).ok());
+}
+
+TEST(Verifier, CatchesCallArityMismatch) {
+  Module m("t");
+  Function* callee = m.create_function("g", m.types().void_ty(), {m.types().i64()});
+  Function* fn = m.create_function("f", m.types().void_ty(), {});
+  BasicBlock* bb = fn->create_block("entry");
+  auto* call = new Instruction(Opcode::Call, m.types().void_ty(), "");
+  call->set_callee(callee);
+  bb->append(std::unique_ptr<Instruction>(call));
+  IRBuilder b(m);
+  b.set_insertion(bb);
+  b.ret();
+  EXPECT_FALSE(verify_function(*fn).ok());
+}
+
+TEST(Verifier, AcceptsWellFormedPhi) {
+  const char* text =
+      "define i64 @f(i64 %arg0) {\n"
+      "entry0:\n"
+      "  %v1 = icmp slt i64 %arg0, 0\n"
+      "  br i1 %v1, label %a, label %b\n"
+      "a:\n"
+      "  br label %join\n"
+      "b:\n"
+      "  br label %join\n"
+      "join:\n"
+      "  %v2 = phi i64 [ 1, %a ], [ 2, %b ]\n"
+      "  ret i64 %v2\n"
+      "}\n";
+  auto m = parse_module(text);
+  EXPECT_TRUE(verify_module(*m).ok()) << verify_module(*m).str();
+}
+
+TEST(Verifier, CatchesPhiNotCoveringPreds) {
+  const char* text =
+      "define i64 @f(i64 %arg0) {\n"
+      "entry0:\n"
+      "  %v1 = icmp slt i64 %arg0, 0\n"
+      "  br i1 %v1, label %a, label %b\n"
+      "a:\n"
+      "  br label %join\n"
+      "b:\n"
+      "  br label %join\n"
+      "join:\n"
+      "  %v2 = phi i64 [ 1, %a ]\n"
+      "  ret i64 %v2\n"
+      "}\n";
+  auto m = parse_module(text);
+  EXPECT_FALSE(verify_module(*m).ok());
+}
+
+}  // namespace
+}  // namespace gbm::ir

@@ -1,0 +1,330 @@
+// Optimiser tests: pass-specific units plus the semantics-preservation
+// property — every pipeline level must leave observable behaviour unchanged
+// on every task template.
+#include <gtest/gtest.h>
+
+#include "datasets/tasks.h"
+#include "frontend/frontend.h"
+#include "interp/interp.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "opt/passes.h"
+
+namespace gbm::opt {
+namespace {
+
+std::unique_ptr<ir::Module> compile(const char* src,
+                                    frontend::Lang lang = frontend::Lang::C) {
+  return frontend::compile_source(src, lang, "Main");
+}
+
+long count_op(const ir::Module& m, ir::Opcode op) {
+  long n = 0;
+  for (const auto& fn : m.functions())
+    for (const auto& bb : fn->blocks())
+      for (const auto& inst : bb->instructions()) n += inst->opcode() == op;
+  return n;
+}
+
+TEST(Mem2Reg, PromotesScalarsRemovesAllocas) {
+  auto m = compile("int main(){ long a = 1; long b = a + 2; print(b); return 0; }");
+  const long before = count_op(*m, ir::Opcode::Alloca);
+  EXPECT_GT(before, 0);
+  for (const auto& fn : m->functions())
+    if (!fn->is_declaration()) mem2reg(*fn);
+  EXPECT_EQ(count_op(*m, ir::Opcode::Alloca), 0);
+  EXPECT_TRUE(ir::verify_module(*m).ok()) << ir::verify_module(*m).str();
+}
+
+TEST(Mem2Reg, KeepsArrayAllocas) {
+  auto m = compile("int main(){ long a[4]; a[0] = 1; print(a[0]); return 0; }");
+  for (const auto& fn : m->functions())
+    if (!fn->is_declaration()) mem2reg(*fn);
+  EXPECT_GE(count_op(*m, ir::Opcode::Alloca), 1);  // the array stays
+}
+
+TEST(Mem2Reg, InsertsPhisForLoops) {
+  auto m = compile(
+      "int main(){ long s = 0; long i; for (i = 0; i < 5; i++) { s += i; }"
+      " print(s); return 0; }");
+  for (const auto& fn : m->functions())
+    if (!fn->is_declaration()) mem2reg(*fn);
+  EXPECT_GT(count_op(*m, ir::Opcode::Phi), 0);
+  auto r = interp::execute(*m);
+  EXPECT_EQ(r.output, "10\n");
+}
+
+TEST(ConstantFold, FoldsArithmeticChain) {
+  auto m = compile("int main(){ print(2 * 3 + 4); return 0; }");
+  for (const auto& fn : m->functions()) {
+    if (fn->is_declaration()) continue;
+    mem2reg(*fn);
+    constant_fold(*fn);
+    dead_code_elim(*fn);
+  }
+  EXPECT_EQ(count_op(*m, ir::Opcode::Mul), 0);
+  EXPECT_EQ(count_op(*m, ir::Opcode::Add), 0);
+  EXPECT_EQ(interp::execute(*m).output, "10\n");
+}
+
+TEST(ConstantFold, DoesNotFoldDivByZero) {
+  const char* text =
+      "declare void @gbm_print_i64(i64 %arg0)\n"
+      "define i32 @main() {\n"
+      "entry0:\n"
+      "  %v1 = sdiv i64 7, 0\n"
+      "  call void @gbm_print_i64(i64 %v1)\n"
+      "  ret i32 0\n"
+      "}\n";
+  auto m = ir::parse_module(text);
+  for (const auto& fn : m->functions())
+    if (!fn->is_declaration()) constant_fold(*fn);
+  EXPECT_EQ(count_op(*m, ir::Opcode::SDiv), 1);  // preserved: traps at runtime
+  EXPECT_TRUE(interp::execute(*m).trapped);
+}
+
+TEST(ConstantFold, FoldsConstantBranch) {
+  auto m = compile("int main(){ if (1 < 2) { print(1); } else { print(2); } return 0; }");
+  for (const auto& fn : m->functions()) {
+    if (fn->is_declaration()) continue;
+    mem2reg(*fn);
+    bool changed = true;
+    while (changed) {
+      changed = constant_fold(*fn);
+      changed |= dead_code_elim(*fn);
+      changed |= simplify_cfg(*fn);
+    }
+  }
+  EXPECT_EQ(count_op(*m, ir::Opcode::CondBr), 0);
+  EXPECT_EQ(interp::execute(*m).output, "1\n");
+}
+
+TEST(ConstantFold, AlgebraicIdentities) {
+  const char* text =
+      "declare void @gbm_print_i64(i64 %arg0)\n"
+      "declare i64 @gbm_read_i64()\n"
+      "define i32 @main() {\n"
+      "entry0:\n"
+      "  %v0 = call i64 @gbm_read_i64()\n"
+      "  %v1 = add i64 %v0, 0\n"
+      "  %v2 = mul i64 %v1, 1\n"
+      "  %v3 = mul i64 %v2, 0\n"
+      "  call void @gbm_print_i64(i64 %v3)\n"
+      "  ret i32 0\n"
+      "}\n";
+  auto m = ir::parse_module(text);
+  for (const auto& fn : m->functions()) {
+    if (fn->is_declaration()) continue;
+    constant_fold(*fn);
+    dead_code_elim(*fn);
+  }
+  EXPECT_EQ(count_op(*m, ir::Opcode::Add), 0);
+  EXPECT_EQ(count_op(*m, ir::Opcode::Mul), 0);
+}
+
+TEST(Dce, RemovesUnusedComputation) {
+  const char* text =
+      "define i32 @main() {\n"
+      "entry0:\n"
+      "  %v1 = add i64 1, 2\n"
+      "  %v2 = mul i64 %v1, 3\n"
+      "  ret i32 0\n"
+      "}\n";
+  auto m = ir::parse_module(text);
+  for (const auto& fn : m->functions())
+    if (!fn->is_declaration()) dead_code_elim(*fn);
+  EXPECT_EQ(m->function("main")->instruction_count(), 1);  // just ret
+}
+
+TEST(Dce, KeepsSideEffects) {
+  auto m = compile("int main(){ print(5); return 0; }");
+  for (const auto& fn : m->functions())
+    if (!fn->is_declaration()) dead_code_elim(*fn);
+  EXPECT_EQ(count_op(*m, ir::Opcode::Call), 1);
+}
+
+TEST(SimplifyCfg, RemovesUnreachableBlocks) {
+  auto m = compile(
+      "int main(){ return 1; print(9); return 0; }");  // code after return
+  std::size_t blocks_before = m->function("main")->blocks().size();
+  for (const auto& fn : m->functions())
+    if (!fn->is_declaration()) simplify_cfg(*fn);
+  EXPECT_LT(m->function("main")->blocks().size(), blocks_before);
+  EXPECT_EQ(interp::execute(*m).exit_code, 1);
+}
+
+TEST(SimplifyCfg, MergesStraightLineChains) {
+  auto m = compile("int main(){ if (read() > 0) { print(1); } print(2); return 0; }");
+  for (const auto& fn : m->functions()) {
+    if (fn->is_declaration()) continue;
+    mem2reg(*fn);
+    simplify_cfg(*fn);
+  }
+  interp::ExecOptions opts;
+  opts.input = {5};
+  EXPECT_EQ(interp::execute(*m, opts).output, "1\n2\n");
+}
+
+TEST(Inline, InlinesSmallCallee) {
+  auto m = compile(
+      "long square(long x) { return x * x; }"
+      "int main(){ print(square(read())); return 0; }");
+  inline_functions(*m, 40);
+  // The call to square is gone from main.
+  bool has_user_call = false;
+  for (const auto& bb : m->function("main")->blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->opcode() == ir::Opcode::Call && inst->callee()->name() == "square")
+        has_user_call = true;
+  EXPECT_FALSE(has_user_call);
+  interp::ExecOptions opts;
+  opts.input = {6};
+  EXPECT_EQ(interp::execute(*m, opts).output, "36\n");
+  EXPECT_TRUE(ir::verify_module(*m).ok()) << ir::verify_module(*m).str();
+}
+
+TEST(Inline, SkipsRecursiveCallee) {
+  auto m = compile(
+      "long f(long n) { if (n <= 0) { return 1; } return n * f(n - 1); }"
+      "int main(){ print(f(5)); return 0; }");
+  inline_functions(*m, 1000);
+  EXPECT_NE(m->function("f"), nullptr);
+  EXPECT_EQ(interp::execute(*m).output, "120\n");
+}
+
+TEST(StrengthReduce, MulPowerOfTwoBecomesShift) {
+  const char* text =
+      "declare void @gbm_print_i64(i64 %arg0)\n"
+      "declare i64 @gbm_read_i64()\n"
+      "define i32 @main() {\n"
+      "entry0:\n"
+      "  %v0 = call i64 @gbm_read_i64()\n"
+      "  %v1 = mul i64 %v0, 8\n"
+      "  call void @gbm_print_i64(i64 %v1)\n"
+      "  ret i32 0\n"
+      "}\n";
+  auto m = ir::parse_module(text);
+  for (const auto& fn : m->functions())
+    if (!fn->is_declaration()) strength_reduce(*fn);
+  EXPECT_EQ(count_op(*m, ir::Opcode::Mul), 0);
+  EXPECT_EQ(count_op(*m, ir::Opcode::Shl), 1);
+  interp::ExecOptions opts;
+  opts.input = {5};
+  EXPECT_EQ(interp::execute(*m, opts).output, "40\n");
+}
+
+TEST(Pipelines, O1ShrinksInstructionCount) {
+  auto m0 = compile(
+      "int main(){ long s = 0; long i; for (i = 0; i < 8; i++) { s += i * 2; }"
+      " print(s); return 0; }");
+  auto m1 = compile(
+      "int main(){ long s = 0; long i; for (i = 0; i < 8; i++) { s += i * 2; }"
+      " print(s); return 0; }");
+  optimize(*m1, OptLevel::O1);
+  EXPECT_LT(m1->instruction_count(), m0->instruction_count());
+  EXPECT_EQ(interp::execute(*m0).output, interp::execute(*m1).output);
+}
+
+TEST(Pipelines, LevelNamesRoundTrip) {
+  for (OptLevel level : {OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3,
+                         OptLevel::Oz})
+    EXPECT_EQ(opt_level_from_name(opt_level_name(level)), level);
+  EXPECT_THROW(opt_level_from_name("O9"), std::invalid_argument);
+}
+
+// ---- semantics preservation property --------------------------------------
+
+struct OptCase {
+  int task;
+  frontend::Lang lang;
+  OptLevel level;
+  std::string name;
+};
+
+std::vector<OptCase> opt_cases() {
+  std::vector<OptCase> cases;
+  const auto& tasks = data::all_tasks();
+  const OptLevel levels[] = {OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Oz};
+  for (int t = 0; t < static_cast<int>(tasks.size()); ++t) {
+    // Rotate languages and levels across tasks to cover the matrix without
+    // a full cross product (kept fast; the full sweep runs in benches).
+    const frontend::Lang lang = t % 3 == 0   ? frontend::Lang::C
+                                : t % 3 == 1 ? frontend::Lang::Cpp
+                                             : frontend::Lang::Java;
+    for (OptLevel level : levels) {
+      OptCase c;
+      c.task = t;
+      c.lang = lang;
+      c.level = level;
+      c.name = tasks[t].id + "_" + frontend::lang_name(lang) + "_" +
+               opt_level_name(level);
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
+
+class OptSemanticsTest : public ::testing::TestWithParam<OptCase> {};
+
+TEST_P(OptSemanticsTest, PipelinePreservesBehaviour) {
+  const OptCase& c = GetParam();
+  const auto& task = data::all_tasks()[static_cast<std::size_t>(c.task)];
+  const std::string src =
+      task.emit(c.lang, c.task % task.num_variants, data::Style{});
+  auto reference = frontend::compile_source(src, c.lang, "Main");
+  auto optimized = frontend::compile_source(src, c.lang, "Main");
+  optimize(*optimized, c.level);
+  const auto vr = ir::verify_module(*optimized);
+  ASSERT_TRUE(vr.ok()) << vr.str();
+  interp::ExecOptions opts;
+  opts.input = task.sample_input;
+  const auto r0 = interp::execute(*reference, opts);
+  const auto r1 = interp::execute(*optimized, opts);
+  EXPECT_EQ(r0.output, r1.output);
+  EXPECT_EQ(r0.exit_code, r1.exit_code);
+  EXPECT_EQ(r0.trapped, r1.trapped);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, OptSemanticsTest,
+                         ::testing::ValuesIn(opt_cases()),
+                         [](const ::testing::TestParamInfo<OptCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Pipelines, OptimizeIsIdempotent) {
+  // Running the pipeline a second time must change nothing: the cleanup
+  // rounds already run to fixpoint.
+  const auto& tasks = data::all_tasks();
+  for (int t = 0; t < 6; ++t) {
+    const std::string src =
+        tasks[static_cast<std::size_t>(t)].emit(frontend::Lang::C, 0, data::Style{});
+    auto m = frontend::compile_source(src, frontend::Lang::C, "Main");
+    optimize(*m, OptLevel::O2);
+    const long once = m->instruction_count();
+    const std::string text_once = ir::print_module(*m);
+    optimize(*m, OptLevel::O2);
+    EXPECT_EQ(m->instruction_count(), once) << tasks[t].id;
+    EXPECT_EQ(ir::print_module(*m), text_once) << tasks[t].id;
+  }
+}
+
+TEST(Pipelines, EveryLevelVerifiesOnEveryTask) {
+  const auto& tasks = data::all_tasks();
+  for (const auto& task : tasks) {
+    for (frontend::Lang lang :
+         {frontend::Lang::C, frontend::Lang::Cpp, frontend::Lang::Java}) {
+      const std::string src = task.emit(lang, 0, data::Style{});
+      for (OptLevel level : {OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Oz}) {
+        auto m = frontend::compile_source(src, lang, "Main");
+        optimize(*m, level);
+        const auto vr = ir::verify_module(*m);
+        EXPECT_TRUE(vr.ok()) << task.id << " " << frontend::lang_name(lang) << " "
+                             << opt_level_name(level) << "\n" << vr.str();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gbm::opt

@@ -1,0 +1,447 @@
+// Unit and property tests for the tensor/autograd library: every op's
+// gradient is validated against central finite differences, optimisers
+// against hand-stepped references, and serialisation round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "tensor/nn.h"
+#include "tensor/optim.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace gbm::tensor {
+namespace {
+
+using UnaryFn = std::function<Tensor(const Tensor&)>;
+
+/// Max relative error between analytic and numeric gradients of
+/// L = sum(f(x)^2).
+double grad_check(Tensor x, const UnaryFn& f) {
+  Tensor loss = sum_all(mul(f(x), f(x)));
+  loss.backward();
+  const std::vector<float> analytic = x.impl()->grad;
+  double max_err = 0.0;
+  const float eps = 1e-3f;
+  for (long i = 0; i < x.size(); ++i) {
+    const float orig = x.mutable_data()[i];
+    x.mutable_data()[i] = orig + eps;
+    const double lp = sum_all(mul(f(x), f(x))).item();
+    x.mutable_data()[i] = orig - eps;
+    const double lm = sum_all(mul(f(x), f(x))).item();
+    x.mutable_data()[i] = orig;
+    const double num = (lp - lm) / (2.0 * eps);
+    max_err = std::max(max_err,
+                       std::fabs(num - analytic[i]) / std::max(1.0, std::fabs(num)));
+  }
+  return max_err;
+}
+
+struct GradCase {
+  const char* name;
+  long rows, cols;
+  UnaryFn fn;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheckTest, MatchesFiniteDifferences) {
+  RNG rng(17);
+  const GradCase& c = GetParam();
+  Tensor x = Tensor::randn(c.rows, c.cols, rng, 1.0f, true);
+  EXPECT_LT(grad_check(x, c.fn), 0.02) << c.name;
+}
+
+RNG g_rng(23);  // shared weights for the parameterised cases
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, GradCheckTest,
+    ::testing::Values(
+        GradCase{"add", 3, 4, [](const Tensor& x) {
+          static Tensor b = Tensor::randn(3, 4, g_rng, 1.0f, false);
+          return add(x, b);
+        }},
+        GradCase{"add_row_broadcast", 1, 4, [](const Tensor& x) {
+          static Tensor a = Tensor::randn(3, 4, g_rng, 1.0f, false);
+          return add(a, x);
+        }},
+        GradCase{"sub", 3, 4, [](const Tensor& x) {
+          static Tensor b = Tensor::randn(3, 4, g_rng, 1.0f, false);
+          return sub(x, b);
+        }},
+        GradCase{"mul", 3, 4, [](const Tensor& x) {
+          static Tensor b = Tensor::randn(3, 4, g_rng, 1.0f, false);
+          return mul(x, b);
+        }},
+        GradCase{"mul_row_broadcast", 1, 4, [](const Tensor& x) {
+          static Tensor a = Tensor::randn(3, 4, g_rng, 1.0f, false);
+          return mul(a, x);
+        }},
+        GradCase{"scale", 3, 3, [](const Tensor& x) { return scale(x, -1.7f); }},
+        GradCase{"abs", 3, 3, [](const Tensor& x) { return abs_t(x); }},
+        GradCase{"maximum", 3, 3, [](const Tensor& x) {
+          static Tensor b = Tensor::randn(3, 3, g_rng, 1.0f, false);
+          return maximum(x, b);
+        }},
+        GradCase{"matmul_lhs", 3, 4, [](const Tensor& x) {
+          static Tensor w = Tensor::randn(4, 2, g_rng, 1.0f, false);
+          return matmul(x, w);
+        }},
+        GradCase{"matmul_rhs", 4, 2, [](const Tensor& x) {
+          static Tensor a = Tensor::randn(3, 4, g_rng, 1.0f, false);
+          return matmul(a, x);
+        }},
+        GradCase{"transpose", 3, 4, [](const Tensor& x) { return transpose(x); }},
+        GradCase{"sigmoid", 3, 3, [](const Tensor& x) { return sigmoid(x); }},
+        GradCase{"tanh", 3, 3, [](const Tensor& x) { return tanh_t(x); }},
+        GradCase{"exp", 3, 3, [](const Tensor& x) { return exp_t(x); }},
+        GradCase{"relu", 3, 3, [](const Tensor& x) { return relu(x); }},
+        GradCase{"leaky_relu", 3, 3,
+                 [](const Tensor& x) { return leaky_relu(x, 0.2f); }},
+        GradCase{"softmax_rows", 3, 5,
+                 [](const Tensor& x) { return softmax_rows(x); }},
+        GradCase{"sum_rows", 4, 3, [](const Tensor& x) { return sum_rows(x); }},
+        GradCase{"mean_rows", 4, 3, [](const Tensor& x) { return mean_rows(x); }},
+        GradCase{"max_rows", 5, 3, [](const Tensor& x) { return max_rows(x); }},
+        GradCase{"slice_rows", 5, 3,
+                 [](const Tensor& x) { return slice_rows(x, 1, 4); }},
+        GradCase{"slice_cols", 3, 6,
+                 [](const Tensor& x) { return slice_cols(x, 2, 5); }},
+        GradCase{"concat_cols", 3, 2, [](const Tensor& x) {
+          static Tensor b = Tensor::randn(3, 3, g_rng, 1.0f, false);
+          return concat_cols({x, b});
+        }},
+        GradCase{"concat_rows", 2, 3, [](const Tensor& x) {
+          static Tensor b = Tensor::randn(3, 3, g_rng, 1.0f, false);
+          return concat_rows({x, b});
+        }},
+        GradCase{"index_rows", 4, 3, [](const Tensor& x) {
+          return index_rows(x, {0, 2, 2, 3, 1});
+        }},
+        GradCase{"scatter_add", 5, 3, [](const Tensor& x) {
+          return scatter_add_rows(x, {0, 1, 0, 2, 1}, 3);
+        }},
+        GradCase{"segment_softmax", 6, 1, [](const Tensor& x) {
+          return segment_softmax(x, {0, 0, 1, 1, 1, 2}, 3);
+        }},
+        GradCase{"scale_rows_data", 4, 3, [](const Tensor& x) {
+          static Tensor s = Tensor::randn(4, 1, g_rng, 1.0f, false);
+          return scale_rows(x, s);
+        }},
+        GradCase{"scale_rows_scale", 4, 1, [](const Tensor& s) {
+          static Tensor a = Tensor::randn(4, 3, g_rng, 1.0f, false);
+          return scale_rows(a, s);
+        }},
+        GradCase{"embedding_bag_max", 5, 3, [](const Tensor& t) {
+          return embedding_bag_max(t, {1, 2, 0, 3, 0, 0, 4, 4, 1}, 3, 3, 0);
+        }},
+        GradCase{"layer_norm", 3, 6, [](const Tensor& x) {
+          static Tensor g = Tensor::full(1, 6, 1.3f, false);
+          static Tensor b = Tensor::full(1, 6, 0.2f, false);
+          return layer_norm_rows(x, g, b);
+        }}),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(TensorBasics, FactoriesAndAccessors) {
+  Tensor z = Tensor::zeros(2, 3);
+  EXPECT_EQ(z.rows(), 2);
+  EXPECT_EQ(z.cols(), 3);
+  EXPECT_EQ(z.size(), 6);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+  Tensor f = Tensor::full(2, 2, 1.5f);
+  EXPECT_FLOAT_EQ(f.at(1, 1), 1.5f);
+  Tensor from = Tensor::from({1, 2, 3, 4}, 2, 2);
+  EXPECT_FLOAT_EQ(from.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(from.at(1, 0), 3.0f);
+}
+
+TEST(TensorBasics, FromRejectsWrongSize) {
+  EXPECT_THROW(Tensor::from({1, 2, 3}, 2, 2), std::invalid_argument);
+}
+
+TEST(TensorBasics, ShapeMismatchThrows) {
+  Tensor a = Tensor::zeros(2, 3);
+  Tensor b = Tensor::zeros(3, 2);
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(mul(a, b), std::invalid_argument);
+  EXPECT_THROW(matmul(a, a), std::invalid_argument);
+  EXPECT_THROW(maximum(a, b), std::invalid_argument);
+}
+
+TEST(TensorBasics, ItemRequiresScalar) {
+  EXPECT_THROW(Tensor::zeros(2, 2).item(), std::logic_error);
+  EXPECT_FLOAT_EQ(Tensor::full(1, 1, 3.0f).item(), 3.0f);
+}
+
+TEST(TensorBasics, BackwardRequiresScalar) {
+  Tensor x = Tensor::zeros(2, 2, true);
+  EXPECT_THROW(x.backward(), std::logic_error);
+}
+
+TEST(TensorBasics, DetachDropsGraph) {
+  Tensor x = Tensor::full(1, 1, 2.0f, true);
+  Tensor y = scale(x, 3.0f).detach();
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_FLOAT_EQ(y.item(), 6.0f);
+}
+
+TEST(TensorBasics, MatmulValues) {
+  Tensor a = Tensor::from({1, 2, 3, 4}, 2, 2);
+  Tensor b = Tensor::from({5, 6, 7, 8}, 2, 2);
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(TensorBasics, GradientAccumulatesAcrossBackwardCalls) {
+  Tensor x = Tensor::full(1, 1, 2.0f, true);
+  scale(x, 3.0f).backward();
+  scale(x, 3.0f).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);  // 3 + 3
+}
+
+TEST(TensorBasics, DiamondGraphGradient) {
+  // y = x*x + x ⇒ dy/dx = 2x + 1.
+  Tensor x = Tensor::full(1, 1, 3.0f, true);
+  Tensor y = add(mul(x, x), x);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 7.0f);
+}
+
+TEST(TensorBasics, SegmentSoftmaxNormalisesPerSegment) {
+  Tensor s = Tensor::from({1, 2, 3, 4, 5}, 5, 1);
+  Tensor y = segment_softmax(s, {0, 0, 1, 1, 1}, 2);
+  EXPECT_NEAR(y.at(0, 0) + y.at(1, 0), 1.0, 1e-5);
+  EXPECT_NEAR(y.at(2, 0) + y.at(3, 0) + y.at(4, 0), 1.0, 1e-5);
+}
+
+TEST(TensorBasics, EmbeddingBagMaxIgnoresPadding) {
+  Tensor table = Tensor::from({0, 0, 1, 1, 2, 2, 3, 3}, 4, 2);
+  // Bag 0: rows {1,2} → max (2,2); bag 1: all pad → zeros.
+  Tensor out = embedding_bag_max(table, {1, 2, 0, 0}, 2, 2, 0);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 0.0f);
+}
+
+TEST(TensorBasics, DropoutTrainVsEval) {
+  RNG rng(7);
+  Tensor x = Tensor::full(10, 10, 1.0f, true);
+  Tensor eval_out = dropout(x, 0.5f, false, rng);
+  for (float v : eval_out.data()) EXPECT_FLOAT_EQ(v, 1.0f);
+  Tensor train_out = dropout(x, 0.5f, true, rng);
+  long zeros = 0;
+  for (float v : train_out.data()) zeros += v == 0.0f;
+  EXPECT_GT(zeros, 20);
+  EXPECT_LT(zeros, 80);
+}
+
+TEST(TensorBasics, BceWithLogitsMatchesReference) {
+  Tensor logits = Tensor::from({0.0f}, 1, 1);
+  // BCE(σ(0), 1) = -ln(0.5) = ln 2.
+  EXPECT_NEAR(bce_with_logits(logits, {1.0f}).item(), std::log(2.0), 1e-5);
+  Tensor strong = Tensor::from({20.0f}, 1, 1);
+  EXPECT_NEAR(bce_with_logits(strong, {1.0f}).item(), 0.0, 1e-4);
+  Tensor wrong = Tensor::from({-20.0f}, 1, 1);
+  EXPECT_NEAR(bce_with_logits(wrong, {1.0f}).item(), 20.0, 1e-3);
+}
+
+TEST(TensorBasics, MseLoss) {
+  Tensor pred = Tensor::from({1, 2}, 1, 2);
+  EXPECT_NEAR(mse_loss(pred, {0, 0}).item(), 2.5, 1e-6);
+}
+
+// ---- RNG -----------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  RNG a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  RNG rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const long v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  RNG rng(9);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  RNG rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ---- nn modules -----------------------------------------------------------
+
+TEST(Modules, LinearShapesAndParams) {
+  RNG rng(1);
+  Linear lin(4, 3, rng, true, "lin");
+  Tensor x = Tensor::randn(5, 4, rng, 1.0f, false);
+  Tensor y = lin.forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+  EXPECT_EQ(lin.params().size(), 2u);
+  EXPECT_EQ(lin.param_count(), 4 * 3 + 3);
+}
+
+TEST(Modules, LinearNoBias) {
+  RNG rng(1);
+  Linear lin(4, 3, rng, false, "lin");
+  EXPECT_EQ(lin.params().size(), 1u);
+}
+
+TEST(Modules, LayerNormNormalisesRows) {
+  RNG rng(2);
+  LayerNorm norm(8, "ln");
+  Tensor x = Tensor::randn(4, 8, rng, 5.0f, false);
+  Tensor y = norm.forward(x);
+  for (long r = 0; r < 4; ++r) {
+    double mean = 0;
+    for (long c = 0; c < 8; ++c) mean += y.at(r, c);
+    EXPECT_NEAR(mean / 8, 0.0, 1e-4);
+  }
+}
+
+TEST(Modules, LstmShapes) {
+  RNG rng(3);
+  LSTMCell lstm(6, 4, rng, "lstm");
+  Tensor seq = Tensor::randn(7, 6, rng, 1.0f, false);
+  Tensor all = lstm.forward_sequence(seq);
+  EXPECT_EQ(all.rows(), 7);
+  EXPECT_EQ(all.cols(), 4);
+  Tensor last = lstm.forward_last(seq);
+  EXPECT_EQ(last.rows(), 1);
+  for (long c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(last.at(0, c), all.at(6, c));
+}
+
+TEST(Modules, LstmGradientFlows) {
+  RNG rng(4);
+  LSTMCell lstm(3, 3, rng, "lstm");
+  Tensor seq = Tensor::randn(4, 3, rng, 1.0f, true);
+  Tensor loss = sum_all(lstm.forward_last(seq));
+  loss.backward();
+  double grad_norm = 0;
+  for (float g : seq.impl()->grad) grad_norm += std::fabs(g);
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+// ---- optimisers -------------------------------------------------------------
+
+TEST(Optim, SgdStep) {
+  Tensor w = Tensor::from({1.0f}, 1, 1, true);
+  SGD sgd({{"w", w}}, 0.1f);
+  mul(w, w).backward();  // d/dw w^2 = 2w = 2
+  sgd.step();
+  EXPECT_NEAR(w.item(), 1.0f - 0.1f * 2.0f, 1e-6);
+}
+
+TEST(Optim, AdamFirstStepIsLr) {
+  // With bias correction, |first Adam update| ≈ lr regardless of grad scale.
+  Tensor w = Tensor::from({5.0f}, 1, 1, true);
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  Adam adam({{"w", w}}, cfg);
+  scale(w, 3.0f).backward();
+  adam.step();
+  EXPECT_NEAR(w.item(), 5.0f - 0.1f, 1e-3);
+}
+
+TEST(Optim, AdamConvergesOnQuadratic) {
+  RNG rng(5);
+  Tensor w = Tensor::randn(1, 4, rng, 2.0f, true);
+  Adam adam({{"w", w}}, {0.05f});
+  for (int i = 0; i < 300; ++i) {
+    adam.zero_grad();
+    sum_all(mul(w, w)).backward();
+    adam.step();
+  }
+  for (float v : w.data()) EXPECT_NEAR(v, 0.0f, 0.05f);
+}
+
+TEST(Optim, GradClipScalesDown) {
+  Tensor w = Tensor::from({1, 1, 1, 1}, 2, 2, true);
+  scale(sum_all(w), 10.0f).backward();  // grad = 10 everywhere, norm 20
+  const double before = clip_grad_norm({{"w", w}}, 5.0);
+  EXPECT_NEAR(before, 20.0, 1e-4);
+  double norm = 0;
+  for (float g : w.impl()->grad) norm += double(g) * g;
+  EXPECT_NEAR(std::sqrt(norm), 5.0, 1e-4);
+}
+
+// ---- serialisation --------------------------------------------------------
+
+TEST(Serialize, RoundTrip) {
+  RNG rng(6);
+  Tensor a = Tensor::randn(3, 4, rng, 1.0f, true);
+  Tensor b = Tensor::randn(2, 2, rng, 1.0f, true);
+  std::vector<NamedParam> params{{"a", a}, {"b", b}};
+  const std::string path = ::testing::TempDir() + "gbm_params.bin";
+  save_params(params, path);
+
+  Tensor a2 = Tensor::zeros(3, 4, true);
+  Tensor b2 = Tensor::zeros(2, 2, true);
+  std::vector<NamedParam> loaded{{"a", a2}, {"b", b2}};
+  EXPECT_EQ(load_params(loaded, path), 2u);
+  for (long i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a2.data()[i], a.data()[i]);
+  for (long i = 0; i < b.size(); ++i) EXPECT_FLOAT_EQ(b2.data()[i], b.data()[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ShapeMismatchThrows) {
+  RNG rng(7);
+  Tensor a = Tensor::randn(3, 4, rng, 1.0f, true);
+  std::vector<NamedParam> params{{"a", a}};
+  const std::string path = ::testing::TempDir() + "gbm_params2.bin";
+  save_params(params, path);
+  Tensor wrong = Tensor::zeros(2, 2, true);
+  std::vector<NamedParam> loaded{{"a", wrong}};
+  EXPECT_THROW(load_params(loaded, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, UnknownNamesSkipped) {
+  RNG rng(8);
+  Tensor a = Tensor::randn(2, 2, rng, 1.0f, true);
+  std::vector<NamedParam> params{{"a", a}};
+  const std::string path = ::testing::TempDir() + "gbm_params3.bin";
+  save_params(params, path);
+  Tensor other = Tensor::zeros(2, 2, true);
+  std::vector<NamedParam> loaded{{"other", other}};
+  EXPECT_EQ(load_params(loaded, path), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  std::vector<NamedParam> none;
+  EXPECT_THROW(load_params(none, "/nonexistent/path.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gbm::tensor
