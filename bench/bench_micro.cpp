@@ -1,7 +1,10 @@
 // Micro-benchmarks (google-benchmark): throughput of the pipeline stages —
 // front-end compilation, optimisation, codegen+lift, graph construction,
-// tokenisation, and GNN forward / forward+backward passes.
+// tokenisation, GNN forward / forward+backward passes, and serial vs
+// parallel batch artifact production (GBM_FAST=1 shrinks the batch corpus).
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
 
 #include "backend/codegen.h"
 #include "core/pipeline.h"
@@ -125,6 +128,61 @@ void BM_GnnForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GnnForwardBackward);
+
+// --- batch artifact production: serial loop vs core::build_artifacts ------
+
+const std::vector<data::SourceFile>& batch_corpus() {
+  static const std::vector<data::SourceFile> files = [] {
+    const char* env = std::getenv("GBM_FAST");
+    const bool fast = env && std::string(env) == "1";
+    auto cfg = data::clcdsa_config();
+    cfg.num_tasks = fast ? 4 : 0;
+    cfg.solutions_per_task_per_lang = fast ? 1 : 3;
+    cfg.broken_fraction = 0.05;
+    return data::generate_corpus(cfg);
+  }();
+  return files;
+}
+
+core::ArtifactOptions batch_options() {
+  core::ArtifactOptions opts;
+  opts.side = core::Side::Binary;  // the heavy path: codegen + lift + graph
+  return opts;
+}
+
+void BM_BuildArtifactsSerial(benchmark::State& state) {
+  const auto& files = batch_corpus();
+  const auto opts = batch_options();
+  for (auto _ : state) {
+    long nodes = 0;
+    for (const auto& f : files) nodes += core::build_artifact(f, opts).graph.num_nodes();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(files.size()));
+}
+BENCHMARK(BM_BuildArtifactsSerial)->Unit(benchmark::kMillisecond);
+
+// Arg = worker threads; compare items_per_second against the serial run.
+void BM_BuildArtifactsParallel(benchmark::State& state) {
+  const auto& files = batch_corpus();
+  const auto opts = batch_options();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto artifacts = core::build_artifacts(files, opts, threads);
+    long nodes = 0;
+    for (const auto& a : artifacts) nodes += a.graph.num_nodes();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(files.size()));
+}
+BENCHMARK(BM_BuildArtifactsParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(0)  // 0 = all hardware threads
+    ->UseRealTime()  // wall clock — the honest metric for a worker pool
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

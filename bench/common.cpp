@@ -1,10 +1,6 @@
 #include "common.h"
 
-#include "backend/codegen.h"
-#include "decompiler/lift.h"
 #include "ir/parser.h"
-#include "ir/printer.h"
-#include "opt/passes.h"
 
 namespace gbm::bench {
 
@@ -40,30 +36,19 @@ std::vector<data::SourceFile> filter_lang(const std::vector<data::SourceFile>& f
 
 SideData build_side(const std::vector<data::SourceFile>& files,
                     const core::ArtifactOptions& options) {
+  core::ArtifactOptions batch_options = options;
+  batch_options.keep_ir_text = true;
+  std::vector<core::Artifact> artifacts = core::build_artifacts(files, batch_options);
+
   SideData side;
-  for (const auto& file : files) {
-    try {
-      auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
-      opt::optimize(*module, options.opt_level);
-      std::string text;
-      graph::ProgramGraph g;
-      if (options.side == core::Side::SourceIR) {
-        text = ir::print_module(*module);
-        g = graph::build_graph(*module);
-      } else {
-        const backend::VBinary binary = backend::compile_module(*module, options.style);
-        auto lifted = decompiler::lift(binary);
-        text = ir::print_module(*lifted);
-        g = graph::build_graph(*lifted);
-      }
-      side.graph_nodes.push_back(g.num_nodes());
-      side.graphs.push_back(std::move(g));
-      side.ir_texts.push_back(std::move(text));
-      side.sources.push_back(file.source);
-      side.tasks.push_back(file.task_index);
-    } catch (const std::exception&) {
-      // non-compilable file — discarded, as in the paper
-    }
+  for (std::size_t i = 0; i < artifacts.size(); ++i) {
+    core::Artifact& a = artifacts[i];
+    if (!a.ok) continue;  // non-compilable file — discarded, as in the paper
+    side.graph_nodes.push_back(a.graph.num_nodes());
+    side.graphs.push_back(std::move(a.graph));
+    side.ir_texts.push_back(std::move(a.ir_text));
+    side.sources.push_back(files[i].source);
+    side.tasks.push_back(files[i].task_index);
   }
   return side;
 }

@@ -43,12 +43,16 @@ int main() {
       " return 0; }\n";
 
   // 2. Artifacts: the C program goes through compile → binary → decompile;
-  //    the Java program stays as front-end IR (the paper's Figure 1).
+  //    the Java programs stay as front-end IR (the paper's Figure 1). Each
+  //    side is one build_artifacts batch, fanned across hardware threads.
   core::ArtifactOptions binary_opts;
   binary_opts.side = core::Side::Binary;
-  const auto binary_artifact = core::build_artifact(c_binary_side, binary_opts);
-  const auto source_artifact = core::build_artifact(java_source_side, {});
-  const auto unrelated_artifact = core::build_artifact(unrelated, {});
+  const auto binary_artifact =
+      core::build_artifacts({c_binary_side}, binary_opts).front();
+  const auto source_artifacts =
+      core::build_artifacts({java_source_side, unrelated}, {});
+  const auto& source_artifact = source_artifacts[0];
+  const auto& unrelated_artifact = source_artifacts[1];
   std::printf("binary artifact:   %s\n", binary_artifact.graph.stats().c_str());
   std::printf("source artifact:   %s\n", source_artifact.graph.stats().c_str());
   std::printf("unrelated source:  %s\n", unrelated_artifact.graph.stats().c_str());

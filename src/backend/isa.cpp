@@ -190,7 +190,7 @@ std::string disassemble(const VBinary& bin) {
     out += "fn " + std::to_string(i) + " <" + fn.name + "> arity=" +
            std::to_string(fn.arity) + ":\n";
     for (std::size_t k = 0; k < fn.code.size(); ++k) {
-      char buf[16];
+      char buf[32];
       std::snprintf(buf, sizeof buf, "%4zu: ", k);
       out += buf + fn.code[k].str() + "\n";
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 namespace gbm::baselines {
 

@@ -1,0 +1,60 @@
+// Minimal thread-pool and parallel_for used by the batch pipeline.
+//
+// The pool is deliberately small: a fixed set of workers draining one FIFO
+// queue. parallel_for hands out indices one at a time through an atomic
+// cursor, so uneven per-item cost (e.g. binary-side artifacts that go
+// through codegen + lift vs source files that fail the front-end in the
+// lexer) balances automatically.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gbm::core {
+
+/// Worker count implied by `requested`: values >= 1 are taken verbatim,
+/// anything else means std::thread::hardware_concurrency() (minimum 1).
+int resolve_threads(int requested);
+
+class ThreadPool {
+ public:
+  /// `threads` as in resolve_threads().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; never blocks. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for every i in [0, n) across resolve_threads(threads)
+/// workers and returns when all calls have finished. With one worker (or
+/// n <= 1) the loop runs inline on the calling thread. The first exception
+/// thrown by fn is rethrown on the calling thread after all workers stop;
+/// remaining indices are still visited by the other workers.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  int threads = 0);
+
+}  // namespace gbm::core

@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "decompiler/lift.h"
 #include "frontend/frontend.h"
+#include "ir/printer.h"
 #include "tensor/serialize.h"
 
 namespace gbm::core {
@@ -12,19 +14,33 @@ Artifact build_artifact(const data::SourceFile& file, const ArtifactOptions& opt
   Artifact artifact;
   artifact.task_index = file.task_index;
   artifact.lang = file.lang;
+  const auto reached_cap = [&artifact, &options] {
+    if (artifact.stage < options.stop_after) return false;
+    artifact.ok = true;
+    return true;
+  };
   try {
     auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
     opt::optimize(*module, options.opt_level);
+    artifact.stage = Stage::IR;
+    if (reached_cap()) return artifact;
     if (options.side == Side::SourceIR) {
       artifact.ir_instructions = module->instruction_count();
+      if (options.keep_ir_text) artifact.ir_text = ir::print_module(*module);
       artifact.graph = graph::build_graph(*module);
     } else {
       const backend::VBinary binary = backend::compile_module(*module, options.style);
       artifact.binary_code_size = binary.code_size();
+      artifact.stage = Stage::Binary;
+      if (reached_cap()) return artifact;
       auto lifted = decompiler::lift(binary);
+      artifact.stage = Stage::Decompiled;
+      if (reached_cap()) return artifact;
       artifact.ir_instructions = lifted->instruction_count();
+      if (options.keep_ir_text) artifact.ir_text = ir::print_module(*lifted);
       artifact.graph = graph::build_graph(*lifted);
     }
+    artifact.stage = Stage::Graph;
     artifact.ok = true;
   } catch (const std::exception& e) {
     artifact.ok = false;
@@ -34,31 +50,26 @@ Artifact build_artifact(const data::SourceFile& file, const ArtifactOptions& opt
 }
 
 std::vector<Artifact> build_artifacts(const std::vector<data::SourceFile>& files,
-                                      const ArtifactOptions& options) {
-  std::vector<Artifact> out;
-  out.reserve(files.size());
-  for (const auto& file : files) out.push_back(build_artifact(file, options));
+                                      const ArtifactOptions& options, int threads) {
+  std::vector<Artifact> out(files.size());
+  parallel_for(
+      files.size(),
+      [&](std::size_t i) { out[i] = build_artifact(files[i], options); }, threads);
   return out;
 }
 
 CorpusStats corpus_stats(const std::vector<data::SourceFile>& files,
-                         const ArtifactOptions& binary_options) {
+                         const ArtifactOptions& binary_options, int threads) {
+  ArtifactOptions options = binary_options;
+  options.side = Side::Binary;
+  options.keep_ir_text = false;
+  options.stop_after = Stage::Decompiled;  // counters don't need the graph
   CorpusStats stats;
   stats.sources = static_cast<long>(files.size());
-  for (const auto& file : files) {
-    try {
-      auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
-      opt::optimize(*module, binary_options.opt_level);
-      ++stats.ir_ok;
-      const backend::VBinary binary =
-          backend::compile_module(*module, binary_options.style);
-      ++stats.binaries;
-      auto lifted = decompiler::lift(binary);
-      (void)lifted;
-      ++stats.decompiled;
-    } catch (const std::exception&) {
-      // counted by whichever stage it failed at
-    }
+  for (const Artifact& a : build_artifacts(files, options, threads)) {
+    stats.ir_ok += a.stage >= Stage::IR;
+    stats.binaries += a.stage >= Stage::Binary;
+    stats.decompiled += a.stage >= Stage::Decompiled;
   }
   return stats;
 }

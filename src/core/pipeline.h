@@ -29,10 +29,25 @@ enum class Side {
   Binary,    // compile → binary → RetDec-style lift → decompiled IR
 };
 
+/// How far the toolchain got on a file. Stages complete strictly in order;
+/// the source side never passes through Binary/Decompiled.
+enum class Stage {
+  None,        // front-end (or optimiser) rejected the file
+  IR,          // compiled + optimised
+  Binary,      // codegen produced a VBin (Binary side only)
+  Decompiled,  // RetDec-style lift succeeded (Binary side only)
+  Graph,       // ProGraML graph built — the artifact is complete
+};
+
 struct ArtifactOptions {
   Side side = Side::SourceIR;
   opt::OptLevel opt_level = opt::OptLevel::Oz;  // paper default "0z"
   backend::CodegenStyle style = backend::CodegenStyle::VClang;
+  bool keep_ir_text = false;  // also store the printed IR in Artifact::ir_text
+  // Early exit for counter-only passes (corpus_stats): the artifact is done
+  // (ok = true) as soon as this stage completes. On the source side only IR
+  // and Graph can complete, so Binary/Decompiled caps behave like Graph.
+  Stage stop_after = Stage::Graph;
 };
 
 /// One processed file: its program graph plus provenance.
@@ -40,8 +55,10 @@ struct Artifact {
   int task_index = -1;
   frontend::Lang lang = frontend::Lang::C;
   bool ok = false;          // false → front-end (or toolchain) rejected it
+  Stage stage = Stage::None;
   std::string error;
   graph::ProgramGraph graph;
+  std::string ir_text;        // printed IR, only with keep_ir_text
   long ir_instructions = 0;
   long binary_code_size = 0;  // VBin instruction count (Binary side only)
 };
@@ -50,9 +67,14 @@ struct Artifact {
 /// errors; `ok` reports success.
 Artifact build_artifact(const data::SourceFile& file, const ArtifactOptions& options);
 
-/// Batch version.
+/// Batch version: fans file→artifact production across `threads` workers
+/// (as in parallel.h, <= 0 means all hardware threads). The result is
+/// deterministic and in input order — element i is exactly what
+/// build_artifact(files[i], options) returns on this machine, including
+/// per-file errors for non-compilable inputs.
 std::vector<Artifact> build_artifacts(const std::vector<data::SourceFile>& files,
-                                      const ArtifactOptions& options);
+                                      const ArtifactOptions& options,
+                                      int threads = 0);
 
 /// Table I counters.
 struct CorpusStats {
@@ -62,7 +84,7 @@ struct CorpusStats {
   long decompiled = 0;
 };
 CorpusStats corpus_stats(const std::vector<data::SourceFile>& files,
-                         const ArtifactOptions& binary_options);
+                         const ArtifactOptions& binary_options, int threads = 0);
 
 /// The trained matcher: tokenizer + GraphBinMatch model + featurisation
 /// choice. Handles encoding, training, scoring and (de)serialisation.

@@ -1,5 +1,6 @@
 #include "frontend/lower.h"
 
+#include <stdexcept>
 #include <unordered_map>
 
 #include "frontend/lexer.h"

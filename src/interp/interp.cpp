@@ -1,6 +1,7 @@
 #include "interp/interp.h"
 
 #include <cstring>
+#include <stdexcept>
 #include <unordered_map>
 
 namespace gbm::interp {

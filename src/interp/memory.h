@@ -37,21 +37,21 @@ class RuntimeMemory {
   }
 
   std::int64_t load_int(std::uint64_t addr, int size_bytes) const {
-    check(addr, static_cast<std::uint64_t>(size_bytes));
+    const std::uint8_t* p = at(addr, static_cast<std::uint64_t>(size_bytes));
     switch (size_bytes) {
       case 1: {
         std::int8_t v;
-        std::memcpy(&v, &bytes_[addr], 1);
+        std::memcpy(&v, p, 1);
         return v;
       }
       case 4: {
         std::int32_t v;
-        std::memcpy(&v, &bytes_[addr], 4);
+        std::memcpy(&v, p, 4);
         return v;
       }
       case 8: {
         std::int64_t v;
-        std::memcpy(&v, &bytes_[addr], 8);
+        std::memcpy(&v, p, 8);
         return v;
       }
       default:
@@ -60,20 +60,20 @@ class RuntimeMemory {
   }
 
   void store_int(std::uint64_t addr, std::int64_t value, int size_bytes) {
-    check(addr, static_cast<std::uint64_t>(size_bytes));
+    std::uint8_t* p = at(addr, static_cast<std::uint64_t>(size_bytes));
     switch (size_bytes) {
       case 1: {
         const std::int8_t v = static_cast<std::int8_t>(value);
-        std::memcpy(&bytes_[addr], &v, 1);
+        std::memcpy(p, &v, 1);
         return;
       }
       case 4: {
         const std::int32_t v = static_cast<std::int32_t>(value);
-        std::memcpy(&bytes_[addr], &v, 4);
+        std::memcpy(p, &v, 4);
         return;
       }
       case 8:
-        std::memcpy(&bytes_[addr], &value, 8);
+        std::memcpy(p, &value, 8);
         return;
       default:
         throw TrapError("bad store size");
@@ -81,27 +81,23 @@ class RuntimeMemory {
   }
 
   double load_f64(std::uint64_t addr) const {
-    check(addr, 8);
     double v;
-    std::memcpy(&v, &bytes_[addr], 8);
+    std::memcpy(&v, at(addr, 8), 8);
     return v;
   }
 
   void store_f64(std::uint64_t addr, double value) {
-    check(addr, 8);
-    std::memcpy(&bytes_[addr], &value, 8);
+    std::memcpy(at(addr, 8), &value, 8);
   }
 
   void store_bytes(std::uint64_t addr, const std::uint8_t* src, std::size_t n) {
-    check(addr, n);
-    std::memcpy(&bytes_[addr], src, n);
+    std::memcpy(at(addr, n), src, n);
   }
 
   std::string load_cstring(std::uint64_t addr) const {
     std::string out;
     while (true) {
-      check(addr, 1);
-      const char c = static_cast<char>(bytes_[addr++]);
+      const char c = static_cast<char>(*at(addr++, 1));
       if (!c) break;
       out += c;
       if (out.size() > 1 << 16) throw TrapError("unterminated string");
@@ -112,6 +108,22 @@ class RuntimeMemory {
   std::size_t capacity() const { return bytes_.size(); }
 
  private:
+  /// Bounds-checked access: check() throws on any violation, so past it the
+  /// range [addr, addr+n) is in bounds — the hint lets the optimiser drop
+  /// the failure path instead of warning about it.
+  const std::uint8_t* at(std::uint64_t addr, std::uint64_t n) const {
+    check(addr, n);
+#if defined(__GNUC__)
+    if (addr == 0 || addr + n > bytes_.size() || addr + n < addr)
+      __builtin_unreachable();
+#endif
+    return bytes_.data() + addr;
+  }
+  std::uint8_t* at(std::uint64_t addr, std::uint64_t n) {
+    return const_cast<std::uint8_t*>(
+        static_cast<const RuntimeMemory*>(this)->at(addr, n));
+  }
+
   std::vector<std::uint8_t> bytes_;
   std::uint64_t brk_;
 };

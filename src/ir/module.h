@@ -109,6 +109,16 @@ class Module {
   Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
 
+  /// Member teardown destroys constants_/globals_ before funcs_, so an
+  /// instruction destructor would otherwise call remove_user() on operand
+  /// Values that are already freed. Sever every use list up front (LLVM's
+  /// dropAllReferences) so the destructors find nothing to unlink.
+  ~Module() {
+    for (auto& fn : funcs_)
+      for (auto& block : fn->blocks())
+        for (auto& inst : block->instructions()) inst->drop_operands();
+  }
+
   const std::string& name() const { return name_; }
   TypeContext& types() { return types_; }
   const TypeContext& types() const { return types_; }

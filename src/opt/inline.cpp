@@ -2,6 +2,7 @@
 // map; returns become branches to a continuation block (joined by a phi for
 // non-void callees). Cloned entry allocas are hoisted into the caller's
 // entry block so a later mem2reg can still promote them.
+#include <stdexcept>
 #include <unordered_map>
 
 #include "opt/passes.h"

@@ -1,0 +1,229 @@
+// Thread-pool primitives and the parallel batch pipeline: build_artifacts
+// must be indistinguishable from the serial build_artifact loop — same
+// graphs, node counts, IR texts, errors and ordering — for any thread
+// count, including corpora with non-compilable files and the empty corpus.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/pipeline.h"
+#include "datasets/corpus.h"
+
+namespace gbm::core {
+namespace {
+
+// --- parallel primitives ---------------------------------------------------
+
+TEST(ResolveThreads, PositiveTakenVerbatim) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(7), 7);
+}
+
+TEST(ResolveThreads, ZeroAndNegativeMeanHardware) {
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_EQ(resolve_threads(0), resolve_threads(-3));
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 10 * (round + 1));
+  }
+}
+
+TEST(ThreadPool, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // nothing submitted — must not deadlock
+}
+
+TEST(ParallelFor, VisitsEachIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 0}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, threads);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, RethrowsWorkerException) {
+  EXPECT_THROW(
+      parallel_for(
+          64,
+          [](std::size_t i) {
+            if (i == 13) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SerialFallbackPreservesOrder) {
+  std::vector<std::size_t> visited;
+  parallel_for(8, [&](std::size_t i) { visited.push_back(i); }, 1);
+  std::vector<std::size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(visited, expected);
+}
+
+// --- batch pipeline parity -------------------------------------------------
+
+std::vector<data::SourceFile> mixed_corpus() {
+  auto cfg = data::clcdsa_config();
+  cfg.num_tasks = 6;
+  cfg.solutions_per_task_per_lang = 2;
+  cfg.broken_fraction = 0.25;  // guarantee non-compilable files in the batch
+  return data::generate_corpus(cfg);
+}
+
+void expect_identical(const Artifact& got, const Artifact& want) {
+  EXPECT_EQ(got.task_index, want.task_index);
+  EXPECT_EQ(got.lang, want.lang);
+  EXPECT_EQ(got.ok, want.ok);
+  EXPECT_EQ(got.stage, want.stage);
+  EXPECT_EQ(got.error, want.error);
+  EXPECT_EQ(got.ir_text, want.ir_text);
+  EXPECT_EQ(got.ir_instructions, want.ir_instructions);
+  EXPECT_EQ(got.binary_code_size, want.binary_code_size);
+  ASSERT_EQ(got.graph.num_nodes(), want.graph.num_nodes());
+  ASSERT_EQ(got.graph.num_edges(), want.graph.num_edges());
+  for (std::size_t i = 0; i < got.graph.nodes.size(); ++i) {
+    const auto& a = got.graph.nodes[i];
+    const auto& b = want.graph.nodes[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.full_text, b.full_text);
+    EXPECT_EQ(a.function, b.function);
+  }
+  for (std::size_t i = 0; i < got.graph.edges.size(); ++i) {
+    const auto& a = got.graph.edges[i];
+    const auto& b = want.graph.edges[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(a.position, b.position);
+  }
+}
+
+void check_parity(const ArtifactOptions& options) {
+  const auto files = mixed_corpus();
+  std::vector<Artifact> serial;
+  serial.reserve(files.size());
+  for (const auto& f : files) serial.push_back(build_artifact(f, options));
+  ASSERT_FALSE(serial.empty());
+  bool any_failed = false, any_ok = false;
+  for (const auto& a : serial) (a.ok ? any_ok : any_failed) = true;
+  EXPECT_TRUE(any_ok);
+  EXPECT_TRUE(any_failed) << "corpus should contain non-compilable files";
+
+  for (int threads : {1, 2, 4, 8, 0}) {
+    const auto parallel = build_artifacts(files, options, threads);
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("threads " + std::to_string(threads) + " file " +
+                   std::to_string(i));
+      expect_identical(parallel[i], serial[i]);
+    }
+  }
+}
+
+TEST(BuildArtifacts, SourceSideMatchesSerialLoop) {
+  ArtifactOptions options;
+  options.keep_ir_text = true;
+  check_parity(options);
+}
+
+TEST(BuildArtifacts, BinarySideMatchesSerialLoop) {
+  ArtifactOptions options;
+  options.side = Side::Binary;
+  options.keep_ir_text = true;
+  check_parity(options);
+}
+
+TEST(BuildArtifacts, EmptyCorpus) {
+  EXPECT_TRUE(build_artifacts({}, {}, 4).empty());
+  EXPECT_TRUE(build_artifacts({}, {}, 0).empty());
+}
+
+TEST(BuildArtifacts, IrTextOmittedByDefault) {
+  auto files = mixed_corpus();
+  files.resize(3);
+  for (const auto& a : build_artifacts(files, {}, 2)) EXPECT_TRUE(a.ir_text.empty());
+}
+
+TEST(BuildArtifacts, StageRecordsToolchainProgress) {
+  data::SourceFile broken;
+  broken.source = "int main( {";
+  broken.lang = frontend::Lang::C;
+  broken.unit_name = "Main";
+  const auto failed = build_artifact(broken, {});
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.stage, Stage::None);
+  EXPECT_FALSE(failed.error.empty());
+
+  data::SourceFile good;
+  good.source = "int main(){ print(1); return 0; }";
+  good.lang = frontend::Lang::C;
+  good.unit_name = "Main";
+  EXPECT_EQ(build_artifact(good, {}).stage, Stage::Graph);
+  ArtifactOptions bin;
+  bin.side = Side::Binary;
+  EXPECT_EQ(build_artifact(good, bin).stage, Stage::Graph);
+}
+
+TEST(BuildArtifacts, StopAfterCapsTheToolchain) {
+  data::SourceFile good;
+  good.source = "int main(){ print(1); return 0; }";
+  good.lang = frontend::Lang::C;
+  good.unit_name = "Main";
+  ArtifactOptions opts;
+  opts.side = Side::Binary;
+  opts.stop_after = Stage::Decompiled;
+  const auto a = build_artifact(good, opts);
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(a.stage, Stage::Decompiled);
+  EXPECT_EQ(a.graph.num_nodes(), 0);  // graph construction skipped
+  EXPECT_GT(a.binary_code_size, 0);
+}
+
+TEST(CorpusStats, ParallelMatchesSerialCounters) {
+  const auto files = mixed_corpus();
+  ArtifactOptions bin;
+  bin.side = Side::Binary;
+  const auto serial = corpus_stats(files, bin, 1);
+  for (int threads : {2, 4, 0}) {
+    const auto stats = corpus_stats(files, bin, threads);
+    EXPECT_EQ(stats.sources, serial.sources);
+    EXPECT_EQ(stats.ir_ok, serial.ir_ok);
+    EXPECT_EQ(stats.binaries, serial.binaries);
+    EXPECT_EQ(stats.decompiled, serial.decompiled);
+  }
+  EXPECT_EQ(serial.sources, static_cast<long>(files.size()));
+  EXPECT_GT(serial.ir_ok, 0);
+  EXPECT_LT(serial.ir_ok, serial.sources);  // broken files dropped
+}
+
+}  // namespace
+}  // namespace gbm::core
