@@ -16,7 +16,7 @@ namespace {
 
 bench::Experiment::Result run_variant(const bench::Experiment& experiment,
                                       bool full_text, bool interaction,
-                                      int layers) {
+                                      int layers, bool with_retrieval = false) {
   core::MatchingSystem::Config cfg;
   cfg.model.vocab = 384;
   cfg.model.embed_dim = 32;
@@ -46,6 +46,11 @@ bench::Experiment::Result run_variant(const bench::Experiment& experiment,
   for (const auto& s : experiment.splits().test)
     result.test_labels.push_back(s.label);
   result.test = eval::confusion(result.test_scores, result.test_labels, 0.5f);
+  if (with_retrieval) {
+    result.retrieval =
+        bench::index_retrieval(sys, ea, eb, experiment.a().tasks,
+                               experiment.b().tasks, experiment.splits().test);
+  }
   return result;
 }
 
@@ -70,8 +75,8 @@ int main() {
                         src_opts));
 
   bench::print_header("model variants");
-  bench::print_row("full model (full_text,int,2L)",
-                   run_variant(experiment, true, true, 2).test);
+  const auto full = run_variant(experiment, true, true, 2, /*with_retrieval=*/true);
+  bench::print_row("full model (full_text,int,2L)", full.test);
   bench::print_row("- full_text (text feats)",
                    run_variant(experiment, false, true, 2).test);
   bench::print_row("- interaction features",
@@ -79,24 +84,11 @@ int main() {
   bench::print_row("- one hetero layer",
                    run_variant(experiment, true, true, 1).test);
 
-  // Retrieval view of the full model: per test binary, rank its candidate
-  // sources (those appearing in test pairs).
-  const auto result = run_variant(experiment, true, true, 2);
-  std::map<int, eval::RankedQuery> queries;
-  for (std::size_t i = 0; i < experiment.splits().test.size(); ++i) {
-    const auto& pair = experiment.splits().test[i];
-    queries[pair.a].scores.push_back(result.test_scores[i]);
-    queries[pair.a].relevant.push_back(result.test_labels[i] >= 0.5f);
-  }
-  std::vector<eval::RankedQuery> query_list;
-  for (auto& [binary, q] : queries) {
-    (void)binary;
-    bool any_relevant = false;
-    for (bool r : q.relevant) any_relevant |= r;
-    if (any_relevant) query_list.push_back(std::move(q));
-  }
-  const auto retrieval = eval::evaluate_retrieval(query_list);
-  std::printf("\n  retrieval over %ld binary queries: P@1=%.2f P@5=%.2f "
+  // Retrieval view of the full model, served by the embedding index: every
+  // source graph is a candidate, each test binary issues one top-5 query
+  // (cosine prefilter + score-head rerank via MatchingSystem::topk).
+  const auto& retrieval = full.retrieval;
+  std::printf("\n  index retrieval over %ld binary queries: P@1=%.2f P@5=%.2f "
               "hit@5=%.2f MRR=%.2f\n",
               retrieval.queries, retrieval.precision_at_1,
               retrieval.precision_at_5, retrieval.hit_at_5, retrieval.mrr);

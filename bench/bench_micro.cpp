@@ -1,12 +1,14 @@
 // Micro-benchmarks (google-benchmark): throughput of the pipeline stages —
 // front-end compilation, optimisation, codegen+lift, graph construction,
-// tokenisation, GNN forward / forward+backward passes, and serial vs
-// parallel batch artifact production (GBM_FAST=1 shrinks the batch corpus).
+// tokenisation, GNN forward / forward+backward passes, serial vs parallel
+// batch artifact production, and pairwise vs two-stage (embed-once-then-
+// head) pair scoring (GBM_FAST=1 shrinks the batch corpus).
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
 
 #include "backend/codegen.h"
+#include "core/embedding_engine.h"
 #include "core/pipeline.h"
 #include "datasets/corpus.h"
 #include "decompiler/lift.h"
@@ -183,6 +185,111 @@ BENCHMARK(BM_BuildArtifactsParallel)
     ->Arg(0)  // 0 = all hardware threads
     ->UseRealTime()  // wall clock — the honest metric for a worker pool
     ->Unit(benchmark::kMillisecond);
+
+// --- pair scoring: pairwise forward vs two-stage embed-once-then-head -----
+//
+// Retrieval-style workload: many pairs over few graphs (here every ordered
+// pair of the graph set). The pairwise path re-runs the full GNN on both
+// graphs of every pair; the two-stage engine embeds each graph once and
+// re-runs only the FC similarity head per pair.
+
+struct PairScoringFixture {
+  std::vector<gnn::EncodedGraph> graphs;  // <= 40 distinct graphs
+  std::vector<gnn::PairSample> pairs;     // >= 100 pairs over them
+  std::unique_ptr<gnn::GraphBinMatchModel> model;
+  PairScoringFixture() {
+    auto cfg = data::clcdsa_config();
+    cfg.num_tasks = 8;
+    cfg.solutions_per_task_per_lang = 1;
+    cfg.broken_fraction = 0.0;
+    const auto files = data::generate_corpus(cfg);
+    const auto artifacts = core::build_artifacts(files, {});
+    std::vector<const graph::ProgramGraph*> ok;
+    for (const auto& a : artifacts) {
+      if (a.ok) ok.push_back(&a.graph);
+      if (ok.size() == 12) break;
+    }
+    std::vector<std::string> corpus;
+    for (const auto* g : ok)
+      for (const auto& node : g->nodes) corpus.push_back(node.feature(true));
+    const auto tk = tok::Tokenizer::train(corpus, 256);
+    for (const auto* g : ok) graphs.push_back(gnn::encode_graph(*g, tk, 16, true));
+    for (const auto& a : graphs)
+      for (const auto& b : graphs) pairs.push_back({&a, &b, 0.0f});
+    gnn::ModelConfig mcfg;
+    mcfg.vocab = 256;
+    mcfg.embed_dim = 32;
+    mcfg.hidden = 32;
+    mcfg.layers = 2;
+    tensor::RNG rng(3);
+    model = std::make_unique<gnn::GraphBinMatchModel>(mcfg, rng);
+  }
+};
+
+const PairScoringFixture& pair_fixture() {
+  static const PairScoringFixture fx;
+  return fx;
+}
+
+void BM_ScorePairsPairwise(benchmark::State& state) {
+  const auto& fx = pair_fixture();
+  for (auto _ : state) {
+    float acc = 0;
+    for (const auto& p : fx.pairs) acc += fx.model->predict(*p.a, *p.b);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(fx.pairs.size()));
+}
+BENCHMARK(BM_ScorePairsPairwise)->Unit(benchmark::kMillisecond);
+
+// Arg = worker threads. A fresh engine per iteration: the measurement
+// includes the one GNN pass per graph (cold cache), i.e. the full
+// O(N·GNN + M·head) cost against pairwise O(2M·GNN + M·head).
+void BM_ScorePairsTwoStage(benchmark::State& state) {
+  const auto& fx = pair_fixture();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::EmbeddingEngine engine(*fx.model);
+    const auto scores = engine.score_pairs(fx.pairs, threads);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(fx.pairs.size()));
+}
+BENCHMARK(BM_ScorePairsTwoStage)
+    ->Arg(1)
+    ->Arg(0)  // 0 = all hardware threads
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Steady-state serving: the cache already holds every fleet embedding, so
+// each iteration pays only the M head evaluations.
+void BM_ScorePairsWarmCache(benchmark::State& state) {
+  const auto& fx = pair_fixture();
+  static const core::EmbeddingEngine engine(*pair_fixture().model);
+  for (auto _ : state) {
+    const auto scores = engine.score_pairs(fx.pairs, 1);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(fx.pairs.size()));
+}
+BENCHMARK(BM_ScorePairsWarmCache)->Unit(benchmark::kMillisecond);
+
+// One serving query: cosine prefilter over the corpus + top-5 rerank.
+void BM_IndexTopk(benchmark::State& state) {
+  const auto& fx = pair_fixture();
+  static const core::EmbeddingEngine engine(*pair_fixture().model);
+  static const core::EmbeddingIndex index = [] {
+    core::EmbeddingIndex idx(engine);
+    for (const auto& g : pair_fixture().graphs) idx.add(engine.embed(g));
+    return idx;
+  }();
+  const core::Embedding query = engine.embed(fx.graphs.front());
+  for (auto _ : state) {
+    const auto hits = index.topk(query, 5);
+    benchmark::DoNotOptimize(hits.data());
+  }
+}
+BENCHMARK(BM_IndexTopk);
 
 }  // namespace
 

@@ -28,8 +28,15 @@ void run_direction(const char* title, const std::vector<data::SourceFile>& bin_f
             experiment.run_xlir(baselines::XlirBackbone::Transformer).test);
   bench::print_row("GraphBinMatch",
             experiment.run_graphbinmatch(/*use_full_text=*/false).test);
-  bench::print_row("GraphBinMatch(Tokenizer)",
-            experiment.run_graphbinmatch(/*use_full_text=*/true).test);
+  const auto gbm_tok = experiment.run_graphbinmatch(/*use_full_text=*/true, 7,
+                                                    /*with_retrieval=*/true);
+  bench::print_row("GraphBinMatch(Tokenizer)", gbm_tok.test);
+  // Served through the embedding index (extension): each test binary
+  // queries the source-side index, top-5 with score-head reranking.
+  std::printf("  index retrieval (GBM-Tok): P@1=%.2f hit@5=%.2f MRR=%.2f "
+              "over %ld queries\n",
+              gbm_tok.retrieval.precision_at_1, gbm_tok.retrieval.hit_at_5,
+              gbm_tok.retrieval.mrr, gbm_tok.retrieval.queries);
 }
 
 }  // namespace

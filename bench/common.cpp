@@ -1,5 +1,8 @@
 #include "common.h"
 
+#include <set>
+
+#include "core/parallel.h"
 #include "ir/parser.h"
 
 namespace gbm::bench {
@@ -62,7 +65,8 @@ Experiment::Experiment(SideData a, SideData b, std::uint64_t seed)
 }
 
 Experiment::Result Experiment::run_graphbinmatch(bool use_full_text,
-                                                 std::uint64_t seed) const {
+                                                 std::uint64_t seed,
+                                                 bool with_retrieval) const {
   core::MatchingSystem::Config cfg;
   cfg.model.vocab = 384;
   cfg.model.embed_dim = 32;
@@ -104,7 +108,52 @@ Experiment::Result Experiment::run_graphbinmatch(bool use_full_text,
     result.test_nodes.emplace_back(a_.graph_nodes[s.a], b_.graph_nodes[s.b]);
   }
   result.test = eval::confusion(result.test_scores, result.test_labels, 0.5f);
+  if (with_retrieval) {
+    // Retrieval view through the real index: score_pairs already embedded
+    // the test graphs, so embed_all mostly hits the engine's cache.
+    result.retrieval =
+        index_retrieval(sys, ea, eb, a_.tasks, b_.tasks, splits_.test);
+  }
   return result;
+}
+
+eval::RetrievalScores index_retrieval(core::MatchingSystem& sys,
+                                      const std::vector<gnn::EncodedGraph>& ea,
+                                      const std::vector<gnn::EncodedGraph>& eb,
+                                      const std::vector<int>& a_tasks,
+                                      const std::vector<int>& b_tasks,
+                                      const std::vector<data::PairSpec>& test_pairs,
+                                      int k) {
+  std::vector<const gnn::EncodedGraph*> candidates;
+  candidates.reserve(eb.size());
+  for (const auto& e : eb) candidates.push_back(&e);
+  sys.embed_all(candidates);
+
+  std::set<int> queries;
+  for (const auto& s : test_pairs) queries.insert(s.a);
+
+  std::vector<eval::RankedQuery> ranked;
+  for (int q : queries) {
+    std::vector<bool> relevant(eb.size());
+    bool any_relevant = false;
+    for (std::size_t j = 0; j < eb.size(); ++j) {
+      relevant[j] = b_tasks[j] == a_tasks[static_cast<std::size_t>(q)];
+      any_relevant |= relevant[j];
+    }
+    if (!any_relevant) continue;
+    // Exact search (prefilter = index size): metrics reflect the head, not
+    // the cosine approximation.
+    const auto hits = sys.topk(ea[static_cast<std::size_t>(q)], k,
+                               static_cast<int>(eb.size()));
+    std::vector<int> ids;
+    std::vector<float> scores;
+    for (const auto& h : hits) {
+      ids.push_back(h.id);
+      scores.push_back(h.score);
+    }
+    ranked.push_back(eval::query_from_topk(ids, scores, relevant));
+  }
+  return eval::evaluate_retrieval(ranked);
 }
 
 Experiment::Result Experiment::run_xlir(baselines::XlirBackbone backbone,
@@ -139,6 +188,18 @@ Experiment::Result Experiment::run_xlir(baselines::XlirBackbone backbone,
 
 namespace {
 
+/// Parses each printed IR text back and extracts static-matcher features,
+/// fanned across the worker pool (parse + feature extraction dominate the
+/// BinPro/B2SFinder runs).
+std::vector<baselines::ModuleFeatures> extract_all(
+    const std::vector<std::string>& texts) {
+  std::vector<baselines::ModuleFeatures> out(texts.size());
+  core::parallel_for(texts.size(), [&](std::size_t i) {
+    out[i] = baselines::extract_features(*ir::parse_module(texts[i]));
+  });
+  return out;
+}
+
 template <class ScoreFn>
 Experiment::Result run_static_matcher(const data::SplitPairs& splits,
                                       const ScoreFn& score_pair) {
@@ -161,23 +222,17 @@ Experiment::Result run_static_matcher(const data::SplitPairs& splits,
 }  // namespace
 
 Experiment::Result Experiment::run_binpro() const {
-  // Features are derived from the IR texts (parse back).
-  std::vector<baselines::ModuleFeatures> fa, fb;
-  for (const auto& t : a_.ir_texts)
-    fa.push_back(baselines::extract_features(*ir::parse_module(t)));
-  for (const auto& t : b_.ir_texts)
-    fb.push_back(baselines::extract_features(*ir::parse_module(t)));
+  // Features are derived from the IR texts (parse back, in parallel).
+  const auto fa = extract_all(a_.ir_texts);
+  const auto fb = extract_all(b_.ir_texts);
   return run_static_matcher(splits_, [&](int i, int j) {
     return baselines::binpro_similarity(fa[i], fb[j]);
   });
 }
 
 Experiment::Result Experiment::run_b2sfinder() const {
-  std::vector<baselines::ModuleFeatures> fa, fb;
-  for (const auto& t : a_.ir_texts)
-    fa.push_back(baselines::extract_features(*ir::parse_module(t)));
-  for (const auto& t : b_.ir_texts)
-    fb.push_back(baselines::extract_features(*ir::parse_module(t)));
+  const auto fa = extract_all(a_.ir_texts);
+  const auto fb = extract_all(b_.ir_texts);
   std::vector<const baselines::ModuleFeatures*> corpus;
   for (const auto& f : fa) corpus.push_back(&f);
   for (const auto& f : fb) corpus.push_back(&f);

@@ -19,6 +19,7 @@
 #include "core/pipeline.h"
 #include "datasets/pairs.h"
 #include "eval/metrics.h"
+#include "eval/retrieval.h"
 #include "frontend/frontend.h"
 
 namespace gbm::bench {
@@ -67,9 +68,16 @@ class Experiment {
     // Node counts of the two graphs of each test pair (Table VII).
     std::vector<std::pair<long, long>> test_nodes;
     float threshold = 0.5f;
+    // Index-backed retrieval quality (GraphBinMatch runs only): every
+    // side-B graph is an index candidate, each distinct test side-A graph
+    // is a query (paper §I reverse-engineering / vulnerability search).
+    eval::RetrievalScores retrieval;
   };
 
-  Result run_graphbinmatch(bool use_full_text, std::uint64_t seed = 7) const;
+  /// `with_retrieval` additionally fills Result::retrieval via index
+  /// queries (costs one embed_all + an exact rerank per test query).
+  Result run_graphbinmatch(bool use_full_text, std::uint64_t seed = 7,
+                           bool with_retrieval = false) const;
   Result run_xlir(baselines::XlirBackbone backbone, std::uint64_t seed = 13) const;
   Result run_binpro() const;
   Result run_b2sfinder() const;
@@ -80,6 +88,20 @@ class Experiment {
   SideData b_;
   data::SplitPairs splits_;
 };
+
+/// Index-backed retrieval evaluation on a trained matcher: embeds every
+/// side-B graph into the system's EmbeddingIndex, issues one exact top-k
+/// query per distinct side-A graph appearing in `test_pairs`, and
+/// aggregates eval::evaluate_retrieval metrics. A candidate is relevant if
+/// it solves the query's task; queries with no relevant candidate are
+/// skipped.
+eval::RetrievalScores index_retrieval(core::MatchingSystem& sys,
+                                      const std::vector<gnn::EncodedGraph>& ea,
+                                      const std::vector<gnn::EncodedGraph>& eb,
+                                      const std::vector<int>& a_tasks,
+                                      const std::vector<int>& b_tasks,
+                                      const std::vector<data::PairSpec>& test_pairs,
+                                      int k = 5);
 
 /// Prints "name  P R F1" next to the paper-reported numbers.
 void print_row(const std::string& name, const eval::Confusion& c,

@@ -3,12 +3,13 @@
 // source code snippet enables researchers to understand what a binary code
 // fragment does".
 //
-// A GraphBinMatch model is trained on CLCDSA-style pairs, then an unseen
-// binary is scored against every source file in the corpus and the ranked
-// list is printed.
+// A GraphBinMatch model is trained on CLCDSA-style pairs; every source
+// file is then embedded once into the matcher's EmbeddingIndex (the
+// offline stage), and the unseen binary is answered with a single GNN
+// pass plus a top-k index query (cosine prefilter + score-head rerank) —
+// the two-stage serving shape of core/embedding_engine.h.
 //
 //   ./examples/reverse_engineering
-#include <algorithm>
 #include <cstdio>
 
 #include "core/pipeline.h"
@@ -78,25 +79,29 @@ int main() {
   tcfg.lr = 6e-3f;
   matcher.train(train, tcfg);
 
-  // Rank all sources for the held-out query binary.
+  // Offline stage: embed the whole source corpus once into the index
+  // (binaries play the graph-A side of the head, so sources are indexed).
+  std::vector<const gnn::EncodedGraph*> candidates;
+  for (const auto& e : src_enc) candidates.push_back(&e);
+  matcher.embed_all(candidates);
+  std::printf("indexed %zu source embeddings\n", candidates.size());
+
+  // Online stage: one GNN pass for the query + a top-5 index lookup.
   std::printf("\nquery: stripped binary of task '%s' (%s, %ld VBin instructions)\n",
               binaries[query].task_id.c_str(),
               frontend::lang_name(binaries[query].lang),
               bin_artifacts[query].binary_code_size);
-  std::vector<std::pair<float, std::size_t>> ranked;
-  for (std::size_t j = 0; j < src_enc.size(); ++j)
-    ranked.push_back({matcher.score(bin_enc[query], src_enc[j]), j});
-  std::sort(ranked.rbegin(), ranked.rend());
+  const auto hits = matcher.topk(bin_enc[query], 5);
 
   std::printf("\ntop source candidates:\n");
-  int shown = 0;
   int correct_in_top5 = 0;
-  for (const auto& [score, j] : ranked) {
-    if (shown++ >= 5) break;
-    const bool hit = src_artifacts[j].task_index == bin_artifacts[query].task_index;
-    correct_in_top5 += hit;
-    std::printf("  %.3f  task=%-16s %s\n", score, sources[j].task_id.c_str(),
-                hit ? "<-- correct task" : "");
+  for (const auto& hit : hits) {
+    const std::size_t j = static_cast<std::size_t>(hit.id);
+    const bool correct =
+        src_artifacts[j].task_index == bin_artifacts[query].task_index;
+    correct_in_top5 += correct;
+    std::printf("  %.3f (cos %.2f)  task=%-16s %s\n", hit.score, hit.cosine,
+                sources[j].task_id.c_str(), correct ? "<-- correct task" : "");
   }
   std::printf("\n%d of top-5 candidates solve the query's task.\n", correct_in_top5);
   return 0;

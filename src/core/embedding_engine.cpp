@@ -1,0 +1,227 @@
+#include "core/embedding_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/parallel.h"
+
+namespace gbm::core {
+
+// ---- content hashing ------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  // Hash every byte of v so that small integers still diffuse.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffull;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_ints(std::uint64_t& h, const std::vector<int>& xs) {
+  mix(h, xs.size());
+  for (int x : xs) mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(x)));
+}
+
+}  // namespace
+
+std::uint64_t encoded_graph_key(const gnn::EncodedGraph& g) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(g.num_nodes));
+  mix(h, static_cast<std::uint64_t>(g.bag_len));
+  mix_ints(h, g.tokens);
+  for (const auto& list : g.edges) {
+    mix_ints(h, list.src);
+    mix_ints(h, list.dst);
+    mix_ints(h, list.pos);
+  }
+  return h;
+}
+
+float cosine_similarity(const Embedding& a, const Embedding& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("cosine_similarity: dimension mismatch");
+  double dot = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0 || nb <= 0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+// ---- cache ----------------------------------------------------------------
+
+std::optional<Embedding> EmbeddingCache::get(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void EmbeddingCache::put(std::uint64_t key, Embedding value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  map_[key] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void EmbeddingCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+}
+
+EmbeddingCache::Stats EmbeddingCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t EmbeddingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+// ---- engine ---------------------------------------------------------------
+
+EmbeddingEngine::EmbeddingEngine(const gnn::GraphBinMatchModel& model,
+                                 EmbeddingEngineConfig config)
+    : model_(&model), config_(config), cache_(config.cache_capacity) {}
+
+Embedding EmbeddingEngine::embed(const gnn::EncodedGraph& g) const {
+  const std::uint64_t key = encoded_graph_key(g);
+  if (auto cached = cache_.get(key)) return std::move(*cached);
+  tensor::RNG dummy(1);  // inference mode: dropout is a pass-through
+  const tensor::Tensor emb = model_->embed_graph(g, /*training=*/false, dummy);
+  Embedding out = emb.data();
+  cache_.put(key, out);
+  return out;
+}
+
+std::vector<Embedding> EmbeddingEngine::embed_batch(
+    const std::vector<const gnn::EncodedGraph*>& graphs, int threads) const {
+  std::vector<Embedding> out(graphs.size());
+  parallel_for(
+      graphs.size(), [&](std::size_t i) { out[i] = embed(*graphs[i]); }, threads);
+  return out;
+}
+
+float EmbeddingEngine::score(const Embedding& a, const Embedding& b) const {
+  const long d = dim();
+  if (static_cast<long>(a.size()) != d || static_cast<long>(b.size()) != d)
+    throw std::invalid_argument("EmbeddingEngine::score: embedding dim mismatch");
+  const tensor::Tensor ta = tensor::Tensor::from(a, 1, d);
+  const tensor::Tensor tb = tensor::Tensor::from(b, 1, d);
+  return model_->predict_from_embeddings(ta, tb);
+}
+
+std::vector<float> EmbeddingEngine::score_pairs(
+    const std::vector<gnn::PairSample>& pairs, int threads) const {
+  // Stage 1: one GNN pass per distinct graph (by pointer here; the cache
+  // additionally dedups by content across calls).
+  std::unordered_map<const gnn::EncodedGraph*, std::size_t> slot;
+  std::vector<const gnn::EncodedGraph*> uniq;
+  for (const auto& pair : pairs) {
+    for (const gnn::EncodedGraph* g : {pair.a, pair.b}) {
+      if (slot.emplace(g, uniq.size()).second) uniq.push_back(g);
+    }
+  }
+  const std::vector<Embedding> embeddings = embed_batch(uniq, threads);
+  // Stage 2: cheap similarity heads, embarrassingly parallel.
+  std::vector<float> out(pairs.size());
+  parallel_for(
+      pairs.size(),
+      [&](std::size_t i) {
+        out[i] = score(embeddings[slot.at(pairs[i].a)], embeddings[slot.at(pairs[i].b)]);
+      },
+      threads);
+  return out;
+}
+
+// ---- index ----------------------------------------------------------------
+
+int EmbeddingIndex::add(Embedding embedding) {
+  if (static_cast<long>(embedding.size()) != engine_->dim())
+    throw std::invalid_argument("EmbeddingIndex::add: embedding dim mismatch");
+  if (sum_.empty()) sum_.assign(embedding.size(), 0.0f);
+  for (std::size_t c = 0; c < embedding.size(); ++c) sum_[c] += embedding[c];
+  embeddings_.push_back(std::move(embedding));
+  return static_cast<int>(embeddings_.size()) - 1;
+}
+
+void EmbeddingIndex::clear() {
+  embeddings_.clear();
+  sum_.clear();
+}
+
+std::vector<EmbeddingIndex::Hit> EmbeddingIndex::topk(const Embedding& query,
+                                                      int k, int prefilter,
+                                                      QuerySide side) const {
+  if (k <= 0 || embeddings_.empty()) return {};
+  if (prefilter <= 0) prefilter = std::max(4 * k, 32);
+  const std::size_t shortlist =
+      std::min<std::size_t>(embeddings_.size(),
+                            static_cast<std::size_t>(std::max(prefilter, k)));
+
+  // Centered-cosine prefilter: cheap dot products over every stored
+  // embedding, after subtracting the index mean from both sides.
+  const float inv_n = 1.0f / static_cast<float>(embeddings_.size());
+  Embedding centered_query(query.size());
+  if (query.size() != sum_.size())
+    throw std::invalid_argument("EmbeddingIndex::topk: query dim mismatch");
+  for (std::size_t c = 0; c < query.size(); ++c)
+    centered_query[c] = query[c] - sum_[c] * inv_n;
+  std::vector<Hit> hits(embeddings_.size());
+  Embedding centered(query.size());
+  for (std::size_t i = 0; i < embeddings_.size(); ++i) {
+    for (std::size_t c = 0; c < centered.size(); ++c)
+      centered[c] = embeddings_[i][c] - sum_[c] * inv_n;
+    hits[i].id = static_cast<int>(i);
+    hits[i].cosine = cosine_similarity(centered_query, centered);
+  }
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(shortlist),
+                    hits.end(), [](const Hit& a, const Hit& b) {
+                      if (a.cosine != b.cosine) return a.cosine > b.cosine;
+                      return a.id < b.id;
+                    });
+  hits.resize(shortlist);
+
+  // Exact rerank through the asymmetric head.
+  for (Hit& h : hits) {
+    const Embedding& cand = embeddings_[static_cast<std::size_t>(h.id)];
+    h.score = side == QuerySide::A ? engine_->score(query, cand)
+                                   : engine_->score(cand, query);
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  if (hits.size() > static_cast<std::size_t>(k))
+    hits.resize(static_cast<std::size_t>(k));
+  return hits;
+}
+
+}  // namespace gbm::core

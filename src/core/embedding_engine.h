@@ -1,0 +1,173 @@
+// Two-stage inference engine for the siamese matcher (paper §III-D).
+//
+// GraphBinMatch embeds each graph independently before the FC similarity
+// head, so scoring M pairs drawn from N graphs only needs N expensive GNN
+// passes (`GraphBinMatchModel::embed_graph`) plus M cheap head evaluations
+// (`score_head`) — not M full forward passes. This module is the serving
+// primitive built on that split:
+//
+//   * `EmbeddingCache` — a content-keyed LRU cache of graph embeddings.
+//     Keys are a 64-bit hash of the encoded graph (tokens + edge lists),
+//     so re-encoded or copied graphs with identical content share one
+//     entry and retraining-free re-runs never recompute an embedding;
+//   * `EmbeddingEngine` — batch-parallel embedding over `core::parallel`
+//     plus embed-once-then-head pair scoring. All methods are safe to call
+//     concurrently: model forward passes are read-only and the cache locks
+//     internally;
+//   * `EmbeddingIndex` — an `add` / `topk` retrieval index: brute-force
+//     cosine prefilter over the stored embeddings, then exact score-head
+//     reranking of the shortlisted candidates. This is the
+//     vulnerability-search / reverse-engineering shape (§I): embed the
+//     corpus once offline, answer each query with one GNN pass and k head
+//     evaluations.
+//
+// The similarity head is *not* symmetric (the concatenation order of the
+// two embeddings matters), so `topk` takes the side the query plays:
+// QuerySide::A reranks with `score_head(query, candidate)` (index the
+// graphs your model saw as graph B during training), QuerySide::B with
+// `score_head(candidate, query)`.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gnn/model.h"
+#include "gnn/trainer.h"
+
+namespace gbm::core {
+
+/// A detached graph embedding: graph_embedding_dim(model.config()) floats.
+using Embedding = std::vector<float>;
+
+/// Content key of an encoded graph: FNV-1a over shape, token bags and the
+/// three edge lists. Equal-content graphs (even distinct objects) collide
+/// on purpose; distinct graphs collide with probability ~2^-64.
+std::uint64_t encoded_graph_key(const gnn::EncodedGraph& g);
+
+/// Cosine similarity of two equal-length vectors; 0 if either has zero norm.
+float cosine_similarity(const Embedding& a, const Embedding& b);
+
+/// Thread-safe LRU cache of embeddings keyed by graph content hash.
+/// `capacity` 0 disables caching (every get misses, puts are dropped).
+class EmbeddingCache {
+ public:
+  explicit EmbeddingCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached embedding and refreshes its recency, or nullopt.
+  std::optional<Embedding> get(std::uint64_t key);
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry when over capacity.
+  void put(std::uint64_t key, Embedding value);
+  void clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::uint64_t, Embedding>;
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+  Stats stats_;
+};
+
+struct EmbeddingEngineConfig {
+  std::size_t cache_capacity = 1024;  // entries; 0 disables the cache
+};
+
+/// Batch-parallel, cache-aware embedding + pair scoring on a trained model.
+/// The engine borrows the model; the model must outlive the engine and must
+/// not be trained while the cache holds entries (call clear_cache after any
+/// parameter update).
+class EmbeddingEngine {
+ public:
+  explicit EmbeddingEngine(const gnn::GraphBinMatchModel& model,
+                           EmbeddingEngineConfig config = {});
+
+  /// Embeds one graph (inference mode), through the cache.
+  Embedding embed(const gnn::EncodedGraph& g) const;
+
+  /// Embeds a batch across resolve_threads(threads) workers (parallel.h
+  /// semantics: <= 0 means all hardware threads). Output is in input order;
+  /// element i equals embed(*graphs[i]).
+  std::vector<Embedding> embed_batch(
+      const std::vector<const gnn::EncodedGraph*>& graphs, int threads = 0) const;
+
+  /// Similarity head on two precomputed embeddings → score in [0, 1].
+  /// Identical to model.predict(a, b) when the embeddings came from a, b.
+  float score(const Embedding& a, const Embedding& b) const;
+
+  /// Embed-once-then-head pair scoring: each distinct graph (by pointer or
+  /// by content, through the cache) is embedded exactly once, then the M
+  /// head evaluations fan out over the same worker count. Output matches
+  /// pairwise model.predict on every pair.
+  std::vector<float> score_pairs(const std::vector<gnn::PairSample>& pairs,
+                                 int threads = 0) const;
+
+  EmbeddingCache::Stats cache_stats() const { return cache_.stats(); }
+  void clear_cache() { cache_.clear(); }
+
+  const gnn::GraphBinMatchModel& model() const { return *model_; }
+  long dim() const { return gnn::graph_embedding_dim(model_->config()); }
+
+ private:
+  const gnn::GraphBinMatchModel* model_;
+  EmbeddingEngineConfig config_;
+  mutable EmbeddingCache cache_;
+};
+
+/// Which side of the asymmetric similarity head an index query plays.
+enum class QuerySide {
+  A,  // rerank with score_head(query, candidate)
+  B,  // rerank with score_head(candidate, query)
+};
+
+/// Brute-force retrieval index over stored embeddings with score-head
+/// reranking. Deterministic: ties (equal cosine or equal head score) break
+/// toward the lower id.
+class EmbeddingIndex {
+ public:
+  explicit EmbeddingIndex(const EmbeddingEngine& engine) : engine_(&engine) {}
+
+  /// Stores an embedding; returns its id (insertion order, 0-based).
+  int add(Embedding embedding);
+  void clear();
+
+  std::size_t size() const { return embeddings_.size(); }
+  const Embedding& embedding(int id) const { return embeddings_.at(id); }
+
+  struct Hit {
+    int id = -1;
+    float cosine = 0.0f;  // prefilter similarity to the query (centered)
+    float score = 0.0f;   // exact score-head output (the ranking key)
+  };
+
+  /// Top-k by exact head score among the `prefilter` highest-cosine
+  /// candidates (prefilter <= 0 → max(4k, 32); prefilter >= size() → exact
+  /// search). The prefilter cosine is computed on mean-centered embeddings
+  /// — graph embeddings share a large common component (most programs have
+  /// a similar average instruction mix), and centering on the index mean
+  /// removes it so the prefilter discriminates.
+  std::vector<Hit> topk(const Embedding& query, int k, int prefilter = 0,
+                        QuerySide side = QuerySide::A) const;
+
+ private:
+  const EmbeddingEngine* engine_;
+  std::vector<Embedding> embeddings_;
+  Embedding sum_;  // running column sum for the centering mean
+};
+
+}  // namespace gbm::core

@@ -95,13 +95,18 @@ void MatchingSystem::ensure_model() {
   if (!model_) {
     tensor::RNG rng(config_.seed);
     model_ = std::make_unique<gnn::GraphBinMatchModel>(config_.model, rng);
+    engine_ = std::make_unique<EmbeddingEngine>(*model_);
   }
 }
 
 double MatchingSystem::train(const std::vector<gnn::PairSample>& pairs,
                              const gnn::TrainConfig& train_config) {
   ensure_model();
-  return gnn::train_model(*model_, pairs, train_config);
+  const double loss = gnn::train_model(*model_, pairs, train_config);
+  // Parameters changed: embeddings computed before this call are stale.
+  engine_->clear_cache();
+  index_.reset();
+  return loss;
 }
 
 float MatchingSystem::score(const gnn::EncodedGraph& a,
@@ -111,9 +116,30 @@ float MatchingSystem::score(const gnn::EncodedGraph& a,
 }
 
 std::vector<float> MatchingSystem::score_pairs(
-    const std::vector<gnn::PairSample>& pairs) const {
+    const std::vector<gnn::PairSample>& pairs, int threads) const {
   if (!model_) throw std::logic_error("MatchingSystem: model not trained");
-  return gnn::predict_scores(*model_, pairs);
+  return engine_->score_pairs(pairs, threads);
+}
+
+std::vector<Embedding> MatchingSystem::embed_all(
+    const std::vector<const gnn::EncodedGraph*>& graphs, int threads) {
+  if (!model_) throw std::logic_error("MatchingSystem: model not trained");
+  std::vector<Embedding> embeddings = engine_->embed_batch(graphs, threads);
+  index_ = std::make_unique<EmbeddingIndex>(*engine_);
+  for (const Embedding& e : embeddings) index_->add(e);
+  return embeddings;
+}
+
+std::vector<EmbeddingIndex::Hit> MatchingSystem::topk(const gnn::EncodedGraph& query,
+                                                      int k, int prefilter,
+                                                      QuerySide side) const {
+  if (!index_) throw std::logic_error("MatchingSystem: no index (call embed_all)");
+  return index_->topk(engine_->embed(query), k, prefilter, side);
+}
+
+const EmbeddingEngine& MatchingSystem::engine() const {
+  if (!engine_) throw std::logic_error("MatchingSystem: model not trained");
+  return *engine_;
 }
 
 void MatchingSystem::save(const std::string& path) const {
@@ -126,6 +152,10 @@ void MatchingSystem::load(const std::string& path) {
   ensure_model();
   auto params = model_->params();
   tensor::load_params(params, path);
+  // Same staleness rule as train(): loaded weights invalidate cached
+  // embeddings and any index built from them.
+  engine_->clear_cache();
+  index_.reset();
 }
 
 }  // namespace gbm::core

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "backend/codegen.h"
+#include "core/embedding_engine.h"
 #include "datasets/corpus.h"
 #include "gnn/trainer.h"
 #include "graph/program_graph.h"
@@ -111,7 +112,26 @@ class MatchingSystem {
 
   /// Matching score in [0,1] for two encoded graphs.
   float score(const gnn::EncodedGraph& a, const gnn::EncodedGraph& b) const;
-  std::vector<float> score_pairs(const std::vector<gnn::PairSample>& pairs) const;
+  /// Batch scoring through the two-stage engine: each distinct graph is
+  /// embedded once (cache-aware, parallel over `threads` workers as in
+  /// parallel.h), then the similarity head runs per pair. Matches pairwise
+  /// score() on every pair.
+  std::vector<float> score_pairs(const std::vector<gnn::PairSample>& pairs,
+                                 int threads = 0) const;
+
+  /// Embeds every graph (batch-parallel, cache-aware) and rebuilds the
+  /// internal retrieval index from them in input order — graph i becomes
+  /// index id i. Returns the embeddings. The indexed graphs play the
+  /// graph-B role of the asymmetric head; queries play graph A.
+  std::vector<Embedding> embed_all(
+      const std::vector<const gnn::EncodedGraph*>& graphs, int threads = 0);
+
+  /// Top-k most similar indexed graphs for a query: cosine prefilter over
+  /// the index, then exact score-head reranking with the query on `side` of
+  /// the asymmetric head. Requires embed_all first.
+  std::vector<EmbeddingIndex::Hit> topk(const gnn::EncodedGraph& query, int k,
+                                        int prefilter = 0,
+                                        QuerySide side = QuerySide::A) const;
 
   void save(const std::string& path) const;
   /// Loads model parameters saved by save(); the tokenizer must have been
@@ -121,6 +141,8 @@ class MatchingSystem {
   const tok::Tokenizer& tokenizer() const { return *tokenizer_; }
   int bag_len() const { return bag_len_; }
   const gnn::GraphBinMatchModel& model() const { return *model_; }
+  /// The two-stage inference engine (model must be trained or loaded).
+  const EmbeddingEngine& engine() const;
   const Config& config() const { return config_; }
 
  private:
@@ -129,6 +151,8 @@ class MatchingSystem {
   Config config_;
   std::optional<tok::Tokenizer> tokenizer_;
   std::unique_ptr<gnn::GraphBinMatchModel> model_;
+  std::unique_ptr<EmbeddingEngine> engine_;
+  std::unique_ptr<EmbeddingIndex> index_;
   int bag_len_ = 0;
 };
 

@@ -40,4 +40,30 @@ RetrievalScores evaluate_retrieval(const std::vector<RankedQuery>& queries) {
   return out;
 }
 
+RankedQuery query_from_topk(const std::vector<int>& hit_ids,
+                            const std::vector<float>& hit_scores,
+                            const std::vector<bool>& relevant) {
+  if (hit_ids.size() != hit_scores.size())
+    throw std::invalid_argument("query_from_topk: ids/scores size mismatch");
+  RankedQuery q;
+  q.relevant = relevant;
+  // Unlisted candidates sink below every hit, and unlisted *relevant*
+  // candidates sink below the unlisted irrelevant ones: a relevant
+  // candidate that missed the top k is assigned the worst rank consistent
+  // with that miss, which makes the resulting MRR a true lower bound.
+  float floor = 0.0f;
+  for (float s : hit_scores) floor = std::min(floor, s);
+  floor -= 1.0f;
+  q.scores.resize(relevant.size());
+  for (std::size_t i = 0; i < relevant.size(); ++i)
+    q.scores[i] = relevant[i] ? floor - 1.0f : floor;
+  for (std::size_t i = 0; i < hit_ids.size(); ++i) {
+    const int id = hit_ids[i];
+    if (id < 0 || static_cast<std::size_t>(id) >= relevant.size())
+      throw std::invalid_argument("query_from_topk: hit id out of range");
+    q.scores[static_cast<std::size_t>(id)] = hit_scores[i];
+  }
+  return q;
+}
+
 }  // namespace gbm::eval

@@ -24,4 +24,14 @@ struct RetrievalScores {
 /// index (deterministic).
 RetrievalScores evaluate_retrieval(const std::vector<RankedQuery>& queries);
 
+/// Builds a RankedQuery from an embedding-index top-k result: `hit_ids`
+/// are candidate indices (best-first) into a candidate set of size
+/// relevant.size(), `hit_scores` their scores. Candidates outside the hit
+/// list rank below every hit — relevant ones at the very bottom, so
+/// metrics with cutoffs <= k are exact and MRR is a true lower bound when
+/// the first relevant candidate fell outside the top k.
+RankedQuery query_from_topk(const std::vector<int>& hit_ids,
+                            const std::vector<float>& hit_scores,
+                            const std::vector<bool>& relevant);
+
 }  // namespace gbm::eval

@@ -168,10 +168,8 @@ Tensor GraphBinMatchModel::embed_graph(const EncodedGraph& g, bool training,
   return tensor::concat_cols({pooled, peak});  // (1, 2*hidden)
 }
 
-Tensor GraphBinMatchModel::forward_logit(const EncodedGraph& a, const EncodedGraph& b,
-                                         bool training, RNG& rng) const {
-  const Tensor ga = embed_graph(a, training, rng);
-  const Tensor gb = embed_graph(b, training, rng);
+Tensor GraphBinMatchModel::score_head(const Tensor& ga, const Tensor& gb,
+                                      bool training, RNG& rng) const {
   std::vector<Tensor> parts{ga, gb};
   if (config_.interaction) {
     parts.push_back(tensor::abs_t(tensor::sub(ga, gb)));
@@ -185,11 +183,25 @@ Tensor GraphBinMatchModel::forward_logit(const EncodedGraph& a, const EncodedGra
   return fc2_.forward(h);  // (1,1) logit; σ applied by caller / loss
 }
 
+Tensor GraphBinMatchModel::forward_logit(const EncodedGraph& a, const EncodedGraph& b,
+                                         bool training, RNG& rng) const {
+  const Tensor ga = embed_graph(a, training, rng);
+  const Tensor gb = embed_graph(b, training, rng);
+  return score_head(ga, gb, training, rng);
+}
+
 long graph_embedding_dim(const ModelConfig& config) { return 2 * config.hidden; }
 
 float GraphBinMatchModel::predict(const EncodedGraph& a, const EncodedGraph& b) const {
   RNG dummy(1);
   const Tensor logit = forward_logit(a, b, /*training=*/false, dummy);
+  return 1.0f / (1.0f + std::exp(-logit.item()));
+}
+
+float GraphBinMatchModel::predict_from_embeddings(const Tensor& ga,
+                                                  const Tensor& gb) const {
+  RNG dummy(1);
+  const Tensor logit = score_head(ga, gb, /*training=*/false, dummy);
   return 1.0f / (1.0f + std::exp(-logit.item()));
 }
 

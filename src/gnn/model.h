@@ -105,14 +105,25 @@ class GraphBinMatchModel : public tensor::Module {
   GraphBinMatchModel() = default;
   GraphBinMatchModel(const ModelConfig& config, tensor::RNG& rng);
 
-  /// Graph-level embedding, shape (1, hidden).
+  /// Graph-level embedding, shape (1, graph_embedding_dim(config)).
   tensor::Tensor embed_graph(const EncodedGraph& g, bool training,
                              tensor::RNG& rng) const;
-  /// Match logit for a pair, shape (1, 1).
+  /// FC similarity head on precomputed graph embeddings (the right half of
+  /// Figure 2): concat → FC → LayerNorm → LeakyReLU → Dropout → FC. Returns
+  /// the (1, 1) logit; forward_logit(a, b) == score_head(embed_graph(a),
+  /// embed_graph(b)) by construction.
+  tensor::Tensor score_head(const tensor::Tensor& ga, const tensor::Tensor& gb,
+                            bool training, tensor::RNG& rng) const;
+  /// Match logit for a pair, shape (1, 1). Embeds both graphs, then applies
+  /// score_head.
   tensor::Tensor forward_logit(const EncodedGraph& a, const EncodedGraph& b,
                                bool training, tensor::RNG& rng) const;
   /// Matching score in [0, 1] (inference mode).
   float predict(const EncodedGraph& a, const EncodedGraph& b) const;
+  /// Matching score in [0, 1] from precomputed embeddings (inference mode).
+  /// With the same embeddings, identical to predict() on the source graphs.
+  float predict_from_embeddings(const tensor::Tensor& ga,
+                                const tensor::Tensor& gb) const;
 
   std::vector<tensor::NamedParam> params() const override;
   const ModelConfig& config() const { return config_; }

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <numeric>
 
+#include "core/embedding_engine.h"
+
 namespace gbm::gnn {
 
 using tensor::Adam;
@@ -55,11 +57,11 @@ double train_model(GraphBinMatchModel& model, const std::vector<PairSample>& tra
 }
 
 std::vector<float> predict_scores(const GraphBinMatchModel& model,
-                                  const std::vector<PairSample>& pairs) {
-  std::vector<float> out;
-  out.reserve(pairs.size());
-  for (const auto& pair : pairs) out.push_back(model.predict(*pair.a, *pair.b));
-  return out;
+                                  const std::vector<PairSample>& pairs,
+                                  int threads) {
+  core::EmbeddingEngineConfig cfg;
+  cfg.cache_capacity = 0;  // one-shot batch: nothing to reuse across calls
+  return core::EmbeddingEngine(model, cfg).score_pairs(pairs, threads);
 }
 
 }  // namespace gbm::gnn

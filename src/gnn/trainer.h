@@ -37,8 +37,13 @@ struct TrainConfig {
 double train_model(GraphBinMatchModel& model, const std::vector<PairSample>& train,
                    const TrainConfig& config);
 
-/// Inference scores in [0,1] for each pair.
+/// Inference scores in [0,1] for each pair, computed embed-once-then-head:
+/// every distinct graph (by pointer) gets exactly one GNN pass, then the
+/// similarity head runs per pair; both stages fan out over
+/// core::resolve_threads(threads) workers (<= 0 means all hardware
+/// threads). Scores are identical to pairwise model.predict(*a, *b).
 std::vector<float> predict_scores(const GraphBinMatchModel& model,
-                                  const std::vector<PairSample>& pairs);
+                                  const std::vector<PairSample>& pairs,
+                                  int threads = 0);
 
 }  // namespace gbm::gnn

@@ -1,0 +1,360 @@
+// Two-stage inference engine tests: embed-then-head parity against the
+// monolithic forward pass, cache hit/miss/eviction semantics, content-keyed
+// deduplication, top-k determinism and tie-breaking, thread-count
+// invariance, and the MatchingSystem save/load round trip (scores + topk).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/embedding_engine.h"
+#include "core/pipeline.h"
+#include "frontend/frontend.h"
+#include "gnn/trainer.h"
+#include "graph/program_graph.h"
+
+namespace gbm::core {
+namespace {
+
+using tensor::RNG;
+using tensor::Tensor;
+
+gnn::EncodedGraph tiny_graph(long nodes, const std::vector<std::pair<int, int>>& edges,
+                             int token_salt = 0, int bag_len = 2) {
+  gnn::EncodedGraph g;
+  g.num_nodes = nodes;
+  g.bag_len = bag_len;
+  for (long i = 0; i < nodes; ++i)
+    for (int k = 0; k < bag_len; ++k)
+      g.tokens.push_back(static_cast<int>(3 + (i + k + token_salt) % 4));
+  for (auto [s, d] : edges) {
+    g.edges[0].src.push_back(s);
+    g.edges[0].dst.push_back(d);
+    g.edges[0].pos.push_back(0);
+  }
+  for (auto& list : g.edges) {
+    for (long i = 0; i < nodes; ++i) {
+      list.src.push_back(static_cast<int>(i));
+      list.dst.push_back(static_cast<int>(i));
+      list.pos.push_back(0);
+    }
+  }
+  return g;
+}
+
+gnn::GraphBinMatchModel make_model(std::uint64_t seed = 7, bool interaction = true) {
+  gnn::ModelConfig cfg;
+  cfg.vocab = 16;
+  cfg.embed_dim = 8;
+  cfg.hidden = 8;
+  cfg.layers = 2;
+  cfg.dropout = 0.2f;  // must not matter: all engine paths are inference mode
+  cfg.interaction = interaction;
+  RNG rng(seed);
+  return gnn::GraphBinMatchModel(cfg, rng);
+}
+
+std::vector<gnn::EncodedGraph> graph_zoo() {
+  std::vector<gnn::EncodedGraph> graphs;
+  graphs.push_back(tiny_graph(3, {{0, 1}, {1, 2}}));
+  graphs.push_back(tiny_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, 1));
+  graphs.push_back(tiny_graph(4, {{0, 3}, {3, 1}}, 2));
+  graphs.push_back(tiny_graph(6, {{0, 1}, {2, 3}, {4, 5}, {5, 0}}, 3));
+  return graphs;
+}
+
+TEST(ScoreHead, MatchesForwardLogit) {
+  const auto model = make_model();
+  const auto graphs = graph_zoo();
+  for (const auto& a : graphs) {
+    for (const auto& b : graphs) {
+      RNG r1(1), r2(1);
+      const float whole = model.forward_logit(a, b, false, r1).item();
+      RNG ra(1), rb(1);
+      const Tensor ea = model.embed_graph(a, false, ra);
+      const Tensor eb = model.embed_graph(b, false, rb);
+      const float staged = model.score_head(ea, eb, false, r2).item();
+      EXPECT_NEAR(staged, whole, 1e-6f);
+    }
+  }
+}
+
+TEST(EmbeddingEngine, ScoreMatchesPredictOnEveryPair) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  const auto graphs = graph_zoo();
+  for (const auto& a : graphs) {
+    for (const auto& b : graphs) {
+      const float direct = model.predict(a, b);
+      const float staged = engine.score(engine.embed(a), engine.embed(b));
+      EXPECT_NEAR(staged, direct, 1e-6f);
+    }
+  }
+}
+
+TEST(EmbeddingEngine, ScorePairsMatchesPairwisePredict) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  const auto graphs = graph_zoo();
+  std::vector<gnn::PairSample> pairs;
+  for (const auto& a : graphs)
+    for (const auto& b : graphs) pairs.push_back({&a, &b, 0.0f});
+  const auto scores = engine.score_pairs(pairs, 2);
+  ASSERT_EQ(scores.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    EXPECT_NEAR(scores[i], model.predict(*pairs[i].a, *pairs[i].b), 1e-6f);
+}
+
+TEST(EmbeddingEngine, ThreadCountInvariance) {
+  const auto model = make_model();
+  const auto graphs = graph_zoo();
+  std::vector<gnn::PairSample> pairs;
+  for (const auto& a : graphs)
+    for (const auto& b : graphs) pairs.push_back({&a, &b, 0.0f});
+  // Fresh engine per worker count so the cache cannot mask differences.
+  const auto s1 = EmbeddingEngine(model).score_pairs(pairs, 1);
+  const auto s2 = EmbeddingEngine(model).score_pairs(pairs, 2);
+  const auto s8 = EmbeddingEngine(model).score_pairs(pairs, 8);
+  ASSERT_EQ(s1.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    // Bitwise equality: the same float ops run regardless of worker count.
+    EXPECT_EQ(s1[i], s2[i]);
+    EXPECT_EQ(s1[i], s8[i]);
+  }
+}
+
+TEST(PredictScores, ThreadCountInvariantAndMatchesPredict) {
+  const auto model = make_model();
+  const auto graphs = graph_zoo();
+  std::vector<gnn::PairSample> pairs;
+  for (const auto& a : graphs)
+    for (const auto& b : graphs) pairs.push_back({&a, &b, 0.0f});
+  const auto s1 = gnn::predict_scores(model, pairs, 1);
+  const auto s4 = gnn::predict_scores(model, pairs, 4);
+  ASSERT_EQ(s1.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(s1[i], s4[i]);
+    EXPECT_NEAR(s1[i], model.predict(*pairs[i].a, *pairs[i].b), 1e-6f);
+  }
+}
+
+TEST(EmbeddingCache, HitMissEvictionStats) {
+  const auto model = make_model();
+  EmbeddingEngineConfig cfg;
+  cfg.cache_capacity = 2;
+  const EmbeddingEngine engine(model, cfg);
+  const auto g1 = tiny_graph(3, {{0, 1}});
+  const auto g2 = tiny_graph(4, {{0, 1}, {1, 2}}, 1);
+  const auto g3 = tiny_graph(5, {{0, 1}, {2, 3}}, 2);
+
+  engine.embed(g1);  // miss, cached
+  engine.embed(g2);  // miss, cached
+  engine.embed(g1);  // hit (refreshes g1 to most-recent)
+  engine.embed(g3);  // miss, evicts g2 (LRU)
+  engine.embed(g2);  // miss again
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+}
+
+TEST(EmbeddingCache, ContentKeyedAcrossObjects) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  // Two distinct objects, identical content: one compute, one hit.
+  const auto g1 = tiny_graph(4, {{0, 1}, {1, 2}});
+  const auto g2 = tiny_graph(4, {{0, 1}, {1, 2}});
+  EXPECT_EQ(encoded_graph_key(g1), encoded_graph_key(g2));
+  const auto e1 = engine.embed(g1);
+  const auto e2 = engine.embed(g2);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+  // Different content hashes differently (with overwhelming probability).
+  EXPECT_NE(encoded_graph_key(g1), encoded_graph_key(tiny_graph(4, {{0, 1}})));
+}
+
+TEST(EmbeddingCache, ZeroCapacityDisables) {
+  const auto model = make_model();
+  EmbeddingEngineConfig cfg;
+  cfg.cache_capacity = 0;
+  const EmbeddingEngine engine(model, cfg);
+  const auto g = tiny_graph(3, {{0, 1}});
+  engine.embed(g);
+  engine.embed(g);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+  EXPECT_EQ(engine.cache_stats().misses, 2u);
+}
+
+TEST(EmbeddingIndex, TopkDeterministicWithIdTieBreak) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  const auto graphs = graph_zoo();
+  EmbeddingIndex index(engine);
+  // ids 0 and 1 share one embedding → guaranteed score tie → id order.
+  const Embedding dup = engine.embed(graphs[0]);
+  index.add(dup);
+  index.add(dup);
+  index.add(engine.embed(graphs[1]));
+  index.add(engine.embed(graphs[2]));
+
+  const Embedding query = engine.embed(graphs[3]);
+  const auto hits = index.topk(query, 4);
+  ASSERT_EQ(hits.size(), 4u);
+  // Exact rerank scores match the engine's head on the stored embeddings.
+  for (const auto& h : hits)
+    EXPECT_EQ(h.score, engine.score(query, index.embedding(h.id)));
+  // The duplicate pair ties and must appear in id order, adjacently.
+  for (std::size_t i = 0; i + 1 < hits.size(); ++i) {
+    EXPECT_GE(hits[i].score, hits[i + 1].score);
+    if (hits[i].score == hits[i + 1].score) {
+      EXPECT_LT(hits[i].id, hits[i + 1].id);
+    }
+  }
+  // Repeated queries are identical.
+  const auto again = index.topk(query, 4);
+  ASSERT_EQ(again.size(), hits.size());
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(again[i].id, hits[i].id);
+    EXPECT_EQ(again[i].score, hits[i].score);
+  }
+  // k larger than the index truncates to size; k <= 0 is empty.
+  EXPECT_EQ(index.topk(query, 100).size(), index.size());
+  EXPECT_TRUE(index.topk(query, 0).empty());
+}
+
+TEST(EmbeddingIndex, QuerySideBUsesFlippedHead) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  const auto graphs = graph_zoo();
+  EmbeddingIndex index(engine);
+  for (std::size_t i = 0; i + 1 < graphs.size(); ++i)
+    index.add(engine.embed(graphs[i]));
+  const Embedding query = engine.embed(graphs.back());
+  const auto hits = index.topk(query, 3, 0, QuerySide::B);
+  ASSERT_FALSE(hits.empty());
+  for (const auto& h : hits)
+    EXPECT_EQ(h.score, engine.score(index.embedding(h.id), query));
+}
+
+// ---- MatchingSystem-level behaviour on a real compiled corpus ------------
+
+struct TrainedSystem {
+  std::vector<graph::ProgramGraph> graphs;
+  std::vector<gnn::EncodedGraph> encoded;
+  std::unique_ptr<MatchingSystem> sys;
+};
+
+TrainedSystem trained_system() {
+  const char* sources[] = {
+      "int main(){ print(1); return 0; }",
+      "int main(){ long s=0; long i; for(i=0;i<7;i++){ s+=i*3; } print(s);"
+      " return 0; }",
+      "int main(){ puts(\"xyz\"); print(999983); return 0; }",
+      "int main(){ long a = 2; long b = 40; print(a + b); return 0; }",
+  };
+  TrainedSystem out;
+  for (const char* src : sources) {
+    auto module = frontend::compile_source(src, frontend::Lang::C, "Main");
+    out.graphs.push_back(graph::build_graph(*module));
+  }
+  MatchingSystem::Config cfg;
+  cfg.model.vocab = 64;
+  cfg.model.embed_dim = 8;
+  cfg.model.hidden = 8;
+  cfg.model.layers = 1;
+  cfg.model.interaction = true;
+  out.sys = std::make_unique<MatchingSystem>(cfg);
+  std::vector<const graph::ProgramGraph*> ptrs;
+  for (const auto& g : out.graphs) ptrs.push_back(&g);
+  out.sys->fit_tokenizer(ptrs);
+  for (const auto& g : out.graphs) out.encoded.push_back(out.sys->encode(g));
+  std::vector<gnn::PairSample> train = {{&out.encoded[0], &out.encoded[0], 1.0f},
+                                        {&out.encoded[1], &out.encoded[1], 1.0f},
+                                        {&out.encoded[0], &out.encoded[1], 0.0f},
+                                        {&out.encoded[1], &out.encoded[2], 0.0f}};
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 4;
+  out.sys->train(train, tcfg);
+  return out;
+}
+
+TEST(MatchingSystem, ScorePairsMatchesPairwiseScore) {
+  auto ts = trained_system();
+  std::vector<gnn::PairSample> pairs;
+  for (const auto& a : ts.encoded)
+    for (const auto& b : ts.encoded) pairs.push_back({&a, &b, 0.0f});
+  const auto batch = ts.sys->score_pairs(pairs);
+  ASSERT_EQ(batch.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    EXPECT_NEAR(batch[i], ts.sys->score(*pairs[i].a, *pairs[i].b), 1e-6f);
+}
+
+TEST(MatchingSystem, TopkRequiresIndex) {
+  auto ts = trained_system();
+  EXPECT_THROW(ts.sys->topk(ts.encoded[0], 3), std::logic_error);
+}
+
+TEST(MatchingSystem, EngineRequiresModel) {
+  MatchingSystem sys(MatchingSystem::Config{});
+  EXPECT_THROW(sys.engine(), std::logic_error);
+  EXPECT_THROW(sys.score_pairs({}), std::logic_error);
+  EXPECT_THROW(sys.embed_all({}), std::logic_error);
+}
+
+TEST(MatchingSystem, TrainInvalidatesCacheAndIndex) {
+  auto ts = trained_system();
+  std::vector<const gnn::EncodedGraph*> ptrs;
+  for (const auto& e : ts.encoded) ptrs.push_back(&e);
+  const auto before = ts.sys->embed_all(ptrs);
+  // Further training changes the parameters → the old embeddings must not
+  // be served from the cache, and the stale index is dropped.
+  std::vector<gnn::PairSample> more = {{&ts.encoded[0], &ts.encoded[1], 1.0f}};
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 3;
+  ts.sys->train(more, tcfg);
+  EXPECT_THROW(ts.sys->topk(ts.encoded[0], 1), std::logic_error);
+  const auto after = ts.sys->embed_all(ptrs);
+  EXPECT_NE(before[0], after[0]);
+}
+
+TEST(MatchingSystem, SaveLoadRoundTripScoresAndTopk) {
+  auto ts = trained_system();
+  std::vector<gnn::PairSample> pairs;
+  for (const auto& a : ts.encoded)
+    for (const auto& b : ts.encoded) pairs.push_back({&a, &b, 0.0f});
+  const auto scores_before = ts.sys->score_pairs(pairs);
+  std::vector<const gnn::EncodedGraph*> ptrs;
+  for (const auto& e : ts.encoded) ptrs.push_back(&e);
+  ts.sys->embed_all(ptrs);
+  const auto hits_before =
+      ts.sys->topk(ts.encoded[3], 3, static_cast<int>(ptrs.size()));
+
+  const std::string path = ::testing::TempDir() + "gbm_engine_roundtrip.bin";
+  ts.sys->save(path);
+
+  // Fresh system: same config + same corpus → same tokenizer; load weights.
+  MatchingSystem restored(ts.sys->config());
+  std::vector<const graph::ProgramGraph*> gptrs;
+  for (const auto& g : ts.graphs) gptrs.push_back(&g);
+  restored.fit_tokenizer(gptrs);
+  restored.load(path);
+  std::remove(path.c_str());
+
+  const auto scores_after = restored.score_pairs(pairs);
+  ASSERT_EQ(scores_after.size(), scores_before.size());
+  for (std::size_t i = 0; i < scores_before.size(); ++i)
+    EXPECT_NEAR(scores_after[i], scores_before[i], 1e-6f);
+
+  restored.embed_all(ptrs);
+  const auto hits_after =
+      restored.topk(ts.encoded[3], 3, static_cast<int>(ptrs.size()));
+  ASSERT_EQ(hits_after.size(), hits_before.size());
+  for (std::size_t i = 0; i < hits_before.size(); ++i) {
+    EXPECT_EQ(hits_after[i].id, hits_before[i].id);
+    EXPECT_NEAR(hits_after[i].score, hits_before[i].score, 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace gbm::core
