@@ -1,8 +1,9 @@
 // Micro-benchmarks (google-benchmark): throughput of the pipeline stages —
 // front-end compilation, optimisation, codegen+lift, graph construction,
 // tokenisation, GNN forward / forward+backward passes, serial vs parallel
-// batch artifact production, and pairwise vs two-stage (embed-once-then-
-// head) pair scoring (GBM_FAST=1 shrinks the batch corpus).
+// batch artifact production, pairwise vs two-stage (embed-once-then-head)
+// pair scoring, per-graph vs chunked-GraphBatch embedding, and per-sample
+// vs batched data-parallel training (GBM_FAST=1 shrinks the batch corpus).
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -273,6 +274,136 @@ void BM_ScorePairsWarmCache(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(fx.pairs.size()));
 }
 BENCHMARK(BM_ScorePairsWarmCache)->Unit(benchmark::kMillisecond);
+
+// --- batch embedding: one GNN pass per graph vs chunked GraphBatch passes --
+//
+// The per-graph path dispatches every tensor op once per graph; the batched
+// path embeds `batch_chunk` graphs per pass over their disjoint union, so
+// the op-dispatch overhead (autograd node + buffer allocations) amortises
+// across the chunk. Arg = worker threads.
+
+void BM_EmbedAllPerGraph(benchmark::State& state) {
+  const auto& fx = pair_fixture();
+  std::vector<const gnn::EncodedGraph*> ptrs;
+  for (const auto& g : fx.graphs) ptrs.push_back(&g);
+  const int threads = static_cast<int>(state.range(0));
+  core::EmbeddingEngineConfig cfg;
+  cfg.cache_capacity = 0;  // measure the GNN passes, not the cache
+  cfg.batch_chunk = 1;
+  const core::EmbeddingEngine engine(*fx.model, cfg);
+  for (auto _ : state) {
+    const auto embeddings = engine.embed_batch(ptrs, threads);
+    benchmark::DoNotOptimize(embeddings.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(ptrs.size()));
+}
+BENCHMARK(BM_EmbedAllPerGraph)->Arg(1)->Arg(0)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Args = {worker threads, graphs per GraphBatch chunk}.
+void BM_EmbedAllBatched(benchmark::State& state) {
+  const auto& fx = pair_fixture();
+  std::vector<const gnn::EncodedGraph*> ptrs;
+  for (const auto& g : fx.graphs) ptrs.push_back(&g);
+  const int threads = static_cast<int>(state.range(0));
+  core::EmbeddingEngineConfig cfg;
+  cfg.cache_capacity = 0;
+  cfg.batch_chunk = static_cast<std::size_t>(state.range(1));
+  const core::EmbeddingEngine engine(*fx.model, cfg);
+  for (auto _ : state) {
+    const auto embeddings = engine.embed_batch(ptrs, threads);
+    benchmark::DoNotOptimize(embeddings.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(ptrs.size()));
+}
+BENCHMARK(BM_EmbedAllBatched)
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->Args({0, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --- training: per-sample serial loop vs batched data-parallel trainer -----
+//
+// One epoch over a 24-pair training set. The per-sample baseline is the
+// pre-GraphBatch trainer shape: one forward_logit + backward per pair.
+// BM_TrainEpoch/<threads> runs the sharded trainer (micro_batch 2) — /1
+// isolates the batched-forward win, higher counts add data parallelism
+// (losses are bit-identical across thread counts by construction).
+
+std::vector<gnn::PairSample> train_pairs() {
+  const auto& fx = pair_fixture();
+  std::vector<gnn::PairSample> pairs;
+  const std::size_t n = fx.graphs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs.push_back({&fx.graphs[i], &fx.graphs[i], 1.0f});
+    pairs.push_back({&fx.graphs[i], &fx.graphs[(i + 1) % n], 0.0f});
+  }
+  return pairs;
+}
+
+std::unique_ptr<gnn::GraphBinMatchModel> fresh_model() {
+  gnn::ModelConfig mcfg;
+  mcfg.vocab = 256;
+  mcfg.embed_dim = 32;
+  mcfg.hidden = 32;
+  mcfg.layers = 2;
+  tensor::RNG rng(3);
+  return std::make_unique<gnn::GraphBinMatchModel>(mcfg, rng);
+}
+
+void BM_TrainEpochPerSample(benchmark::State& state) {
+  const auto pairs = train_pairs();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto model = fresh_model();
+    tensor::AdamConfig acfg;
+    acfg.lr = 2e-3f;
+    tensor::Adam adam(model->params(), acfg);
+    tensor::RNG rng(7);
+    state.ResumeTiming();
+    double epoch_loss = 0.0;
+    std::size_t i = 0;
+    while (i < pairs.size()) {
+      adam.zero_grad();
+      const std::size_t batch_end = std::min(pairs.size(), i + 8);
+      const std::size_t batch_n = batch_end - i;
+      for (; i < batch_end; ++i) {
+        const auto logit = model->forward_logit(*pairs[i].a, *pairs[i].b, true, rng);
+        const auto loss = tensor::bce_with_logits(logit, {pairs[i].label});
+        tensor::scale(loss, 1.0f / static_cast<float>(batch_n)).backward();
+        epoch_loss += loss.item();
+      }
+      tensor::clip_grad_norm(model->params(), 5.0);
+      adam.step();
+    }
+    benchmark::DoNotOptimize(epoch_loss);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(pairs.size()));
+}
+BENCHMARK(BM_TrainEpochPerSample)->Unit(benchmark::kMillisecond);
+
+void BM_TrainEpoch(benchmark::State& state) {
+  const auto pairs = train_pairs();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto model = fresh_model();
+    state.ResumeTiming();
+    gnn::TrainConfig tcfg;
+    tcfg.epochs = 1;
+    tcfg.batch_size = 8;
+    tcfg.micro_batch = 2;
+    tcfg.threads = threads;
+    benchmark::DoNotOptimize(gnn::train_model(*model, pairs, tcfg));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(pairs.size()));
+}
+BENCHMARK(BM_TrainEpoch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(0)  // 0 = all hardware threads
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // One serving query: cosine prefilter over the corpus + top-5 rerank.
 void BM_IndexTopk(benchmark::State& state) {

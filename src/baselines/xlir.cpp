@@ -138,13 +138,17 @@ double XlirSystem::train(const std::vector<Sample>& samples,
     std::size_t i = 0;
     while (i < order.size()) {
       adam.zero_grad();
-      int in_batch = 0;
+      // Batch extent up front: gradients average over the ACTUAL batch
+      // size, so a short final batch is not under-weighted.
+      const std::size_t batch_end =
+          std::min(order.size(), i + static_cast<std::size_t>(options.batch_size));
+      const int in_batch = static_cast<int>(batch_end - i);
       double batch_loss = 0.0;
-      for (; in_batch < options.batch_size && i < order.size(); ++in_batch, ++i) {
+      for (; i < batch_end; ++i) {
         const Sample& s = samples[order[i]];
         const Tensor logit = model_->forward_logit(*s.a, *s.b, true, rng);
         const Tensor loss = tensor::bce_with_logits(logit, {s.label});
-        tensor::scale(loss, 1.0f / options.batch_size).backward();
+        tensor::scale(loss, 1.0f / static_cast<float>(in_batch)).backward();
         batch_loss += loss.item();
       }
       tensor::clip_grad_norm(model_->params(), 5.0);

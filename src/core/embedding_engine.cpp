@@ -124,8 +124,79 @@ Embedding EmbeddingEngine::embed(const gnn::EncodedGraph& g) const {
 std::vector<Embedding> EmbeddingEngine::embed_batch(
     const std::vector<const gnn::EncodedGraph*>& graphs, int threads) const {
   std::vector<Embedding> out(graphs.size());
-  parallel_for(
-      graphs.size(), [&](std::size_t i) { out[i] = embed(*graphs[i]); }, threads);
+  // Cache pass + content dedup of the misses: repeated inputs (identical
+  // content under distinct pointers) are embedded exactly once.
+  std::vector<const gnn::EncodedGraph*> miss;
+  std::vector<std::uint64_t> miss_key;
+  std::unordered_map<std::uint64_t, std::size_t> miss_slot;
+  std::vector<std::pair<std::size_t, std::size_t>> fills;  // (out idx, miss slot)
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const std::uint64_t key = encoded_graph_key(*graphs[i]);
+    if (auto cached = cache_.get(key)) {
+      out[i] = std::move(*cached);
+      continue;
+    }
+    const auto [it, inserted] = miss_slot.emplace(key, miss.size());
+    if (inserted) {
+      miss.push_back(graphs[i]);
+      miss_key.push_back(key);
+    }
+    fills.emplace_back(i, it->second);
+  }
+  if (miss.empty()) return out;
+
+  // Chunks of misses, grouped by bag length (a GraphBatch needs a single
+  // one) in first-appearance order, then split at batch_chunk. Each chunk
+  // is one batched GNN pass.
+  const std::size_t chunk_size = std::max<std::size_t>(1, config_.batch_chunk);
+  std::vector<std::vector<std::size_t>> groups;
+  std::unordered_map<int, std::size_t> group_of;
+  for (std::size_t s = 0; s < miss.size(); ++s) {
+    const auto [it, inserted] = group_of.emplace(miss[s]->bag_len, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(s);
+  }
+  std::vector<std::vector<std::size_t>> chunks;
+  for (const auto& group : groups)
+    for (std::size_t b = 0; b < group.size(); b += chunk_size)
+      chunks.emplace_back(group.begin() + static_cast<long>(b),
+                          group.begin() +
+                              static_cast<long>(std::min(group.size(), b + chunk_size)));
+
+  std::vector<Embedding> computed(miss.size());
+  const int workers = resolve_threads(threads);
+  // Workers beyond the chunk count instead row-parallelise the matmuls
+  // inside each chunk's forward (bit-identical to the serial split).
+  const int inner = static_cast<int>(
+      std::max<std::size_t>(1, static_cast<std::size_t>(workers) / chunks.size()));
+  const auto run_chunk = [&](std::size_t ci) {
+    const std::vector<std::size_t>& members = chunks[ci];
+    tensor::MatmulParallelGuard guard(inner);
+    tensor::RNG dummy(1);  // inference mode: dropout is a pass-through
+    if (members.size() == 1) {
+      computed[members[0]] =
+          model_->embed_graph(*miss[members[0]], /*training=*/false, dummy).data();
+    } else {
+      std::vector<const gnn::EncodedGraph*> part;
+      part.reserve(members.size());
+      for (std::size_t s : members) part.push_back(miss[s]);
+      const tensor::Tensor embs =
+          model_->embed_batch(gnn::make_graph_batch(part), /*training=*/false, dummy);
+      const long d = embs.cols();
+      for (std::size_t j = 0; j < members.size(); ++j)
+        computed[members[j]].assign(
+            embs.data().begin() + static_cast<long>(j) * d,
+            embs.data().begin() + static_cast<long>(j + 1) * d);
+    }
+    for (std::size_t s : members) cache_.put(miss_key[s], computed[s]);
+  };
+  // Cap the outer fan-out at the chunk count — the spare workers are already
+  // routed into each chunk's matmuls via `inner` — so a mostly-warm cache
+  // doesn't spin up a near-idle pool.
+  parallel_for(chunks.size(), run_chunk,
+               static_cast<int>(std::min<std::size_t>(
+                   static_cast<std::size_t>(workers), chunks.size())));
+  for (const auto& [i, s] : fills) out[i] = computed[s];
   return out;
 }
 

@@ -86,6 +86,15 @@ class EmbeddingCache {
 
 struct EmbeddingEngineConfig {
   std::size_t cache_capacity = 1024;  // entries; 0 disables the cache
+  /// Graphs per GraphBatch pass in embed_batch/score_pairs: cache misses
+  /// are deduplicated by content, grouped into chunks of this size, and
+  /// each chunk is embedded by ONE batched GNN pass
+  /// (gnn::GraphBinMatchModel::embed_batch over the disjoint union) instead
+  /// of one pass per graph. Chunks fan out across the worker budget; when
+  /// there are fewer chunks than workers, the spare workers row-parallelise
+  /// the chunk's matmuls (tensor::MatmulParallelGuard). 1 restores the
+  /// per-graph path.
+  std::size_t batch_chunk = 8;
 };
 
 /// Batch-parallel, cache-aware embedding + pair scoring on a trained model.
@@ -101,8 +110,10 @@ class EmbeddingEngine {
   Embedding embed(const gnn::EncodedGraph& g) const;
 
   /// Embeds a batch across resolve_threads(threads) workers (parallel.h
-  /// semantics: <= 0 means all hardware threads). Output is in input order;
-  /// element i equals embed(*graphs[i]).
+  /// semantics: <= 0 means all hardware threads). Cache misses are
+  /// content-deduplicated and embedded in chunked GraphBatch passes (see
+  /// EmbeddingEngineConfig::batch_chunk). Output is in input order; element
+  /// i equals embed(*graphs[i]) within float round-off.
   std::vector<Embedding> embed_batch(
       const std::vector<const gnn::EncodedGraph*>& graphs, int threads = 0) const;
 

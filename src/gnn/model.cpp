@@ -40,6 +40,44 @@ EncodedGraph encode_graph(const graph::ProgramGraph& g, const tok::Tokenizer& tk
   return out;
 }
 
+GraphBatch make_graph_batch(const std::vector<const EncodedGraph*>& graphs) {
+  if (graphs.empty())
+    throw std::invalid_argument("make_graph_batch: empty graph list");
+  GraphBatch batch;
+  batch.num_graphs = static_cast<long>(graphs.size());
+  batch.bag_len = graphs.front()->bag_len;
+  batch.node_offset.reserve(graphs.size() + 1);
+  batch.node_offset.push_back(0);
+  for (const EncodedGraph* g : graphs) {
+    if (g->num_nodes == 0)
+      throw std::invalid_argument("make_graph_batch: empty graph (failed artifact?)");
+    if (g->bag_len != batch.bag_len)
+      throw std::invalid_argument("make_graph_batch: mixed bag lengths");
+    batch.node_offset.push_back(batch.node_offset.back() + g->num_nodes);
+  }
+  batch.total_nodes = batch.node_offset.back();
+  batch.tokens.reserve(static_cast<std::size_t>(batch.total_nodes * batch.bag_len));
+  batch.node_graph.reserve(static_cast<std::size_t>(batch.total_nodes));
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const EncodedGraph& g = *graphs[gi];
+    const int base = static_cast<int>(batch.node_offset[gi]);
+    batch.tokens.insert(batch.tokens.end(), g.tokens.begin(), g.tokens.end());
+    batch.node_graph.insert(batch.node_graph.end(),
+                            static_cast<std::size_t>(g.num_nodes),
+                            static_cast<int>(gi));
+    for (int k = 0; k < 3; ++k) {
+      const EdgeList& src_list = g.edges[static_cast<std::size_t>(k)];
+      EdgeList& dst_list = batch.edges[static_cast<std::size_t>(k)];
+      for (long e = 0; e < src_list.size(); ++e) {
+        dst_list.src.push_back(src_list.src[e] + base);
+        dst_list.dst.push_back(src_list.dst[e] + base);
+        dst_list.pos.push_back(src_list.pos[e]);
+      }
+    }
+  }
+  return batch;
+}
+
 // ---- GATv2 ----------------------------------------------------------------
 
 GATv2Conv::GATv2Conv(const GATv2Config& config, RNG& rng, std::string name)
@@ -135,10 +173,18 @@ Tensor GraphBinMatchModel::embed_graph(const EncodedGraph& g, bool training,
                                        RNG& rng) const {
   if (g.num_nodes == 0)
     throw std::invalid_argument("embed_graph: empty graph (failed artifact?)");
+  return embed_batch(make_graph_batch({&g}), training, rng);
+}
+
+Tensor GraphBinMatchModel::embed_batch(const GraphBatch& batch, bool training,
+                                       RNG& rng) const {
+  const long n = batch.total_nodes;
+  const long num_graphs = batch.num_graphs;
+  if (n == 0) throw std::invalid_argument("embed_batch: empty batch");
   // Node features: embedding bag + max over the token sequence (§III-D:
   // "utilize the max operation to reduce the two-dimensional feature
   // vector to a single dimension").
-  Tensor h = token_emb_.forward_bag_max(g.tokens, g.num_nodes, g.bag_len,
+  Tensor h = token_emb_.forward_bag_max(batch.tokens, n, batch.bag_len,
                                         tok::Tokenizer::kPad);
   h = tensor::leaky_relu(input_proj_.forward(h));
   for (const auto& layer : layers_) {
@@ -146,26 +192,39 @@ Tensor GraphBinMatchModel::embed_graph(const EncodedGraph& g, bool training,
     // smoothing collapses all node embeddings toward the graph mean at
     // initialisation (verified by the representation-collapse test), which
     // stalls CPU-scale training. Documented deviation (DESIGN.md §5).
-    Tensor update = layer.forward(h, g.edges, g.num_nodes);
+    // Edges of the disjoint union never cross graphs, so one message-passing
+    // pass over the merged lists is exact for every member graph.
+    Tensor update = layer.forward(h, batch.edges, n);
     h = tensor::add(h, tensor::leaky_relu(update));
     h = dropout_.forward(h, training, rng);
   }
-  // SimGNN global attention pooling: c = tanh(mean(H) W); a = σ(H cᵀ);
-  // g = aᵀ H.
-  const Tensor c = tensor::tanh_t(att_transform_.forward(tensor::mean_rows(h)));
-  const Tensor scores = tensor::matmul(h, tensor::transpose(c));  // (N,1)
-  const Tensor attention = tensor::sigmoid(scores);
-  // Attention-weighted sum, scale-stabilised by the node count so graphs of
-  // very different sizes land on one embedding scale.
-  Tensor pooled = tensor::matmul(tensor::transpose(attention), h);  // (1, hidden)
-  pooled = tensor::scale(pooled, 1.0f / static_cast<float>(g.num_nodes));
+  // SimGNN global attention pooling, per graph via segment ids:
+  // c_g = tanh(mean(H_g) W); a_i = σ(h_i · c_{graph(i)}); g = a_gᵀ H_g.
+  // Attention-weighted sums are scale-stabilised by each graph's node count
+  // so graphs of very different sizes land on one embedding scale.
+  std::vector<float> inv_nodes(static_cast<std::size_t>(num_graphs));
+  for (long g = 0; g < num_graphs; ++g)
+    inv_nodes[g] = 1.0f /
+                   static_cast<float>(batch.node_offset[g + 1] - batch.node_offset[g]);
+  const Tensor inv = Tensor::from(inv_nodes, num_graphs, 1);
+  const Tensor mean =
+      tensor::scale_rows(tensor::scatter_add_rows(h, batch.node_graph, num_graphs), inv);
+  const Tensor c = tensor::tanh_t(att_transform_.forward(mean));  // (G, hidden)
+  // Fused segment forms of matmul(h, cᵀ) and matmul(attentionᵀ, h): no
+  // (N, hidden) gather/product intermediates, so a large disjoint union
+  // streams the same bytes per node as the per-graph pass.
+  const Tensor scores = tensor::segment_rowwise_dot(h, c, batch.node_graph);
+  const Tensor attention = tensor::sigmoid(scores);  // (N, 1)
+  Tensor pooled =
+      tensor::segment_weighted_sum(h, attention, batch.node_graph, num_graphs);
+  pooled = tensor::scale_rows(pooled, inv);  // (G, hidden)
   // Max channel: the attention mean alone collapses across graphs (most
   // programs share the same average instruction mix); the column-wise max
   // preserves each graph's distinctive nodes — rare opcodes, constants,
   // string literals. Documented deviation from the bare SimGNN pooling
   // (DESIGN.md §5).
-  const Tensor peak = tensor::max_rows(h);
-  return tensor::concat_cols({pooled, peak});  // (1, 2*hidden)
+  const Tensor peak = tensor::segment_max(h, batch.node_graph, num_graphs);
+  return tensor::concat_cols({pooled, peak});  // (G, 2*hidden)
 }
 
 Tensor GraphBinMatchModel::score_head(const Tensor& ga, const Tensor& gb,

@@ -6,6 +6,15 @@
 //   → SimGNN-style global attention pooling → graph embedding
 //   → concat(gA, gB) → FC → LayerNorm → LeakyReLU → Dropout → FC → σ.
 //
+// The forward path is batched PyTorch-Geometric-style: a `GraphBatch` is
+// the disjoint union of several encoded graphs (concatenated token bags,
+// offset-shifted edge lists, a node→graph segment-id vector), and
+// `embed_batch` runs the whole stack — message passing over the merged
+// edge lists, then segment-wise attention pooling — in ONE pass whose
+// row i equals `embed_graph` on member graph i. `score_head` likewise
+// accepts (B, dim) embedding matrices and returns B logits, so a training
+// mini-batch is two tensor programs instead of 2·B graph passes.
+//
 // `ModelConfig.interaction` optionally appends |gA−gB| and gA⊙gB to the
 // concatenation — a documented CPU-scale training aid (DESIGN.md §5),
 // disabled for the paper-faithful architecture.
@@ -42,6 +51,28 @@ struct EncodedGraph {
 /// appended to every edge type (as PyTorch-Geometric's GATv2Conv does).
 EncodedGraph encode_graph(const graph::ProgramGraph& g, const tok::Tokenizer& tk,
                           int bag_len, bool use_full_text);
+
+/// Disjoint union of EncodedGraphs (PyG-style mini-batching): token bags
+/// are concatenated, every edge list is shifted into one global node-id
+/// space, and `node_graph` records which member graph owns each node. The
+/// block-diagonal union makes message passing over N graphs a single pass:
+/// edges never cross graph boundaries, so per-node ops (GATv2 attention,
+/// LayerNorm) are unchanged and only the graph-level pooling needs the
+/// segment ids.
+struct GraphBatch {
+  long num_graphs = 0;
+  long total_nodes = 0;
+  int bag_len = 0;
+  std::vector<int> tokens;        // total_nodes * bag_len token ids
+  std::array<EdgeList, 3> edges;  // node ids offset by the owner's base
+  std::vector<int> node_graph;    // total_nodes: owning graph per node
+  std::vector<long> node_offset;  // num_graphs + 1: graph g owns rows
+                                  // [node_offset[g], node_offset[g+1])
+};
+
+/// Builds the disjoint union of `graphs`. All members must be non-empty and
+/// share one bag length (throws std::invalid_argument otherwise).
+GraphBatch make_graph_batch(const std::vector<const EncodedGraph*>& graphs);
 
 struct GATv2Config {
   long in_dim = 32;
@@ -106,12 +137,21 @@ class GraphBinMatchModel : public tensor::Module {
   GraphBinMatchModel(const ModelConfig& config, tensor::RNG& rng);
 
   /// Graph-level embedding, shape (1, graph_embedding_dim(config)).
+  /// Runs as a GraphBatch of one.
   tensor::Tensor embed_graph(const EncodedGraph& g, bool training,
                              tensor::RNG& rng) const;
+  /// Graph-level embeddings for a whole batch in one forward pass, shape
+  /// (batch.num_graphs, graph_embedding_dim(config)). Row i matches
+  /// embed_graph on member graph i: the disjoint union keeps every
+  /// per-node accumulation in the same order, so inference rows agree to
+  /// float round-off (parity-tested at 1e-5). In training mode the dropout
+  /// masks are drawn batch-wide from `rng`.
+  tensor::Tensor embed_batch(const GraphBatch& batch, bool training,
+                             tensor::RNG& rng) const;
   /// FC similarity head on precomputed graph embeddings (the right half of
-  /// Figure 2): concat → FC → LayerNorm → LeakyReLU → Dropout → FC. Returns
-  /// the (1, 1) logit; forward_logit(a, b) == score_head(embed_graph(a),
-  /// embed_graph(b)) by construction.
+  /// Figure 2): concat → FC → LayerNorm → LeakyReLU → Dropout → FC. Takes
+  /// (B, dim) matrices and returns the (B, 1) logits; forward_logit(a, b)
+  /// == score_head(embed_graph(a), embed_graph(b)) by construction.
   tensor::Tensor score_head(const tensor::Tensor& ga, const tensor::Tensor& gb,
                             bool training, tensor::RNG& rng) const;
   /// Match logit for a pair, shape (1, 1). Embeds both graphs, then applies

@@ -1,51 +1,264 @@
 #include "gnn/trainer.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "core/embedding_engine.h"
+#include "core/parallel.h"
 
 namespace gbm::gnn {
 
 using tensor::Adam;
 using tensor::AdamConfig;
+using tensor::NamedParam;
 using tensor::RNG;
 using tensor::Tensor;
+
+// ---- GradStore ------------------------------------------------------------
+
+void GradStore::capture(const std::vector<NamedParam>& params) {
+  grads.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto impl = params[i].tensor.impl();
+    impl->ensure_grad();
+    grads[i] = impl->grad;
+  }
+}
+
+void GradStore::add_to(const std::vector<NamedParam>& params) const {
+  if (grads.size() != params.size())
+    throw std::invalid_argument("GradStore::add_to: parameter count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto impl = params[i].tensor.impl();
+    impl->ensure_grad();
+    if (grads[i].size() != impl->grad.size())
+      throw std::invalid_argument("GradStore::add_to: parameter shape mismatch");
+    for (std::size_t j = 0; j < grads[i].size(); ++j) impl->grad[j] += grads[i][j];
+  }
+}
+
+// ---- data-parallel training ------------------------------------------------
+
+namespace {
+
+// A worker slot: forward/backward builds autograd state on the slot's own
+// parameter tensors, so concurrent shards never share mutable gradients.
+// Slot 0 aliases the trained model; extra slots own deep replicas whose
+// values are refreshed from the master after every optimiser step.
+struct Slot {
+  GraphBinMatchModel* model = nullptr;
+  std::unique_ptr<GraphBinMatchModel> owned;
+  std::vector<NamedParam> params;
+};
+
+std::unique_ptr<GraphBinMatchModel> clone_model(const GraphBinMatchModel& src) {
+  RNG init(1);  // throwaway init — values are overwritten below
+  auto copy = std::make_unique<GraphBinMatchModel>(src.config(), init);
+  const auto src_params = src.params();
+  auto dst_params = copy->params();
+  for (std::size_t i = 0; i < src_params.size(); ++i)
+    dst_params[i].tensor.mutable_data() = src_params[i].tensor.data();
+  return copy;
+}
+
+// One shard's forward/backward: one GraphBatch pass over the shard's unique
+// graphs, the similarity head over all shard pairs at once, then backward of
+// the shard loss scaled by `loss_scale` (= shard size / actual batch size,
+// so that summing shard gradients yields the gradient of the batch mean).
+// The slot's gradients are zeroed on entry — slot 0 is the master model,
+// whose buffers still hold the previous batch's clipped sum after
+// adam.step() — and the shard's own gradients end up detached in `store`.
+// Returns the unscaled mean loss over the shard.
+double run_shard(const GraphBinMatchModel& model,
+                 const std::vector<NamedParam>& params,
+                 const std::vector<const PairSample*>& samples, float loss_scale,
+                 RNG& rng, GradStore& store) {
+  for (const auto& p : params) {
+    tensor::Tensor t = p.tensor;  // shared handle; zeroes the same buffer
+    t.zero_grad();
+  }
+  std::unordered_map<const EncodedGraph*, int> row_of;
+  std::vector<const EncodedGraph*> uniq;
+  std::vector<int> a_rows, b_rows;
+  std::vector<float> labels;
+  a_rows.reserve(samples.size());
+  b_rows.reserve(samples.size());
+  labels.reserve(samples.size());
+  for (const PairSample* s : samples) {
+    for (const EncodedGraph* g : {s->a, s->b}) {
+      if (row_of.emplace(g, static_cast<int>(uniq.size())).second) uniq.push_back(g);
+    }
+    a_rows.push_back(row_of.at(s->a));
+    b_rows.push_back(row_of.at(s->b));
+    labels.push_back(s->label);
+  }
+  // A GraphBatch needs one bag length, but a shard's pairs may mix encodings
+  // (e.g. graphs from two tokenizer pipelines): batch per bag length in
+  // first-appearance order and stack the per-group embedding rows. With a
+  // single bag length this is one batch and the concat is a no-op.
+  std::vector<std::vector<int>> groups;  // indices into uniq
+  std::unordered_map<int, std::size_t> group_of;
+  for (std::size_t u = 0; u < uniq.size(); ++u) {
+    const auto [it, inserted] = group_of.emplace(uniq[u]->bag_len, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(static_cast<int>(u));
+  }
+  std::vector<int> stacked_row(uniq.size());
+  std::vector<Tensor> group_rows;
+  group_rows.reserve(groups.size());
+  int next_row = 0;
+  for (const auto& group : groups) {
+    std::vector<const EncodedGraph*> members;
+    members.reserve(group.size());
+    for (int u : group) {
+      members.push_back(uniq[static_cast<std::size_t>(u)]);
+      stacked_row[static_cast<std::size_t>(u)] = next_row++;
+    }
+    group_rows.push_back(
+        model.embed_batch(make_graph_batch(members), /*training=*/true, rng));
+  }
+  const Tensor embeddings = group_rows.size() == 1
+                                ? group_rows.front()
+                                : tensor::concat_rows(group_rows);
+  for (int& r : a_rows) r = stacked_row[static_cast<std::size_t>(r)];
+  for (int& r : b_rows) r = stacked_row[static_cast<std::size_t>(r)];
+  const Tensor ga = tensor::index_rows(embeddings, a_rows);
+  const Tensor gb = tensor::index_rows(embeddings, b_rows);
+  const Tensor logits = model.score_head(ga, gb, /*training=*/true, rng);
+  const Tensor loss = tensor::bce_with_logits(logits, labels);
+  tensor::scale(loss, loss_scale).backward();
+  store.capture(params);
+  return loss.item();
+}
+
+}  // namespace
 
 double train_model(GraphBinMatchModel& model, const std::vector<PairSample>& train,
                    const TrainConfig& config) {
   RNG rng(config.seed);
   AdamConfig adam_cfg;
   adam_cfg.lr = config.lr;
-  Adam adam(model.params(), adam_cfg);
+  const std::vector<NamedParam> master_params = model.params();
+  Adam adam(master_params, adam_cfg);
+
+  const int micro = std::max(1, config.micro_batch);
+  const int batch_size = std::max(1, config.batch_size);
+  const std::size_t largest_batch =
+      std::min<std::size_t>(train.size(), static_cast<std::size_t>(batch_size));
+  const int max_shards =
+      static_cast<int>((largest_batch + static_cast<std::size_t>(micro) - 1) /
+                       static_cast<std::size_t>(micro));
+  const int workers =
+      std::max(1, std::min(core::resolve_threads(config.threads), max_shards));
+
+  std::vector<Slot> slots(static_cast<std::size_t>(workers));
+  slots[0].model = &model;
+  slots[0].params = master_params;
+  for (int w = 1; w < workers; ++w) {
+    auto& slot = slots[static_cast<std::size_t>(w)];
+    slot.owned = clone_model(model);
+    slot.model = slot.owned.get();
+    slot.params = slot.owned->params();
+  }
+  std::vector<int> free_slots;
+  std::mutex slot_mu;
 
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
+
+  struct Shard {
+    std::vector<const PairSample*> samples;
+    RNG rng{0};
+    GradStore store;
+    double loss = 0.0;  // unscaled mean over the shard
+  };
 
   double last_epoch_loss = 0.0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     rng.shuffle(order);
     double epoch_loss = 0.0;
     long batch_count = 0;
-    std::size_t i = 0;
-    while (i < order.size()) {
+    std::size_t batch_begin = 0;
+    while (batch_begin < order.size()) {
+      // Batch extent up front: loss and gradients scale by the ACTUAL batch
+      // size, so a short final batch is not under-weighted.
+      const std::size_t batch_end = std::min(
+          order.size(), batch_begin + static_cast<std::size_t>(batch_size));
+      const std::size_t batch_n = batch_end - batch_begin;
+      // Shard boundaries and per-shard RNG streams are functions of the
+      // batch alone — never of the worker count — so any `threads` value
+      // replays the identical computation.
+      std::vector<Shard> shards;
+      for (std::size_t begin = batch_begin; begin < batch_end;
+           begin += static_cast<std::size_t>(micro)) {
+        Shard shard;
+        const std::size_t end =
+            std::min(batch_end, begin + static_cast<std::size_t>(micro));
+        for (std::size_t i = begin; i < end; ++i)
+          shard.samples.push_back(&train[order[i]]);
+        shard.rng = rng.fork();
+        shards.push_back(std::move(shard));
+      }
+      {
+        std::lock_guard<std::mutex> lock(slot_mu);
+        free_slots.clear();
+        for (int w = workers; w-- > 0;) free_slots.push_back(w);
+      }
+      core::parallel_for(
+          shards.size(),
+          [&](std::size_t s) {
+            int slot;
+            {
+              std::lock_guard<std::mutex> lock(slot_mu);
+              slot = free_slots.back();
+              free_slots.pop_back();
+            }
+            // Return the slot even when run_shard throws (e.g. an empty
+            // graph in a training pair): a leaked slot would let another
+            // worker pop from an empty freelist while parallel_for drains
+            // the remaining shards before rethrowing.
+            struct SlotReturn {
+              std::vector<int>* free_slots;
+              std::mutex* mu;
+              int slot;
+              ~SlotReturn() {
+                std::lock_guard<std::mutex> lock(*mu);
+                free_slots->push_back(slot);
+              }
+            } slot_return{&free_slots, &slot_mu, slot};
+            Shard& shard = shards[s];
+            const auto& sl = slots[static_cast<std::size_t>(slot)];
+            const float loss_scale = static_cast<float>(shard.samples.size()) /
+                                     static_cast<float>(batch_n);
+            shard.loss = run_shard(*sl.model, sl.params, shard.samples, loss_scale,
+                                   shard.rng, shard.store);
+          },
+          workers);
+      // Fixed-order reduction: the master gradient is the shard-store sum in
+      // shard order, independent of which worker computed which shard.
       adam.zero_grad();
       double batch_loss = 0.0;
-      int in_batch = 0;
-      for (; in_batch < config.batch_size && i < order.size(); ++in_batch, ++i) {
-        const PairSample& sample = train[order[i]];
-        const Tensor logit =
-            model.forward_logit(*sample.a, *sample.b, /*training=*/true, rng);
-        const Tensor loss = tensor::bce_with_logits(logit, {sample.label});
-        // Scale so gradient accumulation averages over the batch.
-        const Tensor scaled = tensor::scale(loss, 1.0f / config.batch_size);
-        scaled.backward();
-        batch_loss += loss.item();
+      for (const Shard& shard : shards) {
+        shard.store.add_to(master_params);
+        batch_loss += shard.loss * static_cast<double>(shard.samples.size());
       }
-      if (config.grad_clip > 0) tensor::clip_grad_norm(model.params(), config.grad_clip);
+      if (config.grad_clip > 0)
+        tensor::clip_grad_norm(master_params, config.grad_clip);
       adam.step();
-      epoch_loss += batch_loss / std::max(in_batch, 1);
+      // Push the stepped values to every replica before the next batch.
+      for (int w = 1; w < workers; ++w) {
+        auto& slot = slots[static_cast<std::size_t>(w)];
+        for (std::size_t p = 0; p < master_params.size(); ++p)
+          slot.params[p].tensor.mutable_data() = master_params[p].tensor.data();
+      }
+      epoch_loss += batch_loss / static_cast<double>(batch_n);
       ++batch_count;
+      batch_begin = batch_end;
     }
     last_epoch_loss = epoch_loss / std::max<long>(batch_count, 1);
     if (config.on_epoch) config.on_epoch(epoch, last_epoch_loss);

@@ -1,10 +1,18 @@
 // Training loop for pairwise matching models (GraphBinMatch and, through
 // the same PairScorer interface, the XLIR baselines).
 //
-// Matches the paper's setup: BCE loss, Adam optimiser, mini-batch gradient
-// accumulation, fixed seed. The learning rate defaults higher than the
-// paper's 6.6e-5 because CPU-scale runs see far fewer updates (documented
-// in DESIGN.md §7).
+// Matches the paper's setup: BCE loss, Adam optimiser, mini-batch training,
+// fixed seed. The learning rate defaults higher than the paper's 6.6e-5
+// because CPU-scale runs see far fewer updates (documented in DESIGN.md §7).
+//
+// train_model is deterministic data-parallel: every mini-batch is split
+// into fixed-size shards (micro_batch samples each), each shard runs one
+// batched forward/backward (GraphBatch over its unique graphs, then the
+// similarity head over all shard pairs at once) on a worker-local model
+// replica, and the detached per-shard gradients (GradStore) are reduced in
+// shard order before each Adam step. Shard boundaries, per-shard RNG
+// streams and the reduction order depend only on the batch — never on the
+// worker count — so the loss trajectory is bit-identical for any `threads`.
 #pragma once
 
 #include <functional>
@@ -29,11 +37,35 @@ struct TrainConfig {
   double grad_clip = 5.0;
   std::uint64_t seed = 7;
   bool verbose = false;
+  /// Data-parallel workers for the per-shard forward/backward phase
+  /// (parallel.h semantics: <= 0 means all hardware threads). Any value
+  /// produces bit-identical losses and parameters for a given seed.
+  int threads = 0;
+  /// Samples per shard — the unit of parallel work and of gradient
+  /// buffering. Smaller shards parallelise finer; larger shards amortise
+  /// more per-op overhead in the batched forward. Values < 1 clamp to 1.
+  int micro_batch = 2;
   /// Optional per-epoch callback (epoch, mean train loss).
   std::function<void(int, double)> on_epoch;
 };
 
-/// Trains the model in place; returns the final epoch's mean loss.
+/// Shard-local gradient buffer: a detached copy of every parameter's
+/// gradient, in params() order. Workers only ever write the store of the
+/// shard they are running, and stores are summed onto the optimiser's
+/// parameters in fixed shard order — float accumulation order is therefore
+/// independent of worker count and scheduling.
+struct GradStore {
+  std::vector<std::vector<float>> grads;
+
+  /// Copies the current gradients of `params` into this store.
+  void capture(const std::vector<tensor::NamedParam>& params);
+  /// Accumulates this store into the gradients of `params` (same layout).
+  void add_to(const std::vector<tensor::NamedParam>& params) const;
+};
+
+/// Trains the model in place; returns the final epoch's mean loss. Mean
+/// here is the true mean: a final batch shorter than batch_size contributes
+/// gradients and loss weighted by its actual size.
 double train_model(GraphBinMatchModel& model, const std::vector<PairSample>& train,
                    const TrainConfig& config);
 

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/parallel.h"
+
 namespace gbm::tensor {
 
 namespace {
@@ -290,52 +292,115 @@ Tensor maximum(const Tensor& a, const Tensor& b) {
 
 // ---- dense linear algebra -------------------------------------------------
 
+namespace {
+
+thread_local int g_matmul_threads = 1;
+
+// Below this many multiply-adds the parallel_for fan-out costs more than
+// the split saves: parallel_for spins up (and joins) a fresh ThreadPool per
+// call, so the break-even point is set by thread creation — on the order of
+// a hundred microseconds — not by wake-up latency. 2^22 multiply-adds is a
+// few milliseconds of serial work in a Release build.
+constexpr long kMatmulParallelMinWork = 1L << 22;
+
+bool matmul_parallel_worthwhile(long work, long range, int mt) {
+  return mt > 1 && range > 1 && work >= kMatmulParallelMinWork;
+}
+
+// Runs fn(begin, end) over contiguous blocks covering [0, range). Each index
+// belongs to exactly one block and the loop inside a block is the serial
+// order, so the result is bit-identical to fn(0, range) at any worker count.
+void parallel_blocks(long range, int mt, const std::function<void(long, long)>& fn) {
+  const long tasks = std::min<long>(range, static_cast<long>(mt) * 4);
+  const long block = (range + tasks - 1) / tasks;
+  core::parallel_for(
+      static_cast<std::size_t>(tasks),
+      [&](std::size_t t) {
+        const long begin = static_cast<long>(t) * block;
+        const long end = std::min(range, begin + block);
+        if (begin < end) fn(begin, end);
+      },
+      mt);
+}
+
+}  // namespace
+
+int matmul_threads() { return g_matmul_threads; }
+
+MatmulParallelGuard::MatmulParallelGuard(int threads) : prev_(g_matmul_threads) {
+  g_matmul_threads = core::resolve_threads(threads);
+}
+
+MatmulParallelGuard::~MatmulParallelGuard() { g_matmul_threads = prev_; }
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   if (a.cols() != b.rows()) shape_error("matmul", a, b);
   const long n = a.rows(), k = a.cols(), m = b.cols();
+  // Captured at op-build time so forward and backward split identically no
+  // matter which thread later runs backward().
+  const int mt = g_matmul_threads;
   auto out = make_impl(n, m, a.requires_grad() || b.requires_grad());
   const float* A = a.data().data();
   const float* B = b.data().data();
   float* C = out->val.data();
-  // i-k-j loop order: unit-stride inner loop over both B and C rows.
-  for (long i = 0; i < n; ++i) {
-    float* Ci = C + i * m;
-    for (long kk = 0; kk < k; ++kk) {
-      const float aik = A[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* Bk = B + kk * m;
-      for (long j = 0; j < m; ++j) Ci[j] += aik * Bk[j];
+  // i-k-j loop order: unit-stride inner loop over both B and C rows. Output
+  // rows are independent, so the row range parallelises bit-identically.
+  const auto fwd_rows = [A, B, C, k, m](long i0, long i1) {
+    for (long i = i0; i < i1; ++i) {
+      float* Ci = C + i * m;
+      for (long kk = 0; kk < k; ++kk) {
+        const float aik = A[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* Bk = B + kk * m;
+        for (long j = 0; j < m; ++j) Ci[j] += aik * Bk[j];
+      }
     }
-  }
+  };
+  if (matmul_parallel_worthwhile(n * k * m, n, mt))
+    parallel_blocks(n, mt, fwd_rows);
+  else
+    fwd_rows(0, n);
   if (out->requires_grad) {
     out->inputs = {a.impl(), b.impl()};
     TensorImpl* o = out.get();
     auto ai = a.impl(), bi = b.impl();
-    out->backward = [o, ai, bi, n, k, m]() {
+    out->backward = [o, ai, bi, n, k, m, mt]() {
       const float* G = o->grad.data();
       if (ai->requires_grad) {
-        ai->ensure_grad();  // dA = G * B^T
+        ai->ensure_grad();  // dA = G * B^T — rows of dA are independent.
         float* dA = ai->grad.data();
         const float* B = bi->val.data();
-        for (long i = 0; i < n; ++i)
-          for (long j = 0; j < m; ++j) {
-            const float g = G[i * m + j];
-            if (g == 0.0f) continue;
-            const float* Bcol = B + j;  // column j, stride m
-            for (long kk = 0; kk < k; ++kk) dA[i * k + kk] += g * Bcol[kk * m];
-          }
+        const auto bwd_a_rows = [G, dA, B, k, m](long i0, long i1) {
+          for (long i = i0; i < i1; ++i)
+            for (long j = 0; j < m; ++j) {
+              const float g = G[i * m + j];
+              if (g == 0.0f) continue;
+              const float* Bcol = B + j;  // column j, stride m
+              for (long kk = 0; kk < k; ++kk) dA[i * k + kk] += g * Bcol[kk * m];
+            }
+        };
+        if (matmul_parallel_worthwhile(n * k * m, n, mt))
+          parallel_blocks(n, mt, bwd_a_rows);
+        else
+          bwd_a_rows(0, n);
       }
       if (bi->requires_grad) {
-        bi->ensure_grad();  // dB = A^T * G
+        bi->ensure_grad();  // dB = A^T * G — rows of dB (k range) independent.
         float* dB = bi->grad.data();
         const float* A = ai->val.data();
-        for (long kk = 0; kk < k; ++kk)
-          for (long i = 0; i < n; ++i) {
-            const float aik = A[i * k + kk];
-            if (aik == 0.0f) continue;
-            const float* Gi = G + i * m;
-            for (long j = 0; j < m; ++j) dB[kk * m + j] += aik * Gi[j];
-          }
+        const auto bwd_b_rows = [G, dB, A, n, k, m](long k0, long k1) {
+          for (long kk = k0; kk < k1; ++kk)
+            for (long i = 0; i < n; ++i) {
+              const float aik = A[i * k + kk];
+              if (aik == 0.0f) continue;
+              const float* Gi = G + i * m;
+              for (long j = 0; j < m; ++j) dB[kk * m + j] += aik * Gi[j];
+            }
+        };
+        if (matmul_parallel_worthwhile(n * k * m, k, mt))
+          parallel_blocks(k, mt, bwd_b_rows);
+        else
+          bwd_b_rows(0, k);
       }
     };
   }
@@ -696,6 +761,121 @@ Tensor segment_softmax(const Tensor& scores, const std::vector<int>& seg, long n
       for (long i = 0; i < e; ++i) dot[seg[i]] += double(o->val[i]) * o->grad[i];
       for (long i = 0; i < e; ++i)
         si->grad[i] += o->val[i] * (o->grad[i] - static_cast<float>(dot[seg[i]]));
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor segment_max(const Tensor& a, const std::vector<int>& seg, long nseg) {
+  if (static_cast<long>(seg.size()) != a.rows())
+    throw std::invalid_argument("segment_max: segment count != rows");
+  const long n = a.rows(), d = a.cols();
+  auto out = make_impl(nseg, d, a.requires_grad());
+  // argmax[s*d+c] is the winning input row for (segment s, column c), or -1
+  // for a segment with no rows (whose output stays zero).
+  std::vector<long> argmax(static_cast<std::size_t>(nseg * d), -1);
+  for (long i = 0; i < n; ++i) {
+    const long s = seg[i];
+    for (long c = 0; c < d; ++c) {
+      const float v = a.data()[i * d + c];
+      if (argmax[s * d + c] < 0 || v > out->val[s * d + c]) {
+        out->val[s * d + c] = v;
+        argmax[s * d + c] = i;
+      }
+    }
+  }
+  if (out->requires_grad) {
+    out->inputs = {a.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl();
+    out->backward = [o, ai, argmax = std::move(argmax), nseg, d]() {
+      ai->ensure_grad();
+      for (long j = 0; j < nseg * d; ++j) {
+        const long i = argmax[j];
+        if (i >= 0) ai->grad[i * d + (j % d)] += o->grad[j];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor segment_rowwise_dot(const Tensor& a, const Tensor& b,
+                           const std::vector<int>& seg) {
+  if (static_cast<long>(seg.size()) != a.rows())
+    throw std::invalid_argument("segment_rowwise_dot: segment count != rows");
+  if (a.cols() != b.cols()) shape_error("segment_rowwise_dot", a, b);
+  const long n = a.rows(), d = a.cols();
+  auto out = make_impl(n, 1, a.requires_grad() || b.requires_grad());
+  for (long i = 0; i < n; ++i) {
+    const float* ai = a.data().data() + i * d;
+    const float* bi = b.data().data() + static_cast<long>(seg[i]) * d;
+    float acc = 0.0f;
+    for (long c = 0; c < d; ++c) acc += ai[c] * bi[c];
+    out->val[i] = acc;
+  }
+  if (out->requires_grad) {
+    out->inputs = {a.impl(), b.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl(), bi = b.impl();
+    out->backward = [o, ai, bi, seg, n, d]() {
+      if (ai->requires_grad) {
+        ai->ensure_grad();
+        for (long i = 0; i < n; ++i) {
+          const float g = o->grad[i];
+          const float* brow = bi->val.data() + static_cast<long>(seg[i]) * d;
+          for (long c = 0; c < d; ++c) ai->grad[i * d + c] += g * brow[c];
+        }
+      }
+      if (bi->requires_grad) {
+        bi->ensure_grad();
+        for (long i = 0; i < n; ++i) {
+          const float g = o->grad[i];
+          const float* arow = ai->val.data() + i * d;
+          float* brow = bi->grad.data() + static_cast<long>(seg[i]) * d;
+          for (long c = 0; c < d; ++c) brow[c] += g * arow[c];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor segment_weighted_sum(const Tensor& a, const Tensor& w,
+                            const std::vector<int>& seg, long nseg) {
+  if (static_cast<long>(seg.size()) != a.rows())
+    throw std::invalid_argument("segment_weighted_sum: segment count != rows");
+  if (w.cols() != 1 || w.rows() != a.rows()) shape_error("segment_weighted_sum", a, w);
+  const long n = a.rows(), d = a.cols();
+  auto out = make_impl(nseg, d, a.requires_grad() || w.requires_grad());
+  for (long i = 0; i < n; ++i) {
+    const float wi = w.data()[i];
+    const float* ai = a.data().data() + i * d;
+    float* orow = out->val.data() + static_cast<long>(seg[i]) * d;
+    for (long c = 0; c < d; ++c) orow[c] += wi * ai[c];
+  }
+  if (out->requires_grad) {
+    out->inputs = {a.impl(), w.impl()};
+    TensorImpl* o = out.get();
+    auto ai = a.impl(), wi = w.impl();
+    out->backward = [o, ai, wi, seg, n, d]() {
+      if (ai->requires_grad) {
+        ai->ensure_grad();
+        for (long i = 0; i < n; ++i) {
+          const float wv = wi->val[i];
+          const float* grow = o->grad.data() + static_cast<long>(seg[i]) * d;
+          for (long c = 0; c < d; ++c) ai->grad[i * d + c] += wv * grow[c];
+        }
+      }
+      if (wi->requires_grad) {
+        wi->ensure_grad();
+        for (long i = 0; i < n; ++i) {
+          const float* arow = ai->val.data() + i * d;
+          const float* grow = o->grad.data() + static_cast<long>(seg[i]) * d;
+          float acc = 0.0f;
+          for (long c = 0; c < d; ++c) acc += arow[c] * grow[c];
+          wi->grad[i] += acc;
+        }
+      }
     };
   }
   return Tensor(out);

@@ -103,6 +103,30 @@ Tensor maximum(const Tensor& a, const Tensor& b);  // elementwise max
 Tensor matmul(const Tensor& a, const Tensor& b);
 Tensor transpose(const Tensor& a);
 
+/// Worker count matmul() uses on the calling thread (default 1 = serial).
+int matmul_threads();
+
+/// Scoped, thread-local opt-in to row-parallel matmul. While a guard with
+/// more than one worker is active, matmul() splits its output rows (and the
+/// row-/column-parallel halves of its backward pass) across
+/// core::parallel_for workers once the product is large enough to amortise
+/// the fan-out. Every split is by independent output row, so values and
+/// gradients are bit-identical to the serial path at any worker count.
+/// The setting is thread-local on purpose: workers of an outer parallel
+/// phase (data-parallel training, chunked batch embedding) default to
+/// serial matmuls instead of oversubscribing the machine.
+class MatmulParallelGuard {
+ public:
+  /// `threads` as in core::resolve_threads (<= 0 means all hardware).
+  explicit MatmulParallelGuard(int threads);
+  ~MatmulParallelGuard();
+  MatmulParallelGuard(const MatmulParallelGuard&) = delete;
+  MatmulParallelGuard& operator=(const MatmulParallelGuard&) = delete;
+
+ private:
+  int prev_;
+};
+
 // ---- nonlinearities ---------------------------------------------------
 Tensor sigmoid(const Tensor& a);
 Tensor tanh_t(const Tensor& a);
@@ -133,6 +157,24 @@ Tensor scatter_add_rows(const Tensor& a, const std::vector<int>& idx, long out_r
 /// Softmax of scores (E x 1) within segments given by `seg` (values in
 /// [0, nseg)). Standard GAT attention normalisation over incoming edges.
 Tensor segment_softmax(const Tensor& scores, const std::vector<int>& seg, long nseg);
+/// Per-segment column-wise max: out[s][c] = max over rows i with seg[i] == s
+/// of a[i][c]; a segment with no rows yields a zero row. This is max_rows
+/// generalised to a batch of row groups (the per-graph max-pooling channel
+/// of a GraphBatch forward). Gradient routes to the winning row per
+/// (segment, column), ties to the earliest row — exactly max_rows' rule.
+Tensor segment_max(const Tensor& a, const std::vector<int>& seg, long nseg);
+/// out[i] = Σ_c a[i][c] * b[seg[i]][c] — dot of each row of a (n x d) with
+/// its segment's row of b (nseg x d), yielding (n, 1). The batched form of
+/// matmul(h, transpose(c)) in attention scoring: fused so no (n, d)
+/// intermediate (gather or product) is materialised.
+Tensor segment_rowwise_dot(const Tensor& a, const Tensor& b,
+                           const std::vector<int>& seg);
+/// out[seg[i]] += w[i] * a[i] over (nseg, d) output rows — per-segment
+/// weighted sum of a's rows (w is n x 1). The batched form of
+/// matmul(transpose(attention), h) in attention pooling, fused for the same
+/// reason as segment_rowwise_dot.
+Tensor segment_weighted_sum(const Tensor& a, const Tensor& w,
+                            const std::vector<int>& seg, long nseg);
 /// out[i][c] = a[i][c] * s[i][0] — per-row scalar scaling (attention
 /// weighting of per-edge messages).
 Tensor scale_rows(const Tensor& a, const Tensor& s);

@@ -138,6 +138,44 @@ TEST(PredictScores, ThreadCountInvariantAndMatchesPredict) {
   }
 }
 
+TEST(EmbeddingEngine, ChunkedBatchMatchesPerGraphPath) {
+  const auto model = make_model();
+  const auto graphs = graph_zoo();
+  std::vector<const gnn::EncodedGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+  EmbeddingEngineConfig per_graph;
+  per_graph.cache_capacity = 0;
+  per_graph.batch_chunk = 1;
+  const auto base = EmbeddingEngine(model, per_graph).embed_batch(ptrs, 1);
+  for (std::size_t chunk : {2u, 3u, 100u}) {
+    EmbeddingEngineConfig cfg;
+    cfg.cache_capacity = 0;
+    cfg.batch_chunk = chunk;
+    const auto batched = EmbeddingEngine(model, cfg).embed_batch(ptrs, 1);
+    ASSERT_EQ(batched.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      ASSERT_EQ(batched[i].size(), base[i].size());
+      for (std::size_t c = 0; c < base[i].size(); ++c)
+        EXPECT_NEAR(batched[i][c], base[i][c], 1e-5)
+            << "chunk " << chunk << " graph " << i << " col " << c;
+    }
+  }
+}
+
+TEST(EmbeddingEngine, BatchDedupsByContentAndGroupsBagLens) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  const auto a = tiny_graph(3, {{0, 1}, {1, 2}});
+  const auto a_copy = tiny_graph(3, {{0, 1}, {1, 2}});  // same content
+  const auto wide = tiny_graph(4, {{0, 3}}, 1, /*bag_len=*/4);
+  const auto out = engine.embed_batch({&a, &wide, &a_copy}, 2);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], out[2]);  // deduplicated by content hash
+  EXPECT_EQ(engine.cache_stats().misses, 3u);  // every input probed the cache
+  EXPECT_EQ(EmbeddingEngine(model).embed(a), out[0]);
+  EXPECT_EQ(EmbeddingEngine(model).embed(wide), out[1]);
+}
+
 TEST(EmbeddingCache, HitMissEvictionStats) {
   const auto model = make_model();
   EmbeddingEngineConfig cfg;

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <tuple>
 
 #include "tensor/nn.h"
 #include "tensor/optim.h"
@@ -105,6 +106,25 @@ INSTANTIATE_TEST_SUITE_P(
         GradCase{"sum_rows", 4, 3, [](const Tensor& x) { return sum_rows(x); }},
         GradCase{"mean_rows", 4, 3, [](const Tensor& x) { return mean_rows(x); }},
         GradCase{"max_rows", 5, 3, [](const Tensor& x) { return max_rows(x); }},
+        GradCase{"segment_max", 6, 3, [](const Tensor& x) {
+          return segment_max(x, {0, 0, 1, 1, 1, 2}, 3);
+        }},
+        GradCase{"segment_rowwise_dot_lhs", 6, 3, [](const Tensor& x) {
+          static Tensor b = Tensor::randn(3, 3, g_rng, 1.0f, false);
+          return segment_rowwise_dot(x, b, {0, 0, 1, 1, 1, 2});
+        }},
+        GradCase{"segment_rowwise_dot_rhs", 3, 3, [](const Tensor& x) {
+          static Tensor a = Tensor::randn(6, 3, g_rng, 1.0f, false);
+          return segment_rowwise_dot(a, x, {0, 0, 1, 1, 1, 2});
+        }},
+        GradCase{"segment_weighted_sum_data", 6, 3, [](const Tensor& x) {
+          static Tensor w = Tensor::randn(6, 1, g_rng, 1.0f, false);
+          return segment_weighted_sum(x, w, {0, 0, 1, 1, 1, 2}, 3);
+        }},
+        GradCase{"segment_weighted_sum_weights", 6, 1, [](const Tensor& w) {
+          static Tensor a = Tensor::randn(6, 3, g_rng, 1.0f, false);
+          return segment_weighted_sum(a, w, {0, 0, 1, 1, 1, 2}, 3);
+        }},
         GradCase{"slice_rows", 5, 3,
                  [](const Tensor& x) { return slice_rows(x, 1, 4); }},
         GradCase{"slice_cols", 3, 6,
@@ -219,6 +239,97 @@ TEST(TensorBasics, SegmentSoftmaxNormalisesPerSegment) {
   Tensor y = segment_softmax(s, {0, 0, 1, 1, 1}, 2);
   EXPECT_NEAR(y.at(0, 0) + y.at(1, 0), 1.0, 1e-5);
   EXPECT_NEAR(y.at(2, 0) + y.at(3, 0) + y.at(4, 0), 1.0, 1e-5);
+}
+
+// The fused segment ops must match the matmul forms they replace in the
+// batched attention pooling (see GraphBinMatchModel::embed_batch).
+TEST(TensorBasics, FusedSegmentOpsMatchMatmulForms) {
+  RNG rng(41);
+  const Tensor h = Tensor::randn(7, 4, rng, 1.0f, false);
+  const Tensor c = Tensor::randn(2, 4, rng, 1.0f, false);
+  const std::vector<int> seg = {0, 0, 0, 1, 1, 1, 1};
+  // segment_rowwise_dot == per-segment matmul(h_g, transpose(c_g)).
+  const Tensor scores = segment_rowwise_dot(h, c, seg);
+  EXPECT_EQ(scores.rows(), 7);
+  EXPECT_EQ(scores.cols(), 1);
+  for (long i = 0; i < 7; ++i) {
+    const long s = seg[static_cast<std::size_t>(i)];
+    float want = 0.0f;
+    for (long k = 0; k < 4; ++k) want += h.at(i, k) * c.at(s, k);
+    EXPECT_NEAR(scores.at(i, 0), want, 1e-6);
+  }
+  // segment_weighted_sum == per-segment matmul(transpose(w_g), h_g).
+  const Tensor w = Tensor::randn(7, 1, rng, 1.0f, false);
+  const Tensor pooled = segment_weighted_sum(h, w, seg, 2);
+  EXPECT_EQ(pooled.rows(), 2);
+  EXPECT_EQ(pooled.cols(), 4);
+  for (long s = 0; s < 2; ++s)
+    for (long k = 0; k < 4; ++k) {
+      float want = 0.0f;
+      for (long i = 0; i < 7; ++i)
+        if (seg[static_cast<std::size_t>(i)] == s) want += w.at(i, 0) * h.at(i, k);
+      EXPECT_NEAR(pooled.at(s, k), want, 1e-6);
+    }
+}
+
+TEST(TensorBasics, SegmentMaxValuesAndEmptySegment) {
+  const Tensor x = Tensor::from({1, 9, 2, 8, 3, 7, 4, 6}, 4, 2);
+  // Segments: rows {0,1} -> 0, row {2} -> 2 (segment 1 empty).
+  const Tensor m = segment_max(x, {0, 0, 2, 2}, 3);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 9.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 0.0f);  // empty segment -> zero row
+  EXPECT_FLOAT_EQ(m.at(1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m.at(2, 0), 4.0f);
+  EXPECT_FLOAT_EQ(m.at(2, 1), 7.0f);
+  // Single-segment case reduces exactly like max_rows.
+  RNG rng(7);
+  const Tensor r = Tensor::randn(6, 4, rng, 1.0f, false);
+  const Tensor a = segment_max(r, {0, 0, 0, 0, 0, 0}, 1);
+  const Tensor b = max_rows(r);
+  for (long c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(a.at(0, c), b.at(0, c));
+}
+
+TEST(TensorBasics, SegmentMaxRejectsBadSegmentCount) {
+  const Tensor x = Tensor::from({1, 2}, 2, 1);
+  EXPECT_THROW(segment_max(x, {0}, 1), std::invalid_argument);
+}
+
+// The row-parallel matmul contract: values and gradients are bit-identical
+// to the serial path at any worker count, because every output row (and
+// every dA row / dB row in the backward) is computed by exactly one worker
+// in the serial loop order.
+TEST(TensorBasics, MatmulParallelGuardBitIdentical) {
+  EXPECT_EQ(matmul_threads(), 1);  // serial by default
+  RNG rng(31);
+  // Big enough to clear the parallel-work threshold (n*k*m >= 2^22).
+  const Tensor a0 = Tensor::randn(320, 128, rng, 1.0f, true);
+  const Tensor b0 = Tensor::randn(128, 112, rng, 1.0f, true);
+
+  auto run = [&](int guard_threads) {
+    const Tensor a = Tensor::from(a0.data(), 320, 128, true);
+    const Tensor b = Tensor::from(b0.data(), 128, 112, true);
+    Tensor c;
+    if (guard_threads > 0) {
+      MatmulParallelGuard guard(guard_threads);
+      EXPECT_EQ(matmul_threads(), guard_threads);
+      c = matmul(a, b);
+    } else {
+      c = matmul(a, b);
+    }
+    sum_all(mul(c, c)).backward();
+    return std::make_tuple(c.data(), a.impl()->grad, b.impl()->grad);
+  };
+
+  const auto serial = run(0);
+  for (int threads : {2, 3, 5}) {
+    const auto par = run(threads);
+    EXPECT_EQ(std::get<0>(serial), std::get<0>(par)) << threads << " workers";
+    EXPECT_EQ(std::get<1>(serial), std::get<1>(par)) << threads << " workers";
+    EXPECT_EQ(std::get<2>(serial), std::get<2>(par)) << threads << " workers";
+  }
+  EXPECT_EQ(matmul_threads(), 1);  // guards restored the default
 }
 
 TEST(TensorBasics, EmbeddingBagMaxIgnoresPadding) {
