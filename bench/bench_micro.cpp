@@ -2,13 +2,19 @@
 // front-end compilation, optimisation, codegen+lift, graph construction,
 // tokenisation, GNN forward / forward+backward passes, serial vs parallel
 // batch artifact production, pairwise vs two-stage (embed-once-then-head)
-// pair scoring, per-graph vs chunked-GraphBatch embedding, and per-sample
-// vs batched data-parallel training (GBM_FAST=1 shrinks the batch corpus).
+// pair scoring, per-graph vs chunked-GraphBatch embedding, per-sample vs
+// batched data-parallel training, interned vs legacy graph encoding, cold
+// compile vs warm ArtifactStore hits, and MatchingSystem snapshot
+// save/load round trips (GBM_FAST=1 shrinks the batch corpus).
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 
 #include "backend/codegen.h"
+#include "core/artifact_store.h"
 #include "core/embedding_engine.h"
 #include "core/pipeline.h"
 #include "datasets/corpus.h"
@@ -98,7 +104,7 @@ struct GnnFixture {
     auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
     auto g = graph::build_graph(*module);
     std::vector<std::string> corpus;
-    for (const auto& node : g.nodes) corpus.push_back(node.feature(true));
+    for (const auto& node : g.nodes) corpus.push_back(g.feature(node, true));
     auto tk = tok::Tokenizer::train(corpus, 256);
     encoded = gnn::encode_graph(g, tk, 16, true);
     gnn::ModelConfig cfg;
@@ -212,7 +218,7 @@ struct PairScoringFixture {
     }
     std::vector<std::string> corpus;
     for (const auto* g : ok)
-      for (const auto& node : g->nodes) corpus.push_back(node.feature(true));
+      for (const auto& node : g->nodes) corpus.push_back(g->feature(node, true));
     const auto tk = tok::Tokenizer::train(corpus, 256);
     for (const auto* g : ok) graphs.push_back(gnn::encode_graph(*g, tk, 16, true));
     for (const auto& a : graphs)
@@ -404,6 +410,147 @@ BENCHMARK(BM_TrainEpoch)
     ->Arg(0)  // 0 = all hardware threads
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// --- interned encode vs legacy per-node tokenisation -----------------------
+//
+// encode_graph memoises tokenisation per interned feature id: each distinct
+// feature string is split/encoded once per graph. The legacy baseline is the
+// pre-interning shape — tokenize every node's feature string from scratch.
+
+void BM_EncodeGraphInterned(benchmark::State& state) {
+  const auto& file = sample_file();
+  auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
+  const auto g = graph::build_graph(*module);
+  std::vector<std::string> corpus;
+  for (const auto& node : g.nodes) corpus.push_back(g.feature(node, true));
+  const auto tk = tok::Tokenizer::train(corpus, 256);
+  for (auto _ : state) {
+    const auto enc = gnn::encode_graph(g, tk, 16, true);
+    benchmark::DoNotOptimize(enc.tokens.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_EncodeGraphInterned);
+
+void BM_EncodeGraphLegacy(benchmark::State& state) {
+  const auto& file = sample_file();
+  auto module = frontend::compile_source(file.source, file.lang, file.unit_name);
+  const auto g = graph::build_graph(*module);
+  std::vector<std::string> corpus;
+  for (const auto& node : g.nodes) corpus.push_back(g.feature(node, true));
+  const auto tk = tok::Tokenizer::train(corpus, 256);
+  for (auto _ : state) {
+    // Pre-interning encode: one tokenizer pass per node, no memoisation.
+    gnn::EncodedGraph enc;
+    enc.num_nodes = g.num_nodes();
+    enc.bag_len = 16;
+    enc.tokens.reserve(static_cast<std::size_t>(enc.num_nodes) * 16);
+    for (const auto& node : g.nodes) {
+      const auto ids = tk.encode(g.feature(node, true), 16);
+      enc.tokens.insert(enc.tokens.end(), ids.begin(), ids.end());
+    }
+    for (std::size_t k = 0; k < graph::kNumEdgeKinds; ++k) {
+      enc.edges[k].src = g.edges[k].src;
+      enc.edges[k].dst = g.edges[k].dst;
+      enc.edges[k].pos = g.edges[k].pos;
+    }
+    benchmark::DoNotOptimize(enc.tokens.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_EncodeGraphLegacy);
+
+// --- artifact store: cold compile vs warm store hit -------------------------
+//
+// Arg 0 = cold (fresh store per iteration, every file compiles + persists),
+// Arg 1 = warm (store pre-populated, every file loads). The warm/cold
+// items_per_second ratio is the compile-once/serve-many win; the acceptance
+// bar for this PR is >= 5x.
+
+void BM_BuildArtifactsColdVsStore(benchmark::State& state) {
+  const auto& files = batch_corpus();
+  const auto opts = batch_options();
+  const bool warm = state.range(0) == 1;
+  const std::string dir = "/tmp/gbm_bench_store." + std::to_string(::getpid());
+  int round = 0;
+  if (warm) {
+    core::ArtifactStore store(dir + ".warm");
+    core::build_artifacts(files, opts, store);
+    for (auto _ : state) {
+      const auto artifacts = core::build_artifacts(files, opts, store);
+      benchmark::DoNotOptimize(artifacts.data());
+    }
+    core::ArtifactStore::destroy(dir + ".warm");
+  } else {
+    for (auto _ : state) {
+      state.PauseTiming();
+      const std::string cold_dir = dir + ".cold" + std::to_string(round++);
+      state.ResumeTiming();
+      core::ArtifactStore store(cold_dir);
+      const auto artifacts = core::build_artifacts(files, opts, store);
+      benchmark::DoNotOptimize(artifacts.data());
+      state.PauseTiming();
+      core::ArtifactStore::destroy(cold_dir);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(files.size()));
+}
+BENCHMARK(BM_BuildArtifactsColdVsStore)
+    ->Arg(0)   // cold: compile + persist
+    ->Arg(1)   // warm: load on hit
+    ->Unit(benchmark::kMillisecond);
+
+// --- snapshot save / load ---------------------------------------------------
+//
+// One round trip of the full MatchingSystem snapshot (config + tokenizer +
+// params + index): trainer save, fresh-system load.
+
+void BM_SnapshotSaveLoad(benchmark::State& state) {
+  static const auto setup = [] {
+    auto sys = std::make_unique<core::MatchingSystem>([] {
+      core::MatchingSystem::Config cfg;
+      cfg.model.vocab = 256;
+      cfg.model.embed_dim = 32;
+      cfg.model.hidden = 32;
+      cfg.model.layers = 2;
+      return cfg;
+    }());
+    auto graphs_cfg = data::clcdsa_config();
+    graphs_cfg.num_tasks = 8;
+    graphs_cfg.solutions_per_task_per_lang = 1;
+    graphs_cfg.broken_fraction = 0.0;
+    const auto files = data::generate_corpus(graphs_cfg);
+    static std::vector<graph::ProgramGraph> graphs;
+    for (const auto& a : core::build_artifacts(files, {})) {
+      if (a.ok) graphs.push_back(a.graph);
+      if (graphs.size() == 12) break;
+    }
+    std::vector<const graph::ProgramGraph*> gptrs;
+    for (const auto& g : graphs) gptrs.push_back(&g);
+    sys->fit_tokenizer(gptrs);
+    static std::vector<gnn::EncodedGraph> encoded;
+    for (const auto* g : gptrs) encoded.push_back(sys->encode(*g));
+    std::vector<gnn::PairSample> pairs = {{&encoded[0], &encoded[0], 1.0f},
+                                          {&encoded[0], &encoded[1], 0.0f}};
+    gnn::TrainConfig tcfg;
+    tcfg.epochs = 1;
+    sys->train(pairs, tcfg);
+    std::vector<const gnn::EncodedGraph*> eptrs;
+    for (const auto& e : encoded) eptrs.push_back(&e);
+    sys->embed_all(eptrs);  // snapshot carries the index too
+    return sys;
+  }();
+  const std::string path = "/tmp/gbm_bench_snapshot." + std::to_string(::getpid());
+  for (auto _ : state) {
+    setup->save(path);
+    core::MatchingSystem fresh{core::MatchingSystem::Config{}};
+    fresh.load(path);
+    benchmark::DoNotOptimize(fresh.bag_len());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotSaveLoad)->Unit(benchmark::kMillisecond);
 
 // One serving query: cosine prefilter over the corpus + top-5 rerank.
 void BM_IndexTopk(benchmark::State& state) {

@@ -20,6 +20,9 @@ void report(const char* corpus, const char* lang_name,
   std::printf("  %-8s %-6s  sources=%-5ld ir=%-5ld binaries=%-5ld decompiled=%-5ld\n",
               corpus, lang_name, stats.sources, stats.ir_ok, stats.binaries,
               stats.decompiled);
+  // Interned-graph memory accounting: interned bytes (incl. string pool) vs
+  // the legacy owned-string layout, and the feature dedup ratio behind it.
+  std::printf("  %-8s %-6s  %s\n", "", "", stats.memory_summary().c_str());
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+// Compile-once / serve-many: the persistence layer end to end.
+//
+// Phase 1 (the "trainer" process): build a small corpus through a
+// content-addressed ArtifactStore (cold compile, then prove the warm path
+// hits), train a matcher, build the retrieval index, and write one
+// self-contained snapshot.
+//
+// Phase 2 (the "server" process): a freshly constructed MatchingSystem —
+// no fit_tokenizer, no training — loads the snapshot and serves the same
+// topk answers bit-for-bit. This doubles as the GBM_FAST persistence smoke
+// in CI: any divergence exits non-zero.
+//
+//   ./examples/snapshot_serving
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/artifact_store.h"
+#include "core/pipeline.h"
+#include "datasets/corpus.h"
+#include "gnn/trainer.h"
+
+using namespace gbm;
+
+namespace {
+
+std::string temp_root() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp && *tmp ? tmp : "/tmp");
+}
+
+}  // namespace
+
+int main() {
+  // ---- phase 1: compile through the store ---------------------------------
+  auto cfg = data::clcdsa_config();
+  cfg.num_tasks = 4;
+  cfg.solutions_per_task_per_lang = 1;
+  cfg.broken_fraction = 0.0;
+  const auto files = data::generate_corpus(cfg);
+
+  const std::string store_dir =
+      temp_root() + "/gbm_snapshot_serving_store." + std::to_string(::getpid());
+  core::ArtifactStore::destroy(store_dir);  // stale leftovers break the cold pass
+  const core::ArtifactStore store(store_dir);
+  core::ArtifactOptions bin_opts;
+  bin_opts.side = core::Side::Binary;
+
+  const auto cold = core::build_artifacts(files, bin_opts, store);
+  const auto cold_stats = store.stats();
+  std::printf("cold build:  %zu files, %llu store misses, %llu artifacts written\n",
+              files.size(), static_cast<unsigned long long>(cold_stats.misses),
+              static_cast<unsigned long long>(cold_stats.writes));
+
+  const auto warm = core::build_artifacts(files, bin_opts, store);
+  const auto warm_stats = store.stats();
+  const auto warm_hits = warm_stats.hits - cold_stats.hits;
+  std::printf("warm build:  %llu/%zu served from the store (no recompilation)\n",
+              static_cast<unsigned long long>(warm_hits), files.size());
+  if (warm_hits != cold_stats.writes) {
+    std::printf("FAIL: warm pass should hit every stored artifact\n");
+    return 1;
+  }
+
+  // ---- train + index + snapshot -------------------------------------------
+  core::MatchingSystem::Config mcfg;
+  mcfg.model.vocab = 128;
+  mcfg.model.embed_dim = 16;
+  mcfg.model.hidden = 16;
+  mcfg.model.layers = 1;
+  mcfg.model.interaction = true;
+  mcfg.model.dropout = 0.0f;
+  core::MatchingSystem trainer(mcfg);
+
+  std::vector<const graph::ProgramGraph*> graphs;
+  for (const auto& a : warm)
+    if (a.ok) graphs.push_back(&a.graph);
+  trainer.fit_tokenizer(graphs);
+  std::vector<gnn::EncodedGraph> encoded;
+  for (const auto* g : graphs) encoded.push_back(trainer.encode(*g));
+
+  std::vector<gnn::PairSample> train_pairs;
+  for (std::size_t i = 0; i + 1 < encoded.size(); i += 2) {
+    train_pairs.push_back({&encoded[i], &encoded[i], 1.0f});
+    train_pairs.push_back({&encoded[i], &encoded[i + 1], 0.0f});
+  }
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 4;
+  trainer.train(train_pairs, tcfg);
+
+  std::vector<const gnn::EncodedGraph*> fleet;
+  for (const auto& e : encoded) fleet.push_back(&e);
+  trainer.embed_all(fleet);
+  const auto want = trainer.topk(encoded.front(), 3);
+
+  const std::string snapshot_path =
+      temp_root() + "/gbm_snapshot_serving." + std::to_string(::getpid()) + ".gbms";
+  trainer.save(snapshot_path);
+  std::printf("snapshot:    %s (config + tokenizer + params + %zu-entry index)\n",
+              snapshot_path.c_str(), fleet.size());
+
+  // ---- phase 2: fresh system serves from the snapshot ---------------------
+  core::MatchingSystem server{core::MatchingSystem::Config{}};
+  server.load(snapshot_path);
+  std::remove(snapshot_path.c_str());
+
+  // Re-encode the query with the ADOPTED tokenizer and ask the RESTORED
+  // index — nothing recomputed, answers must be bit-identical.
+  const auto query = server.encode(*graphs.front());
+  const auto got = server.topk(query, 3);
+  if (got.size() != want.size()) {
+    std::printf("FAIL: topk size %zu != %zu\n", got.size(), want.size());
+    return 1;
+  }
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    std::printf("topk[%zu]:    id=%d score=%.6f (trainer: id=%d score=%.6f)\n", i,
+                got[i].id, static_cast<double>(got[i].score), want[i].id,
+                static_cast<double>(want[i].score));
+    if (got[i].id != want[i].id || got[i].score != want[i].score) {
+      std::printf("FAIL: snapshot-served topk diverged at rank %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("OK: fresh system served bit-identical topk from the snapshot\n");
+  core::ArtifactStore::destroy(store_dir);
+  return 0;
+}

@@ -1,0 +1,324 @@
+#include "core/artifact_store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "core/parallel.h"
+
+namespace gbm::core {
+
+namespace {
+
+constexpr char kGraphMagic[5] = "GBMG";
+constexpr std::uint32_t kGraphVersion = 1;
+constexpr char kEncodedMagic[5] = "GBME";
+constexpr std::uint32_t kEncodedVersion = 1;
+constexpr char kArtifactMagic[5] = "GBMA";
+constexpr std::uint32_t kArtifactVersion = 1;
+
+void fnv_str(std::uint64_t& h, const std::string& s) {
+  const std::uint64_t len = s.size();
+  tensor::io::fnv1a(h, &len, sizeof len);  // length-prefix
+  tensor::io::fnv1a(h, s.data(), s.size());
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) { tensor::io::fnv1a(h, &v, sizeof v); }
+
+void write_edge_array(tensor::io::Writer& w, const graph::EdgeArray& list) {
+  w.ints(list.src);
+  w.ints(list.dst);
+  w.ints(list.pos);
+}
+
+graph::EdgeArray read_edge_array(tensor::io::Reader& r, long num_nodes) {
+  graph::EdgeArray list;
+  list.src = r.ints();
+  list.dst = r.ints();
+  list.pos = r.ints();
+  if (list.dst.size() != list.src.size() || list.pos.size() != list.src.size())
+    r.fail("edge array with mismatched src/dst/pos lengths");
+  for (long e = 0; e < list.size(); ++e) {
+    if (list.src[e] < 0 || list.src[e] >= num_nodes || list.dst[e] < 0 ||
+        list.dst[e] >= num_nodes)
+      r.fail("edge endpoint out of node range");
+  }
+  return list;
+}
+
+}  // namespace
+
+// ---- byte formats ---------------------------------------------------------
+
+void write_graph(tensor::io::Writer& w, const graph::ProgramGraph& g) {
+  w.magic(kGraphMagic);
+  w.u32(kGraphVersion);
+  const auto& strings = g.pool.strings();
+  w.u64(strings.size());
+  for (const auto& s : strings) w.str(s);
+  w.u64(g.nodes.size());
+  for (const auto& node : g.nodes) {
+    w.u8(static_cast<std::uint8_t>(node.kind));
+    w.u32(node.text);
+    w.u32(node.full_text);
+    w.i32(node.function);
+  }
+  for (const auto& list : g.edges) write_edge_array(w, list);
+}
+
+graph::ProgramGraph read_graph(tensor::io::Reader& r) {
+  r.expect_magic(kGraphMagic);
+  r.expect_version(kGraphVersion, "program-graph");
+  const std::uint64_t num_strings = r.u64();
+  // Plausibility before reserve: every string costs >= 4 bytes (its length
+  // prefix), so a count beyond remaining()/4 is corruption, not data.
+  if (num_strings > r.remaining() / 4)
+    r.fail("truncated file (pool of " + std::to_string(num_strings) + " strings)");
+  std::vector<std::string> strings;
+  strings.reserve(num_strings);
+  for (std::uint64_t i = 0; i < num_strings; ++i) strings.push_back(r.str());
+  graph::ProgramGraph g;
+  try {
+    g.pool = graph::StringPool::from_strings(std::move(strings));
+  } catch (const std::invalid_argument& e) {
+    r.fail(e.what());
+  }
+  const std::uint64_t num_nodes = r.u64();
+  if (num_nodes > r.remaining() / 13)  // 13 bytes per serialised node
+    r.fail("truncated file (" + std::to_string(num_nodes) + " nodes)");
+  g.nodes.reserve(num_nodes);
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    graph::Node node;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(graph::NodeKind::Constant))
+      r.fail("unknown node kind " + std::to_string(kind));
+    node.kind = static_cast<graph::NodeKind>(kind);
+    node.text = r.u32();
+    node.full_text = r.u32();
+    node.function = r.i32();
+    if (node.text >= g.pool.size() || node.full_text >= g.pool.size())
+      r.fail("node feature id out of pool range");
+    g.nodes.push_back(node);
+  }
+  for (auto& list : g.edges) list = read_edge_array(r, g.num_nodes());
+  g.finalize();
+  return g;
+}
+
+void write_encoded_graph(tensor::io::Writer& w, const gnn::EncodedGraph& g) {
+  w.magic(kEncodedMagic);
+  w.u32(kEncodedVersion);
+  w.i64(g.num_nodes);
+  w.i32(g.bag_len);
+  w.ints(g.tokens);
+  for (const auto& list : g.edges) {
+    w.ints(list.src);
+    w.ints(list.dst);
+    w.ints(list.pos);
+  }
+}
+
+gnn::EncodedGraph read_encoded_graph(tensor::io::Reader& r) {
+  r.expect_magic(kEncodedMagic);
+  r.expect_version(kEncodedVersion, "encoded-graph");
+  gnn::EncodedGraph g;
+  g.num_nodes = r.i64();
+  g.bag_len = r.i32();
+  if (g.num_nodes < 0 || g.bag_len < 0) r.fail("negative encoded-graph shape");
+  g.tokens = r.ints();
+  // Unsigned compare: num_nodes * bag_len on crafted input could overflow
+  // the signed multiplication.
+  if (g.tokens.size() != static_cast<std::uint64_t>(g.num_nodes) *
+                             static_cast<std::uint64_t>(g.bag_len))
+    r.fail("token array does not match num_nodes * bag_len");
+  for (int t : g.tokens)
+    if (t < 0) r.fail("negative token id");
+  for (auto& list : g.edges) {
+    list.src = r.ints();
+    list.dst = r.ints();
+    list.pos = r.ints();
+    if (list.dst.size() != list.src.size() || list.pos.size() != list.src.size())
+      r.fail("edge list with mismatched src/dst/pos lengths");
+    for (long e = 0; e < list.size(); ++e) {
+      if (list.src[e] < 0 || list.src[e] >= g.num_nodes || list.dst[e] < 0 ||
+          list.dst[e] >= g.num_nodes)
+        r.fail("edge endpoint out of node range");
+    }
+  }
+  return g;
+}
+
+void write_embeddings(tensor::io::Writer& w, const std::vector<Embedding>& embeddings) {
+  w.u64(embeddings.size());
+  w.u64(embeddings.empty() ? 0 : embeddings.front().size());
+  for (const auto& e : embeddings) w.raw(e.data(), e.size() * sizeof(float));
+}
+
+std::vector<Embedding> read_embeddings(tensor::io::Reader& r) {
+  const std::uint64_t count = r.u64();
+  const std::uint64_t dim = r.u64();
+  if (dim == 0 && count > 0) r.fail("embedding matrix with zero dimension");
+  // One row must fit in the stream before dim * sizeof(float) is computed
+  // (a huge dim could wrap the multiplication — and the divisor — to zero).
+  if (dim > r.remaining() / sizeof(float))
+    r.fail("truncated file (embedding dimension " + std::to_string(dim) + ")");
+  if (dim != 0 && count > r.remaining() / (dim * sizeof(float)))
+    r.fail("truncated file (embedding matrix " + std::to_string(count) + "x" +
+           std::to_string(dim) + ")");
+  std::vector<Embedding> embeddings(count, Embedding(dim));
+  for (auto& e : embeddings) r.raw(e.data(), dim * sizeof(float));
+  return embeddings;
+}
+
+void write_artifact(tensor::io::Writer& w, const Artifact& artifact) {
+  w.magic(kArtifactMagic);
+  w.u32(kArtifactVersion);
+  w.i32(artifact.task_index);
+  w.u8(static_cast<std::uint8_t>(artifact.lang));
+  w.u8(artifact.ok ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(artifact.stage));
+  w.str(artifact.error);
+  w.str(artifact.ir_text);
+  w.i64(artifact.ir_instructions);
+  w.i64(artifact.binary_code_size);
+  const bool has_graph = artifact.graph.num_nodes() > 0;
+  w.u8(has_graph ? 1 : 0);
+  if (has_graph) write_graph(w, artifact.graph);
+}
+
+Artifact read_artifact(tensor::io::Reader& r) {
+  r.expect_magic(kArtifactMagic);
+  r.expect_version(kArtifactVersion, "artifact");
+  Artifact artifact;
+  artifact.task_index = r.i32();
+  artifact.lang = static_cast<frontend::Lang>(r.u8());
+  artifact.ok = r.u8() != 0;
+  const std::uint8_t stage = r.u8();
+  if (stage > static_cast<std::uint8_t>(Stage::Graph))
+    r.fail("unknown artifact stage " + std::to_string(stage));
+  artifact.stage = static_cast<Stage>(stage);
+  artifact.error = r.str();
+  artifact.ir_text = r.str();
+  artifact.ir_instructions = r.i64();
+  artifact.binary_code_size = r.i64();
+  if (r.u8() != 0) artifact.graph = read_graph(r);
+  return artifact;
+}
+
+std::vector<std::uint8_t> serialize_graph(const graph::ProgramGraph& g) {
+  tensor::io::Writer w;
+  write_graph(w, g);
+  return w.buffer();
+}
+
+graph::ProgramGraph deserialize_graph(const std::vector<std::uint8_t>& bytes) {
+  tensor::io::Reader r(bytes, "deserialize_graph");
+  return read_graph(r);
+}
+
+std::vector<std::uint8_t> serialize_encoded_graph(const gnn::EncodedGraph& g) {
+  tensor::io::Writer w;
+  write_encoded_graph(w, g);
+  return w.buffer();
+}
+
+gnn::EncodedGraph deserialize_encoded_graph(const std::vector<std::uint8_t>& bytes) {
+  tensor::io::Reader r(bytes, "deserialize_encoded_graph");
+  return read_encoded_graph(r);
+}
+
+// ---- the store ------------------------------------------------------------
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) throw std::runtime_error("ArtifactStore: empty directory path");
+  // Create the leaf directory (parents must exist — callers hand us a temp
+  // or data root). EEXIST is fine: opening an existing store is the point.
+  if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST)
+    throw std::runtime_error("ArtifactStore: cannot create directory " + dir_ + ": " +
+                             std::strerror(errno));
+}
+
+std::uint64_t ArtifactStore::key(const data::SourceFile& file,
+                                 const ArtifactOptions& options) {
+  std::uint64_t h = tensor::io::kFnvOffset;
+  fnv_str(h, file.source);
+  fnv_str(h, file.unit_name);
+  fnv_u64(h, static_cast<std::uint64_t>(file.lang));
+  fnv_u64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(file.task_index)));
+  fnv_u64(h, static_cast<std::uint64_t>(options.side));
+  fnv_u64(h, static_cast<std::uint64_t>(options.opt_level));
+  fnv_u64(h, static_cast<std::uint64_t>(options.style));
+  fnv_u64(h, options.keep_ir_text ? 1 : 0);
+  fnv_u64(h, static_cast<std::uint64_t>(options.stop_after));
+  return h;
+}
+
+void ArtifactStore::destroy(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return;
+  while (dirent* ent = ::readdir(d)) {
+    const std::string entry = ent->d_name;
+    if (entry != "." && entry != "..") ::unlink((dir + "/" + entry).c_str());
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
+std::string ArtifactStore::path_for(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.gbma",
+                static_cast<unsigned long long>(key));
+  return dir_ + "/" + name;
+}
+
+bool ArtifactStore::contains(std::uint64_t key) const {
+  struct ::stat st;
+  return ::stat(path_for(key).c_str(), &st) == 0;
+}
+
+std::optional<Artifact> ArtifactStore::load(std::uint64_t key) const {
+  const std::string path = path_for(key);
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const auto bytes = tensor::io::read_file(path, "ArtifactStore::load");
+  tensor::io::Reader r(bytes, "ArtifactStore::load(" + path + ")");
+  Artifact artifact = read_artifact(r);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return artifact;
+}
+
+void ArtifactStore::put(std::uint64_t key, const Artifact& artifact) const {
+  tensor::io::Writer w;
+  write_artifact(w, artifact);
+  w.to_file(path_for(key));
+  writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Artifact> build_artifacts(const std::vector<data::SourceFile>& files,
+                                      const ArtifactOptions& options,
+                                      const ArtifactStore& store, int threads) {
+  std::vector<Artifact> out(files.size());
+  parallel_for(
+      files.size(),
+      [&](std::size_t i) {
+        const std::uint64_t key = ArtifactStore::key(files[i], options);
+        if (auto cached = store.load(key)) {
+          out[i] = std::move(*cached);
+          return;
+        }
+        out[i] = build_artifact(files[i], options);
+        if (out[i].ok) store.put(key, out[i]);
+      },
+      threads);
+  return out;
+}
+
+}  // namespace gbm::core

@@ -1,0 +1,107 @@
+// Content-addressed on-disk artifact store: compile once, serve many.
+//
+// The graph layer is the heaviest part of the pipeline (front-end →
+// optimiser → backend → decompiler → ProGraML graph per file). An
+// ArtifactStore keys each finished Artifact by a 64-bit FNV-1a hash of the
+// source file identity plus the ArtifactOptions that produced it, and keeps
+// one "GBMA" file per key in a flat directory. build_artifacts over a store
+// becomes compile-on-miss / load-on-hit: a warm store replaces the whole
+// toolchain run with one file read + graph deserialisation.
+//
+// Byte formats (all built on tensor/serialize's io primitives — 4-byte
+// magic + u32 version + length-prefixed chunks; readers throw descriptive
+// std::runtime_error on truncation, corruption, or unknown versions):
+//   * "GBMG" — a finalized ProgramGraph: string pool, node array, per-kind
+//     edge arrays (the CSR index is rebuilt on load);
+//   * "GBME" — a gnn::EncodedGraph: shape, token bags, per-kind edge lists;
+//   * "GBMA" — an Artifact: provenance fields + an embedded GBMG chunk;
+//   * an embedding-matrix chunk (count + dim + row-major f32) used by
+//     MatchingSystem snapshots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace gbm::core {
+
+// ---- byte formats ---------------------------------------------------------
+
+/// Embeddable chunks (magic + version included, so each is self-describing).
+void write_graph(tensor::io::Writer& w, const graph::ProgramGraph& g);
+graph::ProgramGraph read_graph(tensor::io::Reader& r);
+void write_encoded_graph(tensor::io::Writer& w, const gnn::EncodedGraph& g);
+gnn::EncodedGraph read_encoded_graph(tensor::io::Reader& r);
+void write_embeddings(tensor::io::Writer& w, const std::vector<Embedding>& embeddings);
+std::vector<Embedding> read_embeddings(tensor::io::Reader& r);
+void write_artifact(tensor::io::Writer& w, const Artifact& artifact);
+Artifact read_artifact(tensor::io::Reader& r);
+
+/// Whole-value helpers (serialize → bytes, deserialize ← bytes).
+std::vector<std::uint8_t> serialize_graph(const graph::ProgramGraph& g);
+graph::ProgramGraph deserialize_graph(const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> serialize_encoded_graph(const gnn::EncodedGraph& g);
+gnn::EncodedGraph deserialize_encoded_graph(const std::vector<std::uint8_t>& bytes);
+
+// ---- the store ------------------------------------------------------------
+
+class ArtifactStore {
+ public:
+  /// Opens (creating if needed) the store directory. Throws
+  /// std::runtime_error if the directory cannot be created.
+  explicit ArtifactStore(std::string dir);
+
+  /// Content key: FNV-1a over the source identity (text, language, unit
+  /// name, task index) and every ArtifactOptions field that affects the
+  /// produced artifact. Same inputs → same key on every machine.
+  static std::uint64_t key(const data::SourceFile& file, const ArtifactOptions& options);
+
+  const std::string& dir() const { return dir_; }
+  std::string path_for(std::uint64_t key) const;
+  bool contains(std::uint64_t key) const;
+
+  /// Loads the stored artifact, or nullopt if the key is absent. A present
+  /// but corrupted/truncated/wrong-version file throws std::runtime_error —
+  /// a poisoned cache should fail loudly, not silently recompile.
+  std::optional<Artifact> load(std::uint64_t key) const;
+
+  /// Persists an artifact under `key` (atomic: temp file + rename).
+  void put(std::uint64_t key, const Artifact& artifact) const;
+
+  /// Deletes every entry of a store directory (flat layout) and the
+  /// directory itself. No-op if the directory does not exist. The single
+  /// cleanup primitive for tests/benches/examples that build scratch stores.
+  static void destroy(const std::string& dir);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writes = 0;
+  };
+  Stats stats() const {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed),
+            writes_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  std::string dir_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> writes_{0};
+};
+
+/// Store-aware batch artifact production: per file, load on store hit,
+/// compile and persist on miss. Output is identical (element-for-element) to
+/// the storeless build_artifacts; `threads` has parallel.h semantics. Only
+/// completed artifacts (`ok == true`) are persisted — failures recompile, so
+/// a transient error never poisons the store.
+std::vector<Artifact> build_artifacts(const std::vector<data::SourceFile>& files,
+                                      const ArtifactOptions& options,
+                                      const ArtifactStore& store, int threads = 0);
+
+}  // namespace gbm::core

@@ -1,7 +1,13 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
+#include "core/artifact_store.h"
 #include "core/parallel.h"
 #include "decompiler/lift.h"
 #include "frontend/frontend.h"
@@ -58,32 +64,67 @@ std::vector<Artifact> build_artifacts(const std::vector<data::SourceFile>& files
   return out;
 }
 
+std::string CorpusStats::memory_summary() const {
+  char line[192];
+  const double kib = 1024.0;
+  std::snprintf(line, sizeof line,
+                "graph_mem=%.1fKiB (pool=%.1fKiB) legacy=%.1fKiB (%.2fx) "
+                "features=%ld distinct=%ld dedup=%.1fx",
+                static_cast<double>(memory.interned_bytes()) / kib,
+                static_cast<double>(memory.pool_bytes) / kib,
+                static_cast<double>(memory.legacy_bytes) / kib,
+                memory.interned_bytes() > 0
+                    ? static_cast<double>(memory.legacy_bytes) /
+                          static_cast<double>(memory.interned_bytes())
+                    : 0.0,
+                memory.feature_refs, memory.distinct_features,
+                memory.dedup_ratio());
+  return line;
+}
+
 CorpusStats corpus_stats(const std::vector<data::SourceFile>& files,
                          const ArtifactOptions& binary_options, int threads) {
   ArtifactOptions options = binary_options;
   options.side = Side::Binary;
   options.keep_ir_text = false;
-  options.stop_after = Stage::Decompiled;  // counters don't need the graph
+  options.stop_after = Stage::Graph;  // memory accounting needs the graphs
   CorpusStats stats;
   stats.sources = static_cast<long>(files.size());
-  for (const Artifact& a : build_artifacts(files, options, threads)) {
-    stats.ir_ok += a.stage >= Stage::IR;
-    stats.binaries += a.stage >= Stage::Binary;
-    stats.decompiled += a.stage >= Stage::Decompiled;
+  // Chunked accumulation: only one chunk of graphs is live at a time (the
+  // counters don't need the whole corpus in memory), while each chunk still
+  // fans across the worker pool.
+  constexpr std::size_t kChunk = 64;
+  for (std::size_t begin = 0; begin < files.size(); begin += kChunk) {
+    const std::vector<data::SourceFile> chunk(
+        files.begin() + static_cast<long>(begin),
+        files.begin() + static_cast<long>(std::min(files.size(), begin + kChunk)));
+    for (const Artifact& a : build_artifacts(chunk, options, threads)) {
+      stats.ir_ok += a.stage >= Stage::IR;
+      stats.binaries += a.stage >= Stage::Binary;
+      stats.decompiled += a.stage >= Stage::Decompiled;
+      stats.graphs += a.stage >= Stage::Graph;
+      if (a.stage >= Stage::Graph) stats.memory += a.graph.memory();
+    }
   }
   return stats;
 }
 
 void MatchingSystem::fit_tokenizer(
     const std::vector<const graph::ProgramGraph*>& graphs) {
-  std::vector<std::string> corpus;
+  // Interned corpus: per graph, count nodes per distinct feature id, then
+  // merge by string across graphs. Weighted training sees exactly the
+  // occurrence histogram of the old per-node corpus, in O(distinct strings).
+  std::unordered_map<std::string, long> merged;
   for (const graph::ProgramGraph* g : graphs) {
-    for (const auto& node : g->nodes)
-      corpus.push_back(node.feature(config_.use_full_text));
+    std::vector<long> count(g->pool.size(), 0);
+    for (const auto& node : g->nodes) ++count[node.feature_id(config_.use_full_text)];
+    for (std::uint32_t id = 0; id < g->pool.size(); ++id)
+      if (count[id] > 0) merged[g->pool.str(id)] += count[id];
   }
-  tokenizer_ = tok::Tokenizer::train(corpus, config_.model.vocab);
+  std::vector<std::pair<std::string, long>> corpus(merged.begin(), merged.end());
+  tokenizer_ = tok::Tokenizer::train_weighted(corpus, config_.model.vocab);
   bag_len_ = config_.bag_len > 0 ? config_.bag_len
-                                 : tok::Tokenizer::choose_bag_len(corpus);
+                                 : tok::Tokenizer::choose_bag_len_weighted(corpus);
 }
 
 gnn::EncodedGraph MatchingSystem::encode(const graph::ProgramGraph& g) const {
@@ -142,20 +183,158 @@ const EmbeddingEngine& MatchingSystem::engine() const {
   return *engine_;
 }
 
+namespace {
+
+constexpr char kSnapshotMagic[5] = "GBMS";
+constexpr char kLegacyParamsMagic[4] = {'G', 'B', 'M', 'T'};
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+void write_model_config(tensor::io::Writer& w, const gnn::ModelConfig& mc) {
+  w.i32(mc.vocab);
+  w.i64(mc.embed_dim);
+  w.i64(mc.hidden);
+  w.i32(mc.layers);
+  w.f32(mc.dropout);
+  w.u8(mc.interaction ? 1 : 0);
+  w.i64(mc.max_position);
+}
+
+gnn::ModelConfig read_model_config(tensor::io::Reader& r) {
+  gnn::ModelConfig mc;
+  mc.vocab = r.i32();
+  mc.embed_dim = r.i64();
+  mc.hidden = r.i64();
+  mc.layers = r.i32();
+  mc.dropout = r.f32();
+  mc.interaction = r.u8() != 0;
+  mc.max_position = r.i64();
+  return mc;
+}
+
+/// Empty when equal; otherwise names the first differing field.
+std::string model_config_mismatch(const gnn::ModelConfig& have,
+                                  const gnn::ModelConfig& snap) {
+  const auto diff = [](const char* field, auto a, auto b) {
+    return std::string(field) + " (this system: " + std::to_string(a) +
+           ", snapshot: " + std::to_string(b) + ")";
+  };
+  if (have.vocab != snap.vocab) return diff("vocab", have.vocab, snap.vocab);
+  if (have.embed_dim != snap.embed_dim)
+    return diff("embed_dim", have.embed_dim, snap.embed_dim);
+  if (have.hidden != snap.hidden) return diff("hidden", have.hidden, snap.hidden);
+  if (have.layers != snap.layers) return diff("layers", have.layers, snap.layers);
+  if (have.interaction != snap.interaction)
+    return diff("interaction", have.interaction, snap.interaction);
+  if (have.max_position != snap.max_position)
+    return diff("max_position", have.max_position, snap.max_position);
+  return "";
+}
+
+}  // namespace
+
 void MatchingSystem::save(const std::string& path) const {
-  if (!model_) throw std::logic_error("MatchingSystem: nothing to save");
-  auto params = model_->params();
-  tensor::save_params(params, path);
+  if (!model_)
+    throw std::logic_error("MatchingSystem::save: nothing to save (train or load first)");
+  tensor::io::Writer w;
+  w.magic(kSnapshotMagic);
+  w.u32(kSnapshotVersion);
+  write_model_config(w, config_.model);
+  w.u8(config_.use_full_text ? 1 : 0);
+  w.i32(config_.bag_len);
+  w.u64(config_.seed);
+  w.i32(bag_len_);
+  w.u8(tokenizer_ ? 1 : 0);
+  if (tokenizer_) tokenizer_->write(w);
+  tensor::write_params(w, model_->params());
+  w.u8(index_ ? 1 : 0);
+  if (index_) {
+    std::vector<Embedding> embeddings;
+    embeddings.reserve(index_->size());
+    for (std::size_t id = 0; id < index_->size(); ++id)
+      embeddings.push_back(index_->embedding(static_cast<int>(id)));
+    write_embeddings(w, embeddings);
+  }
+  w.to_file(path);
 }
 
 void MatchingSystem::load(const std::string& path) {
-  ensure_model();
-  auto params = model_->params();
-  tensor::load_params(params, path);
-  // Same staleness rule as train(): loaded weights invalidate cached
-  // embeddings and any index built from them.
-  engine_->clear_cache();
+  const auto bytes = tensor::io::read_file(path, "MatchingSystem::load");
+  tensor::io::Reader r(bytes, "MatchingSystem::load(" + path + ")");
+  if (bytes.size() >= 4 && std::memcmp(bytes.data(), kLegacyParamsMagic, 4) == 0)
+    r.fail(
+        "this is a legacy params-only model file (GBMT), not a snapshot; it "
+        "carries no tokenizer/config and cannot be loaded safely — re-save it "
+        "with MatchingSystem::save(), which now writes self-contained "
+        "snapshots");
+  r.expect_magic(kSnapshotMagic);
+  r.expect_version(kSnapshotVersion, "MatchingSystem snapshot");
+
+  Config snap_cfg;
+  snap_cfg.model = read_model_config(r);
+  snap_cfg.use_full_text = r.u8() != 0;
+  snap_cfg.bag_len = r.i32();
+  snap_cfg.seed = r.u64();
+  const int snap_fitted_bag_len = r.i32();
+  std::optional<tok::Tokenizer> snap_tokenizer;
+  if (r.u8() != 0) snap_tokenizer = tok::Tokenizer::read(r);
+
+  // Mismatch checks BEFORE any state mutation, so a failed load leaves the
+  // system exactly as it was.
+  if (tokenizer_ && snap_tokenizer &&
+      tokenizer_->fingerprint() != snap_tokenizer->fingerprint())
+    r.fail("tokenizer/vocabulary mismatch: this system's fitted vocabulary (" +
+           std::to_string(tokenizer_->vocab_size()) +
+           " tokens) differs from the snapshot's (" +
+           std::to_string(snap_tokenizer->vocab_size()) +
+           " tokens); scores would be garbage. Load into a fresh "
+           "MatchingSystem, which adopts the snapshot's tokenizer.");
+  if (model_) {
+    const std::string mismatch = model_config_mismatch(config_.model, snap_cfg.model);
+    if (!mismatch.empty())
+      r.fail("model architecture mismatch on " + mismatch +
+             "; load into a fresh MatchingSystem");
+  }
+  if (snap_tokenizer && snap_tokenizer->vocab_size() > snap_cfg.model.vocab)
+    r.fail("snapshot is internally inconsistent: tokenizer has " +
+           std::to_string(snap_tokenizer->vocab_size()) +
+           " tokens but the model embeds only " +
+           std::to_string(snap_cfg.model.vocab));
+
+  // Parse the remainder of the stream into locals BEFORE touching any
+  // member, so a truncated/corrupt tail cannot leave the system half-
+  // mutated (or the still-referenced old model destroyed).
+  tensor::RNG rng(snap_cfg.seed);
+  auto new_model = std::make_unique<gnn::GraphBinMatchModel>(snap_cfg.model, rng);
+  auto params = new_model->params();
+  const std::size_t restored = tensor::read_params(r, params);
+  if (restored != params.size())
+    r.fail("snapshot parameter set is incomplete: restored " +
+           std::to_string(restored) + " of " + std::to_string(params.size()) +
+           " model tensors");
+  std::vector<Embedding> index_embeddings;
+  const bool has_index = r.u8() != 0;
+  if (has_index) index_embeddings = read_embeddings(r);
+  const auto expected_dim =
+      static_cast<std::size_t>(gnn::graph_embedding_dim(snap_cfg.model));
+  for (const Embedding& e : index_embeddings)
+    if (e.size() != expected_dim)
+      r.fail("index embedding dimension " + std::to_string(e.size()) +
+             " does not match the model's " + std::to_string(expected_dim));
+  if (r.remaining() != 0)
+    r.fail(std::to_string(r.remaining()) + " trailing bytes after the snapshot");
+
+  // Commit: adopt the snapshot wholesale — a freshly constructed system
+  // becomes a clone of the saved one.
+  config_ = snap_cfg;
+  bag_len_ = snap_fitted_bag_len;
+  if (snap_tokenizer) tokenizer_ = std::move(snap_tokenizer);
+  model_ = std::move(new_model);
+  engine_ = std::make_unique<EmbeddingEngine>(*model_);
   index_.reset();
+  if (has_index) {
+    index_ = std::make_unique<EmbeddingIndex>(*engine_);
+    for (Embedding& e : index_embeddings) index_->add(std::move(e));
+  }
 }
 
 }  // namespace gbm::core

@@ -77,12 +77,19 @@ std::vector<Artifact> build_artifacts(const std::vector<data::SourceFile>& files
                                       const ArtifactOptions& options,
                                       int threads = 0);
 
-/// Table I counters.
+/// Table I counters plus memory accounting for the interned graph layer.
 struct CorpusStats {
   long sources = 0;
   long ir_ok = 0;
   long binaries = 0;
   long decompiled = 0;
+  long graphs = 0;
+  /// Aggregated graph::GraphMemory over every completed graph: interned
+  /// bytes (nodes + edges + CSR + pool) vs the legacy owned-string estimate,
+  /// and the feature dedup ratio the interning exploits.
+  graph::GraphMemory memory;
+  /// One printable line, e.g. for the Table-I bench.
+  std::string memory_summary() const;
 };
 CorpusStats corpus_stats(const std::vector<data::SourceFile>& files,
                          const ArtifactOptions& binary_options, int threads = 0);
@@ -133,9 +140,22 @@ class MatchingSystem {
                                         int prefilter = 0,
                                         QuerySide side = QuerySide::A) const;
 
+  /// Writes a self-contained snapshot ("GBMS" format): configuration,
+  /// tokenizer vocabulary, fitted bag length, model parameters, and — when
+  /// embed_all has built one — the retrieval index embeddings. A snapshot is
+  /// everything another process needs to serve score/score_pairs/topk with
+  /// zero recompilation or retraining.
   void save(const std::string& path) const;
-  /// Loads model parameters saved by save(); the tokenizer must have been
-  /// fitted on the same corpus (deterministic given the corpus).
+  /// Loads a snapshot written by save() and adopts its config, tokenizer,
+  /// parameters, and index. Throws std::runtime_error with a descriptive
+  /// message when
+  ///   * the file is truncated, corrupted, a different format, an
+  ///     unsupported snapshot version, or a legacy params-only "GBMT" file;
+  ///   * this system already has a fitted tokenizer whose vocabulary
+  ///     differs from the snapshot's (scores would be garbage — load into a
+  ///     fresh MatchingSystem instead);
+  ///   * this system already has a model whose architecture differs from
+  ///     the snapshot's.
   void load(const std::string& path);
 
   const tok::Tokenizer& tokenizer() const { return *tokenizer_; }

@@ -19,17 +19,37 @@ EncodedGraph encode_graph(const graph::ProgramGraph& g, const tok::Tokenizer& tk
   out.num_nodes = g.num_nodes();
   out.bag_len = bag_len;
   out.tokens.reserve(static_cast<std::size_t>(out.num_nodes * bag_len));
+  // Tokenisation is memoised per interned feature id: each distinct feature
+  // string of the graph is split/encoded exactly once, however many nodes
+  // share it (types and opcodes repeat heavily). The memo records where a
+  // feature's bag first landed in out.tokens, so repeats are a bag_len copy
+  // and the miss path costs exactly one tokenizer pass — no side buffer.
+  std::vector<long> memo_at(g.pool.size(), -1);  // feature id → first bag offset
   for (const auto& node : g.nodes) {
-    const std::vector<int> ids = tk.encode(node.feature(use_full_text), bag_len);
-    out.tokens.insert(out.tokens.end(), ids.begin(), ids.end());
+    const std::uint32_t fid = node.feature_id(use_full_text);
+    const long at = memo_at[fid];
+    if (at < 0) {
+      memo_at[fid] = static_cast<long>(out.tokens.size());
+      const std::vector<int> ids = tk.encode(g.pool.str(fid), bag_len);
+      out.tokens.insert(out.tokens.end(), ids.begin(), ids.end());
+    } else {
+      // Within reserved capacity: resize never reallocates, and the copied
+      // range lies strictly before the write position.
+      const std::size_t cur = out.tokens.size();
+      out.tokens.resize(cur + static_cast<std::size_t>(bag_len));
+      std::copy_n(out.tokens.begin() + at, bag_len,
+                  out.tokens.begin() + static_cast<long>(cur));
+    }
   }
-  for (const auto& e : g.edges) {
-    EdgeList& list = out.edges[static_cast<std::size_t>(e.kind)];
-    list.src.push_back(e.src);
-    list.dst.push_back(e.dst);
-    list.pos.push_back(e.position);
+  // Edge lists come straight from the graph's per-kind arrays (same layout,
+  // append order preserved), then self-loops on every edge type (PyG
+  // GATv2Conv add_self_loops=True).
+  for (std::size_t k = 0; k < graph::kNumEdgeKinds; ++k) {
+    EdgeList& list = out.edges[k];
+    list.src = g.edges[k].src;
+    list.dst = g.edges[k].dst;
+    list.pos = g.edges[k].pos;
   }
-  // Self-loops on every edge type (PyG GATv2Conv add_self_loops=True).
   for (auto& list : out.edges) {
     for (long i = 0; i < out.num_nodes; ++i) {
       list.src.push_back(static_cast<int>(i));

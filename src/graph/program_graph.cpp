@@ -26,21 +26,22 @@ class GraphBuilder {
       if (fn->is_declaration()) continue;
       for (const auto& arg : fn->args()) {
         var_node_[arg.get()] =
-            add_node(NodeKind::Variable, arg->type()->str(),
-                     arg->type()->str() + " %" + arg->name(), fn_index);
+            graph_.add_node(NodeKind::Variable, arg->type()->str(),
+                            arg->type()->str() + " %" + arg->name(), fn_index);
       }
       for (const auto& bb : fn->blocks()) {
         for (const auto& inst : bb->instructions()) {
-          const int node = add_node(NodeKind::Instruction,
-                                    ir::opcode_name(inst->opcode()),
-                                    ir::print_instruction(*inst), fn_index);
+          const int node = graph_.add_node(NodeKind::Instruction,
+                                           ir::opcode_name(inst->opcode()),
+                                           ir::print_instruction(*inst), fn_index);
           inst_node_[inst.get()] = node;
           if (!inst->type()->is_void()) {
-            const int var =
-                add_node(NodeKind::Variable, inst->type()->str(),
-                         inst->type()->str() + " %" + inst->name(), fn_index);
+            const int var = graph_.add_node(
+                NodeKind::Variable, inst->type()->str(),
+                inst->type()->str() + " %" + inst->name(), fn_index);
             var_node_[inst.get()] = var;
-            if (options_.data_edges) add_edge(EdgeKind::Data, node, var, 0);  // def
+            if (options_.data_edges)
+              graph_.add_edge(EdgeKind::Data, node, var, 0);  // def
           }
         }
       }
@@ -58,13 +59,14 @@ class GraphBuilder {
           const int node = inst_node_.at(inst);
           // Control: sequential flow within the block.
           if (options_.control_edges && i + 1 < insts.size())
-            add_edge(EdgeKind::Control, node, inst_node_.at(insts[i + 1].get()), 0);
+            graph_.add_edge(EdgeKind::Control, node,
+                            inst_node_.at(insts[i + 1].get()), 0);
           // Control: terminator → target block heads.
           if (options_.control_edges && inst->is_term()) {
             int pos = 0;
             for (BasicBlock* target : inst->targets()) {
-              add_edge(EdgeKind::Control, node,
-                       inst_node_.at(target->instructions()[0].get()), pos++);
+              graph_.add_edge(EdgeKind::Control, node,
+                              inst_node_.at(target->instructions()[0].get()), pos++);
             }
           }
           // Data: operand uses (variable / constant → instruction).
@@ -72,43 +74,31 @@ class GraphBuilder {
             for (std::size_t op = 0; op < inst->num_operands(); ++op) {
               const Value* v = inst->operand(op);
               const int src = value_node(v);
-              if (src >= 0) add_edge(EdgeKind::Data, src, node, static_cast<int>(op));
+              if (src >= 0)
+                graph_.add_edge(EdgeKind::Data, src, node, static_cast<int>(op));
             }
           }
           // Call edges.
           if (options_.call_edges && inst->opcode() == Opcode::Call) {
             const Function* callee = inst->callee();
             if (callee && !callee->is_declaration()) {
-              add_edge(EdgeKind::Call, node, entry_inst_.at(callee), 0);
+              graph_.add_edge(EdgeKind::Call, node, entry_inst_.at(callee), 0);
               // Return edges: every ret of the callee → this call site.
               for (const auto& cb : callee->blocks()) {
                 const Instruction* term = cb->terminator();
                 if (term && term->opcode() == Opcode::Ret)
-                  add_edge(EdgeKind::Call, inst_node_.at(term), node, 1);
+                  graph_.add_edge(EdgeKind::Call, inst_node_.at(term), node, 1);
               }
             }
           }
         }
       }
     }
+    graph_.finalize();
     return std::move(graph_);
   }
 
  private:
-  int add_node(NodeKind kind, std::string text, std::string full_text, int fn) {
-    Node node;
-    node.kind = kind;
-    node.text = std::move(text);
-    node.full_text = std::move(full_text);
-    node.function = fn;
-    graph_.nodes.push_back(std::move(node));
-    return static_cast<int>(graph_.nodes.size()) - 1;
-  }
-
-  void add_edge(EdgeKind kind, int src, int dst, int position) {
-    graph_.edges.push_back({kind, src, dst, position});
-  }
-
   /// Node for an operand value; creates constant nodes on first use.
   int value_node(const Value* v) {
     switch (v->kind()) {
@@ -121,17 +111,17 @@ class GraphBuilder {
         auto it = const_node_.find(v);
         if (it != const_node_.end()) return it->second;
         const auto* c = static_cast<const ir::ConstantInt*>(v);
-        const int node =
-            add_node(NodeKind::Constant, c->type()->str(),
-                     c->type()->str() + " " + std::to_string(c->value()), -1);
+        const int node = graph_.add_node(
+            NodeKind::Constant, c->type()->str(),
+            c->type()->str() + " " + std::to_string(c->value()), -1);
         const_node_[v] = node;
         return node;
       }
       case ir::ValueKind::ConstantFloat: {
         auto it = const_node_.find(v);
         if (it != const_node_.end()) return it->second;
-        const int node = add_node(NodeKind::Constant, v->type()->str(),
-                                  v->type()->str() + " " + v->ref(), -1);
+        const int node = graph_.add_node(NodeKind::Constant, v->type()->str(),
+                                         v->type()->str() + " " + v->ref(), -1);
         const_node_[v] = node;
         return node;
       }
@@ -148,7 +138,7 @@ class GraphBuilder {
             full += static_cast<char>(g->data()[i]);
           full += "\"";
         }
-        const int node = add_node(NodeKind::Constant, "ptr", full, -1);
+        const int node = graph_.add_node(NodeKind::Constant, "ptr", full, -1);
         const_node_[v] = node;
         return node;
       }
@@ -167,6 +157,77 @@ class GraphBuilder {
 };
 
 }  // namespace
+
+GraphMemory& GraphMemory::operator+=(const GraphMemory& o) {
+  node_bytes += o.node_bytes;
+  edge_bytes += o.edge_bytes;
+  csr_bytes += o.csr_bytes;
+  pool_bytes += o.pool_bytes;
+  legacy_bytes += o.legacy_bytes;
+  feature_refs += o.feature_refs;
+  distinct_features += o.distinct_features;
+  return *this;
+}
+
+int ProgramGraph::add_node(NodeKind kind, std::string text, std::string full_text,
+                           int function) {
+  Node node;
+  node.kind = kind;
+  node.text = pool.intern(std::move(text));
+  node.full_text = pool.intern(std::move(full_text));
+  node.function = function;
+  nodes.push_back(node);
+  return static_cast<int>(nodes.size()) - 1;
+}
+
+void ProgramGraph::finalize() {
+  const std::size_t n = nodes.size();
+  for (std::size_t k = 0; k < kNumEdgeKinds; ++k) {
+    const EdgeArray& list = edges[k];
+    std::vector<int>& offsets = in_offsets[k];
+    std::vector<int>& order = in_edges[k];
+    offsets.assign(n + 1, 0);
+    for (int d : list.dst) ++offsets[static_cast<std::size_t>(d) + 1];
+    for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+    order.resize(list.src.size());
+    std::vector<int> cursor(offsets.begin(), offsets.end() - 1);
+    // Stable by construction: edges of one destination keep append order.
+    for (long e = 0; e < list.size(); ++e)
+      order[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(list.dst[e])]++)] = static_cast<int>(e);
+  }
+}
+
+GraphMemory ProgramGraph::memory() const {
+  // Tight (as-persisted) layout on both sides of the comparison, so the
+  // numbers are deterministic and capacity growth policy cancels out.
+  GraphMemory m;
+  m.node_bytes = nodes.size() * sizeof(Node);
+  for (const auto& list : edges)
+    m.edge_bytes += 3 * static_cast<std::size_t>(list.size()) * sizeof(int);
+  for (std::size_t k = 0; k < kNumEdgeKinds; ++k)
+    m.csr_bytes += (in_offsets[k].size() + in_edges[k].size()) * sizeof(int);
+  m.pool_bytes = pool.bytes();
+  m.distinct_features = static_cast<long>(pool.size()) - 1;  // minus empty
+  // Legacy layout, like-for-like: every node owned text + full_text
+  // std::strings (2×sizeof(std::string) + out-of-SSO heap buffers) next to
+  // kind/function, and edges lived in one flat array-of-struct vector
+  // {kind, src, dst, position} (16 B padded). No CSR index existed — its
+  // bytes count against the interned side.
+  constexpr std::size_t kLegacyNode = 2 * sizeof(std::string) + 8;
+  constexpr std::size_t kLegacyEdge = 16;
+  constexpr std::size_t kSso = 15;
+  m.legacy_bytes = nodes.size() * kLegacyNode +
+                   static_cast<std::size_t>(num_edges()) * kLegacyEdge;
+  for (const auto& node : nodes) {
+    m.feature_refs += 1 + (node.full_text != StringPool::kEmpty);
+    const std::size_t text_len = pool.str(node.text).size();
+    const std::size_t full_len = pool.str(node.full_text).size();
+    if (text_len > kSso) m.legacy_bytes += text_len + 1;
+    if (full_len > kSso) m.legacy_bytes += full_len + 1;
+  }
+  return m;
+}
 
 std::string ProgramGraph::stats() const {
   return "nodes=" + std::to_string(num_nodes()) +

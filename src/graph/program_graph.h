@@ -13,55 +13,151 @@
 //     feature) and `full_text` (the complete printed instruction — the
 //     feature GraphBinMatch advocates), with `text` as fallback where no
 //     full text exists, exactly as §III-C describes.
+//
+// Representation: feature strings are interned in a per-graph StringPool and
+// nodes store u32 pool ids (see string_pool.h), so repeated types/opcodes
+// cost one string for the whole graph. Edges live in per-kind
+// structure-of-arrays form (EdgeArray) in append order — exactly the layout
+// gnn::encode_graph and GraphBatch consume — and finalize() additionally
+// builds a CSR index over incoming edges (row pointers by destination node)
+// for O(degree) adjacency queries.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "graph/string_pool.h"
 #include "ir/module.h"
 
 namespace gbm::graph {
 
 enum class NodeKind : std::uint8_t { Instruction, Variable, Constant };
 enum class EdgeKind : std::uint8_t { Control, Data, Call };
+inline constexpr std::size_t kNumEdgeKinds = 3;
 
 struct Node {
   NodeKind kind;
-  std::string text;       // opcode (instructions) or type (values)
-  std::string full_text;  // full printed instruction / typed value; may be ""
-  int function = -1;      // defining function index, -1 for module-level
+  std::uint32_t text = StringPool::kEmpty;       // opcode / type pool id
+  std::uint32_t full_text = StringPool::kEmpty;  // printed instruction pool id
+  std::int32_t function = -1;  // defining function index, -1 for module-level
 
-  /// The feature string under the chosen featurisation: full_text with
-  /// fallback to text (the paper's rule).
-  const std::string& feature(bool use_full_text) const {
-    return use_full_text && !full_text.empty() ? full_text : text;
+  /// Pool id of the feature string under the chosen featurisation:
+  /// full_text with fallback to text (the paper's rule).
+  std::uint32_t feature_id(bool use_full_text) const {
+    return use_full_text && full_text != StringPool::kEmpty ? full_text : text;
   }
 };
 
-struct Edge {
-  EdgeKind kind;
-  int src;
-  int dst;
-  int position;
+/// One edge kind as parallel src/dst/position arrays, in append order.
+struct EdgeArray {
+  std::vector<int> src;
+  std::vector<int> dst;
+  std::vector<int> pos;
+
+  long size() const { return static_cast<long>(src.size()); }
+  void add(int s, int d, int p) {
+    src.push_back(s);
+    dst.push_back(d);
+    pos.push_back(p);
+  }
+};
+
+/// Memory footprint of one graph, interned layout vs the legacy layout
+/// where every node owned two std::strings.
+struct GraphMemory {
+  std::size_t node_bytes = 0;   // node array
+  std::size_t edge_bytes = 0;   // per-kind edge arrays
+  std::size_t csr_bytes = 0;    // incoming-CSR index
+  std::size_t pool_bytes = 0;   // interned strings
+  std::size_t legacy_bytes = 0; // estimate: nodes with owned text/full_text
+  long feature_refs = 0;        // node→string references (text + full_text)
+  long distinct_features = 0;   // pooled strings (excluding the empty entry)
+
+  std::size_t interned_bytes() const {
+    return node_bytes + edge_bytes + csr_bytes + pool_bytes;
+  }
+  /// How many node→string references share each pooled string.
+  double dedup_ratio() const {
+    return distinct_features > 0
+               ? static_cast<double>(feature_refs) / static_cast<double>(distinct_features)
+               : 0.0;
+  }
+  GraphMemory& operator+=(const GraphMemory& o);
 };
 
 struct ProgramGraph {
+  StringPool pool;
   std::vector<Node> nodes;
-  std::vector<Edge> edges;
+  /// Edges grouped by kind (index = EdgeKind), append order preserved.
+  std::array<EdgeArray, kNumEdgeKinds> edges;
+
+  // ---- construction -------------------------------------------------------
+
+  /// By-value strings move through into the pool's intern (no copy for the
+  /// temporaries build_graph constructs).
+  int add_node(NodeKind kind, std::string text, std::string full_text, int function);
+  void add_edge(EdgeKind kind, int src, int dst, int position) {
+    edges[static_cast<std::size_t>(kind)].add(src, dst, position);
+  }
+  /// Builds the incoming-CSR index. Idempotent; called by build_graph and
+  /// after deserialisation. Edge arrays must not grow afterwards.
+  void finalize();
+  bool finalized() const {
+    return in_offsets[0].size() == nodes.size() + 1;
+  }
+
+  // ---- feature access -----------------------------------------------------
+
+  const std::string& text_of(const Node& n) const { return pool.str(n.text); }
+  const std::string& full_text_of(const Node& n) const { return pool.str(n.full_text); }
+  /// The feature string under the chosen featurisation (full_text with
+  /// fallback to text).
+  const std::string& feature(const Node& n, bool use_full_text) const {
+    return pool.str(n.feature_id(use_full_text));
+  }
+
+  // ---- topology -----------------------------------------------------------
 
   long num_nodes() const { return static_cast<long>(nodes.size()); }
-  long num_edges() const { return static_cast<long>(edges.size()); }
+  long num_edges() const {
+    long n = 0;
+    for (const auto& list : edges) n += list.size();
+    return n;
+  }
   long count_nodes(NodeKind k) const {
     long n = 0;
     for (const auto& node : nodes) n += node.kind == k;
     return n;
   }
   long count_edges(EdgeKind k) const {
-    long n = 0;
-    for (const auto& e : edges) n += e.kind == k;
-    return n;
+    return edges[static_cast<std::size_t>(k)].size();
   }
+  /// Visits every edge as f(EdgeKind, src, dst, position), kind-major in
+  /// append order.
+  template <typename F>
+  void for_each_edge(F&& f) const {
+    for (std::size_t k = 0; k < kNumEdgeKinds; ++k) {
+      const EdgeArray& list = edges[k];
+      for (long e = 0; e < list.size(); ++e)
+        f(static_cast<EdgeKind>(k), list.src[e], list.dst[e], list.pos[e]);
+    }
+  }
+
+  // ---- CSR incoming index (valid after finalize()) ------------------------
+
+  /// in_offsets[k] has num_nodes+1 row pointers; in_edges[k][in_offsets[k][v]
+  /// .. in_offsets[k][v+1]) are the indices into edges[k] whose dst == v.
+  std::array<std::vector<int>, kNumEdgeKinds> in_offsets;
+  std::array<std::vector<int>, kNumEdgeKinds> in_edges;
+
+  long in_degree(EdgeKind k, int node) const {
+    const auto& off = in_offsets[static_cast<std::size_t>(k)];
+    return off[static_cast<std::size_t>(node) + 1] - off[static_cast<std::size_t>(node)];
+  }
+
+  GraphMemory memory() const;
   std::string stats() const;
 };
 
@@ -73,7 +169,7 @@ struct GraphOptions {
 
 /// Builds the heterogeneous program graph of a module. Deterministic: node
 /// order follows module order (functions → blocks → instructions, then
-/// constants in first-use order).
+/// constants in first-use order). The result is finalized.
 ProgramGraph build_graph(const ir::Module& m, const GraphOptions& options = {});
 
 }  // namespace gbm::graph

@@ -1,0 +1,92 @@
+// Interned feature-string pool for program graphs.
+//
+// Every node of a ProGraML-style graph carries two feature strings (opcode /
+// type and the full printed instruction), but the distinct-string count is a
+// small fraction of the node count — types like "i64", opcodes, and repeated
+// instruction shapes dominate. A StringPool stores each distinct string once
+// and hands out dense u32 ids; nodes keep ids instead of owned std::strings,
+// which shrinks the node struct from ~72B + string heap to 16B and lets
+// tokenisation memoise per distinct feature instead of per node.
+//
+// Id 0 is always the empty string (kEmpty), so "no full text" is the zero
+// value and the full-text→text fallback is an id comparison.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace gbm::graph {
+
+class StringPool {
+ public:
+  static constexpr std::uint32_t kEmpty = 0;
+
+  StringPool() { reset(); }
+
+  /// Interns `s`, returning its dense id. Ids are assigned in first-intern
+  /// order, so equal build sequences produce equal pools (determinism).
+  std::uint32_t intern(std::string s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    index_.emplace(s, id);
+    strings_.push_back(std::move(s));
+    return id;
+  }
+
+  const std::string& str(std::uint32_t id) const { return strings_.at(id); }
+
+  /// Number of pooled strings, including the reserved empty entry.
+  std::uint32_t size() const { return static_cast<std::uint32_t>(strings_.size()); }
+
+  /// All pooled strings in id order (serialisation / iteration).
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  /// Rebuilds a pool from a deserialised id-ordered string list. Entry 0
+  /// must be the empty string; duplicates are rejected (both indicate a
+  /// corrupted stream).
+  static StringPool from_strings(std::vector<std::string> strings) {
+    StringPool pool;
+    if (strings.empty() || !strings.front().empty())
+      throw std::invalid_argument("StringPool: entry 0 must be the empty string");
+    pool.strings_ = std::move(strings);
+    pool.index_.clear();
+    pool.index_.reserve(pool.strings_.size());
+    for (std::uint32_t id = 0; id < pool.size(); ++id) {
+      if (!pool.index_.emplace(pool.strings_[id], id).second)
+        throw std::invalid_argument("StringPool: duplicate pooled string");
+    }
+    return pool;
+  }
+
+  /// Bytes held by the pooled strings in tight layout (vector slots +
+  /// out-of-SSO heap buffers, as persisted / after shrink_to_fit). The
+  /// lookup index is excluded: it is rebuildable and not part of the
+  /// persisted representation.
+  std::size_t bytes() const {
+    std::size_t total = strings_.size() * sizeof(std::string);
+    for (const auto& s : strings_)
+      if (s.size() > kSsoCapacity) total += s.size() + 1;
+    return total;
+  }
+
+  void reset() {
+    strings_.assign(1, std::string());
+    index_.clear();
+    index_.emplace(std::string(), kEmpty);
+  }
+
+ private:
+  // libstdc++/libc++ small-string buffer: strings at or under this length
+  // live inline and cost no heap.
+  static constexpr std::size_t kSsoCapacity = 15;
+
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+}  // namespace gbm::graph

@@ -1,17 +1,18 @@
 #include "tensor/serialize.h"
 
-#include <cstdint>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
 
 namespace gbm::tensor {
 
-namespace {
+namespace io {
 
-constexpr char kMagic[4] = {'G', 'B', 'M', 'T'};
-constexpr std::uint32_t kVersion = 1;
+namespace {
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -20,70 +21,224 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-void write_bytes(std::FILE* f, const void* p, std::size_t n) {
-  if (std::fwrite(p, 1, n, f) != n) throw std::runtime_error("save_params: write failed");
-}
-
-void read_bytes(std::FILE* f, void* p, std::size_t n) {
-  if (std::fread(p, 1, n, f) != n) throw std::runtime_error("load_params: truncated file");
-}
-
 }  // namespace
 
-void save_params(const std::vector<NamedParam>& params, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) throw std::runtime_error("save_params: cannot open " + path);
-  write_bytes(f.get(), kMagic, 4);
-  write_bytes(f.get(), &kVersion, sizeof kVersion);
-  const std::uint64_t count = params.size();
-  write_bytes(f.get(), &count, sizeof count);
-  for (const auto& p : params) {
-    const std::uint32_t len = static_cast<std::uint32_t>(p.name.size());
-    write_bytes(f.get(), &len, sizeof len);
-    write_bytes(f.get(), p.name.data(), len);
-    const std::int64_t rows = p.tensor.rows(), cols = p.tensor.cols();
-    write_bytes(f.get(), &rows, sizeof rows);
-    write_bytes(f.get(), &cols, sizeof cols);
-    write_bytes(f.get(), p.tensor.data().data(), sizeof(float) * p.tensor.size());
+void Writer::raw(const void* p, std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(p);
+  buf_.insert(buf_.end(), bytes, bytes + n);
+}
+
+void Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+void Writer::ints(const std::vector<int>& xs) {
+  u64(xs.size());
+  static_assert(sizeof(int) == 4, "i32 element width");
+  raw(xs.data(), xs.size() * sizeof(int));
+}
+
+void Writer::floats(const std::vector<float>& xs) {
+  u64(xs.size());
+  raw(xs.data(), xs.size() * sizeof(float));
+}
+
+void Writer::to_file(const std::string& path) const {
+  // Same-directory temp + rename: a crash mid-write leaves the old file (or
+  // nothing) in place, never a truncated one. The temp name folds in the
+  // pid (distinct processes sharing a store directory) and the writer
+  // address (distinct writers within one process) so concurrent writers of
+  // one path cannot collide.
+  char suffix[48];
+  std::snprintf(suffix, sizeof suffix, ".tmp%ld.%p", static_cast<long>(::getpid()),
+                static_cast<const void*>(this));
+  const std::string tmp = path + suffix;
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) throw std::runtime_error("Writer::to_file: cannot open " + tmp);
+    if (std::fwrite(buf_.data(), 1, buf_.size(), f.get()) != buf_.size()) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("Writer::to_file: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("Writer::to_file: cannot rename " + tmp + " to " + path);
   }
 }
 
-std::size_t load_params(std::vector<NamedParam>& params, const std::string& path) {
+Reader::Reader(const std::uint8_t* data, std::size_t size, std::string context)
+    : data_(data), size_(size), context_(std::move(context)) {}
+
+void Reader::fail(const std::string& what) const {
+  throw std::runtime_error(context_ + ": " + what);
+}
+
+void Reader::need(std::size_t n) {
+  if (size_ - off_ < n)
+    fail("truncated file (need " + std::to_string(n) + " bytes at offset " +
+         std::to_string(off_) + ", have " + std::to_string(size_ - off_) + ")");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[off_++];
+}
+
+std::uint32_t Reader::u32() {
+  std::uint32_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  std::uint64_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::int32_t Reader::i32() {
+  std::int32_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::int64_t Reader::i64() {
+  std::int64_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+float Reader::f32() {
+  float v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+void Reader::raw(void* p, std::size_t n) {
+  need(n);
+  std::memcpy(p, data_ + off_, n);
+  off_ += n;
+}
+
+void Reader::expect_magic(const char (&m)[5]) {
+  char got[4];
+  raw(got, 4);
+  if (std::memcmp(got, m, 4) != 0)
+    fail("bad magic '" + std::string(got, 4) + "' (expected '" + std::string(m, 4) +
+         "')");
+}
+
+void Reader::expect_version(std::uint32_t expected, const char* format_name) {
+  const std::uint32_t v = u32();
+  if (v != expected)
+    fail("unsupported " + std::string(format_name) + " version " + std::to_string(v) +
+         " (this build reads version " + std::to_string(expected) + ")");
+}
+
+std::string Reader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(data_ + off_), len);
+  off_ += len;
+  return s;
+}
+
+std::vector<int> Reader::ints() {
+  const std::uint64_t count = u64();
+  // Division-side check: count * 4 could overflow for a corrupted prefix.
+  if (count > remaining() / sizeof(int)) fail("truncated file (array of " +
+                                              std::to_string(count) + " ints)");
+  std::vector<int> xs(count);
+  raw(xs.data(), count * sizeof(int));
+  return xs;
+}
+
+std::vector<float> Reader::floats() {
+  const std::uint64_t count = u64();
+  if (count > remaining() / sizeof(float))
+    fail("truncated file (array of " + std::to_string(count) + " floats)");
+  std::vector<float> xs(count);
+  raw(xs.data(), count * sizeof(float));
+  return xs;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path, const std::string& context) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) throw std::runtime_error("load_params: cannot open " + path);
-  char magic[4];
-  read_bytes(f.get(), magic, 4);
-  if (std::string(magic, 4) != std::string(kMagic, 4))
-    throw std::runtime_error("load_params: bad magic");
-  std::uint32_t version = 0;
-  read_bytes(f.get(), &version, sizeof version);
-  if (version != kVersion) throw std::runtime_error("load_params: unsupported version");
-  std::uint64_t count = 0;
-  read_bytes(f.get(), &count, sizeof count);
+  if (!f) throw std::runtime_error(context + ": cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f.get())) > 0)
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  if (std::ferror(f.get())) throw std::runtime_error(context + ": read failed for " + path);
+  return bytes;
+}
+
+}  // namespace io
+
+namespace {
+
+constexpr char kParamsMagic[5] = "GBMT";
+constexpr std::uint32_t kParamsVersion = 1;
+
+}  // namespace
+
+void write_params(io::Writer& w, const std::vector<NamedParam>& params) {
+  w.magic(kParamsMagic);
+  w.u32(kParamsVersion);
+  w.u64(params.size());
+  for (const auto& p : params) {
+    w.str(p.name);
+    w.i64(p.tensor.rows());
+    w.i64(p.tensor.cols());
+    w.raw(p.tensor.data().data(), sizeof(float) * p.tensor.size());
+  }
+}
+
+std::size_t read_params(io::Reader& r, std::vector<NamedParam>& params) {
+  r.expect_magic(kParamsMagic);
+  r.expect_version(kParamsVersion, "parameter-set");
+  const std::uint64_t count = r.u64();
 
   std::unordered_map<std::string, Tensor*> by_name;
   for (auto& p : params) by_name[p.name] = &p.tensor;
 
   std::size_t restored = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
-    std::uint32_t len = 0;
-    read_bytes(f.get(), &len, sizeof len);
-    std::string name(len, '\0');
-    read_bytes(f.get(), name.data(), len);
-    std::int64_t rows = 0, cols = 0;
-    read_bytes(f.get(), &rows, sizeof rows);
-    read_bytes(f.get(), &cols, sizeof cols);
-    std::vector<float> values(static_cast<std::size_t>(rows * cols));
-    read_bytes(f.get(), values.data(), sizeof(float) * values.size());
+    const std::string name = r.str();
+    const std::int64_t rows = r.i64(), cols = r.i64();
+    if (rows < 0 || cols < 0) r.fail("negative tensor shape for " + name);
+    const auto elems = static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+    if (elems > r.remaining() / sizeof(float))
+      r.fail("truncated file (tensor " + name + " claims " + std::to_string(elems) +
+             " values)");
+    std::vector<float> values(static_cast<std::size_t>(elems));
+    r.raw(values.data(), sizeof(float) * values.size());
     auto it = by_name.find(name);
     if (it == by_name.end()) continue;  // unknown tensors are skipped
     Tensor& t = *it->second;
     if (t.rows() != rows || t.cols() != cols)
-      throw std::runtime_error("load_params: shape mismatch for " + name);
+      r.fail("shape mismatch for " + name + " (file " + std::to_string(rows) + "x" +
+             std::to_string(cols) + ", model " + std::to_string(t.rows()) + "x" +
+             std::to_string(t.cols()) + ")");
     t.mutable_data() = std::move(values);
     ++restored;
   }
   return restored;
+}
+
+void save_params(const std::vector<NamedParam>& params, const std::string& path) {
+  io::Writer w;
+  write_params(w, params);
+  w.to_file(path);
+}
+
+std::size_t load_params(std::vector<NamedParam>& params, const std::string& path) {
+  const auto bytes = io::read_file(path, "load_params");
+  io::Reader r(bytes, "load_params(" + path + ")");
+  return read_params(r, params);
 }
 
 }  // namespace gbm::tensor

@@ -1,16 +1,114 @@
-// Binary (de)serialisation of named parameter sets, so trained models can be
-// saved from one example/bench and reloaded in another.
+// Binary persistence primitives and the named-parameter-set format.
 //
-// Format: magic "GBMT", u32 version, u64 count, then per tensor:
-//   u32 name_len, name bytes, i64 rows, i64 cols, rows*cols f32 values.
+// io::Writer / io::Reader are the bounds-checked little-endian byte-stream
+// primitives shared by every on-disk format in the tree (model params,
+// tokenizer vocab, program graphs, the artifact store, MatchingSystem
+// snapshots). Conventions, applied by all formats:
+//   * a format starts with a 4-byte magic and a u32 version; readers reject
+//     unknown magics and versions with descriptive errors;
+//   * variable-length data is length-prefixed (u32 for strings, u64 for
+//     arrays), so a Reader always knows how much to expect and truncated /
+//     corrupted files fail with std::runtime_error instead of reading junk;
+//   * multi-byte values are host-endian (little-endian on every supported
+//     target), written/read as raw bytes.
+//
+// The parameter-set format ("GBMT", version 1) is unchanged from the
+// original save_params/load_params layout: magic, u32 version, u64 count,
+// then per tensor u32 name_len + name + i64 rows + i64 cols + f32 values.
+// write_params/read_params expose it as an embeddable chunk so snapshots
+// can carry a parameter set inline.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "tensor/nn.h"
 
 namespace gbm::tensor {
+
+namespace io {
+
+/// FNV-1a, the tree's shared content-hash primitive (artifact-store keys,
+/// tokenizer fingerprints). Fold bytes into `h` starting from kFnvOffset.
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+inline void fnv1a(std::uint64_t& h, const void* p, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f32(float v) { raw(&v, sizeof v); }
+  void raw(const void* p, std::size_t n);
+  /// 4-byte format magic (exactly 4 chars, e.g. "GBMS").
+  void magic(const char (&m)[5]) { raw(m, 4); }
+  /// u32 length + bytes.
+  void str(const std::string& s);
+  /// u64 count + i32 elements.
+  void ints(const std::vector<int>& xs);
+  /// u64 count + f32 elements.
+  void floats(const std::vector<float>& xs);
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  /// Writes the buffer to `path` via a same-directory temp file + rename,
+  /// so readers never observe a half-written file. Throws on I/O failure.
+  void to_file(const std::string& path) const;
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  /// `context` prefixes every error message (e.g. "load_params(model.bin)").
+  Reader(const std::uint8_t* data, std::size_t size, std::string context);
+  Reader(const std::vector<std::uint8_t>& bytes, std::string context)
+      : Reader(bytes.data(), bytes.size(), std::move(context)) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  std::int64_t i64();
+  float f32();
+  void raw(void* p, std::size_t n);
+  /// Reads 4 bytes and throws "<context>: bad magic (expected <m>)" on
+  /// mismatch.
+  void expect_magic(const char (&m)[5]);
+  /// Reads the u32 version and throws unless it equals `expected`.
+  void expect_version(std::uint32_t expected, const char* format_name);
+  std::string str();
+  std::vector<int> ints();
+  std::vector<float> floats();
+
+  std::size_t remaining() const { return size_ - off_; }
+  const std::string& context() const { return context_; }
+  [[noreturn]] void fail(const std::string& what) const;
+
+ private:
+  void need(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+  std::string context_;
+};
+
+/// Reads a whole file; throws std::runtime_error (with `context`) if the
+/// file cannot be opened or read.
+std::vector<std::uint8_t> read_file(const std::string& path, const std::string& context);
+
+}  // namespace io
 
 /// Writes all parameters to `path`. Throws std::runtime_error on I/O failure.
 void save_params(const std::vector<NamedParam>& params, const std::string& path);
@@ -19,5 +117,10 @@ void save_params(const std::vector<NamedParam>& params, const std::string& path)
 /// Returns the number of tensors restored; throws on I/O or format errors,
 /// and on shape mismatch for a matching name.
 std::size_t load_params(std::vector<NamedParam>& params, const std::string& path);
+
+/// Embeddable-chunk versions of save_params/load_params (same byte layout,
+/// including magic and version, so a chunk is self-describing).
+void write_params(io::Writer& w, const std::vector<NamedParam>& params);
+std::size_t read_params(io::Reader& r, std::vector<NamedParam>& params);
 
 }  // namespace gbm::tensor

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <stdexcept>
 
 namespace gbm::tok {
 
 namespace {
+
+constexpr char kVocabMagic[5] = "GBMV";
+constexpr std::uint32_t kVocabVersion = 1;
 
 bool word_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
@@ -49,10 +53,11 @@ std::vector<std::string> Tokenizer::split(const std::string& text) {
   return out;
 }
 
-Tokenizer Tokenizer::train(const std::vector<std::string>& corpus, int max_vocab) {
+Tokenizer Tokenizer::train_weighted(
+    const std::vector<std::pair<std::string, long>>& corpus, int max_vocab) {
   std::unordered_map<std::string, long> freq;
-  for (const auto& text : corpus) {
-    for (auto& token : split(text)) ++freq[token];
+  for (const auto& [text, count] : corpus) {
+    for (auto& token : split(text)) freq[token] += count;
   }
   std::vector<std::pair<std::string, long>> ranked(freq.begin(), freq.end());
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
@@ -73,6 +78,13 @@ Tokenizer Tokenizer::train(const std::vector<std::string>& corpus, int max_vocab
   return tk;
 }
 
+Tokenizer Tokenizer::train(const std::vector<std::string>& corpus, int max_vocab) {
+  std::vector<std::pair<std::string, long>> weighted;
+  weighted.reserve(corpus.size());
+  for (const auto& text : corpus) weighted.emplace_back(text, 1);
+  return train_weighted(weighted, max_vocab);
+}
+
 int Tokenizer::id_of(const std::string& token) const {
   auto it = token_to_id_.find(token);
   return it == token_to_id_.end() ? kUnk : it->second;
@@ -90,14 +102,76 @@ std::vector<int> Tokenizer::encode(const std::string& text, int max_len) const {
   return ids;
 }
 
-int Tokenizer::choose_bag_len(const std::vector<std::string>& corpus) {
-  if (corpus.empty()) return 4;
-  long total = 0;
-  for (const auto& text : corpus) total += static_cast<long>(split(text).size());
-  const double mean = static_cast<double>(total) / static_cast<double>(corpus.size());
+int Tokenizer::choose_bag_len_weighted(
+    const std::vector<std::pair<std::string, long>>& corpus) {
+  long total = 0, occurrences = 0;
+  for (const auto& [text, count] : corpus) {
+    total += count * static_cast<long>(split(text).size());
+    occurrences += count;
+  }
+  if (occurrences == 0) return 4;
+  const double mean = static_cast<double>(total) / static_cast<double>(occurrences);
   int len = 4;
   while (len < mean && len < 4096) len *= 2;
   return len;
+}
+
+int Tokenizer::choose_bag_len(const std::vector<std::string>& corpus) {
+  std::vector<std::pair<std::string, long>> weighted;
+  weighted.reserve(corpus.size());
+  for (const auto& text : corpus) weighted.emplace_back(text, 1);
+  return choose_bag_len_weighted(weighted);
+}
+
+std::uint64_t Tokenizer::fingerprint() const {
+  std::uint64_t h = tensor::io::kFnvOffset;
+  const char delim = '\0';  // delimiter: {"ab","c"} != {"a","bc"}
+  for (const auto& token : id_to_token_) {
+    tensor::io::fnv1a(h, token.data(), token.size());
+    tensor::io::fnv1a(h, &delim, 1);
+  }
+  return h;
+}
+
+void Tokenizer::write(tensor::io::Writer& w) const {
+  w.magic(kVocabMagic);
+  w.u32(kVocabVersion);
+  w.u64(id_to_token_.size());
+  for (const auto& token : id_to_token_) w.str(token);
+}
+
+Tokenizer Tokenizer::read(tensor::io::Reader& r) {
+  r.expect_magic(kVocabMagic);
+  r.expect_version(kVocabVersion, "tokenizer vocabulary");
+  const std::uint64_t count = r.u64();
+  if (count < 3) r.fail("tokenizer vocabulary missing the special tokens");
+  // Plausibility before reserve: each token costs >= 4 bytes (length prefix).
+  if (count > r.remaining() / 4)
+    r.fail("truncated file (vocabulary of " + std::to_string(count) + " tokens)");
+  Tokenizer tk;
+  tk.id_to_token_.clear();
+  tk.id_to_token_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) tk.id_to_token_.push_back(r.str());
+  if (tk.id_to_token_[kPad] != "[PAD]" || tk.id_to_token_[kUnk] != "[UNK]" ||
+      tk.id_to_token_[kVar] != "[VAR]")
+    r.fail("tokenizer vocabulary has wrong special tokens");
+  for (std::size_t id = 0; id < tk.id_to_token_.size(); ++id) {
+    if (!tk.token_to_id_.emplace(tk.id_to_token_[id], static_cast<int>(id)).second)
+      r.fail("tokenizer vocabulary has duplicate token '" + tk.id_to_token_[id] + "'");
+  }
+  return tk;
+}
+
+void Tokenizer::save(const std::string& path) const {
+  tensor::io::Writer w;
+  write(w);
+  w.to_file(path);
+}
+
+Tokenizer Tokenizer::load(const std::string& path) {
+  const auto bytes = tensor::io::read_file(path, "Tokenizer::load");
+  tensor::io::Reader r(bytes, "Tokenizer::load(" + path + ")");
+  return read(r);
 }
 
 }  // namespace gbm::tok

@@ -10,11 +10,22 @@
 //     the corpus-average token count rounded up to the next power of two
 //     ([PAD] fill) — the paper's exact length rule;
 //   * unknown tokens map to [UNK].
+//
+// Training has a weighted entry point (train_weighted / the weighted bag-
+// length rule) so an interned corpus — each distinct feature string with its
+// occurrence count — trains in O(distinct strings) yet produces exactly the
+// vocabulary the per-occurrence corpus would. The vocabulary itself persists
+// via save/load ("GBMV" format) or embeds into larger snapshots via
+// write/read; fingerprint() is a content hash for fast mismatch detection.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "tensor/serialize.h"
 
 namespace gbm::tok {
 
@@ -27,6 +38,10 @@ class Tokenizer {
   /// Trains a vocabulary over the corpus (most frequent tokens first),
   /// capped to `max_vocab` entries including the three specials.
   static Tokenizer train(const std::vector<std::string>& corpus, int max_vocab);
+  /// Weighted form: each (string, count) pair stands for `count`
+  /// occurrences. train(corpus, v) == train_weighted(histogram(corpus), v).
+  static Tokenizer train_weighted(
+      const std::vector<std::pair<std::string, long>>& corpus, int max_vocab);
 
   /// Splits a feature string into raw word tokens with [VAR] rewriting.
   /// Exposed for testing and vocabulary inspection.
@@ -44,6 +59,22 @@ class Tokenizer {
   /// The paper's feature-length rule: mean token count over the corpus,
   /// rounded up to the next power of two (at least 4).
   static int choose_bag_len(const std::vector<std::string>& corpus);
+  /// Weighted form of the same rule (mean over count-weighted occurrences).
+  static int choose_bag_len_weighted(
+      const std::vector<std::pair<std::string, long>>& corpus);
+
+  /// FNV-1a content hash of the vocabulary (token strings in id order).
+  /// Equal vocabularies — and only those, up to hash collision — agree.
+  std::uint64_t fingerprint() const;
+
+  /// Vocabulary persistence: "GBMV" magic + u32 version + token list.
+  /// save/load are whole-file; write/read embed the same chunk into a
+  /// larger stream (MatchingSystem snapshots). Throws std::runtime_error on
+  /// I/O or format errors.
+  void save(const std::string& path) const;
+  static Tokenizer load(const std::string& path);
+  void write(tensor::io::Writer& w) const;
+  static Tokenizer read(tensor::io::Reader& r);
 
  private:
   std::unordered_map<std::string, int> token_to_id_;

@@ -29,13 +29,13 @@ TEST(ProgramGraph, HasAllNodeKinds) {
 TEST(ProgramGraph, EdgeEndpointsInRange) {
   const auto g = graph_of(
       "long f(long x){ return x * 2; } int main(){ print(f(3)); return 0; }");
-  for (const auto& e : g.edges) {
-    EXPECT_GE(e.src, 0);
-    EXPECT_LT(e.src, g.num_nodes());
-    EXPECT_GE(e.dst, 0);
-    EXPECT_LT(e.dst, g.num_nodes());
-    EXPECT_GE(e.position, 0);
-  }
+  g.for_each_edge([&](graph::EdgeKind, int src, int dst, int position) {
+    EXPECT_GE(src, 0);
+    EXPECT_LT(src, g.num_nodes());
+    EXPECT_GE(dst, 0);
+    EXPECT_LT(dst, g.num_nodes());
+    EXPECT_GE(position, 0);
+  });
 }
 
 TEST(ProgramGraph, CallEdgesLinkFunctions) {
@@ -62,26 +62,76 @@ TEST(ProgramGraph, ControlFlowFollowsBranches) {
 TEST(ProgramGraph, DataEdgePositionsAreOperandIndices) {
   const auto g = graph_of("int main(){ long a = read(); print(a - 5); return 0; }");
   bool saw_position_one = false;
-  for (const auto& e : g.edges)
-    if (e.kind == graph::EdgeKind::Data && e.position == 1) saw_position_one = true;
+  g.for_each_edge([&](graph::EdgeKind kind, int, int, int position) {
+    if (kind == graph::EdgeKind::Data && position == 1) saw_position_one = true;
+  });
   EXPECT_TRUE(saw_position_one);  // second operands exist
 }
 
 TEST(ProgramGraph, FullTextFallsBackToText) {
-  graph::Node node;
-  node.text = "add";
-  node.full_text = "";
-  EXPECT_EQ(node.feature(true), "add");
-  node.full_text = "%v1 = add i64 %v0, 1";
-  EXPECT_EQ(node.feature(true), "%v1 = add i64 %v0, 1");
-  EXPECT_EQ(node.feature(false), "add");
+  graph::ProgramGraph g;
+  const int with_full =
+      g.add_node(graph::NodeKind::Instruction, "add", "%v1 = add i64 %v0, 1", 0);
+  const int without_full = g.add_node(graph::NodeKind::Instruction, "add", "", 0);
+  EXPECT_EQ(g.feature(g.nodes[without_full], true), "add");
+  EXPECT_EQ(g.feature(g.nodes[with_full], true), "%v1 = add i64 %v0, 1");
+  EXPECT_EQ(g.feature(g.nodes[with_full], false), "add");
+}
+
+TEST(ProgramGraph, InterningSharesFeatureStrings) {
+  graph::ProgramGraph g;
+  const int a = g.add_node(graph::NodeKind::Variable, "i64", "i64 %a", 0);
+  const int b = g.add_node(graph::NodeKind::Variable, "i64", "i64 %b", 0);
+  EXPECT_EQ(g.nodes[a].text, g.nodes[b].text);  // one pooled "i64"
+  EXPECT_NE(g.nodes[a].full_text, g.nodes[b].full_text);
+  // Pool: "", "i64", "i64 %a", "i64 %b".
+  EXPECT_EQ(g.pool.size(), 4u);
+  const auto mem = g.memory();
+  EXPECT_EQ(mem.distinct_features, 3);
+  EXPECT_EQ(mem.feature_refs, 4);
+}
+
+TEST(ProgramGraph, MemoryAccountingShrinksVsLegacy) {
+  const auto g = graph_of(
+      "int main(){ long s = 0; long i; for (i = 0; i < 9; i++){ s += i*2; }"
+      " print(s); return 0; }");
+  const auto mem = g.memory();
+  EXPECT_GT(mem.node_bytes, 0u);
+  EXPECT_GT(mem.pool_bytes, 0u);
+  EXPECT_GT(mem.dedup_ratio(), 1.0);  // types/opcodes repeat
+  // Interned nodes+pool beat per-node owned strings.
+  EXPECT_LT(mem.node_bytes + mem.pool_bytes, mem.legacy_bytes);
+}
+
+TEST(ProgramGraph, CsrIndexMatchesEdgeLists) {
+  const auto g = graph_of(
+      "long f(long x){ return x + 1; } int main(){ print(f(1)); return 0; }");
+  ASSERT_TRUE(g.finalized());
+  for (std::size_t k = 0; k < graph::kNumEdgeKinds; ++k) {
+    const auto kind = static_cast<graph::EdgeKind>(k);
+    const auto& list = g.edges[k];
+    // Row pointers partition exactly the edge list.
+    ASSERT_EQ(g.in_offsets[k].size(), g.nodes.size() + 1);
+    EXPECT_EQ(g.in_offsets[k].back(), list.size());
+    long total = 0;
+    for (long v = 0; v < g.num_nodes(); ++v) {
+      const long deg = g.in_degree(kind, static_cast<int>(v));
+      total += deg;
+      for (long j = 0; j < deg; ++j) {
+        const int e = g.in_edges[k][static_cast<std::size_t>(
+            g.in_offsets[k][static_cast<std::size_t>(v)] + j)];
+        EXPECT_EQ(list.dst[e], static_cast<int>(v));
+      }
+    }
+    EXPECT_EQ(total, list.size());
+  }
 }
 
 TEST(ProgramGraph, StringLiteralsAppearInConstantFeatures) {
   const auto g = graph_of("int main(){ puts(\"needle42\"); return 0; }");
   bool found = false;
   for (const auto& n : g.nodes)
-    found = found || n.full_text.find("needle42") != std::string::npos;
+    found = found || g.full_text_of(n).find("needle42") != std::string::npos;
   EXPECT_TRUE(found);
 }
 
@@ -93,8 +143,10 @@ TEST(ProgramGraph, Deterministic) {
   const auto b = graph_of(src);
   ASSERT_EQ(a.num_nodes(), b.num_nodes());
   ASSERT_EQ(a.num_edges(), b.num_edges());
-  for (long i = 0; i < a.num_nodes(); ++i)
-    EXPECT_EQ(a.nodes[i].full_text, b.nodes[i].full_text);
+  for (long i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.nodes[i].full_text, b.nodes[i].full_text);  // same pool ids
+    EXPECT_EQ(a.full_text_of(a.nodes[i]), b.full_text_of(b.nodes[i]));
+  }
 }
 
 TEST(ProgramGraph, JavaGraphsBiggerThanC) {
@@ -168,6 +220,30 @@ TEST(Tokenizer, BagLenIsNextPowerOfTwoOfMean) {
   EXPECT_EQ(tok::Tokenizer::choose_bag_len(corpus), 8);
   // Mean 2 → 4 (minimum).
   EXPECT_EQ(tok::Tokenizer::choose_bag_len({"a b"}), 4);
+}
+
+TEST(Tokenizer, WeightedTrainingMatchesPerOccurrence) {
+  // The interned-corpus path: {text → count} must train the same vocabulary
+  // as repeating each text count times.
+  const std::vector<std::string> flat = {"add i64", "add i64", "add i64",
+                                         "mul i32", "mul i32", "ret"};
+  const std::vector<std::pair<std::string, long>> weighted = {
+      {"add i64", 3}, {"mul i32", 2}, {"ret", 1}};
+  const auto a = tok::Tokenizer::train(flat, 64);
+  const auto b = tok::Tokenizer::train_weighted(weighted, 64);
+  ASSERT_EQ(a.vocab_size(), b.vocab_size());
+  for (int i = 0; i < a.vocab_size(); ++i) EXPECT_EQ(a.token_of(i), b.token_of(i));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(tok::Tokenizer::choose_bag_len(flat),
+            tok::Tokenizer::choose_bag_len_weighted(weighted));
+}
+
+TEST(Tokenizer, FingerprintTracksVocabContent) {
+  const auto a = tok::Tokenizer::train({"add i64", "mul i32"}, 64);
+  const auto b = tok::Tokenizer::train({"add i64", "mul i32"}, 64);
+  const auto c = tok::Tokenizer::train({"xor f32"}, 64);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
 }
 
 TEST(Tokenizer, DeterministicTraining) {

@@ -113,17 +113,16 @@ void expect_identical(const Artifact& got, const Artifact& want) {
     const auto& a = got.graph.nodes[i];
     const auto& b = want.graph.nodes[i];
     EXPECT_EQ(a.kind, b.kind);
-    EXPECT_EQ(a.text, b.text);
-    EXPECT_EQ(a.full_text, b.full_text);
+    EXPECT_EQ(got.graph.text_of(a), want.graph.text_of(b));
+    EXPECT_EQ(got.graph.full_text_of(a), want.graph.full_text_of(b));
     EXPECT_EQ(a.function, b.function);
   }
-  for (std::size_t i = 0; i < got.graph.edges.size(); ++i) {
-    const auto& a = got.graph.edges[i];
-    const auto& b = want.graph.edges[i];
-    EXPECT_EQ(a.kind, b.kind);
+  for (std::size_t k = 0; k < graph::kNumEdgeKinds; ++k) {
+    const auto& a = got.graph.edges[k];
+    const auto& b = want.graph.edges[k];
     EXPECT_EQ(a.src, b.src);
     EXPECT_EQ(a.dst, b.dst);
-    EXPECT_EQ(a.position, b.position);
+    EXPECT_EQ(a.pos, b.pos);
   }
 }
 

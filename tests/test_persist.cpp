@@ -1,0 +1,512 @@
+// Persistence layer tests: graph / encoded-graph / tokenizer round trips,
+// the content-addressed ArtifactStore (miss → compile → hit), MatchingSystem
+// snapshots (save → fresh-system load → bit-identical serving), and the
+// error paths — truncated, corrupted, wrong-version, and legacy files all
+// fail with descriptive std::runtime_error instead of producing garbage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/artifact_store.h"
+#include "core/pipeline.h"
+#include "datasets/corpus.h"
+#include "frontend/frontend.h"
+#include "gnn/trainer.h"
+#include "tensor/serialize.h"
+
+namespace gbm::core {
+namespace {
+
+/// Removes any stale store at TempDir()/name (leftovers from earlier runs)
+/// and returns the path, so every test starts from a clean slate.
+std::string fresh_store_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  ArtifactStore::destroy(dir);
+  return dir;
+}
+
+graph::ProgramGraph graph_of(const char* src, frontend::Lang lang = frontend::Lang::C) {
+  auto m = frontend::compile_source(src, lang, "Main");
+  return graph::build_graph(*m);
+}
+
+void expect_graphs_equal(const graph::ProgramGraph& a, const graph::ProgramGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.pool.size(), b.pool.size());
+  for (std::uint32_t id = 0; id < a.pool.size(); ++id)
+    EXPECT_EQ(a.pool.str(id), b.pool.str(id));
+  for (long i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.nodes[i].kind, b.nodes[i].kind);
+    EXPECT_EQ(a.nodes[i].text, b.nodes[i].text);
+    EXPECT_EQ(a.nodes[i].full_text, b.nodes[i].full_text);
+    EXPECT_EQ(a.nodes[i].function, b.nodes[i].function);
+  }
+  for (std::size_t k = 0; k < graph::kNumEdgeKinds; ++k) {
+    EXPECT_EQ(a.edges[k].src, b.edges[k].src);
+    EXPECT_EQ(a.edges[k].dst, b.edges[k].dst);
+    EXPECT_EQ(a.edges[k].pos, b.edges[k].pos);
+    EXPECT_EQ(a.in_offsets[k], b.in_offsets[k]);
+    EXPECT_EQ(a.in_edges[k], b.in_edges[k]);
+  }
+}
+
+// ---- graph / encoded-graph round trips ------------------------------------
+
+TEST(Persist, GraphRoundTripIsExact) {
+  const auto g = graph_of(
+      "long f(long x){ return x * 2 + 1; }"
+      "int main(){ long i; for(i=0;i<5;i++){ print(f(i)); } puts(\"done\");"
+      " return 0; }");
+  const auto bytes = serialize_graph(g);
+  const auto restored = deserialize_graph(bytes);
+  EXPECT_TRUE(restored.finalized());
+  expect_graphs_equal(g, restored);
+}
+
+TEST(Persist, EmptyGraphRoundTrips) {
+  const graph::ProgramGraph g;
+  auto restored = deserialize_graph(serialize_graph(g));
+  EXPECT_EQ(restored.num_nodes(), 0);
+  EXPECT_EQ(restored.num_edges(), 0);
+}
+
+TEST(Persist, EncodedGraphRoundTripIsExact) {
+  const auto g = graph_of("int main(){ long a = read(); print(a + 41); return 0; }");
+  const auto tk = tok::Tokenizer::train({"add i64 [VAR] , 41"}, 64);
+  const auto enc = gnn::encode_graph(g, tk, 8, true);
+  const auto restored = deserialize_encoded_graph(serialize_encoded_graph(enc));
+  EXPECT_EQ(restored.num_nodes, enc.num_nodes);
+  EXPECT_EQ(restored.bag_len, enc.bag_len);
+  EXPECT_EQ(restored.tokens, enc.tokens);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(restored.edges[k].src, enc.edges[k].src);
+    EXPECT_EQ(restored.edges[k].dst, enc.edges[k].dst);
+    EXPECT_EQ(restored.edges[k].pos, enc.edges[k].pos);
+  }
+}
+
+TEST(Persist, GraphTruncatedAtEveryPrefixThrows) {
+  const auto g = graph_of("int main(){ print(7); return 0; }");
+  const auto bytes = serialize_graph(g);
+  // Every strict prefix must throw (never crash, never return junk).
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{4},
+                          std::size_t{9}, bytes.size() / 2, bytes.size() - 1}) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW(deserialize_graph(prefix), std::runtime_error) << "cut=" << cut;
+  }
+}
+
+TEST(Persist, GraphBadMagicAndVersionThrow) {
+  const auto g = graph_of("int main(){ print(7); return 0; }");
+  auto bytes = serialize_graph(g);
+  auto wrong_version = bytes;
+  wrong_version[4] = 0x7f;  // version field follows the 4-byte magic
+  EXPECT_THROW(deserialize_graph(wrong_version), std::runtime_error);
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(deserialize_graph(bad_magic), std::runtime_error);
+}
+
+TEST(Persist, GraphCorruptedEdgeEndpointThrows) {
+  const auto g = graph_of("int main(){ print(7); return 0; }");
+  auto bytes = serialize_graph(g);
+  // Flip bytes in the trailing edge arrays until an endpoint leaves the
+  // node range; deserialisation must catch it rather than build a graph
+  // with dangling edges.
+  bool threw = false;
+  for (std::size_t at = bytes.size() - 5; at < bytes.size(); ++at) {
+    auto corrupted = bytes;
+    corrupted[at] = 0xff;
+    try {
+      (void)deserialize_graph(corrupted);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw);
+}
+
+// ---- tokenizer vocabulary persistence -------------------------------------
+
+TEST(Persist, TokenizerSaveLoadRoundTrip) {
+  const auto tk = tok::Tokenizer::train(
+      {"%v1 = add i64 %v0, 42", "call void @gbm_print_i64(i64 %v3)", "ret"}, 128);
+  const std::string path = ::testing::TempDir() + "gbm_vocab_roundtrip.bin";
+  tk.save(path);
+  const auto restored = tok::Tokenizer::load(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(restored.vocab_size(), tk.vocab_size());
+  for (int i = 0; i < tk.vocab_size(); ++i)
+    EXPECT_EQ(restored.token_of(i), tk.token_of(i));
+  EXPECT_EQ(restored.fingerprint(), tk.fingerprint());
+  EXPECT_EQ(restored.encode("%v9 = add i64 %v0, 42", 8),
+            tk.encode("%v9 = add i64 %v0, 42", 8));
+}
+
+TEST(Persist, TokenizerLoadErrorPaths) {
+  EXPECT_THROW(tok::Tokenizer::load("/nonexistent/vocab.bin"), std::runtime_error);
+  const auto tk = tok::Tokenizer::train({"a b c"}, 16);
+  tensor::io::Writer w;
+  tk.write(w);
+  auto bytes = w.buffer();
+  bytes.resize(bytes.size() / 2);  // truncate
+  tensor::io::Reader r(bytes, "test");
+  EXPECT_THROW(tok::Tokenizer::read(r), std::runtime_error);
+}
+
+// ---- artifact store -------------------------------------------------------
+
+std::vector<data::SourceFile> small_corpus() {
+  auto cfg = data::clcdsa_config();
+  cfg.num_tasks = 3;
+  cfg.solutions_per_task_per_lang = 1;
+  cfg.broken_fraction = 0.2;  // include non-compilable files
+  return data::generate_corpus(cfg);
+}
+
+TEST(ArtifactStore, ColdMissesThenWarmHits) {
+  const std::string dir = fresh_store_dir("gbm_store_warm");
+  const ArtifactStore store(dir);
+  const auto files = small_corpus();
+  ArtifactOptions opts;
+  opts.side = Side::Binary;
+
+  const auto cold = build_artifacts(files, opts, store, 2);
+  const auto s1 = store.stats();
+  EXPECT_EQ(s1.hits, 0u);
+  EXPECT_EQ(s1.misses, files.size());
+  long ok_count = 0;
+  for (const auto& a : cold) ok_count += a.ok;
+  EXPECT_EQ(s1.writes, static_cast<std::uint64_t>(ok_count));  // failures not stored
+
+  const auto warm = build_artifacts(files, opts, store, 2);
+  const auto s2 = store.stats();
+  EXPECT_EQ(s2.hits, static_cast<std::uint64_t>(ok_count));
+  EXPECT_EQ(s2.writes, s1.writes);  // nothing recompiled got re-stored
+
+  // Store-served artifacts are identical to compiled ones.
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(warm[i].ok, cold[i].ok);
+    EXPECT_EQ(warm[i].stage, cold[i].stage);
+    EXPECT_EQ(warm[i].task_index, cold[i].task_index);
+    EXPECT_EQ(warm[i].lang, cold[i].lang);
+    EXPECT_EQ(warm[i].error, cold[i].error);
+    EXPECT_EQ(warm[i].ir_instructions, cold[i].ir_instructions);
+    EXPECT_EQ(warm[i].binary_code_size, cold[i].binary_code_size);
+    if (cold[i].ok) expect_graphs_equal(warm[i].graph, cold[i].graph);
+  }
+}
+
+TEST(ArtifactStore, KeySeparatesContentAndOptions) {
+  data::SourceFile f;
+  f.source = "int main(){ print(1); return 0; }";
+  f.lang = frontend::Lang::C;
+  f.unit_name = "Main";
+  ArtifactOptions a;
+  ArtifactOptions b_side = a;
+  b_side.side = Side::Binary;
+  ArtifactOptions b_opt = a;
+  b_opt.opt_level = opt::OptLevel::O0;
+  data::SourceFile f2 = f;
+  f2.source += " ";
+  data::SourceFile f3 = f;
+  f3.task_index = 9;
+  EXPECT_NE(ArtifactStore::key(f, a), ArtifactStore::key(f, b_side));
+  EXPECT_NE(ArtifactStore::key(f, a), ArtifactStore::key(f, b_opt));
+  EXPECT_NE(ArtifactStore::key(f, a), ArtifactStore::key(f2, a));
+  EXPECT_NE(ArtifactStore::key(f, a), ArtifactStore::key(f3, a));
+  EXPECT_EQ(ArtifactStore::key(f, a), ArtifactStore::key(f, a));
+}
+
+TEST(ArtifactStore, CorruptedEntryFailsLoudly) {
+  const std::string dir = fresh_store_dir("gbm_store_corrupt");
+  const ArtifactStore store(dir);
+  data::SourceFile f;
+  f.source = "int main(){ print(1); return 0; }";
+  f.lang = frontend::Lang::C;
+  f.unit_name = "Main";
+  const ArtifactOptions opts;
+  const std::uint64_t key = ArtifactStore::key(f, opts);
+  store.put(key, build_artifact(f, opts));
+  ASSERT_TRUE(store.contains(key));
+  // Truncate the stored file.
+  {
+    const std::string path = store.path_for(key);
+    std::FILE* fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fputs("GBMA", fp);  // magic only
+    std::fclose(fp);
+  }
+  EXPECT_THROW(store.load(key), std::runtime_error);
+}
+
+TEST(ArtifactStore, MissingKeyIsMissNotError) {
+  const std::string dir = fresh_store_dir("gbm_store_miss");
+  const ArtifactStore store(dir);
+  EXPECT_FALSE(store.contains(12345));
+  EXPECT_FALSE(store.load(12345).has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
+// ---- MatchingSystem snapshots ---------------------------------------------
+
+struct TrainedSystem {
+  std::vector<graph::ProgramGraph> graphs;
+  std::vector<gnn::EncodedGraph> encoded;
+  std::unique_ptr<MatchingSystem> sys;
+};
+
+TrainedSystem trained_system(MatchingSystem::Config cfg = [] {
+  MatchingSystem::Config c;
+  c.model.vocab = 64;
+  c.model.embed_dim = 8;
+  c.model.hidden = 8;
+  c.model.layers = 1;
+  c.model.interaction = true;
+  return c;
+}()) {
+  const char* sources[] = {
+      "int main(){ print(1); return 0; }",
+      "int main(){ long s=0; long i; for(i=0;i<7;i++){ s+=i*3; } print(s);"
+      " return 0; }",
+      "int main(){ puts(\"xyz\"); print(999983); return 0; }",
+      "int main(){ long a = 2; long b = 40; print(a + b); return 0; }",
+  };
+  TrainedSystem out;
+  for (const char* src : sources) out.graphs.push_back(graph_of(src));
+  out.sys = std::make_unique<MatchingSystem>(cfg);
+  std::vector<const graph::ProgramGraph*> ptrs;
+  for (const auto& g : out.graphs) ptrs.push_back(&g);
+  out.sys->fit_tokenizer(ptrs);
+  for (const auto& g : out.graphs) out.encoded.push_back(out.sys->encode(g));
+  std::vector<gnn::PairSample> train = {{&out.encoded[0], &out.encoded[0], 1.0f},
+                                        {&out.encoded[1], &out.encoded[1], 1.0f},
+                                        {&out.encoded[0], &out.encoded[1], 0.0f},
+                                        {&out.encoded[1], &out.encoded[2], 0.0f}};
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 4;
+  out.sys->train(train, tcfg);
+  return out;
+}
+
+TEST(Snapshot, FreshSystemServesBitIdentically) {
+  auto ts = trained_system();
+  std::vector<const gnn::EncodedGraph*> ptrs;
+  for (const auto& e : ts.encoded) ptrs.push_back(&e);
+  ts.sys->embed_all(ptrs);
+  const auto hits_before = ts.sys->topk(ts.encoded[2], 3);
+  std::vector<gnn::PairSample> pairs;
+  for (const auto& a : ts.encoded)
+    for (const auto& b : ts.encoded) pairs.push_back({&a, &b, 0.0f});
+  const auto scores_before = ts.sys->score_pairs(pairs);
+
+  const std::string path = ::testing::TempDir() + "gbm_snapshot.bin";
+  ts.sys->save(path);
+
+  // A DEFAULT-constructed system: no fit_tokenizer, no training — the
+  // snapshot alone must carry everything (the compile-once/serve-many
+  // contract).
+  MatchingSystem fresh{MatchingSystem::Config{}};
+  fresh.load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(fresh.bag_len(), ts.sys->bag_len());
+  EXPECT_EQ(fresh.tokenizer().fingerprint(), ts.sys->tokenizer().fingerprint());
+
+  // Re-encode from the adopted tokenizer: must be byte-identical encodings.
+  std::vector<gnn::EncodedGraph> re_encoded;
+  for (const auto& g : ts.graphs) re_encoded.push_back(fresh.encode(g));
+  for (std::size_t i = 0; i < re_encoded.size(); ++i)
+    EXPECT_EQ(re_encoded[i].tokens, ts.encoded[i].tokens);
+
+  // Served results are bit-identical (same params, same encodings, same
+  // restored index — no retraining, no re-embedding).
+  const auto hits_after = fresh.topk(re_encoded[2], 3);
+  ASSERT_EQ(hits_after.size(), hits_before.size());
+  for (std::size_t i = 0; i < hits_before.size(); ++i) {
+    EXPECT_EQ(hits_after[i].id, hits_before[i].id);
+    EXPECT_EQ(hits_after[i].score, hits_before[i].score);
+    EXPECT_EQ(hits_after[i].cosine, hits_before[i].cosine);
+  }
+  std::vector<gnn::PairSample> re_pairs;
+  for (const auto& a : re_encoded)
+    for (const auto& b : re_encoded) re_pairs.push_back({&a, &b, 0.0f});
+  const auto scores_after = fresh.score_pairs(re_pairs);
+  ASSERT_EQ(scores_after.size(), scores_before.size());
+  for (std::size_t i = 0; i < scores_before.size(); ++i)
+    EXPECT_EQ(scores_after[i], scores_before[i]);
+}
+
+TEST(Snapshot, IndexIsOptional) {
+  auto ts = trained_system();  // no embed_all → no index in the snapshot
+  const std::string path = ::testing::TempDir() + "gbm_snapshot_noindex.bin";
+  ts.sys->save(path);
+  MatchingSystem fresh{MatchingSystem::Config{}};
+  fresh.load(path);
+  std::remove(path.c_str());
+  // Model + tokenizer served; topk needs embed_all first, as documented.
+  EXPECT_GT(fresh.tokenizer().vocab_size(), 3);
+  EXPECT_THROW(fresh.topk(ts.encoded[0], 2), std::logic_error);
+  const float s = fresh.score(ts.encoded[0], ts.encoded[1]);
+  EXPECT_EQ(s, ts.sys->score(ts.encoded[0], ts.encoded[1]));
+}
+
+// Regression for the pre-snapshot footgun: load() used to restore raw
+// params into whatever tokenizer/model happened to be in-process, silently
+// producing garbage scores when the vocabularies differed. It must throw.
+TEST(Snapshot, VocabMismatchThrowsDescriptively) {
+  auto ts = trained_system();
+  const std::string path = ::testing::TempDir() + "gbm_snapshot_vocab.bin";
+  ts.sys->save(path);
+
+  MatchingSystem other{ts.sys->config()};
+  // Fit on a different corpus → different vocabulary.
+  const auto g = graph_of("int main(){ puts(\"completely different\"); return 0; }");
+  other.fit_tokenizer({&g});
+  ASSERT_NE(other.tokenizer().fingerprint(), ts.sys->tokenizer().fingerprint());
+  try {
+    other.load(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("vocabulary mismatch"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, SameVocabLoadsIntoFittedSystem) {
+  auto ts = trained_system();
+  const std::string path = ::testing::TempDir() + "gbm_snapshot_samevocab.bin";
+  ts.sys->save(path);
+  // Same corpus → same tokenizer → load is allowed (the PR-2-era workflow).
+  MatchingSystem other{ts.sys->config()};
+  std::vector<const graph::ProgramGraph*> ptrs;
+  for (const auto& g : ts.graphs) ptrs.push_back(&g);
+  other.fit_tokenizer(ptrs);
+  other.load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(other.score(ts.encoded[0], ts.encoded[1]),
+            ts.sys->score(ts.encoded[0], ts.encoded[1]));
+}
+
+TEST(Snapshot, ModelConfigMismatchThrows) {
+  auto ts = trained_system();
+  const std::string path = ::testing::TempDir() + "gbm_snapshot_cfg.bin";
+  ts.sys->save(path);
+  MatchingSystem::Config other_cfg = ts.sys->config();
+  other_cfg.model.hidden = 16;  // different architecture
+  auto other = trained_system(other_cfg);
+  try {
+    other.sys->load(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("architecture mismatch"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, LegacyParamsFileRejectedDescriptively) {
+  auto ts = trained_system();
+  const std::string path = ::testing::TempDir() + "gbm_legacy_params.bin";
+  // A params-only "GBMT" file — what save() wrote before snapshots existed.
+  auto params = ts.sys->model().params();
+  tensor::save_params(params, path);
+  MatchingSystem fresh{MatchingSystem::Config{}};
+  try {
+    fresh.load(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("legacy params-only"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, TruncatedAndWrongVersionThrow) {
+  auto ts = trained_system();
+  const std::string path = ::testing::TempDir() + "gbm_snapshot_trunc.bin";
+  ts.sys->save(path);
+  auto bytes = tensor::io::read_file(path, "test");
+  for (double frac : {0.1, 0.5, 0.9}) {
+    tensor::io::Writer w;
+    const auto cut = static_cast<std::size_t>(static_cast<double>(bytes.size()) * frac);
+    w.raw(bytes.data(), cut);
+    w.to_file(path);
+    MatchingSystem fresh{MatchingSystem::Config{}};
+    EXPECT_THROW(fresh.load(path), std::runtime_error) << "frac=" << frac;
+  }
+  auto wrong_version = bytes;
+  wrong_version[4] = 0x7e;
+  tensor::io::Writer w;
+  w.raw(wrong_version.data(), wrong_version.size());
+  w.to_file(path);
+  MatchingSystem fresh{MatchingSystem::Config{}};
+  try {
+    fresh.load(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(MatchingSystem{MatchingSystem::Config{}}.load("/nonexistent/snap.bin"),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, FailedLoadLeavesSystemIntact) {
+  auto ts = trained_system();
+  const std::string path = ::testing::TempDir() + "gbm_snapshot_intact.bin";
+  ts.sys->save(path);
+  MatchingSystem other{ts.sys->config()};
+  const auto g = graph_of("int main(){ puts(\"other corpus entirely\"); return 0; }");
+  other.fit_tokenizer({&g});
+  const auto fp_before = other.tokenizer().fingerprint();
+  EXPECT_THROW(other.load(path), std::runtime_error);
+  // The mismatch was detected before any mutation.
+  EXPECT_EQ(other.tokenizer().fingerprint(), fp_before);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MidStreamFailureLeavesTrainedSystemServing) {
+  // Header + tokenizer parse fine but the parameter chunk is truncated: the
+  // load must throw WITHOUT touching the live model/engine — the caller
+  // keeps the old system and it must still serve identical scores (a
+  // half-adopted load used to leave the engine pointing at a freed model).
+  auto ts = trained_system();
+  const float want = ts.sys->score(ts.encoded[0], ts.encoded[1]);
+  const std::string path = ::testing::TempDir() + "gbm_snapshot_midstream.bin";
+  ts.sys->save(path);
+  auto bytes = tensor::io::read_file(path, "test");
+  tensor::io::Writer w;
+  w.raw(bytes.data(), bytes.size() - 64);  // cut inside the params chunk
+  w.to_file(path);
+  EXPECT_THROW(ts.sys->load(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_EQ(ts.sys->score(ts.encoded[0], ts.encoded[1]), want);
+  const auto scores = ts.sys->score_pairs({{&ts.encoded[0], &ts.encoded[1], 0.0f}});
+  EXPECT_EQ(scores[0], want);
+}
+
+// ---- corpus stats memory accounting ---------------------------------------
+
+TEST(CorpusStats, MemoryAccountingShowsInterningWin) {
+  const auto files = small_corpus();
+  ArtifactOptions opts;
+  opts.side = Side::Binary;
+  const auto stats = corpus_stats(files, opts, 2);
+  EXPECT_GT(stats.graphs, 0);
+  EXPECT_EQ(stats.graphs, stats.decompiled);  // every decompiled file graphed
+  EXPECT_GT(stats.memory.pool_bytes, 0u);
+  EXPECT_GT(stats.memory.feature_refs, stats.memory.distinct_features);
+  EXPECT_GT(stats.memory.dedup_ratio(), 1.0);
+  EXPECT_LT(stats.memory.node_bytes + stats.memory.pool_bytes,
+            stats.memory.legacy_bytes);
+  EXPECT_FALSE(stats.memory_summary().empty());
+}
+
+}  // namespace
+}  // namespace gbm::core
