@@ -4,14 +4,18 @@
 // batch artifact production, pairwise vs two-stage (embed-once-then-head)
 // pair scoring, per-graph vs chunked-GraphBatch embedding, per-sample vs
 // batched data-parallel training, interned vs legacy graph encoding, cold
-// compile vs warm ArtifactStore hits, and MatchingSystem snapshot
-// save/load round trips (GBM_FAST=1 shrinks the batch corpus).
+// compile vs warm ArtifactStore hits, MatchingSystem snapshot save/load
+// round trips, single-index vs sharded fan-out topk, and MatchServer
+// throughput with batched vs one-at-a-time query handling (GBM_FAST=1
+// shrinks the batch corpus).
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "backend/codegen.h"
 #include "core/artifact_store.h"
@@ -23,6 +27,8 @@
 #include "gnn/trainer.h"
 #include "ir/printer.h"
 #include "opt/passes.h"
+#include "serve/match_server.h"
+#include "serve/sharded_index.h"
 
 using namespace gbm;
 
@@ -568,6 +574,126 @@ void BM_IndexTopk(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IndexTopk);
+
+// --- sharded retrieval: fan-out topk vs the single index --------------------
+//
+// Arg = shard count. The hits are bit-identical to BM_IndexTopk at every
+// shard count (the ShardedIndex parity guarantee); the interesting number
+// is the per-query cost of the fan-out + deterministic merge as shards
+// grow. On a large corpus the per-shard scans run in parallel; on this
+// micro corpus the bench mostly prices the merge overhead.
+void BM_ShardedTopk(benchmark::State& state) {
+  const auto& fx = pair_fixture();
+  static const core::EmbeddingEngine engine(*pair_fixture().model);
+  const int shards = static_cast<int>(state.range(0));
+  serve::ShardedIndex index(engine, shards);
+  for (const auto& g : fx.graphs) index.add(engine.embed(g));
+  const core::Embedding query = engine.embed(fx.graphs.front());
+  for (auto _ : state) {
+    const auto hits = index.topk(query, 5);
+    benchmark::DoNotOptimize(hits.data());
+  }
+}
+BENCHMARK(BM_ShardedTopk)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// --- request server: batched vs one-at-a-time query handling ----------------
+//
+// Args = {concurrent clients, dispatcher max_batch}. max_batch 1 answers
+// every request with its own embed pass (one-at-a-time handling);
+// max_batch = clients lets the dispatcher coalesce the whole in-flight
+// wave into shared GraphBatch passes (a short 300us window keeps the
+// coalescing honest: the batch fills because clients are waiting, not
+// because the dispatcher stalls). Every query is content-fresh (a
+// perturbed token per request), so the embedding cache never
+// short-circuits the comparison; results are identical either way — only
+// throughput moves.
+
+core::MatchingSystem server_system() {
+  core::MatchingSystem::Config cfg;
+  cfg.model.vocab = 256;
+  cfg.model.embed_dim = 32;
+  cfg.model.hidden = 32;
+  cfg.model.layers = 2;
+  core::MatchingSystem sys(cfg);
+  static std::vector<graph::ProgramGraph> graphs = [] {
+    auto corpus_cfg = data::clcdsa_config();
+    corpus_cfg.num_tasks = 8;
+    corpus_cfg.solutions_per_task_per_lang = 1;
+    corpus_cfg.broken_fraction = 0.0;
+    const auto files = data::generate_corpus(corpus_cfg);
+    std::vector<graph::ProgramGraph> out;
+    for (const auto& a : core::build_artifacts(files, {})) {
+      if (a.ok) out.push_back(a.graph);
+      if (out.size() == 12) break;
+    }
+    return out;
+  }();
+  std::vector<const graph::ProgramGraph*> gptrs;
+  for (const auto& g : graphs) gptrs.push_back(&g);
+  sys.fit_tokenizer(gptrs);
+  static std::vector<gnn::EncodedGraph> encoded;
+  encoded.clear();
+  for (const auto* g : gptrs) encoded.push_back(sys.encode(*g));
+  std::vector<gnn::PairSample> pairs = {{&encoded[0], &encoded[0], 1.0f},
+                                        {&encoded[0], &encoded[1], 0.0f}};
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 1;
+  sys.train(pairs, tcfg);
+  std::vector<const gnn::EncodedGraph*> eptrs;
+  for (const auto& e : encoded) eptrs.push_back(&e);
+  sys.embed_all(eptrs);
+  return sys;
+}
+
+void BM_ServerThroughput(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  constexpr int kQueriesPerClient = 4;
+  serve::MatchServerConfig cfg;
+  cfg.num_shards = 4;
+  cfg.max_batch = static_cast<std::size_t>(state.range(1));
+  cfg.max_wait_us = cfg.max_batch > 1 ? 300 : 0;
+  serve::MatchServer server(server_system(), cfg);
+  // Base encodings under the server's tokenizer, perturbed per request so
+  // every query is a cache miss.
+  std::vector<gnn::EncodedGraph> base;
+  {
+    auto corpus_cfg = data::clcdsa_config();
+    corpus_cfg.num_tasks = 4;
+    corpus_cfg.solutions_per_task_per_lang = 1;
+    corpus_cfg.broken_fraction = 0.0;
+    const auto files = data::generate_corpus(corpus_cfg);
+    for (const auto& a : core::build_artifacts(files, {})) {
+      if (a.ok) base.push_back(server.system().encode(a.graph));
+      if (base.size() == 4) break;
+    }
+  }
+  std::atomic<long> salt{0};
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          gnn::EncodedGraph fresh = base[static_cast<std::size_t>(c + q) % base.size()];
+          const long s = salt.fetch_add(1, std::memory_order_relaxed);
+          fresh.tokens[static_cast<std::size_t>(s) % fresh.tokens.size()] =
+              3 + static_cast<int>(s % 7);
+          auto result = server.submit_encoded(std::move(fresh),
+                                              core::QuerySide::A, 5).get();
+          benchmark::DoNotOptimize(result.hits.data());
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * clients * kQueriesPerClient);
+}
+BENCHMARK(BM_ServerThroughput)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({8, 1})
+    ->Args({8, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,331 @@
+// gbm_serve — the serving subsystem end to end: a MatchServer over one GBMS
+// snapshot, driven by a stdin/stdout line protocol.
+//
+// usage:
+//   gbm_serve <snapshot.gbms> [--shards N] [--store DIR]
+//     Load the snapshot (train + embed_all + save one with
+//     MatchingSystem::save) and answer queries over the protocol below
+//     until EOF or `quit`.
+//
+//   gbm_serve --selftest
+//     Self-contained smoke (the CI mode): builds a small corpus, trains a
+//     matcher, snapshots it, then (1) replays the same query stream through
+//     8 concurrent clients and through serial one-query-at-a-time execution
+//     and demands bit-identical hits, (2) drives the line protocol through
+//     an in-memory session. Exits non-zero on any divergence.
+//
+// protocol (one command per line):
+//   query <src|bin> <c|cpp|java> <k>   start a query; the following lines
+//   <source line(s)> ...               are the program text, terminated by
+//   .                                  a lone "." — the response is
+//                                      `hit <rank> <id> <score> <cosine>`
+//                                      per match then `ok <n>`, or
+//                                      `err <message>`
+//   stats                              key=value counter lines, `ok stats`
+//   quit                               `ok bye`, server drains and exits
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_store.h"
+#include "core/pipeline.h"
+#include "datasets/corpus.h"
+#include "gnn/trainer.h"
+#include "serve/match_server.h"
+
+using namespace gbm;
+
+namespace {
+
+std::string temp_root() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp && *tmp ? tmp : "/tmp");
+}
+
+bool parse_side(const std::string& token, core::Side& side) {
+  if (token == "src") side = core::Side::SourceIR;
+  else if (token == "bin") side = core::Side::Binary;
+  else return false;
+  return true;
+}
+
+bool parse_lang(const std::string& token, frontend::Lang& lang) {
+  if (token == "c") lang = frontend::Lang::C;
+  else if (token == "cpp") lang = frontend::Lang::Cpp;
+  else if (token == "java") lang = frontend::Lang::Java;
+  else return false;
+  return true;
+}
+
+void print_stats(const serve::ServerStats& stats, std::ostream& out) {
+  out << "submitted=" << stats.submitted << "\ncompleted=" << stats.completed
+      << "\nfailed=" << stats.failed << "\nrejected=" << stats.rejected
+      << "\nbatches=" << stats.batches << "\nqueue_depth=" << stats.queue_depth
+      << "\npeak_queue_depth=" << stats.peak_queue_depth << "\nbatch_size_hist=";
+  for (std::size_t b = 0; b < stats.batch_size_hist.size(); ++b)
+    out << (b ? "," : "") << stats.batch_size_hist[b];
+  out << "\nembed_cache_hits=" << stats.cache.hits
+      << "\nembed_cache_misses=" << stats.cache.misses
+      << "\nstore_hits=" << stats.store.hits
+      << "\nstore_misses=" << stats.store.misses
+      << "\nstore_quarantined=" << stats.store.quarantined
+      << "\ncompile_us=" << stats.compile_us << "\nembed_us=" << stats.embed_us
+      << "\ntopk_us=" << stats.topk_us << "\n";
+}
+
+/// Runs one protocol session; returns 0 on a clean quit/EOF, 1 on a stream
+/// that ends mid-query.
+int run_protocol(serve::MatchServer& server, std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream cmd(line);
+    std::string verb;
+    cmd >> verb;
+    if (verb.empty()) continue;
+    if (verb == "quit") {
+      out << "ok bye\n";
+      return 0;
+    }
+    if (verb == "stats") {
+      print_stats(server.stats(), out);
+      out << "ok stats\n";
+      continue;
+    }
+    if (verb != "query") {
+      out << "err unknown command '" << verb << "'\n";
+      continue;
+    }
+    std::string side_token, lang_token;
+    int k = 0;
+    cmd >> side_token >> lang_token >> k;
+    serve::MatchServer::Query query;
+    const bool header_ok = parse_side(side_token, query.side) &&
+                           parse_lang(lang_token, query.lang) && k > 0;
+    // Always drain the source body up to the lone "." — a bad header must
+    // not desynchronise the stream into reading program text as commands.
+    std::string source, source_line;
+    bool terminated = false;
+    while (std::getline(in, source_line)) {
+      if (source_line == ".") {
+        terminated = true;
+        break;
+      }
+      source += source_line;
+      source += '\n';
+    }
+    if (!terminated) {
+      out << "err stream ended inside a query body\n";
+      return 1;
+    }
+    if (!header_ok) {
+      out << "err usage: query <src|bin> <c|cpp|java> <k>\n";
+      continue;
+    }
+    query.k = k;
+    query.source = source;
+    const serve::MatchResult result = server.submit(query);
+    if (!result.ok) {
+      out << "err " << result.error << "\n";
+      continue;
+    }
+    for (std::size_t r = 0; r < result.hits.size(); ++r)
+      out << "hit " << r << " " << result.hits[r].id << " " << result.hits[r].score
+          << " " << result.hits[r].cosine << "\n";
+    out << "ok " << result.hits.size() << "\n";
+  }
+  return 0;
+}
+
+// ---- selftest ------------------------------------------------------------
+
+/// Builds a corpus, trains a matcher over it, indexes every graph, and
+/// snapshots the result. Returns the query-able source texts.
+std::vector<std::string> build_snapshot(const std::string& snapshot_path) {
+  auto cfg = data::clcdsa_config();
+  cfg.num_tasks = 4;
+  cfg.solutions_per_task_per_lang = 1;
+  cfg.broken_fraction = 0.0;
+  cfg.langs = {frontend::Lang::C, frontend::Lang::Cpp};
+  const auto files = data::generate_corpus(cfg);
+  const auto artifacts = core::build_artifacts(files, {});
+
+  core::MatchingSystem::Config mcfg;
+  mcfg.model.vocab = 128;
+  mcfg.model.embed_dim = 16;
+  mcfg.model.hidden = 16;
+  mcfg.model.layers = 1;
+  mcfg.model.interaction = true;
+  mcfg.model.dropout = 0.0f;
+  core::MatchingSystem trainer(mcfg);
+
+  std::vector<const graph::ProgramGraph*> graphs;
+  std::vector<std::string> sources;
+  for (std::size_t i = 0; i < artifacts.size(); ++i) {
+    if (!artifacts[i].ok) continue;
+    graphs.push_back(&artifacts[i].graph);
+    if (files[i].lang == frontend::Lang::C) sources.push_back(files[i].source);
+  }
+  trainer.fit_tokenizer(graphs);
+  std::vector<gnn::EncodedGraph> encoded;
+  for (const auto* g : graphs) encoded.push_back(trainer.encode(*g));
+  std::vector<gnn::PairSample> pairs;
+  for (std::size_t i = 0; i + 1 < encoded.size(); i += 2) {
+    pairs.push_back({&encoded[i], &encoded[i], 1.0f});
+    pairs.push_back({&encoded[i], &encoded[i + 1], 0.0f});
+  }
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 3;
+  trainer.train(pairs, tcfg);
+  std::vector<const gnn::EncodedGraph*> fleet;
+  for (const auto& e : encoded) fleet.push_back(&e);
+  trainer.embed_all(fleet);
+  trainer.save(snapshot_path);
+  std::printf("snapshot:   %zu graphs indexed → %s\n", fleet.size(),
+              snapshot_path.c_str());
+  return sources;
+}
+
+serve::MatchServer::Query nth_query(const std::vector<std::string>& sources, int n) {
+  serve::MatchServer::Query q;
+  q.source = sources[static_cast<std::size_t>(n) % sources.size()];
+  q.lang = frontend::Lang::C;
+  q.k = 1 + n % 3;
+  return q;
+}
+
+int selftest() {
+  const std::string snapshot_path =
+      temp_root() + "/gbm_serve_selftest." + std::to_string(::getpid()) + ".gbms";
+  const auto sources = build_snapshot(snapshot_path);
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 3;
+
+  // Serial baseline: a server that never coalesces, one in-flight query.
+  std::vector<std::vector<serve::MatchResult>> want(kClients);
+  {
+    serve::MatchServerConfig cfg;
+    cfg.num_shards = 3;
+    cfg.max_wait_us = 0;
+    serve::MatchServer serial(snapshot_path, cfg);
+    for (int c = 0; c < kClients; ++c)
+      for (int q = 0; q < kQueriesPerClient; ++q)
+        want[c].push_back(serial.submit(nth_query(sources, c * kQueriesPerClient + q)));
+  }
+
+  // Concurrent run: 8 clients, coalescing dispatcher, sharded fan-out.
+  serve::MatchServerConfig cfg;
+  cfg.num_shards = 3;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 20000;
+  serve::MatchServer server(snapshot_path, cfg);
+  std::vector<std::vector<serve::MatchResult>> got(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q)
+        got[c].push_back(server.submit(nth_query(sources, c * kQueriesPerClient + q)));
+    });
+  for (auto& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (int q = 0; q < kQueriesPerClient; ++q) {
+      const auto& w = want[c][static_cast<std::size_t>(q)];
+      const auto& g = got[c][static_cast<std::size_t>(q)];
+      if (!w.ok || !g.ok || w.hits.size() != g.hits.size()) {
+        std::printf("FAIL: client %d query %d diverged (%s)\n", c, q,
+                    g.error.c_str());
+        return 1;
+      }
+      for (std::size_t i = 0; i < w.hits.size(); ++i) {
+        if (g.hits[i].id != w.hits[i].id || g.hits[i].score != w.hits[i].score ||
+            g.hits[i].cosine != w.hits[i].cosine) {
+          std::printf("FAIL: client %d query %d rank %zu: id %d/%d score %.9g/%.9g\n",
+                      c, q, i, g.hits[i].id, w.hits[i].id,
+                      static_cast<double>(g.hits[i].score),
+                      static_cast<double>(w.hits[i].score));
+          return 1;
+        }
+      }
+    }
+  }
+  const auto stats = server.stats();
+  std::printf(
+      "concurrent: %d clients x %d queries == serial bit-for-bit "
+      "(%llu requests in %llu batches)\n",
+      kClients, kQueriesPerClient, static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.batches));
+
+  // Protocol session over the same server: a good query, a bad one, stats.
+  std::ostringstream session;
+  session << "query src c 3\n" << sources.front() << "\n.\n";
+  session << "query src c 2\nint main(){ this does not parse\n.\n";
+  session << "query src python 3\nint main(){ return 0; }\n.\n";  // bad header
+  session << "bogus\nstats\nquit\n";
+  std::istringstream in(session.str());
+  std::ostringstream out;
+  if (run_protocol(server, in, out) != 0) {
+    std::printf("FAIL: protocol session did not quit cleanly\n");
+    return 1;
+  }
+  const std::string transcript = out.str();
+  std::printf("protocol:\n%s", transcript.c_str());
+  for (const char* needle :
+       {"hit 0 ", "ok 3", "err compile failed", "err usage", "err unknown command",
+        "ok stats", "ok bye"}) {
+    if (transcript.find(needle) == std::string::npos) {
+      std::printf("FAIL: protocol transcript is missing '%s'\n", needle);
+      return 1;
+    }
+  }
+  // A rejected query header must still consume its body: the source line
+  // after the bad header must never be echoed back as an unknown command.
+  if (transcript.find("err unknown command 'int") != std::string::npos) {
+    std::printf("FAIL: bad query header desynchronised the protocol stream\n");
+    return 1;
+  }
+  std::remove(snapshot_path.c_str());
+  std::printf("OK: serving selftest passed\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--selftest") == 0) return selftest();
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <snapshot.gbms> [--shards N] [--store DIR]\n"
+                 "       %s --selftest\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  serve::MatchServerConfig cfg;
+  for (int i = 2; i < argc; i += 2) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "option %s is missing its value\n", argv[i]);
+      return 2;
+    }
+    if (std::strcmp(argv[i], "--shards") == 0) cfg.num_shards = std::atoi(argv[i + 1]);
+    else if (std::strcmp(argv[i], "--store") == 0) cfg.store_dir = argv[i + 1];
+    else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  try {
+    serve::MatchServer server(argv[1], cfg);
+    std::printf("serving %zu indexed graphs over %d shards (protocol on stdin)\n",
+                server.index().size(), server.index().num_shards());
+    return run_protocol(server, std::cin, std::cout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gbm_serve: %s\n", e.what());
+    return 1;
+  }
+}

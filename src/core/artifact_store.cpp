@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <stdexcept>
 
 #include "core/parallel.h"
 
@@ -258,7 +260,9 @@ std::uint64_t ArtifactStore::key(const data::SourceFile& file,
   return h;
 }
 
-void ArtifactStore::destroy(const std::string& dir) {
+namespace {
+
+void unlink_dir_entries(const std::string& dir) {
   DIR* d = ::opendir(dir.c_str());
   if (!d) return;
   while (dirent* ent = ::readdir(d)) {
@@ -266,6 +270,14 @@ void ArtifactStore::destroy(const std::string& dir) {
     if (entry != "." && entry != "..") ::unlink((dir + "/" + entry).c_str());
   }
   ::closedir(d);
+}
+
+}  // namespace
+
+void ArtifactStore::destroy(const std::string& dir) {
+  unlink_dir_entries(dir + "/quarantine");
+  ::rmdir((dir + "/quarantine").c_str());
+  unlink_dir_entries(dir);
   ::rmdir(dir.c_str());
 }
 
@@ -288,11 +300,25 @@ std::optional<Artifact> ArtifactStore::load(std::uint64_t key) const {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  const auto bytes = tensor::io::read_file(path, "ArtifactStore::load");
-  tensor::io::Reader r(bytes, "ArtifactStore::load(" + path + ")");
-  Artifact artifact = read_artifact(r);
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return artifact;
+  try {
+    const auto bytes = tensor::io::read_file(path, "ArtifactStore::load");
+    tensor::io::Reader r(bytes, "ArtifactStore::load(" + path + ")");
+    Artifact artifact = read_artifact(r);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return artifact;
+  } catch (const std::exception&) {
+    // Corrupt/truncated/wrong-version entry: move the bytes aside for
+    // post-mortem and report a miss so the caller recompiles.
+    const std::string qdir = quarantine_dir();
+    ::mkdir(qdir.c_str(), 0777);  // EEXIST is fine
+    const std::size_t slash = path.find_last_of('/');
+    const std::string target = qdir + "/" + path.substr(slash + 1);
+    if (::rename(path.c_str(), target.c_str()) != 0)
+      ::unlink(path.c_str());  // lost the race or cross-device: just drop it
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
 }
 
 void ArtifactStore::put(std::uint64_t key, const Artifact& artifact) const {

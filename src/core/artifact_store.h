@@ -65,27 +65,38 @@ class ArtifactStore {
   bool contains(std::uint64_t key) const;
 
   /// Loads the stored artifact, or nullopt if the key is absent. A present
-  /// but corrupted/truncated/wrong-version file throws std::runtime_error —
-  /// a poisoned cache should fail loudly, not silently recompile.
+  /// but corrupted/truncated/wrong-version entry is quarantined — moved
+  /// aside into `<dir>/quarantine/` (preserving the bytes for post-mortem)
+  /// and reported as a miss so callers fall through to recompute; the
+  /// `quarantined` counter in Stats records every such event. A cache must
+  /// never take the service down: a poisoned entry costs one recompile, not
+  /// an exception in the middle of a batch.
   std::optional<Artifact> load(std::uint64_t key) const;
+
+  /// The quarantine directory for this store (`<dir>/quarantine`).
+  std::string quarantine_dir() const { return dir_ + "/quarantine"; }
 
   /// Persists an artifact under `key` (atomic: temp file + rename).
   void put(std::uint64_t key, const Artifact& artifact) const;
 
-  /// Deletes every entry of a store directory (flat layout) and the
-  /// directory itself. No-op if the directory does not exist. The single
-  /// cleanup primitive for tests/benches/examples that build scratch stores.
+  /// Deletes every entry of a store directory (flat layout plus the
+  /// quarantine subdirectory) and the directory itself. No-op if the
+  /// directory does not exist. The single cleanup primitive for
+  /// tests/benches/examples that build scratch stores.
   static void destroy(const std::string& dir);
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t writes = 0;
+    /// Corrupt/truncated entries moved aside to quarantine_dir() by load().
+    std::uint64_t quarantined = 0;
   };
   Stats stats() const {
     return {hits_.load(std::memory_order_relaxed),
             misses_.load(std::memory_order_relaxed),
-            writes_.load(std::memory_order_relaxed)};
+            writes_.load(std::memory_order_relaxed),
+            quarantined_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -93,6 +104,7 @@ class ArtifactStore {
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> writes_{0};
+  mutable std::atomic<std::uint64_t> quarantined_{0};
 };
 
 /// Store-aware batch artifact production: per file, load on store hit,

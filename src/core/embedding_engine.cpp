@@ -172,22 +172,12 @@ std::vector<Embedding> EmbeddingEngine::embed_batch(
   const auto run_chunk = [&](std::size_t ci) {
     const std::vector<std::size_t>& members = chunks[ci];
     tensor::MatmulParallelGuard guard(inner);
-    tensor::RNG dummy(1);  // inference mode: dropout is a pass-through
-    if (members.size() == 1) {
-      computed[members[0]] =
-          model_->embed_graph(*miss[members[0]], /*training=*/false, dummy).data();
-    } else {
-      std::vector<const gnn::EncodedGraph*> part;
-      part.reserve(members.size());
-      for (std::size_t s : members) part.push_back(miss[s]);
-      const tensor::Tensor embs =
-          model_->embed_batch(gnn::make_graph_batch(part), /*training=*/false, dummy);
-      const long d = embs.cols();
-      for (std::size_t j = 0; j < members.size(); ++j)
-        computed[members[j]].assign(
-            embs.data().begin() + static_cast<long>(j) * d,
-            embs.data().begin() + static_cast<long>(j + 1) * d);
-    }
+    std::vector<const gnn::EncodedGraph*> part;
+    part.reserve(members.size());
+    for (std::size_t s : members) part.push_back(miss[s]);
+    std::vector<Embedding> rows = model_->embed_graphs(part);
+    for (std::size_t j = 0; j < members.size(); ++j)
+      computed[members[j]] = std::move(rows[j]);
     for (std::size_t s : members) cache_.put(miss_key[s], computed[s]);
   };
   // Cap the outer fan-out at the chunk count — the spare workers are already

@@ -85,7 +85,8 @@ class EmbeddingCache {
 };
 
 struct EmbeddingEngineConfig {
-  std::size_t cache_capacity = 1024;  // entries; 0 disables the cache
+  /// Cache entries to retain; 0 disables the cache.
+  std::size_t cache_capacity = 1024;
   /// Graphs per GraphBatch pass in embed_batch/score_pairs: cache misses
   /// are deduplicated by content, grouped into chunks of this size, and
   /// each chunk is embedded by ONE batched GNN pass
@@ -141,9 +142,14 @@ class EmbeddingEngine {
 };
 
 /// Which side of the asymmetric similarity head an index query plays.
+/// Re-exported by serve::ShardedIndex, whose fan-out topk applies the same
+/// side to every shard's rerank.
 enum class QuerySide {
-  A,  // rerank with score_head(query, candidate)
-  B,  // rerank with score_head(candidate, query)
+  /// Rerank with score_head(query, candidate) — index the graphs your
+  /// model saw as graph B during training.
+  A,
+  /// Rerank with score_head(candidate, query) — index the graph-A role.
+  B,
 };
 
 /// Brute-force retrieval index over stored embeddings with score-head
@@ -162,8 +168,10 @@ class EmbeddingIndex {
 
   struct Hit {
     int id = -1;
-    float cosine = 0.0f;  // prefilter similarity to the query (centered)
-    float score = 0.0f;   // exact score-head output (the ranking key)
+    /// Prefilter similarity to the query (centered cosine).
+    float cosine = 0.0f;
+    /// Exact score-head output — the ranking key.
+    float score = 0.0f;
   };
 
   /// Top-k by exact head score among the `prefilter` highest-cosine

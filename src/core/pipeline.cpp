@@ -186,7 +186,7 @@ const EmbeddingEngine& MatchingSystem::engine() const {
 namespace {
 
 constexpr char kSnapshotMagic[5] = "GBMS";
-constexpr char kLegacyParamsMagic[4] = {'G', 'B', 'M', 'T'};
+constexpr char kLegacyParamsMagic[5] = "GBMT";
 constexpr std::uint32_t kSnapshotVersion = 1;
 
 void write_model_config(tensor::io::Writer& w, const gnn::ModelConfig& mc) {
@@ -260,7 +260,7 @@ void MatchingSystem::save(const std::string& path) const {
 void MatchingSystem::load(const std::string& path) {
   const auto bytes = tensor::io::read_file(path, "MatchingSystem::load");
   tensor::io::Reader r(bytes, "MatchingSystem::load(" + path + ")");
-  if (bytes.size() >= 4 && std::memcmp(bytes.data(), kLegacyParamsMagic, 4) == 0)
+  if (r.peek_magic(kLegacyParamsMagic))
     r.fail(
         "this is a legacy params-only model file (GBMT), not a snapshot; it "
         "carries no tokenizer/config and cannot be loaded safely — re-save it "

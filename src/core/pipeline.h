@@ -163,6 +163,14 @@ class MatchingSystem {
   const gnn::GraphBinMatchModel& model() const { return *model_; }
   /// The two-stage inference engine (model must be trained or loaded).
   const EmbeddingEngine& engine() const;
+  /// The retrieval index built by embed_all (or restored by load), or
+  /// nullptr when none exists. Serving layers read the stored embeddings
+  /// through this to re-partition them (serve::ShardedIndex).
+  const EmbeddingIndex* index() const { return index_.get(); }
+  /// Releases the internal index (topk throws again until embed_all or
+  /// load). Serving layers that re-partitioned the embeddings call this so
+  /// the corpus is not held resident twice.
+  void drop_index() { index_.reset(); }
   const Config& config() const { return config_; }
 
  private:

@@ -196,6 +196,19 @@ Tensor GraphBinMatchModel::embed_graph(const EncodedGraph& g, bool training,
   return embed_batch(make_graph_batch({&g}), training, rng);
 }
 
+std::vector<std::vector<float>> GraphBinMatchModel::embed_graphs(
+    const std::vector<const EncodedGraph*>& graphs) const {
+  if (graphs.empty()) return {};
+  RNG dummy(1);  // inference mode: dropout is a pass-through
+  const Tensor rows = embed_batch(make_graph_batch(graphs), /*training=*/false, dummy);
+  const long d = rows.cols();
+  std::vector<std::vector<float>> out(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    out[i].assign(rows.data().begin() + static_cast<long>(i) * d,
+                  rows.data().begin() + static_cast<long>(i + 1) * d);
+  return out;
+}
+
 Tensor GraphBinMatchModel::embed_batch(const GraphBatch& batch, bool training,
                                        RNG& rng) const {
   const long n = batch.total_nodes;

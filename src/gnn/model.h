@@ -148,6 +148,14 @@ class GraphBinMatchModel : public tensor::Module {
   /// masks are drawn batch-wide from `rng`.
   tensor::Tensor embed_batch(const GraphBatch& batch, bool training,
                              tensor::RNG& rng) const;
+  /// Inference-mode embeddings for several graphs as detached row vectors:
+  /// one batched pass over the disjoint union (all members must share one
+  /// bag length), element i bit-identical to embed_graph on graphs[i]. The
+  /// batch-embed entry point for serving callers (EmbeddingEngine, the
+  /// MatchServer dispatcher) that hold plain graph lists rather than
+  /// GraphBatch unions.
+  std::vector<std::vector<float>> embed_graphs(
+      const std::vector<const EncodedGraph*>& graphs) const;
   /// FC similarity head on precomputed graph embeddings (the right half of
   /// Figure 2): concat → FC → LayerNorm → LeakyReLU → Dropout → FC. Takes
   /// (B, dim) matrices and returns the (B, 1) logits; forward_logit(a, b)

@@ -1,0 +1,281 @@
+#include "serve/match_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace gbm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t us_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+core::MatchingSystem loaded_system(const std::string& snapshot_path) {
+  core::MatchingSystem system{core::MatchingSystem::Config{}};
+  system.load(snapshot_path);
+  return system;
+}
+
+/// Empty when `g` is a graph the batched embed pass accepts; otherwise the
+/// reason it must be refused at admission. Everything the GNN forward
+/// indexes with is covered (token ids into the embedding table, edge
+/// endpoints into the node rows, positions into the position table), so a
+/// malformed graph from the public submit_encoded API can never throw — or
+/// index out of bounds — inside a batch shared with innocent requests.
+std::string query_graph_error(const gnn::EncodedGraph& g, int vocab) {
+  if (g.num_nodes <= 0) return "empty query graph";
+  if (g.bag_len <= 0) return "non-positive bag length";
+  if (g.tokens.size() != static_cast<std::size_t>(g.num_nodes) *
+                             static_cast<std::size_t>(g.bag_len))
+    return "token array does not match num_nodes * bag_len";
+  for (int t : g.tokens)
+    if (t < 0 || t >= vocab) return "token id out of vocabulary range";
+  for (const auto& list : g.edges) {
+    if (list.dst.size() != list.src.size() || list.pos.size() != list.src.size())
+      return "edge list with mismatched src/dst/pos lengths";
+    for (long e = 0; e < list.size(); ++e) {
+      if (list.src[e] < 0 || list.src[e] >= g.num_nodes || list.dst[e] < 0 ||
+          list.dst[e] >= g.num_nodes)
+        return "edge endpoint out of node range";
+      if (list.pos[e] < 0) return "negative edge position";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+MatchServer::MatchServer(const std::string& snapshot_path, MatchServerConfig config)
+    : MatchServer(loaded_system(snapshot_path), std::move(config)) {}
+
+MatchServer::MatchServer(core::MatchingSystem system, MatchServerConfig config)
+    : config_(std::move(config)), system_(std::move(system)) {
+  if (config_.num_shards < 1)
+    throw std::invalid_argument("MatchServer: num_shards must be >= 1, got " +
+                                std::to_string(config_.num_shards));
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  const core::EmbeddingIndex* snapshot_index = system_.index();
+  if (snapshot_index == nullptr)
+    throw std::runtime_error(
+        "MatchServer: the snapshot carries no retrieval index — embed_all the "
+        "corpus before save()");
+  // Re-partition the snapshot's embedding section round-robin across the
+  // shards. Insertion order is global id order, so every shard count serves
+  // bit-identical hits (ShardedIndex parity guarantee).
+  index_ = std::make_unique<ShardedIndex>(system_.engine(), config_.num_shards);
+  for (std::size_t id = 0; id < snapshot_index->size(); ++id)
+    index_->add(snapshot_index->embedding(static_cast<int>(id)));
+  // The sharded index now owns the only copy the server queries; drop the
+  // snapshot's flat index so the corpus embeddings are not resident twice.
+  system_.drop_index();
+  if (!config_.store_dir.empty()) store_.emplace(config_.store_dir);
+  stats_.batch_size_hist.assign(config_.max_batch, 0);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+MatchServer::~MatchServer() { shutdown(); }
+
+void MatchServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    draining_ = true;
+  }
+  work_ready_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+MatchResult MatchServer::submit(const Query& query) {
+  return submit_async(query).get();
+}
+
+std::future<MatchResult> MatchServer::submit_async(const Query& query) {
+  const auto t0 = Clock::now();
+  data::SourceFile file;
+  file.source = query.source;
+  file.lang = query.lang;
+  file.unit_name = "Query";
+  file.task_index = -1;
+  core::ArtifactOptions options = config_.artifact_options;
+  options.side = query.side;
+  options.keep_ir_text = false;
+  options.stop_after = core::Stage::Graph;
+
+  core::Artifact artifact;
+  if (store_) {
+    const std::uint64_t key = core::ArtifactStore::key(file, options);
+    if (auto cached = store_->load(key)) {
+      artifact = std::move(*cached);
+    } else {
+      artifact = core::build_artifact(file, options);
+      if (artifact.ok) store_->put(key, artifact);
+    }
+  } else {
+    artifact = core::build_artifact(file, options);
+  }
+
+  if (!artifact.ok) {
+    std::promise<MatchResult> promise;
+    MatchResult result;
+    result.error = "compile failed: " + artifact.error;
+    promise.set_value(std::move(result));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.failed;
+      stats_.compile_us += us_between(t0, Clock::now());
+    }
+    return promise.get_future();
+  }
+
+  gnn::EncodedGraph encoded = system_.encode(artifact.graph);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.compile_us += us_between(t0, Clock::now());
+  }
+  return submit_encoded(std::move(encoded), query.query_side, query.k);
+}
+
+std::future<MatchResult> MatchServer::submit_encoded(gnn::EncodedGraph encoded,
+                                                     QuerySide side, int k) {
+  Pending pending;
+  pending.encoded = std::move(encoded);
+  pending.side = side;
+  pending.k = k;
+  std::future<MatchResult> future = pending.promise.get_future();
+  // Validate at admission: the dispatcher must never meet a graph the
+  // batched embed pass would reject (queries answer with error results,
+  // never exceptions — and never poison the requests sharing their batch).
+  const std::string graph_error =
+      query_graph_error(pending.encoded, system_.config().model.vocab);
+  if (!graph_error.empty()) {
+    MatchResult result;
+    result.error = graph_error;
+    pending.promise.set_value(std::move(result));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.failed;
+    return future;
+  }
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (accepting_) {
+      queue_.push_back(std::move(pending));
+      admitted = true;
+      // Count the admission while still holding mu_: the dispatcher cannot
+      // pop (and complete) this request before `submitted` includes it, so
+      // stats() never observes completed > submitted.
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.submitted;
+      stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+    }
+  }
+  if (admitted) {
+    work_ready_.notify_one();
+  } else {
+    MatchResult result;
+    result.error = "server is shut down";
+    pending.promise.set_value(std::move(result));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+  }
+  return future;
+}
+
+void MatchServer::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (draining_) return;  // drained: every admitted request is answered
+      continue;
+    }
+    // Micro-batching window: after the first request of a batch arrives,
+    // wait up to max_wait_us for the batch to fill. Draining skips the
+    // window — shutdown latency over coalescing.
+    if (config_.max_wait_us > 0 && queue_.size() < config_.max_batch && !draining_) {
+      const auto deadline =
+          Clock::now() + std::chrono::microseconds(config_.max_wait_us);
+      work_ready_.wait_until(lock, deadline, [this] {
+        return draining_ || queue_.size() >= config_.max_batch;
+      });
+    }
+    std::vector<Pending> batch;
+    const std::size_t take = std::min(queue_.size(), config_.max_batch);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    answer_batch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void MatchServer::answer_batch(std::vector<Pending> batch) try {
+  const auto t0 = Clock::now();
+  // One content-deduped GraphBatch embed pass for the whole batch: the
+  // engine dedups identical queries by content hash and chunks the misses
+  // into batched GNN passes.
+  std::vector<const gnn::EncodedGraph*> graphs;
+  graphs.reserve(batch.size());
+  for (const Pending& p : batch) graphs.push_back(&p.encoded);
+  const std::vector<Embedding> embeddings =
+      system_.engine().embed_batch(graphs, config_.threads);
+  const auto t1 = Clock::now();
+  std::vector<MatchResult> results(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    results[i].ok = true;
+    results[i].hits = index_->topk(embeddings[i], batch[i].k, config_.prefilter,
+                                   batch[i].side, config_.threads);
+  }
+  const auto t2 = Clock::now();
+  {
+    // Counters first, promises second: once a client's submit() returns,
+    // its completion is already visible in stats().
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batches;
+    ++stats_.batch_size_hist[batch.size() - 1];
+    stats_.completed += batch.size();
+    stats_.embed_us += us_between(t0, t1);
+    stats_.topk_us += us_between(t1, t2);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch[i].promise.set_value(std::move(results[i]));
+} catch (const std::exception& e) {
+  // A throw on the dispatcher thread must never escape (it would
+  // std::terminate the process and abandon every in-flight promise): the
+  // whole batch answers with an error result instead.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.failed += batch.size();
+  }
+  for (Pending& p : batch) {
+    MatchResult result;
+    result.error = std::string("internal error: ") + e.what();
+    p.promise.set_value(std::move(result));
+  }
+}
+
+ServerStats MatchServer::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.queue_depth = queue_.size();
+  }
+  if (store_) out.store = store_->stats();
+  out.cache = system_.engine().cache_stats();
+  return out;
+}
+
+}  // namespace gbm::serve

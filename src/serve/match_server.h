@@ -1,0 +1,182 @@
+// Long-lived matching service over one MatchingSystem snapshot.
+//
+// A MatchServer turns the batch library into the serve shape of the
+// paper's headline use cases (§I — vulnerability search, reverse
+// engineering): load a snapshot once, then answer a concurrent stream of
+// (source|binary) queries with top-k matches against the snapshot's
+// retrieval index. Three moving parts:
+//
+//   * admission — `submit`/`submit_async` run the per-query toolchain
+//     (compile → graph → encode) on the CALLER's thread, optionally
+//     through a content-addressed ArtifactStore so repeated query sources
+//     skip the toolchain entirely, then enqueue the encoded graph;
+//   * micro-batching dispatcher — one background thread coalesces waiting
+//     requests into batches (up to `max_batch` requests, waiting at most
+//     `max_wait_us` after the first arrival) and embeds each batch with
+//     ONE content-deduped GraphBatch pass through the engine, so N
+//     concurrent clients cost one GNN dispatch, not N;
+//   * sharded fan-out — every embedded query asks the ShardedIndex, which
+//     fans the prefilter across shards and merges deterministically.
+//
+// Determinism: batched embedding is bit-identical to embedding a graph
+// alone (the GraphBatch union never mixes accumulations across member
+// graphs), and ShardedIndex::topk is bit-identical to a single index — so
+// a query's result does not depend on which requests it happened to share
+// a batch with, on the shard count, or on timing. Concurrent execution
+// returns exactly what serial one-query-at-a-time execution returns.
+//
+// Shutdown: `shutdown()` (and the destructor) stops admission — later
+// submits are rejected with an error result, never an exception — then
+// drains every already-admitted request before joining the dispatcher, so
+// no accepted query is ever dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_store.h"
+#include "core/pipeline.h"
+#include "serve/sharded_index.h"
+
+namespace gbm::serve {
+
+struct MatchServerConfig {
+  /// Shards the snapshot's index embeddings are re-partitioned into
+  /// (round-robin by id). Must be >= 1.
+  int num_shards = 4;
+  /// Dispatcher coalescing cap: at most this many requests per batched
+  /// embed pass. 1 degenerates to one-at-a-time handling. Values < 1
+  /// clamp to 1.
+  std::size_t max_batch = 16;
+  /// How long the dispatcher waits for more requests after the first one
+  /// of a batch arrives (microseconds). 0 dispatches immediately.
+  long max_wait_us = 2000;
+  /// Worker budget for the batched embed pass and the per-shard topk
+  /// fan-out (parallel.h semantics: <= 0 means all hardware threads).
+  int threads = 0;
+  /// Per-query prefilter passed to ShardedIndex::topk (0 → index default).
+  int prefilter = 0;
+  /// Non-empty → open an ArtifactStore there and use it as the compile
+  /// cache for query sources (compile-on-miss / load-on-hit, corrupt
+  /// entries quarantined). Empty disables the store.
+  std::string store_dir;
+  /// Toolchain options for query compilation. `side` and `stop_after` are
+  /// overridden per query / by the server.
+  core::ArtifactOptions artifact_options;
+};
+
+/// One answered query. `ok == false` carries the toolchain or admission
+/// error; hits are the sharded top-k otherwise.
+struct MatchResult {
+  bool ok = false;
+  std::string error;
+  std::vector<ShardedIndex::Hit> hits;
+};
+
+/// Monotonic service counters. All latencies are accumulated wall time in
+/// microseconds; divide by the matching counter for a mean.
+struct ServerStats {
+  std::uint64_t submitted = 0;   // admitted into the queue
+  std::uint64_t completed = 0;   // answered with ok == true
+  std::uint64_t failed = 0;      // answered with ok == false (compile errors)
+  std::uint64_t rejected = 0;    // refused: server was shut down
+  std::uint64_t batches = 0;     // dispatched embed passes
+  /// batch_size_hist[b-1] = number of batches holding exactly b requests
+  /// (size max_batch).
+  std::vector<std::uint64_t> batch_size_hist;
+  std::size_t queue_depth = 0;       // requests waiting right now
+  std::size_t peak_queue_depth = 0;  // high-water mark
+  /// Compile cache (zeros when no store_dir was configured). `hits` are
+  /// queries that skipped the toolchain entirely.
+  core::ArtifactStore::Stats store;
+  /// Engine embedding cache: hits are queries (or batch duplicates) that
+  /// skipped the GNN pass.
+  core::EmbeddingCache::Stats cache;
+  std::uint64_t compile_us = 0;  // admission: toolchain + encode, per query
+  std::uint64_t embed_us = 0;    // dispatcher: batched GNN passes
+  std::uint64_t topk_us = 0;     // dispatcher: sharded fan-out + merge
+};
+
+class MatchServer {
+ public:
+  struct Query {
+    std::string source;
+    frontend::Lang lang = frontend::Lang::C;
+    /// Which artifact of the source enters the matcher (SourceIR compiles
+    /// to IR; Binary compiles, then lifts the binary back).
+    core::Side side = core::Side::SourceIR;
+    /// Side of the asymmetric head the query plays (see QuerySide docs in
+    /// serve/sharded_index.h).
+    QuerySide query_side = QuerySide::A;
+    int k = 5;
+  };
+
+  /// Loads the snapshot (which must carry a retrieval index — train,
+  /// embed_all, save) and starts the dispatcher. Throws std::runtime_error
+  /// on a bad snapshot or one without an index.
+  MatchServer(const std::string& snapshot_path, MatchServerConfig config = {});
+  /// Same, over an already-loaded system (takes ownership). For callers
+  /// that just built the system in-process (tests, benches).
+  MatchServer(core::MatchingSystem system, MatchServerConfig config = {});
+  ~MatchServer();  // shutdown(): drains, then joins
+
+  MatchServer(const MatchServer&) = delete;
+  MatchServer& operator=(const MatchServer&) = delete;
+
+  /// Compiles + encodes on the calling thread, enqueues, and blocks for
+  /// the result. Safe to call from any number of threads.
+  MatchResult submit(const Query& query);
+  /// Non-blocking variant: the future resolves when the dispatcher has
+  /// answered (or immediately, on compile failure / rejection).
+  std::future<MatchResult> submit_async(const Query& query);
+  /// Pre-encoded admission: skips the toolchain, enqueues the graph
+  /// directly. The entry point for callers that already hold encoded
+  /// graphs (benches isolating the embed+topk path).
+  std::future<MatchResult> submit_encoded(gnn::EncodedGraph encoded,
+                                          QuerySide side, int k);
+
+  /// Stops admission, drains every already-admitted request, joins the
+  /// dispatcher. Idempotent; called by the destructor.
+  void shutdown();
+
+  ServerStats stats() const;
+  const core::MatchingSystem& system() const { return system_; }
+  const ShardedIndex& index() const { return *index_; }
+
+ private:
+  struct Pending {
+    gnn::EncodedGraph encoded;
+    QuerySide side = QuerySide::A;
+    int k = 0;
+    std::promise<MatchResult> promise;
+  };
+
+  void dispatcher_loop();
+  void answer_batch(std::vector<Pending> batch);
+
+  MatchServerConfig config_;
+  core::MatchingSystem system_;
+  std::optional<core::ArtifactStore> store_;
+  std::unique_ptr<ShardedIndex> index_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<Pending> queue_;
+  bool accepting_ = true;
+  bool draining_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+
+  std::thread dispatcher_;  // initialised last, after every field it reads
+};
+
+}  // namespace gbm::serve

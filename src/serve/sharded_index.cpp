@@ -1,0 +1,255 @@
+#include "serve/sharded_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/artifact_store.h"
+#include "core/parallel.h"
+#include "tensor/serialize.h"
+
+namespace gbm::serve {
+
+namespace {
+
+constexpr char kShardMagic[5] = "GBMX";
+constexpr std::uint32_t kShardVersion = 1;
+
+// The exact total orders of EmbeddingIndex::topk — ties carry a unique id,
+// so both are strict total orders and every sort below has ONE result.
+bool cosine_order(const ShardedIndex::Hit& a, const ShardedIndex::Hit& b) {
+  if (a.cosine != b.cosine) return a.cosine > b.cosine;
+  return a.id < b.id;
+}
+
+bool score_order(const ShardedIndex::Hit& a, const ShardedIndex::Hit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+ShardedIndex::ShardedIndex(const core::EmbeddingEngine& engine, int num_shards)
+    : engine_(&engine) {
+  if (num_shards < 1)
+    throw std::invalid_argument("ShardedIndex: num_shards must be >= 1, got " +
+                                std::to_string(num_shards));
+  shards_.resize(static_cast<std::size_t>(num_shards));
+}
+
+int ShardedIndex::add(Embedding embedding) {
+  return add(std::move(embedding),
+             static_cast<int>(locator_.size()) % num_shards());
+}
+
+int ShardedIndex::add(Embedding embedding, int shard) {
+  if (shard < 0 || shard >= num_shards())
+    throw std::invalid_argument("ShardedIndex::add: shard " + std::to_string(shard) +
+                                " out of range [0, " + std::to_string(num_shards()) +
+                                ")");
+  if (static_cast<long>(embedding.size()) != engine_->dim())
+    throw std::invalid_argument("ShardedIndex::add: embedding dim mismatch");
+  // The global column sum accumulates in insertion (= global id) order,
+  // independent of shard placement — the same float op sequence as a single
+  // EmbeddingIndex, so the centering mean is bit-identical.
+  if (sum_.empty()) sum_.assign(embedding.size(), 0.0f);
+  for (std::size_t c = 0; c < embedding.size(); ++c) sum_[c] += embedding[c];
+  const int id = static_cast<int>(locator_.size());
+  Shard& s = shards_[static_cast<std::size_t>(shard)];
+  locator_.emplace_back(shard, static_cast<int>(s.ids.size()));
+  s.ids.push_back(id);
+  s.embeddings.push_back(std::move(embedding));
+  return id;
+}
+
+void ShardedIndex::clear() {
+  for (Shard& s : shards_) {
+    s.ids.clear();
+    s.embeddings.clear();
+  }
+  locator_.clear();
+  sum_.clear();
+}
+
+std::size_t ShardedIndex::shard_size(int shard) const {
+  return shards_.at(static_cast<std::size_t>(shard)).ids.size();
+}
+
+const Embedding& ShardedIndex::embedding(int id) const {
+  const auto [shard, slot] = locator_.at(static_cast<std::size_t>(id));
+  return shards_[static_cast<std::size_t>(shard)]
+      .embeddings[static_cast<std::size_t>(slot)];
+}
+
+int ShardedIndex::shard_of(int id) const {
+  return locator_.at(static_cast<std::size_t>(id)).first;
+}
+
+std::vector<ShardedIndex::Hit> ShardedIndex::topk(const Embedding& query, int k,
+                                                  int prefilter, QuerySide side,
+                                                  int threads) const {
+  if (k <= 0 || locator_.empty()) return {};
+  if (prefilter <= 0) prefilter = std::max(4 * k, 32);
+  const std::size_t shortlist =
+      std::min<std::size_t>(locator_.size(),
+                            static_cast<std::size_t>(std::max(prefilter, k)));
+  if (query.size() != sum_.size())
+    throw std::invalid_argument("ShardedIndex::topk: query dim mismatch");
+
+  const float inv_n = 1.0f / static_cast<float>(locator_.size());
+  Embedding centered_query(query.size());
+  for (std::size_t c = 0; c < query.size(); ++c)
+    centered_query[c] = query[c] - sum_[c] * inv_n;
+
+  // Per-shard prefilter, fanned across the worker budget. Every member of
+  // the global top-`shortlist` is inside its own shard's top-`shortlist`
+  // prefix, so the union of the prefixes contains the exact candidate set
+  // a single EmbeddingIndex would rerank.
+  std::vector<std::vector<Hit>> per_shard(shards_.size());
+  core::parallel_for(
+      shards_.size(),
+      [&](std::size_t s) {
+        const Shard& shard = shards_[s];
+        std::vector<Hit> hits(shard.ids.size());
+        Embedding centered(centered_query.size());
+        for (std::size_t i = 0; i < shard.ids.size(); ++i) {
+          const Embedding& e = shard.embeddings[i];
+          for (std::size_t c = 0; c < centered.size(); ++c)
+            centered[c] = e[c] - sum_[c] * inv_n;
+          hits[i].id = shard.ids[i];
+          hits[i].cosine = core::cosine_similarity(centered_query, centered);
+        }
+        const std::size_t keep = std::min(hits.size(), shortlist);
+        std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(keep),
+                          hits.end(), cosine_order);
+        hits.resize(keep);
+        per_shard[s] = std::move(hits);
+      },
+      threads);
+
+  // Deterministic merge: the global top-`shortlist` under the same
+  // (cosine desc, id asc) total order.
+  std::vector<Hit> merged;
+  for (auto& hits : per_shard)
+    merged.insert(merged.end(), hits.begin(), hits.end());
+  std::sort(merged.begin(), merged.end(), cosine_order);
+  if (merged.size() > shortlist) merged.resize(shortlist);
+
+  // Exact rerank through the asymmetric head. score() is pure, so the
+  // per-candidate fan-out is bit-identical to the serial loop.
+  core::parallel_for(
+      merged.size(),
+      [&](std::size_t i) {
+        const Embedding& cand = embedding(merged[i].id);
+        merged[i].score = side == QuerySide::A ? engine_->score(query, cand)
+                                               : engine_->score(cand, query);
+      },
+      threads);
+  std::sort(merged.begin(), merged.end(), score_order);
+  if (merged.size() > static_cast<std::size_t>(k))
+    merged.resize(static_cast<std::size_t>(k));
+  return merged;
+}
+
+std::string ShardedIndex::shard_path(const std::string& prefix, int shard) {
+  return prefix + ".shard" + std::to_string(shard) + ".gbmx";
+}
+
+void ShardedIndex::save(const std::string& prefix) const {
+  for (int s = 0; s < num_shards(); ++s) {
+    const Shard& shard = shards_[static_cast<std::size_t>(s)];
+    tensor::io::Writer w;
+    w.magic(kShardMagic);
+    w.u32(kShardVersion);
+    w.u32(static_cast<std::uint32_t>(s));
+    w.u32(static_cast<std::uint32_t>(num_shards()));
+    w.u64(locator_.size());  // total ids across every shard, for validation
+    w.ints(shard.ids);
+    core::write_embeddings(w, shard.embeddings);
+    w.to_file(shard_path(prefix, s));
+  }
+}
+
+ShardedIndex ShardedIndex::load(const core::EmbeddingEngine& engine,
+                                const std::string& prefix) {
+  struct Part {
+    int shard = 0;
+    std::vector<int> ids;
+    std::vector<Embedding> embeddings;
+  };
+  std::vector<Part> parts;
+  int num_shards = 0;
+  std::uint64_t total = 0;
+  for (int s = 0; s == 0 || s < num_shards; ++s) {
+    const std::string path = shard_path(prefix, s);
+    const auto bytes = tensor::io::read_file(path, "ShardedIndex::load");
+    tensor::io::Reader r(bytes, "ShardedIndex::load(" + path + ")");
+    r.expect_magic(kShardMagic);
+    r.expect_version(kShardVersion, "sharded-index shard");
+    const int shard_index = static_cast<int>(r.u32());
+    const int shards_in_file = static_cast<int>(r.u32());
+    const std::uint64_t total_in_file = r.u64();
+    if (shard_index != s)
+      r.fail("file claims shard " + std::to_string(shard_index) + ", expected " +
+             std::to_string(s));
+    if (s == 0) {
+      if (shards_in_file < 1)
+        r.fail("invalid shard count " + std::to_string(shards_in_file));
+      num_shards = shards_in_file;
+      total = total_in_file;
+    } else if (shards_in_file != num_shards || total_in_file != total) {
+      r.fail("inconsistent shard header (shards " + std::to_string(shards_in_file) +
+             "/" + std::to_string(num_shards) + ", total " +
+             std::to_string(total_in_file) + "/" + std::to_string(total) + ")");
+    }
+    Part part;
+    part.shard = s;
+    part.ids = r.ints();
+    part.embeddings = core::read_embeddings(r);
+    if (part.ids.size() != part.embeddings.size())
+      r.fail("id/embedding count mismatch (" + std::to_string(part.ids.size()) +
+             " ids, " + std::to_string(part.embeddings.size()) + " embeddings)");
+    if (r.remaining() != 0)
+      r.fail(std::to_string(r.remaining()) + " trailing bytes after the shard");
+    parts.push_back(std::move(part));
+  }
+
+  // The header's total must equal the ids actually read (each cost 4 bytes
+  // of validated stream), so a corrupted total cannot drive the allocation
+  // below into bad_alloc territory — it fails descriptively instead.
+  std::uint64_t counted = 0;
+  for (const Part& part : parts) counted += part.ids.size();
+  if (counted != total)
+    throw std::runtime_error("ShardedIndex::load(" + prefix + "): shard files hold " +
+                             std::to_string(counted) +
+                             " ids but the header claims " + std::to_string(total));
+
+  // Reassemble in global id order: add() then replays the exact insertion
+  // sequence, so the centering sum — and therefore topk — is bit-identical
+  // to the index that was saved.
+  std::vector<std::pair<int, const Embedding*>> by_id(total, {-1, nullptr});
+  for (const Part& part : parts) {
+    for (std::size_t i = 0; i < part.ids.size(); ++i) {
+      const int id = part.ids[i];
+      if (id < 0 || static_cast<std::uint64_t>(id) >= total)
+        throw std::runtime_error("ShardedIndex::load(" + prefix + "): global id " +
+                                 std::to_string(id) + " out of range [0, " +
+                                 std::to_string(total) + ")");
+      if (by_id[static_cast<std::size_t>(id)].second != nullptr)
+        throw std::runtime_error("ShardedIndex::load(" + prefix + "): global id " +
+                                 std::to_string(id) + " appears in two shards");
+      by_id[static_cast<std::size_t>(id)] = {part.shard, &part.embeddings[i]};
+    }
+  }
+  ShardedIndex index(engine, num_shards);
+  for (std::uint64_t id = 0; id < total; ++id) {
+    const auto& [shard, emb] = by_id[id];
+    if (emb == nullptr)
+      throw std::runtime_error("ShardedIndex::load(" + prefix +
+                               "): no shard holds global id " + std::to_string(id));
+    index.add(*emb, shard);
+  }
+  return index;
+}
+
+}  // namespace gbm::serve

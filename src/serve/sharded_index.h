@@ -1,0 +1,109 @@
+// Sharded retrieval index: the fleet-scale form of core::EmbeddingIndex.
+//
+// A ShardedIndex partitions the stored embeddings across N shards — by
+// round-robin on insertion order (the default) or by explicit shard key —
+// and answers topk by fanning the query across the shards over
+// core::parallel, then merging the per-shard candidate lists. Everything
+// about the merge is deterministic:
+//
+//   * the prefilter cosine is centered on the GLOBAL index mean (maintained
+//     in insertion order, exactly as EmbeddingIndex does), never a
+//     per-shard mean;
+//   * each shard returns its shortlist prefix under the (cosine desc,
+//     global id asc) total order, and the merged shortlist is the global
+//     top-`prefilter` under the same order — the identical candidate SET a
+//     single EmbeddingIndex would rerank;
+//   * reranked hits sort by (score desc, global id asc).
+//
+// Parity guarantee: for any shard count and any assignment of ids to
+// shards, `topk` returns bit-identical hits (ids, cosines, scores, order)
+// to a single `EmbeddingIndex` holding the same embeddings in the same
+// insertion order. Tested for shard counts {1, 2, 7} and k beyond any
+// single shard's population.
+//
+// Persistence: `save(prefix)` writes one self-contained "GBMX" file per
+// shard (<prefix>.shard<i>.gbmx) carrying the shard's global ids and its
+// slice of the GBMS embedding section; `load` reassembles the index with
+// the identical insertion order, so a reloaded index serves bit-identical
+// topk. Shard files are independently copyable — a worker that owns one
+// shard only needs its own file plus the engine snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/embedding_engine.h"
+
+namespace gbm::serve {
+
+using core::Embedding;
+
+/// Re-export of core::QuerySide — the side of the asymmetric similarity
+/// head the query plays, applied uniformly to every shard's rerank:
+/// QuerySide::A scores score_head(query, candidate) (the indexed corpus
+/// plays the graph-B role the model saw in training), QuerySide::B scores
+/// score_head(candidate, query). A sharded query means N partial reranks,
+/// but the side — like the centering mean — is a global property of the
+/// query, never per-shard.
+using core::QuerySide;
+
+class ShardedIndex {
+ public:
+  /// `num_shards` >= 1 (throws std::invalid_argument otherwise).
+  ShardedIndex(const core::EmbeddingEngine& engine, int num_shards);
+
+  /// Stores an embedding under the next global id (insertion order,
+  /// 0-based) in shard `id % num_shards` (round-robin). Returns the id.
+  int add(Embedding embedding);
+  /// Same, but places the embedding in an explicit shard (throws
+  /// std::invalid_argument when `shard` is out of range). Use when ids
+  /// have an affinity worth preserving (e.g. one shard per task).
+  int add(Embedding embedding, int shard);
+  void clear();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::size_t size() const { return locator_.size(); }
+  std::size_t shard_size(int shard) const;
+  /// Stored embedding by global id.
+  const Embedding& embedding(int id) const;
+  /// Shard holding global id `id`.
+  int shard_of(int id) const;
+
+  using Hit = core::EmbeddingIndex::Hit;
+
+  /// Fan-out top-k: per-shard centered-cosine prefilter (parallel across
+  /// shards, `threads` as in parallel.h), deterministic merge of the
+  /// per-shard shortlists, exact score-head rerank of the merged shortlist,
+  /// final (score desc, id asc) order. Parameters and defaults match
+  /// EmbeddingIndex::topk, and so do the results — bit-identical for any
+  /// shard count and any `threads`.
+  std::vector<Hit> topk(const Embedding& query, int k, int prefilter = 0,
+                        QuerySide side = QuerySide::A, int threads = 0) const;
+
+  /// Writes one "GBMX" file per shard: shard_path(prefix, i) for every
+  /// shard i in [0, num_shards). Atomic per file (temp + rename).
+  void save(const std::string& prefix) const;
+  /// Reads the per-shard files written by save() and rebuilds the index in
+  /// the original insertion order (bit-identical topk). Throws
+  /// std::runtime_error on a missing/truncated/corrupted shard file, on
+  /// inconsistent shard headers, or when the shards do not cover exactly
+  /// the ids 0..total-1.
+  static ShardedIndex load(const core::EmbeddingEngine& engine,
+                           const std::string& prefix);
+  static std::string shard_path(const std::string& prefix, int shard);
+
+ private:
+  struct Shard {
+    std::vector<int> ids;                 // global ids, insertion order
+    std::vector<Embedding> embeddings;    // parallel to ids
+  };
+
+  const core::EmbeddingEngine* engine_;
+  std::vector<Shard> shards_;
+  std::vector<std::pair<int, int>> locator_;  // global id -> (shard, slot)
+  Embedding sum_;  // global column sum, accumulated in insertion order
+};
+
+}  // namespace gbm::serve

@@ -130,6 +130,10 @@ void Reader::expect_magic(const char (&m)[5]) {
          "')");
 }
 
+bool Reader::peek_magic(const char (&m)[5]) const {
+  return remaining() >= 4 && std::memcmp(data_ + off_, m, 4) == 0;
+}
+
 void Reader::expect_version(std::uint32_t expected, const char* format_name) {
   const std::uint32_t v = u32();
   if (v != expected)

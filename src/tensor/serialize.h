@@ -85,6 +85,10 @@ class Reader {
   /// Reads 4 bytes and throws "<context>: bad magic (expected <m>)" on
   /// mismatch.
   void expect_magic(const char (&m)[5]);
+  /// True when the next 4 bytes equal `m`. Never consumes or throws — the
+  /// format-sniffing primitive for readers that dispatch on magic (snapshot
+  /// legacy-format detection, shard-file validation).
+  bool peek_magic(const char (&m)[5]) const;
   /// Reads the u32 version and throws unless it equals `expected`.
   void expect_version(std::uint32_t expected, const char* format_name);
   std::string str();

@@ -1,8 +1,9 @@
 // Persistence layer tests: graph / encoded-graph / tokenizer round trips,
-// the content-addressed ArtifactStore (miss → compile → hit), MatchingSystem
-// snapshots (save → fresh-system load → bit-identical serving), and the
-// error paths — truncated, corrupted, wrong-version, and legacy files all
-// fail with descriptive std::runtime_error instead of producing garbage.
+// the content-addressed ArtifactStore (miss → compile → hit, corrupt entry
+// → quarantine → recompute), MatchingSystem snapshots (save → fresh-system
+// load → bit-identical serving), and the error paths — truncated,
+// corrupted, wrong-version, and legacy files fail with descriptive
+// std::runtime_error instead of producing garbage.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -222,7 +223,7 @@ TEST(ArtifactStore, KeySeparatesContentAndOptions) {
   EXPECT_EQ(ArtifactStore::key(f, a), ArtifactStore::key(f, a));
 }
 
-TEST(ArtifactStore, CorruptedEntryFailsLoudly) {
+TEST(ArtifactStore, CorruptedEntryQuarantinedAndRecomputed) {
   const std::string dir = fresh_store_dir("gbm_store_corrupt");
   const ArtifactStore store(dir);
   data::SourceFile f;
@@ -233,15 +234,41 @@ TEST(ArtifactStore, CorruptedEntryFailsLoudly) {
   const std::uint64_t key = ArtifactStore::key(f, opts);
   store.put(key, build_artifact(f, opts));
   ASSERT_TRUE(store.contains(key));
+  const std::string path = store.path_for(key);
   // Truncate the stored file.
   {
-    const std::string path = store.path_for(key);
     std::FILE* fp = std::fopen(path.c_str(), "wb");
     ASSERT_NE(fp, nullptr);
     std::fputs("GBMA", fp);  // magic only
     std::fclose(fp);
   }
-  EXPECT_THROW(store.load(key), std::runtime_error);
+  // A poisoned entry must not take the service down: load() moves the bytes
+  // aside to <store>/quarantine/ and reports a miss.
+  EXPECT_FALSE(store.load(key).has_value());
+  auto stats = store.stats();
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_FALSE(store.contains(key));  // moved out of the flat layout
+  const std::string quarantined_path =
+      store.quarantine_dir() + path.substr(path.find_last_of('/'));
+  std::FILE* moved = std::fopen(quarantined_path.c_str(), "rb");
+  ASSERT_NE(moved, nullptr);  // bytes preserved for post-mortem
+  std::fclose(moved);
+
+  // Store-aware builds fall through to recompute and re-persist.
+  const auto rebuilt = build_artifacts({f}, opts, store, 1);
+  ASSERT_EQ(rebuilt.size(), 1u);
+  EXPECT_TRUE(rebuilt[0].ok);
+  EXPECT_TRUE(store.contains(key));
+  stats = store.stats();
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.writes, 2u);
+  EXPECT_TRUE(store.load(key).has_value());  // healthy again
+
+  // destroy() removes the quarantine directory along with the store.
+  ArtifactStore::destroy(dir);
+  EXPECT_EQ(std::fopen(quarantined_path.c_str(), "rb"), nullptr);
+  EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr);
 }
 
 TEST(ArtifactStore, MissingKeyIsMissNotError) {

@@ -1,0 +1,643 @@
+// Serving subsystem tests.
+//
+// ShardedIndex: bit-identical parity with a single EmbeddingIndex for shard
+// counts {1, 2, 7}, merge-order determinism under cosine AND head-score
+// ties (always toward the lower global id), k beyond any shard's
+// population, explicit shard keys, thread-count invariance, and the
+// per-shard GBMX save/load round trip with its error paths.
+//
+// MatchServer: snapshot → server lifecycle, micro-batch coalescing with
+// content dedup, per-query results identical between >= 8 concurrent
+// clients and serial one-query-at-a-time execution (the batched embed pass
+// is bitwise equal to a lone embed), compile-error reporting, the
+// ArtifactStore compile cache, and shutdown drain semantics. The whole
+// file runs under ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <iterator>
+#include <thread>
+
+#include "core/embedding_engine.h"
+#include "core/pipeline.h"
+#include "frontend/frontend.h"
+#include "gnn/trainer.h"
+#include "serve/match_server.h"
+#include "serve/sharded_index.h"
+
+namespace gbm::serve {
+namespace {
+
+using core::Embedding;
+using core::EmbeddingEngine;
+using core::EmbeddingIndex;
+using tensor::RNG;
+
+gnn::EncodedGraph tiny_graph(long nodes, int token_salt = 0, int bag_len = 2) {
+  gnn::EncodedGraph g;
+  g.num_nodes = nodes;
+  g.bag_len = bag_len;
+  for (long i = 0; i < nodes; ++i)
+    for (int k = 0; k < bag_len; ++k)
+      g.tokens.push_back(static_cast<int>(3 + (i + k + token_salt) % 4));
+  for (auto& list : g.edges) {
+    for (long i = 0; i < nodes; ++i) {
+      list.src.push_back(static_cast<int>(i));
+      list.dst.push_back(static_cast<int>(i));
+      list.pos.push_back(0);
+    }
+  }
+  g.edges[0].src.push_back(0);
+  g.edges[0].dst.push_back(static_cast<int>(nodes - 1));
+  g.edges[0].pos.push_back(1);
+  return g;
+}
+
+gnn::GraphBinMatchModel make_model(std::uint64_t seed = 7) {
+  gnn::ModelConfig cfg;
+  cfg.vocab = 16;
+  cfg.embed_dim = 8;
+  cfg.hidden = 8;
+  cfg.layers = 2;
+  cfg.interaction = true;
+  RNG rng(seed);
+  return gnn::GraphBinMatchModel(cfg, rng);
+}
+
+/// A pool of distinct embeddings plus deliberate duplicates (ties).
+std::vector<Embedding> embedding_zoo(const EmbeddingEngine& engine, int distinct,
+                                     int duplicates_of_first = 0) {
+  std::vector<Embedding> out;
+  for (int i = 0; i < distinct; ++i)
+    out.push_back(engine.embed(tiny_graph(3 + i % 5, i)));
+  for (int d = 0; d < duplicates_of_first; ++d) out.push_back(out.front());
+  return out;
+}
+
+void expect_hits_equal(const std::vector<EmbeddingIndex::Hit>& want,
+                       const std::vector<ShardedIndex::Hit>& got,
+                       const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << what << " rank " << i;
+    EXPECT_EQ(got[i].cosine, want[i].cosine) << what << " rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << what << " rank " << i;
+  }
+}
+
+// ---- ShardedIndex ---------------------------------------------------------
+
+TEST(ShardedIndex, BitIdenticalToSingleIndexForAnyShardCount) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  const auto embeddings = embedding_zoo(engine, 15, /*duplicates_of_first=*/3);
+
+  EmbeddingIndex single(engine);
+  for (const auto& e : embeddings) single.add(e);
+
+  const Embedding query = engine.embed(tiny_graph(4, 99));
+  for (int shards : {1, 2, 7}) {
+    ShardedIndex sharded(engine, shards);
+    for (const auto& e : embeddings) sharded.add(e);
+    ASSERT_EQ(sharded.size(), single.size());
+    for (int k : {1, 3, 5, static_cast<int>(embeddings.size()), 100}) {
+      for (int prefilter : {0, 4, static_cast<int>(embeddings.size())}) {
+        for (QuerySide side : {QuerySide::A, QuerySide::B}) {
+          const auto want = single.topk(query, k, prefilter, side);
+          const auto got = sharded.topk(query, k, prefilter, side);
+          expect_hits_equal(want, got,
+                            "shards=" + std::to_string(shards) +
+                                " k=" + std::to_string(k) +
+                                " prefilter=" + std::to_string(prefilter));
+        }
+      }
+    }
+  }
+}
+
+// Satellite: merge-order determinism. Equal-cosine AND equal-head-score
+// ties (duplicate embeddings scattered across different shards) must break
+// toward the lower GLOBAL id for shard counts 1, 2 and 7 — including when
+// k exceeds every single shard's population, so the answer must cross
+// shard boundaries.
+TEST(ShardedIndex, TiesBreakTowardLowerGlobalIdAcrossShards) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  const Embedding dup = engine.embed(tiny_graph(4, 1));
+  const Embedding other = engine.embed(tiny_graph(5, 2));
+  const Embedding query = engine.embed(tiny_graph(6, 3));
+
+  for (int shards : {1, 2, 7}) {
+    ShardedIndex index(engine, shards);
+    // Round-robin placement scatters the nine duplicates over every shard.
+    std::vector<int> dup_ids;
+    for (int i = 0; i < 9; ++i) dup_ids.push_back(index.add(dup));
+    const int other_id = index.add(other);
+    const int k = static_cast<int>(index.size());
+    // For every multi-shard count, k exceeds any single shard's population
+    // — the answer must cross shard boundaries.
+    if (shards > 1) {
+      for (int s = 0; s < shards; ++s)
+        ASSERT_GT(static_cast<std::size_t>(k), index.shard_size(s));
+    }
+
+    const auto hits = index.topk(query, k);
+    ASSERT_EQ(hits.size(), static_cast<std::size_t>(k));
+    // The duplicates tie on cosine and head score; they must appear as one
+    // run in ascending global-id order.
+    std::vector<int> dup_ranks;
+    for (std::size_t r = 0; r < hits.size(); ++r)
+      if (hits[r].id != other_id) dup_ranks.push_back(static_cast<int>(r));
+    ASSERT_EQ(dup_ranks.size(), dup_ids.size());
+    for (std::size_t i = 0; i + 1 < dup_ranks.size(); ++i) {
+      EXPECT_EQ(dup_ranks[i] + 1, dup_ranks[i + 1]) << "ties not adjacent";
+      EXPECT_LT(hits[dup_ranks[i]].id, hits[dup_ranks[i + 1]].id)
+          << "tie broke away from the lower global id (shards=" << shards << ")";
+      EXPECT_EQ(hits[dup_ranks[i]].score, hits[dup_ranks[i + 1]].score);
+      EXPECT_EQ(hits[dup_ranks[i]].cosine, hits[dup_ranks[i + 1]].cosine);
+    }
+  }
+}
+
+TEST(ShardedIndex, ExplicitShardKeysPreserveParity) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  const auto embeddings = embedding_zoo(engine, 12);
+
+  EmbeddingIndex single(engine);
+  for (const auto& e : embeddings) single.add(e);
+
+  // Skewed explicit placement: everything on shard 2 except every third id.
+  ShardedIndex sharded(engine, 4);
+  for (std::size_t i = 0; i < embeddings.size(); ++i) {
+    const int shard = i % 3 == 0 ? static_cast<int>(i) % 4 : 2;
+    const int id = sharded.add(embeddings[i], shard);
+    EXPECT_EQ(id, static_cast<int>(i));
+    EXPECT_EQ(sharded.shard_of(id), shard);
+  }
+  EXPECT_GT(sharded.shard_size(2), sharded.shard_size(0));
+
+  const Embedding query = engine.embed(tiny_graph(7, 42));
+  expect_hits_equal(single.topk(query, 6), sharded.topk(query, 6),
+                    "explicit shard keys");
+
+  EXPECT_THROW(sharded.add(embeddings[0], 4), std::invalid_argument);
+  EXPECT_THROW(sharded.add(embeddings[0], -1), std::invalid_argument);
+  EXPECT_THROW(ShardedIndex(engine, 0), std::invalid_argument);
+}
+
+TEST(ShardedIndex, ThreadCountInvariance) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  ShardedIndex index(engine, 3);
+  for (const auto& e : embedding_zoo(engine, 10, 2)) index.add(e);
+  const Embedding query = engine.embed(tiny_graph(5, 17));
+  const auto t1 = index.topk(query, 6, 0, QuerySide::A, /*threads=*/1);
+  const auto t4 = index.topk(query, 6, 0, QuerySide::A, /*threads=*/4);
+  ASSERT_EQ(t1.size(), t4.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].id, t4[i].id);
+    EXPECT_EQ(t1[i].cosine, t4[i].cosine);
+    EXPECT_EQ(t1[i].score, t4[i].score);
+  }
+}
+
+TEST(ShardedIndex, EmptyAndEdgeCases) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  ShardedIndex index(engine, 3);
+  EXPECT_TRUE(index.topk(Embedding(), 5).empty());  // empty index
+  index.add(engine.embed(tiny_graph(3, 0)));
+  EXPECT_TRUE(index.topk(engine.embed(tiny_graph(3, 1)), 0).empty());  // k <= 0
+  EXPECT_THROW(index.topk(Embedding(3, 0.0f), 2), std::invalid_argument);
+  EXPECT_THROW(index.add(Embedding(3, 0.0f)), std::invalid_argument);
+  index.clear();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.num_shards(), 3);
+}
+
+TEST(ShardedIndex, SaveLoadRoundTripServesBitIdentically) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  ShardedIndex index(engine, 3);
+  const auto embeddings = embedding_zoo(engine, 11, 2);
+  // Mixed placement: round-robin plus a few explicit keys.
+  for (std::size_t i = 0; i < embeddings.size(); ++i) {
+    if (i % 4 == 3)
+      index.add(embeddings[i], 1);
+    else
+      index.add(embeddings[i]);
+  }
+  const std::string prefix = ::testing::TempDir() + "gbm_sharded_index";
+  index.save(prefix);
+
+  const ShardedIndex restored = ShardedIndex::load(engine, prefix);
+  EXPECT_EQ(restored.num_shards(), index.num_shards());
+  ASSERT_EQ(restored.size(), index.size());
+  for (int id = 0; id < static_cast<int>(index.size()); ++id) {
+    EXPECT_EQ(restored.shard_of(id), index.shard_of(id));
+    EXPECT_EQ(restored.embedding(id), index.embedding(id));
+  }
+  const Embedding query = engine.embed(tiny_graph(6, 23));
+  expect_hits_equal(
+      [&] {  // the saved index's own answer, as EmbeddingIndex::Hit
+        std::vector<EmbeddingIndex::Hit> want;
+        for (const auto& h : index.topk(query, 7)) want.push_back(h);
+        return want;
+      }(),
+      restored.topk(query, 7), "save/load round trip");
+  for (int s = 0; s < index.num_shards(); ++s)
+    std::remove(ShardedIndex::shard_path(prefix, s).c_str());
+}
+
+TEST(ShardedIndex, LoadErrorPaths) {
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  ShardedIndex index(engine, 2);
+  for (const auto& e : embedding_zoo(engine, 6)) index.add(e);
+  const std::string prefix = ::testing::TempDir() + "gbm_sharded_badload";
+  index.save(prefix);
+
+  // Missing shard file.
+  std::remove(ShardedIndex::shard_path(prefix, 1).c_str());
+  EXPECT_THROW(ShardedIndex::load(engine, prefix), std::runtime_error);
+
+  // Truncated shard file.
+  index.save(prefix);
+  {
+    std::FILE* fp = std::fopen(ShardedIndex::shard_path(prefix, 1).c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fputs("GBMX", fp);
+    std::fclose(fp);
+  }
+  EXPECT_THROW(ShardedIndex::load(engine, prefix), std::runtime_error);
+
+  // Wrong magic.
+  index.save(prefix);
+  {
+    std::FILE* fp = std::fopen(ShardedIndex::shard_path(prefix, 0).c_str(), "r+b");
+    ASSERT_NE(fp, nullptr);
+    std::fputs("NOPE", fp);
+    std::fclose(fp);
+  }
+  EXPECT_THROW(ShardedIndex::load(engine, prefix), std::runtime_error);
+
+  // Corrupted total on a SINGLE-shard index (no cross-file header check
+  // applies): a huge header count must fail descriptively against the ids
+  // actually read, not drive a huge allocation.
+  {
+    ShardedIndex one(engine, 1);
+    one.add(engine.embed(tiny_graph(3, 0)));
+    const std::string one_prefix = ::testing::TempDir() + "gbm_sharded_onetotal";
+    one.save(one_prefix);
+    std::FILE* fp = std::fopen(ShardedIndex::shard_path(one_prefix, 0).c_str(), "r+b");
+    ASSERT_NE(fp, nullptr);
+    ASSERT_EQ(std::fseek(fp, 16, SEEK_SET), 0);  // magic+version+shard+shards
+    const std::uint64_t huge = 1ull << 48;
+    ASSERT_EQ(std::fwrite(&huge, sizeof huge, 1, fp), 1u);
+    std::fclose(fp);
+    EXPECT_THROW(ShardedIndex::load(engine, one_prefix), std::runtime_error);
+    std::remove(ShardedIndex::shard_path(one_prefix, 0).c_str());
+  }
+
+  // Nothing at all.
+  for (int s = 0; s < 2; ++s)
+    std::remove(ShardedIndex::shard_path(prefix, s).c_str());
+  EXPECT_THROW(ShardedIndex::load(engine, prefix), std::runtime_error);
+}
+
+// ---- MatchServer ----------------------------------------------------------
+
+const char* kCorpusSources[] = {
+    "int main(){ print(1); return 0; }",
+    "int main(){ long s=0; long i; for(i=0;i<7;i++){ s+=i*3; } print(s);"
+    " return 0; }",
+    "int main(){ puts(\"xyz\"); print(999983); return 0; }",
+    "int main(){ long a = 2; long b = 40; print(a + b); return 0; }",
+    "int main(){ long i; for(i=9;i>0;i--){ print(i); } return 0; }",
+    "int main(){ long x = 5; if (x > 3) { print(x); } else { puts(\"no\"); }"
+    " return 0; }",
+};
+
+/// Trains a small matcher over kCorpusSources, builds its index, and
+/// returns the system (the in-memory equivalent of loading a snapshot).
+core::MatchingSystem trained_system() {
+  core::MatchingSystem::Config cfg;
+  cfg.model.vocab = 64;
+  cfg.model.embed_dim = 8;
+  cfg.model.hidden = 8;
+  cfg.model.layers = 1;
+  cfg.model.interaction = true;
+  core::MatchingSystem sys(cfg);
+  std::vector<graph::ProgramGraph> graphs;
+  for (const char* src : kCorpusSources) {
+    auto module = frontend::compile_source(src, frontend::Lang::C, "Main");
+    graphs.push_back(graph::build_graph(*module));
+  }
+  std::vector<const graph::ProgramGraph*> gptrs;
+  for (const auto& g : graphs) gptrs.push_back(&g);
+  sys.fit_tokenizer(gptrs);
+  std::vector<gnn::EncodedGraph> encoded;
+  for (const auto& g : graphs) encoded.push_back(sys.encode(g));
+  std::vector<gnn::PairSample> pairs = {{&encoded[0], &encoded[0], 1.0f},
+                                        {&encoded[1], &encoded[1], 1.0f},
+                                        {&encoded[0], &encoded[1], 0.0f},
+                                        {&encoded[2], &encoded[3], 0.0f}};
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 3;
+  sys.train(pairs, tcfg);
+  std::vector<const gnn::EncodedGraph*> eptrs;
+  for (const auto& e : encoded) eptrs.push_back(&e);
+  sys.embed_all(eptrs);
+  return sys;
+}
+
+MatchServer::Query query_of(const char* src, int k = 3) {
+  MatchServer::Query q;
+  q.source = src;
+  q.k = k;
+  return q;
+}
+
+TEST(MatchServer, SnapshotLifecycleServesSystemTopk) {
+  auto sys = trained_system();
+  const std::string path = ::testing::TempDir() + "gbm_server_snapshot.gbms";
+  sys.save(path);
+
+  MatchServerConfig cfg;
+  cfg.num_shards = 3;
+  MatchServer server(path, cfg);
+  std::remove(path.c_str());
+
+  // The server's answer equals the system's own topk on the same query,
+  // compiled through the identical toolchain (build_artifact runs the
+  // optimiser; the server's admission path does the same).
+  data::SourceFile query_file;
+  query_file.source = kCorpusSources[0];
+  query_file.lang = frontend::Lang::C;
+  query_file.unit_name = "Query";
+  query_file.task_index = -1;
+  const auto query_artifact = core::build_artifact(query_file, {});
+  ASSERT_TRUE(query_artifact.ok) << query_artifact.error;
+  const auto want = sys.topk(sys.encode(query_artifact.graph), 3);
+  const MatchResult got = server.submit(query_of(kCorpusSources[0]));
+  ASSERT_TRUE(got.ok) << got.error;
+  ASSERT_EQ(got.hits.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got.hits[i].id, want[i].id);
+    EXPECT_EQ(got.hits[i].score, want[i].score);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(MatchServer, SnapshotWithoutIndexRejected) {
+  core::MatchingSystem::Config cfg;
+  cfg.model.vocab = 32;
+  cfg.model.embed_dim = 8;
+  cfg.model.hidden = 8;
+  cfg.model.layers = 1;
+  core::MatchingSystem sys(cfg);
+  auto module =
+      frontend::compile_source(kCorpusSources[0], frontend::Lang::C, "Main");
+  auto g = graph::build_graph(*module);
+  sys.fit_tokenizer({&g});
+  auto enc = sys.encode(g);
+  std::vector<gnn::PairSample> pairs = {{&enc, &enc, 1.0f}};
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 1;
+  sys.train(pairs, tcfg);  // trained, but embed_all never ran
+  const std::string path = ::testing::TempDir() + "gbm_server_noindex.gbms";
+  sys.save(path);
+  EXPECT_THROW(MatchServer(path, MatchServerConfig{}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// Acceptance bar: >= 8 concurrent clients receive per-query results
+// identical to serial one-query-at-a-time execution. The concurrent server
+// coalesces requests into shared GraphBatch passes; the serial baseline
+// (fresh server, one in-flight query at a time) never batches — identical
+// answers prove batching composition cannot leak into results.
+TEST(MatchServer, ConcurrentClientsMatchSerialExecution) {
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 4;
+  const int n_sources = static_cast<int>(std::size(kCorpusSources));
+
+  // Serial baseline: one query at a time, in a fixed order.
+  std::vector<std::vector<MatchResult>> want(kClients);
+  {
+    MatchServerConfig cfg;
+    cfg.num_shards = 3;
+    cfg.max_wait_us = 0;  // dispatch immediately, no coalescing
+    MatchServer serial(trained_system(), cfg);
+    for (int c = 0; c < kClients; ++c)
+      for (int q = 0; q < kQueriesPerClient; ++q)
+        want[c].push_back(
+            serial.submit(query_of(kCorpusSources[(c + q) % n_sources], 1 + q)));
+  }
+
+  // Concurrent run: all clients hammer a fresh server at once with a long
+  // coalescing window, so requests share batches in timing-dependent ways.
+  MatchServerConfig cfg;
+  cfg.num_shards = 3;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 20000;
+  MatchServer server(trained_system(), cfg);
+  std::vector<std::vector<MatchResult>> got(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q)
+        got[c].push_back(
+            server.submit(query_of(kCorpusSources[(c + q) % n_sources], 1 + q)));
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (int q = 0; q < kQueriesPerClient; ++q) {
+      const MatchResult& w = want[c][static_cast<std::size_t>(q)];
+      const MatchResult& g = got[c][static_cast<std::size_t>(q)];
+      ASSERT_TRUE(w.ok);
+      ASSERT_TRUE(g.ok) << g.error;
+      ASSERT_EQ(g.hits.size(), w.hits.size()) << "client " << c << " query " << q;
+      for (std::size_t i = 0; i < w.hits.size(); ++i) {
+        EXPECT_EQ(g.hits[i].id, w.hits[i].id) << "client " << c << " query " << q;
+        EXPECT_EQ(g.hits[i].cosine, w.hits[i].cosine);
+        EXPECT_EQ(g.hits[i].score, w.hits[i].score);
+      }
+    }
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kClients * kQueriesPerClient));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // Histogram accounting: every completed request sits in exactly one batch.
+  std::uint64_t hist_requests = 0, hist_batches = 0;
+  for (std::size_t b = 0; b < stats.batch_size_hist.size(); ++b) {
+    hist_batches += stats.batch_size_hist[b];
+    hist_requests += stats.batch_size_hist[b] * (b + 1);
+  }
+  EXPECT_EQ(hist_batches, stats.batches);
+  EXPECT_EQ(hist_requests, stats.completed);
+}
+
+TEST(MatchServer, CoalescesWaitingRequestsIntoOneBatch) {
+  MatchServerConfig cfg;
+  cfg.num_shards = 2;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 200000;  // generous window: everyone shares one batch
+  MatchServer server(trained_system(), cfg);
+
+  // Pre-encode so admission is instant and all 8 land inside the window.
+  std::vector<gnn::EncodedGraph> encoded;
+  for (int i = 0; i < 8; ++i)
+    encoded.push_back(
+        server.system().encode([&] {
+          auto module = frontend::compile_source(kCorpusSources[i % 2],
+                                                 frontend::Lang::C, "Query");
+          return graph::build_graph(*module);
+        }()));
+  std::vector<std::future<MatchResult>> futures;
+  for (auto& e : encoded)
+    futures.push_back(server.submit_encoded(e, QuerySide::A, 2));
+  std::vector<MatchResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+  for (const auto& r : results) EXPECT_TRUE(r.ok) << r.error;
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_LE(stats.batches, 2u);  // the window coalesces (usually 1 batch)
+  // Identical content → identical answers (deduped inside the batch).
+  for (int i = 2; i < 8; i += 2) {
+    ASSERT_EQ(results[static_cast<std::size_t>(i)].hits.size(),
+              results[0].hits.size());
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].hits[0].id, results[0].hits[0].id);
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].hits[0].score,
+              results[0].hits[0].score);
+  }
+}
+
+TEST(MatchServer, CompileErrorsReportedNotFatal) {
+  MatchServerConfig cfg;
+  cfg.num_shards = 2;
+  MatchServer server(trained_system(), cfg);
+  const MatchResult bad = server.submit(query_of("int main(){ this is not C"));
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+  EXPECT_TRUE(bad.hits.empty());
+  // The server keeps serving after a failed query.
+  const MatchResult good = server.submit(query_of(kCorpusSources[0]));
+  EXPECT_TRUE(good.ok) << good.error;
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(MatchServer, MalformedEncodedQueryRejectedAtAdmission) {
+  MatchServerConfig cfg;
+  cfg.num_shards = 2;
+  MatchServer server(trained_system(), cfg);
+  // A malformed graph would make the dispatcher's batched embed pass throw
+  // (or index out of bounds), poisoning every request sharing its batch;
+  // admission must answer with an error result instead of enqueueing it.
+  const MatchResult empty =
+      server.submit_encoded(gnn::EncodedGraph{}, QuerySide::A, 3).get();
+  EXPECT_FALSE(empty.ok);
+  EXPECT_NE(empty.error.find("empty"), std::string::npos);
+
+  gnn::EncodedGraph bad_edge = tiny_graph(3, 0);
+  bad_edge.edges[1].src.push_back(0);
+  bad_edge.edges[1].dst.push_back(7);  // out of node range
+  bad_edge.edges[1].pos.push_back(0);
+  const MatchResult edge =
+      server.submit_encoded(std::move(bad_edge), QuerySide::A, 3).get();
+  EXPECT_FALSE(edge.ok);
+  EXPECT_NE(edge.error.find("edge endpoint"), std::string::npos);
+
+  gnn::EncodedGraph bad_token = tiny_graph(3, 0);
+  bad_token.tokens[0] = 9999;  // out of vocabulary range
+  const MatchResult token =
+      server.submit_encoded(std::move(bad_token), QuerySide::A, 3).get();
+  EXPECT_FALSE(token.ok);
+  EXPECT_NE(token.error.find("token id"), std::string::npos);
+
+  const MatchResult good = server.submit(query_of(kCorpusSources[0]));
+  EXPECT_TRUE(good.ok) << good.error;
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.failed, 3u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(MatchServer, ArtifactStoreActsAsCompileCache) {
+  const std::string dir = ::testing::TempDir() + "gbm_server_store";
+  core::ArtifactStore::destroy(dir);
+  MatchServerConfig cfg;
+  cfg.num_shards = 2;
+  cfg.store_dir = dir;
+  MatchServer server(trained_system(), cfg);
+  const MatchResult first = server.submit(query_of(kCorpusSources[1]));
+  ASSERT_TRUE(first.ok) << first.error;
+  const MatchResult second = server.submit(query_of(kCorpusSources[1]));
+  ASSERT_TRUE(second.ok) << second.error;
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.store.misses, 1u);  // first query compiled + stored
+  EXPECT_EQ(stats.store.writes, 1u);
+  EXPECT_EQ(stats.store.hits, 1u);  // second skipped the toolchain
+  ASSERT_EQ(second.hits.size(), first.hits.size());
+  for (std::size_t i = 0; i < first.hits.size(); ++i) {
+    EXPECT_EQ(second.hits[i].id, first.hits[i].id);
+    EXPECT_EQ(second.hits[i].score, first.hits[i].score);
+  }
+  core::ArtifactStore::destroy(dir);
+}
+
+TEST(MatchServer, ShutdownDrainsAdmittedAndRejectsNew) {
+  MatchServerConfig cfg;
+  cfg.num_shards = 2;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 50000;  // slow dispatcher: requests pile up
+  MatchServer server(trained_system(), cfg);
+
+  // Admit a burst asynchronously, then shut down while it is in flight.
+  std::vector<std::future<MatchResult>> futures;
+  for (int i = 0; i < 10; ++i)
+    futures.push_back(server.submit_async(
+        query_of(kCorpusSources[i % std::size(kCorpusSources)], 2)));
+  server.shutdown();
+
+  // Every admitted request was answered — none dropped, none failed.
+  for (auto& f : futures) {
+    const MatchResult r = f.get();
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.hits.empty());
+  }
+  // Admission after shutdown is a rejection result, not an exception.
+  const MatchResult late = server.submit(query_of(kCorpusSources[0]));
+  EXPECT_FALSE(late.ok);
+  EXPECT_NE(late.error.find("shut down"), std::string::npos);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 10u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  server.shutdown();  // idempotent
+}
+
+TEST(MatchServer, StatsTrackLatencyStages) {
+  MatchServerConfig cfg;
+  cfg.num_shards = 2;
+  MatchServer server(trained_system(), cfg);
+  for (int i = 0; i < 3; ++i) {
+    const auto r = server.submit(query_of(kCorpusSources[i]));
+    ASSERT_TRUE(r.ok) << r.error;
+  }
+  const auto stats = server.stats();
+  EXPECT_GT(stats.compile_us, 0u);
+  EXPECT_GT(stats.embed_us, 0u);
+  EXPECT_GE(stats.peak_queue_depth, 1u);
+  EXPECT_EQ(stats.batch_size_hist.size(), cfg.max_batch);
+}
+
+}  // namespace
+}  // namespace gbm::serve
