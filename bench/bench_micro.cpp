@@ -12,7 +12,10 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -29,6 +32,7 @@
 #include "opt/passes.h"
 #include "serve/match_server.h"
 #include "serve/sharded_index.h"
+#include "tensor/kernels/kernels.h"
 
 using namespace gbm;
 
@@ -558,13 +562,32 @@ void BM_SnapshotSaveLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotSaveLoad)->Unit(benchmark::kMillisecond);
 
+// A serving-scale corpus: the 12 real embeddings plus deterministic
+// perturbations of them, so the prefilter scans a realistic population
+// (a 12-row index prices the rerank head, not retrieval).
+std::vector<core::Embedding> index_corpus(const core::EmbeddingEngine& engine) {
+  std::vector<core::Embedding> rows;
+  for (const auto& g : pair_fixture().graphs) rows.push_back(engine.embed(g));
+  const std::size_t real = rows.size();
+  std::uint32_t x = 12345u;
+  while (rows.size() < 2048) {
+    core::Embedding e = rows[rows.size() % real];
+    for (auto& v : e) {
+      x ^= x << 13; x ^= x >> 17; x ^= x << 5;
+      v += static_cast<float>(static_cast<int>(x % 200) - 100) / 1000.0f;
+    }
+    rows.push_back(std::move(e));
+  }
+  return rows;
+}
+
 // One serving query: cosine prefilter over the corpus + top-5 rerank.
 void BM_IndexTopk(benchmark::State& state) {
   const auto& fx = pair_fixture();
   static const core::EmbeddingEngine engine(*pair_fixture().model);
   static const core::EmbeddingIndex index = [] {
     core::EmbeddingIndex idx(engine);
-    for (const auto& g : pair_fixture().graphs) idx.add(engine.embed(g));
+    for (auto& e : index_corpus(engine)) idx.add(std::move(e));
     return idx;
   }();
   const core::Embedding query = engine.embed(fx.graphs.front());
@@ -587,7 +610,7 @@ void BM_ShardedTopk(benchmark::State& state) {
   static const core::EmbeddingEngine engine(*pair_fixture().model);
   const int shards = static_cast<int>(state.range(0));
   serve::ShardedIndex index(engine, shards);
-  for (const auto& g : fx.graphs) index.add(engine.embed(g));
+  for (auto& e : index_corpus(engine)) index.add(std::move(e));
   const core::Embedding query = engine.embed(fx.graphs.front());
   for (auto _ : state) {
     const auto hits = index.topk(query, 5);
@@ -694,6 +717,156 @@ BENCHMARK(BM_ServerThroughput)
     ->Args({8, 8})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---- kernel tiers: scalar vs the active SIMD tier -------------------------
+//
+// Arg 0 runs the scalar reference, Arg 1 the best available SIMD tier
+// (skipped with an error when the host has none, so JSON consumers see the
+// absence explicitly). CI writes these out with
+//   bench_micro --benchmark_filter=BM_Kernel --benchmark_out=BENCH_kernels.json
+
+const tensor::kernels::Kernels* tier_for_arg(benchmark::State& state) {
+  if (state.range(0) == 0) return tensor::kernels::scalar_kernels();
+  for (auto t : {tensor::kernels::Tier::kAvx2, tensor::kernels::Tier::kNeon})
+    if (const auto* k = tensor::kernels::for_tier(t)) return k;
+  state.SkipWithError("no SIMD kernel tier available on this host");
+  return nullptr;
+}
+
+std::vector<float> bench_floats(std::size_t n, unsigned seed) {
+  std::vector<float> v(n);
+  std::uint32_t x = seed * 2654435761u + 1u;
+  for (auto& f : v) {
+    x ^= x << 13; x ^= x >> 17; x ^= x << 5;
+    f = static_cast<float>(static_cast<int>(x % 2000) - 1000) / 500.0f;
+  }
+  return v;
+}
+
+void BM_KernelMatmul(benchmark::State& state) {
+  const auto* k = tier_for_arg(state);
+  if (!k) return;
+  const long n = 128, kk = 96, m = 128;
+  const auto A = bench_floats(static_cast<std::size_t>(n * kk), 1);
+  const auto B = bench_floats(static_cast<std::size_t>(kk * m), 2);
+  std::vector<float> C(static_cast<std::size_t>(n * m));
+  for (auto _ : state) {
+    std::fill(C.begin(), C.end(), 0.0f);
+    k->matmul_fwd(A.data(), B.data(), C.data(), n, kk, m, 1);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * kk * m);
+  state.SetLabel(k->name);
+}
+BENCHMARK(BM_KernelMatmul)->Arg(0)->Arg(1);
+
+void BM_KernelSegmentDot(benchmark::State& state) {
+  const auto* k = tier_for_arg(state);
+  if (!k) return;
+  const long n = 4096, d = 64, nseg = 256;
+  const auto a = bench_floats(static_cast<std::size_t>(n * d), 3);
+  const auto b = bench_floats(static_cast<std::size_t>(nseg * d), 4);
+  std::vector<int> seg(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) seg[static_cast<std::size_t>(i)] =
+      static_cast<int>(i % nseg);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    k->segment_rowwise_dot_fwd(a.data(), b.data(), seg.data(), n, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * d);
+  state.SetLabel(k->name);
+}
+BENCHMARK(BM_KernelSegmentDot)->Arg(0)->Arg(1);
+
+void BM_KernelSegmentMax(benchmark::State& state) {
+  const auto* k = tier_for_arg(state);
+  if (!k) return;
+  const long n = 4096, d = 64, nseg = 256;
+  const auto a = bench_floats(static_cast<std::size_t>(n * d), 5);
+  std::vector<int> seg(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) seg[static_cast<std::size_t>(i)] =
+      static_cast<int>(i % nseg);
+  std::vector<float> out(static_cast<std::size_t>(nseg * d));
+  std::vector<int> argmax(out.size());
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    k->segment_max_fwd(a.data(), seg.data(), n, d, nseg, out.data(), argmax.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * d);
+  state.SetLabel(k->name);
+}
+BENCHMARK(BM_KernelSegmentMax)->Arg(0)->Arg(1);
+
+void BM_KernelSegmentWeightedSum(benchmark::State& state) {
+  const auto* k = tier_for_arg(state);
+  if (!k) return;
+  const long n = 4096, d = 64, nseg = 256;
+  const auto a = bench_floats(static_cast<std::size_t>(n * d), 6);
+  const auto w = bench_floats(static_cast<std::size_t>(n), 7);
+  std::vector<int> seg(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) seg[static_cast<std::size_t>(i)] =
+      static_cast<int>(i % nseg);
+  std::vector<float> out(static_cast<std::size_t>(nseg * d));
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    k->segment_weighted_sum_fwd(a.data(), w.data(), seg.data(), n, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * d);
+  state.SetLabel(k->name);
+}
+BENCHMARK(BM_KernelSegmentWeightedSum)->Arg(0)->Arg(1);
+
+void BM_KernelElementwise(benchmark::State& state) {
+  const auto* k = tier_for_arg(state);
+  if (!k) return;
+  const long n = 1 << 16;
+  const auto a = bench_floats(static_cast<std::size_t>(n), 8);
+  const auto b = bench_floats(static_cast<std::size_t>(n), 9);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    k->mul_n(out.data(), a.data(), b.data(), n);
+    k->add_n(out.data(), out.data(), a.data(), n);
+    k->lrelu_fwd_n(out.data(), out.data(), 0.01f, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 3);
+  state.SetLabel(k->name);
+}
+BENCHMARK(BM_KernelElementwise)->Arg(0)->Arg(1);
+
+void BM_KernelCenteredDot(benchmark::State& state) {
+  const auto* k = tier_for_arg(state);
+  if (!k) return;
+  const long n = 2048, d = 64;
+  const auto rows = bench_floats(static_cast<std::size_t>(n * d), 10);
+  const auto q = bench_floats(static_cast<std::size_t>(d), 11);
+  std::vector<double> norms(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    double nb = 0.0;
+    for (long c = 0; c < d; ++c) {
+      const float v = rows[static_cast<std::size_t>(i * d + c)];
+      nb += static_cast<double>(v) * v;
+    }
+    norms[static_cast<std::size_t>(i)] = std::sqrt(nb);
+  }
+  double qn = 0.0;
+  for (long c = 0; c < d; ++c)
+    qn += static_cast<double>(q[static_cast<std::size_t>(c)]) *
+          q[static_cast<std::size_t>(c)];
+  qn = std::sqrt(qn);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    k->centered_dot_batch(rows.data(), norms.data(), q.data(), qn, n, d,
+                          out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * d);
+  state.SetLabel(k->name);
+}
+BENCHMARK(BM_KernelCenteredDot)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -1,9 +1,13 @@
 #include "core/artifact_store.h"
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
+
+#include <algorithm>
+#include <tuple>
 
 #include <cerrno>
 #include <cstdio>
@@ -304,6 +308,14 @@ std::optional<Artifact> ArtifactStore::load(std::uint64_t key) const {
     const auto bytes = tensor::io::read_file(path, "ArtifactStore::load");
     tensor::io::Reader r(bytes, "ArtifactStore::load(" + path + ")");
     Artifact artifact = read_artifact(r);
+    // Refresh the access time explicitly (atime only; mtime untouched) so
+    // evict()'s LRU order tracks real hits even on relatime/noatime mounts.
+    struct timespec times[2];
+    times[0].tv_sec = 0;
+    times[0].tv_nsec = UTIME_NOW;
+    times[1].tv_sec = 0;
+    times[1].tv_nsec = UTIME_OMIT;
+    ::utimensat(AT_FDCWD, path.c_str(), times, 0);
     hits_.fetch_add(1, std::memory_order_relaxed);
     return artifact;
   } catch (const std::exception&) {
@@ -326,6 +338,50 @@ void ArtifactStore::put(std::uint64_t key, const Artifact& artifact) const {
   write_artifact(w, artifact);
   w.to_file(path_for(key));
   writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t ArtifactStore::evict(std::uint64_t max_bytes) const {
+  struct Entry {
+    long atime_sec;
+    long atime_nsec;
+    std::string name;
+    std::uint64_t size;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  DIR* d = ::opendir(dir_.c_str());
+  if (!d) return 0;
+  while (dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    // Only the flat *.gbma entries participate; quarantine/ and any stray
+    // temp files are outside the budget and never deleted here.
+    if (name.size() < 5 || name.compare(name.size() - 5, 5, ".gbma") != 0)
+      continue;
+    struct ::stat st;
+    if (::stat((dir_ + "/" + name).c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+      continue;
+    entries.push_back({static_cast<long>(st.st_atim.tv_sec),
+                       static_cast<long>(st.st_atim.tv_nsec), name,
+                       static_cast<std::uint64_t>(st.st_size)});
+    total += static_cast<std::uint64_t>(st.st_size);
+  }
+  ::closedir(d);
+  if (total <= max_bytes) return 0;
+  // Oldest access first; the name is a total-order tie-break so concurrent
+  // same-second writes still evict deterministically.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.atime_sec, a.atime_nsec, a.name) <
+           std::tie(b.atime_sec, b.atime_nsec, b.name);
+  });
+  std::size_t removed = 0;
+  for (const Entry& e : entries) {
+    if (total <= max_bytes) break;
+    if (::unlink((dir_ + "/" + e.name).c_str()) != 0) continue;
+    total -= e.size;
+    ++removed;
+  }
+  evicted_.fetch_add(removed, std::memory_order_relaxed);
+  return removed;
 }
 
 std::vector<Artifact> build_artifacts(const std::vector<data::SourceFile>& files,

@@ -79,6 +79,16 @@ class ArtifactStore {
   /// Persists an artifact under `key` (atomic: temp file + rename).
   void put(std::uint64_t key, const Artifact& artifact) const;
 
+  /// Shrinks the store to at most `max_bytes` of entry payload by deleting
+  /// least-recently-used entries first. Recency is the file access time —
+  /// load() explicitly refreshes the atime of every hit, so the order is
+  /// robust even on relatime/noatime mounts — with the entry name as a
+  /// deterministic tie-break. Quarantined files are untouched (they are
+  /// post-mortem evidence, not cache). Returns the number of entries
+  /// removed; Stats::evicted accumulates across calls. `max_bytes` 0 empties
+  /// the store.
+  std::size_t evict(std::uint64_t max_bytes) const;
+
   /// Deletes every entry of a store directory (flat layout plus the
   /// quarantine subdirectory) and the directory itself. No-op if the
   /// directory does not exist. The single cleanup primitive for
@@ -91,12 +101,15 @@ class ArtifactStore {
     std::uint64_t writes = 0;
     /// Corrupt/truncated entries moved aside to quarantine_dir() by load().
     std::uint64_t quarantined = 0;
+    /// Entries deleted by evict() to get back under its byte budget.
+    std::uint64_t evicted = 0;
   };
   Stats stats() const {
     return {hits_.load(std::memory_order_relaxed),
             misses_.load(std::memory_order_relaxed),
             writes_.load(std::memory_order_relaxed),
-            quarantined_.load(std::memory_order_relaxed)};
+            quarantined_.load(std::memory_order_relaxed),
+            evicted_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -105,6 +118,7 @@ class ArtifactStore {
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> writes_{0};
   mutable std::atomic<std::uint64_t> quarantined_{0};
+  mutable std::atomic<std::uint64_t> evicted_{0};
 };
 
 /// Store-aware batch artifact production: per file, load on store hit,

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "tensor/kernels/kernels.h"
 
 namespace gbm::core {
 
@@ -55,6 +56,31 @@ float cosine_similarity(const Embedding& a, const Embedding& b) {
   }
   if (na <= 0 || nb <= 0) return 0.0f;
   return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+void CenteredRowsCache::invalidate() {
+  std::lock_guard<std::mutex> lock(mu);
+  valid = false;
+}
+
+void CenteredRowsCache::ensure(const std::vector<Embedding>& embeddings,
+                               const Embedding& sum, float inv_n) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (valid) return;
+  const std::size_t n = embeddings.size();
+  const std::size_t d = sum.size();
+  rows.assign(n * d, 0.0f);
+  norms.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Embedding& e = embeddings[i];
+    float* r = rows.data() + i * d;
+    // Same float op sequence as the per-query re-centering this replaces.
+    for (std::size_t c = 0; c < d; ++c) r[c] = e[c] - sum[c] * inv_n;
+    double nb = 0.0;
+    for (std::size_t c = 0; c < d; ++c) nb += static_cast<double>(r[c]) * r[c];
+    norms[i] = std::sqrt(nb);
+  }
+  valid = true;
 }
 
 // ---- cache ----------------------------------------------------------------
@@ -230,12 +256,14 @@ int EmbeddingIndex::add(Embedding embedding) {
   if (sum_.empty()) sum_.assign(embedding.size(), 0.0f);
   for (std::size_t c = 0; c < embedding.size(); ++c) sum_[c] += embedding[c];
   embeddings_.push_back(std::move(embedding));
+  centered_->invalidate();  // the centering mean moved — every row changes
   return static_cast<int>(embeddings_.size()) - 1;
 }
 
 void EmbeddingIndex::clear() {
   embeddings_.clear();
   sum_.clear();
+  centered_->invalidate();
 }
 
 std::vector<EmbeddingIndex::Hit> EmbeddingIndex::topk(const Embedding& query,
@@ -247,21 +275,27 @@ std::vector<EmbeddingIndex::Hit> EmbeddingIndex::topk(const Embedding& query,
       std::min<std::size_t>(embeddings_.size(),
                             static_cast<std::size_t>(std::max(prefilter, k)));
 
-  // Centered-cosine prefilter: cheap dot products over every stored
-  // embedding, after subtracting the index mean from both sides.
+  // Centered-cosine prefilter: one fused kernel call over cached
+  // mean-centered rows (built on first query, invalidated by add()).
   const float inv_n = 1.0f / static_cast<float>(embeddings_.size());
   Embedding centered_query(query.size());
   if (query.size() != sum_.size())
     throw std::invalid_argument("EmbeddingIndex::topk: query dim mismatch");
   for (std::size_t c = 0; c < query.size(); ++c)
     centered_query[c] = query[c] - sum_[c] * inv_n;
+  double q_norm = 0.0;
+  for (const float v : centered_query) q_norm += static_cast<double>(v) * v;
+  q_norm = std::sqrt(q_norm);
+  centered_->ensure(embeddings_, sum_, inv_n);
+  std::vector<float> cos(embeddings_.size());
+  tensor::kernels::active().centered_dot_batch(
+      centered_->rows.data(), centered_->norms.data(), centered_query.data(),
+      q_norm, static_cast<long>(embeddings_.size()),
+      static_cast<long>(query.size()), cos.data());
   std::vector<Hit> hits(embeddings_.size());
-  Embedding centered(query.size());
   for (std::size_t i = 0; i < embeddings_.size(); ++i) {
-    for (std::size_t c = 0; c < centered.size(); ++c)
-      centered[c] = embeddings_[i][c] - sum_[c] * inv_n;
     hits[i].id = static_cast<int>(i);
-    hits[i].cosine = cosine_similarity(centered_query, centered);
+    hits[i].cosine = cos[i];
   }
   std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(shortlist),
                     hits.end(), [](const Hit& a, const Hit& b) {

@@ -52,6 +52,27 @@ std::uint64_t encoded_graph_key(const gnn::EncodedGraph& g);
 /// Cosine similarity of two equal-length vectors; 0 if either has zero norm.
 float cosine_similarity(const Embedding& a, const Embedding& b);
 
+/// Precomputed side of the fused centered-cosine prefilter
+/// (tensor::kernels::Kernels::centered_dot_batch): mean-centered copies of a
+/// row set plus each row's (double-accumulated) L2 norm. Built lazily on the
+/// first query and invalidated whenever the centering mean changes — i.e. on
+/// every add() — so queries against a stable index never re-center or
+/// re-norm a stored row. The float centering and double norm accumulation
+/// reproduce cosine_similarity bit for bit on the scalar kernel tier.
+struct CenteredRowsCache {
+  std::mutex mu;
+  bool valid = false;
+  std::vector<float> rows;    // n*d, row i mean-centered in float
+  std::vector<double> norms;  // per-row centered L2 norm (sqrt of double sum)
+
+  void invalidate();
+  /// Rebuilds from `embeddings` centered by `sum[c] * inv_n` when invalid.
+  /// Thread-safe: concurrent callers serialize on `mu` and later readers see
+  /// a fully built cache.
+  void ensure(const std::vector<Embedding>& embeddings, const Embedding& sum,
+              float inv_n);
+};
+
 /// Thread-safe LRU cache of embeddings keyed by graph content hash.
 /// `capacity` 0 disables caching (every get misses, puts are dropped).
 class EmbeddingCache {
@@ -157,7 +178,8 @@ enum class QuerySide {
 /// toward the lower id.
 class EmbeddingIndex {
  public:
-  explicit EmbeddingIndex(const EmbeddingEngine& engine) : engine_(&engine) {}
+  explicit EmbeddingIndex(const EmbeddingEngine& engine)
+      : engine_(&engine), centered_(std::make_unique<CenteredRowsCache>()) {}
 
   /// Stores an embedding; returns its id (insertion order, 0-based).
   int add(Embedding embedding);
@@ -187,6 +209,10 @@ class EmbeddingIndex {
   const EmbeddingEngine* engine_;
   std::vector<Embedding> embeddings_;
   Embedding sum_;  // running column sum for the centering mean
+  // unique_ptr because the mutex inside pins CenteredRowsCache in place while
+  // the index itself stays movable (ShardedIndex::load and bench fixtures
+  // return indexes by value).
+  mutable std::unique_ptr<CenteredRowsCache> centered_;
 };
 
 }  // namespace gbm::core

@@ -1,11 +1,13 @@
 #include "serve/sharded_index.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <tuple>
 
 #include "core/artifact_store.h"
 #include "core/parallel.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/serialize.h"
 
 namespace gbm::serve {
@@ -35,6 +37,7 @@ ShardedIndex::ShardedIndex(const core::EmbeddingEngine& engine, int num_shards)
     throw std::invalid_argument("ShardedIndex: num_shards must be >= 1, got " +
                                 std::to_string(num_shards));
   shards_.resize(static_cast<std::size_t>(num_shards));
+  for (Shard& s : shards_) s.centered = std::make_unique<core::CenteredRowsCache>();
 }
 
 int ShardedIndex::add(Embedding embedding) {
@@ -59,6 +62,9 @@ int ShardedIndex::add(Embedding embedding, int shard) {
   locator_.emplace_back(shard, static_cast<int>(s.ids.size()));
   s.ids.push_back(id);
   s.embeddings.push_back(std::move(embedding));
+  // The global mean moved, so every shard's centered rows are stale — not
+  // just the shard that received the row.
+  for (Shard& sh : shards_) sh.centered->invalidate();
   return id;
 }
 
@@ -66,6 +72,7 @@ void ShardedIndex::clear() {
   for (Shard& s : shards_) {
     s.ids.clear();
     s.embeddings.clear();
+    s.centered->invalidate();
   }
   locator_.clear();
   sum_.clear();
@@ -100,24 +107,32 @@ std::vector<ShardedIndex::Hit> ShardedIndex::topk(const Embedding& query, int k,
   Embedding centered_query(query.size());
   for (std::size_t c = 0; c < query.size(); ++c)
     centered_query[c] = query[c] - sum_[c] * inv_n;
+  double q_norm = 0.0;
+  for (const float v : centered_query) q_norm += static_cast<double>(v) * v;
+  q_norm = std::sqrt(q_norm);
 
   // Per-shard prefilter, fanned across the worker budget. Every member of
   // the global top-`shortlist` is inside its own shard's top-`shortlist`
   // prefix, so the union of the prefixes contains the exact candidate set
-  // a single EmbeddingIndex would rerank.
+  // a single EmbeddingIndex would rerank. Each shard's cosines come from one
+  // fused kernel call over that shard's cached centered rows (centered on
+  // the global mean, rebuilt lazily after an add).
   std::vector<std::vector<Hit>> per_shard(shards_.size());
   core::parallel_for(
       shards_.size(),
       [&](std::size_t s) {
         const Shard& shard = shards_[s];
+        shard.centered->ensure(shard.embeddings, sum_, inv_n);
+        std::vector<float> cos(shard.ids.size());
+        tensor::kernels::active().centered_dot_batch(
+            shard.centered->rows.data(), shard.centered->norms.data(),
+            centered_query.data(), q_norm,
+            static_cast<long>(shard.ids.size()),
+            static_cast<long>(query.size()), cos.data());
         std::vector<Hit> hits(shard.ids.size());
-        Embedding centered(centered_query.size());
         for (std::size_t i = 0; i < shard.ids.size(); ++i) {
-          const Embedding& e = shard.embeddings[i];
-          for (std::size_t c = 0; c < centered.size(); ++c)
-            centered[c] = e[c] - sum_[c] * inv_n;
           hits[i].id = shard.ids[i];
-          hits[i].cosine = core::cosine_similarity(centered_query, centered);
+          hits[i].cosine = cos[i];
         }
         const std::size_t keep = std::min(hits.size(), shortlist);
         std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(keep),

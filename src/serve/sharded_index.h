@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -98,6 +99,10 @@ class ShardedIndex {
   struct Shard {
     std::vector<int> ids;                 // global ids, insertion order
     std::vector<Embedding> embeddings;    // parallel to ids
+    // Per-shard prefilter cache, centered on the GLOBAL index mean; every
+    // shard's cache is invalidated by any add() (the mean moves). unique_ptr
+    // keeps the mutex inside pinned while Shard stays movable.
+    std::unique_ptr<core::CenteredRowsCache> centered;
   };
 
   const core::EmbeddingEngine* engine_;

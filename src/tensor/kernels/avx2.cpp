@@ -1,0 +1,486 @@
+// AVX2/FMA kernels for the tensor hot paths.
+//
+// This TU is compiled with -mavx2 -mfma -ffp-contract=off on x86-64 builds
+// (see the root CMakeLists) and compiled to a nullptr factory everywhere
+// else. Two accuracy classes, per the contract in kernels.h:
+//
+//   * bit-exact ops (elementwise, segment): every lane performs the exact
+//     mul-then-add sequence the scalar loop performs for that element —
+//     explicit _mm256_add_ps(_mm256_mul_ps(...)) pairs, never FMA — and
+//     the segment dot kernel assigns one row per lane (strided gathers)
+//     so each row's accumulation runs in the scalar order;
+//   * tolerance ops (matmul, centered_dot_batch): register-blocked FMA
+//     micro-kernels. The matmul forward packs B into zero-padded 16-column
+//     panels and runs a 4x16 accumulator tile; every row's FMA sequence
+//     depends only on the shape (never on the thread split or on which
+//     rows share a tile), so results are bit-stable per tier at any
+//     MatmulParallelGuard worker count.
+
+#include "tensor/kernels/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <climits>
+#include <cmath>
+#include <vector>
+
+namespace gbm::tensor::kernels {
+namespace {
+
+// ---- elementwise (bit-exact: mul and add kept separate) -------------------
+
+void add_n(float* out, const float* a, const float* b, long n) {
+  long i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(out + i,
+                     _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void mul_n(float* out, const float* a, const float* b, long n) {
+  long i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(out + i,
+                     _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void adds_n(float* out, const float* a, float s, long n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  long i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i), sv));
+  for (; i < n; ++i) out[i] = a[i] + s;
+}
+
+void scale_n(float* out, const float* a, float s, long n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  long i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), sv));
+  for (; i < n; ++i) out[i] = a[i] * s;
+}
+
+void acc_n(float* dst, const float* src, long n) {
+  long i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(src + i)));
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void axpy_n(float* dst, const float* src, float s, long n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  long i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(src + i), sv);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] += src[i] * s;
+}
+
+void fma_acc_n(float* dst, const float* a, const float* b, long n) {
+  long i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+void lrelu_fwd_n(float* out, const float* x, float slope, long n) {
+  const __m256 sv = _mm256_set1_ps(slope);
+  const __m256 zero = _mm256_setzero_ps();
+  long i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + i);
+    const __m256 neg = _mm256_mul_ps(xv, sv);
+    const __m256 pos = _mm256_cmp_ps(xv, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(out + i, _mm256_blendv_ps(neg, xv, pos));
+  }
+  for (; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : slope * x[i];
+}
+
+void lrelu_bwd_n(float* dst, const float* x, const float* g, float slope, long n) {
+  const __m256 sv = _mm256_set1_ps(slope);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 zero = _mm256_setzero_ps();
+  long i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + i);
+    const __m256 factor = _mm256_blendv_ps(sv, one, _mm256_cmp_ps(xv, zero, _CMP_GT_OQ));
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(g + i), factor);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] += g[i] * (x[i] > 0.0f ? 1.0f : slope);
+}
+
+// ---- segment ops (bit-exact) ----------------------------------------------
+
+void segment_max_fwd(const float* a, const int* seg, long n, long d, long nseg,
+                     float* out, int* argmax) {
+  for (long j = 0; j < nseg * d; ++j) argmax[j] = -1;
+  const __m256i minus1 = _mm256_set1_epi32(-1);
+  for (long i = 0; i < n; ++i) {
+    const long s = seg[i];
+    const float* ar = a + i * d;
+    float* orow = out + s * d;
+    int* arow = argmax + s * d;
+    const __m256i iv = _mm256_set1_epi32(static_cast<int>(i));
+    long c = 0;
+    for (; c + 8 <= d; c += 8) {
+      const __m256 cur = _mm256_loadu_ps(orow + c);
+      const __m256 v = _mm256_loadu_ps(ar + c);
+      const __m256i am = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arow + c));
+      // argmax < 0 || v > out — the scalar first-win / strict-greater rule.
+      const __m256 take = _mm256_or_ps(
+          _mm256_cmp_ps(v, cur, _CMP_GT_OQ),
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(am, minus1)));
+      _mm256_storeu_ps(orow + c, _mm256_blendv_ps(cur, v, take));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(arow + c),
+                          _mm256_blendv_epi8(am, iv, _mm256_castps_si256(take)));
+    }
+    for (; c < d; ++c) {
+      const float v = ar[c];
+      if (arow[c] < 0 || v > orow[c]) {
+        orow[c] = v;
+        arow[c] = static_cast<int>(i);
+      }
+    }
+  }
+}
+
+void segment_rowwise_dot_fwd(const float* a, const float* b, const int* seg,
+                             long n, long d, float* out) {
+  long i = 0;
+  // One row per lane: lane r walks row i+r column by column with the exact
+  // scalar mul-then-add sequence, via strided gathers. Offsets are int32;
+  // fall back to scalar if the matrices are (absurdly) past 2^31 floats.
+  if (n * d <= static_cast<long>(INT_MAX) && d <= static_cast<long>(INT_MAX)) {
+    for (; i + 8 <= n; i += 8) {
+      alignas(32) int aoff[8], boff[8];
+      for (int r = 0; r < 8; ++r) {
+        aoff[r] = static_cast<int>((i + r) * d);
+        boff[r] = static_cast<int>(static_cast<long>(seg[i + r]) * d);
+      }
+      const __m256i av = _mm256_load_si256(reinterpret_cast<const __m256i*>(aoff));
+      const __m256i bv = _mm256_load_si256(reinterpret_cast<const __m256i*>(boff));
+      __m256 acc = _mm256_setzero_ps();
+      for (long c = 0; c < d; ++c) {
+        const __m256 va = _mm256_i32gather_ps(a + c, av, 4);
+        const __m256 vb = _mm256_i32gather_ps(b + c, bv, 4);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+      }
+      _mm256_storeu_ps(out + i, acc);
+    }
+  }
+  for (; i < n; ++i) {
+    const float* ai = a + i * d;
+    const float* bi = b + static_cast<long>(seg[i]) * d;
+    float acc = 0.0f;
+    for (long c = 0; c < d; ++c) acc += ai[c] * bi[c];
+    out[i] = acc;
+  }
+}
+
+void segment_weighted_sum_fwd(const float* a, const float* w, const int* seg,
+                              long n, long d, float* out) {
+  for (long i = 0; i < n; ++i) {
+    const float wi = w[i];
+    const float* ai = a + i * d;
+    float* orow = out + static_cast<long>(seg[i]) * d;
+    const __m256 wv = _mm256_set1_ps(wi);
+    long c = 0;
+    for (; c + 8 <= d; c += 8) {
+      const __m256 prod = _mm256_mul_ps(wv, _mm256_loadu_ps(ai + c));
+      _mm256_storeu_ps(orow + c, _mm256_add_ps(_mm256_loadu_ps(orow + c), prod));
+    }
+    for (; c < d; ++c) orow[c] += wi * ai[c];
+  }
+}
+
+// ---- matmul (tolerance class) ---------------------------------------------
+
+float hsum8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+// Packs B (k x m) into ceil(m/16) panels of 16 columns, zero-padded, so the
+// micro-kernel streams contiguous 16-wide slices per k step.
+void pack_b16(const float* B, long k, long m, std::vector<float>& pack) {
+  const long panels = (m + 15) / 16;
+  pack.assign(static_cast<std::size_t>(panels * k * 16), 0.0f);
+  for (long p = 0; p < panels; ++p) {
+    const long j0 = p * 16;
+    const long w = m - j0 < 16 ? m - j0 : 16;
+    float* dst = pack.data() + p * k * 16;
+    for (long kk = 0; kk < k; ++kk) {
+      const float* src = B + kk * m + j0;
+      for (long j = 0; j < w; ++j) dst[kk * 16 + j] = src[j];
+    }
+  }
+}
+
+// One output row against one 16-column panel; identical FMA sequence to a
+// lane of the 4-row tile, so row results never depend on tile grouping.
+void mm_row_panel(const float* Ai, const float* panel, long k, float* Ci, long w) {
+  __m256 c0 = _mm256_setzero_ps();
+  __m256 c1 = _mm256_setzero_ps();
+  for (long kk = 0; kk < k; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(panel + kk * 16);
+    const __m256 b1 = _mm256_loadu_ps(panel + kk * 16 + 8);
+    const __m256 av = _mm256_set1_ps(Ai[kk]);
+    c0 = _mm256_fmadd_ps(av, b0, c0);
+    c1 = _mm256_fmadd_ps(av, b1, c1);
+  }
+  alignas(32) float tmp[16];
+  _mm256_store_ps(tmp, c0);
+  _mm256_store_ps(tmp + 8, c1);
+  for (long j = 0; j < w; ++j) Ci[j] += tmp[j];
+}
+
+void mm_rows_packed(const float* A, const float* pack, float* C, long k, long m,
+                    long i0, long i1) {
+  const long panels = (m + 15) / 16;
+  long i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* A0 = A + (i + 0) * k;
+    const float* A1 = A + (i + 1) * k;
+    const float* A2 = A + (i + 2) * k;
+    const float* A3 = A + (i + 3) * k;
+    for (long p = 0; p < panels; ++p) {
+      const float* panel = pack + p * k * 16;
+      __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+      __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+      __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+      __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+      for (long kk = 0; kk < k; ++kk) {
+        const __m256 b0 = _mm256_loadu_ps(panel + kk * 16);
+        const __m256 b1 = _mm256_loadu_ps(panel + kk * 16 + 8);
+        __m256 av = _mm256_set1_ps(A0[kk]);
+        c00 = _mm256_fmadd_ps(av, b0, c00);
+        c01 = _mm256_fmadd_ps(av, b1, c01);
+        av = _mm256_set1_ps(A1[kk]);
+        c10 = _mm256_fmadd_ps(av, b0, c10);
+        c11 = _mm256_fmadd_ps(av, b1, c11);
+        av = _mm256_set1_ps(A2[kk]);
+        c20 = _mm256_fmadd_ps(av, b0, c20);
+        c21 = _mm256_fmadd_ps(av, b1, c21);
+        av = _mm256_set1_ps(A3[kk]);
+        c30 = _mm256_fmadd_ps(av, b0, c30);
+        c31 = _mm256_fmadd_ps(av, b1, c31);
+      }
+      const long j0 = p * 16;
+      const long w = m - j0 < 16 ? m - j0 : 16;
+      alignas(32) float tmp[16];
+      const __m256 accs[4][2] = {{c00, c01}, {c10, c11}, {c20, c21}, {c30, c31}};
+      for (int r = 0; r < 4; ++r) {
+        _mm256_store_ps(tmp, accs[r][0]);
+        _mm256_store_ps(tmp + 8, accs[r][1]);
+        float* Cr = C + (i + r) * m + j0;
+        for (long j = 0; j < w; ++j) Cr[j] += tmp[j];
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    for (long p = 0; p < panels; ++p) {
+      const long j0 = p * 16;
+      const long w = m - j0 < 16 ? m - j0 : 16;
+      mm_row_panel(A + i * k, pack + p * k * 16, k, C + i * m + j0, w);
+    }
+  }
+}
+
+// Unpacked i-k-j with a broadcast FMA over C's row; used when the output is
+// too narrow or short for packing to pay for itself.
+void mm_rows_simple(const float* A, const float* B, float* C, long k, long m,
+                    long i0, long i1) {
+  for (long i = i0; i < i1; ++i) {
+    float* Ci = C + i * m;
+    for (long kk = 0; kk < k; ++kk) {
+      const float aik = A[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* Bk = B + kk * m;
+      const __m256 av = _mm256_set1_ps(aik);
+      long j = 0;
+      for (; j + 8 <= m; j += 8)
+        _mm256_storeu_ps(Ci + j, _mm256_fmadd_ps(av, _mm256_loadu_ps(Bk + j),
+                                                 _mm256_loadu_ps(Ci + j)));
+      for (; j < m; ++j) Ci[j] += aik * Bk[j];
+    }
+  }
+}
+
+void matmul_fwd(const float* A, const float* B, float* C, long n, long k,
+                long m, int mt) {
+  // Path choice depends only on the shape — never on mt — so a fixed shape
+  // computes every row identically at any worker count.
+  const bool packed = n >= 4 && m >= 16;
+  std::vector<float> pack;
+  if (packed) pack_b16(B, k, m, pack);
+  const float* pk = pack.data();
+  const auto rows = [&, pk](long i0, long i1) {
+    if (packed)
+      mm_rows_packed(A, pk, C, k, m, i0, i1);
+    else
+      mm_rows_simple(A, B, C, k, m, i0, i1);
+  };
+  if (parallel_worthwhile(n * k * m, n, mt))
+    parallel_blocks(n, mt, rows);
+  else
+    rows(0, n);
+}
+
+// dA += G * B^T: both G's row i and B's row kk are contiguous along j, so
+// this is a row-vs-row dot kernel — 4 B rows per pass, 8-wide FMA, one
+// horizontal sum per output element plus a scalar tail.
+void matmul_bwd_a(const float* G, const float* B, float* dA, long n, long k,
+                  long m, int mt) {
+  const auto rows = [G, B, dA, k, m](long i0, long i1) {
+    for (long i = i0; i < i1; ++i) {
+      const float* Gi = G + i * m;
+      float* dAi = dA + i * k;
+      long kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+        __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+        long j = 0;
+        for (; j + 8 <= m; j += 8) {
+          const __m256 g = _mm256_loadu_ps(Gi + j);
+          a0 = _mm256_fmadd_ps(g, _mm256_loadu_ps(B + (kk + 0) * m + j), a0);
+          a1 = _mm256_fmadd_ps(g, _mm256_loadu_ps(B + (kk + 1) * m + j), a1);
+          a2 = _mm256_fmadd_ps(g, _mm256_loadu_ps(B + (kk + 2) * m + j), a2);
+          a3 = _mm256_fmadd_ps(g, _mm256_loadu_ps(B + (kk + 3) * m + j), a3);
+        }
+        float t0 = hsum8(a0), t1 = hsum8(a1), t2 = hsum8(a2), t3 = hsum8(a3);
+        for (; j < m; ++j) {
+          const float g = Gi[j];
+          t0 += g * B[(kk + 0) * m + j];
+          t1 += g * B[(kk + 1) * m + j];
+          t2 += g * B[(kk + 2) * m + j];
+          t3 += g * B[(kk + 3) * m + j];
+        }
+        dAi[kk + 0] += t0;
+        dAi[kk + 1] += t1;
+        dAi[kk + 2] += t2;
+        dAi[kk + 3] += t3;
+      }
+      for (; kk < k; ++kk) {
+        __m256 acc = _mm256_setzero_ps();
+        long j = 0;
+        for (; j + 8 <= m; j += 8)
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(Gi + j),
+                                _mm256_loadu_ps(B + kk * m + j), acc);
+        float t = hsum8(acc);
+        for (; j < m; ++j) t += Gi[j] * B[kk * m + j];
+        dAi[kk] += t;
+      }
+    }
+  };
+  if (parallel_worthwhile(n * k * m, n, mt))
+    parallel_blocks(n, mt, rows);
+  else
+    rows(0, n);
+}
+
+// dB += A^T * G: for each dB row kk, an FMA axpy of G's rows weighted by
+// A[i][kk] — contiguous along m.
+void matmul_bwd_b(const float* A, const float* G, float* dB, long n, long k,
+                  long m, int mt) {
+  const auto rows = [A, G, dB, n, k, m](long k0, long k1) {
+    for (long kk = k0; kk < k1; ++kk) {
+      float* dBk = dB + kk * m;
+      for (long i = 0; i < n; ++i) {
+        const float aik = A[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* Gi = G + i * m;
+        const __m256 av = _mm256_set1_ps(aik);
+        long j = 0;
+        for (; j + 8 <= m; j += 8)
+          _mm256_storeu_ps(dBk + j, _mm256_fmadd_ps(av, _mm256_loadu_ps(Gi + j),
+                                                    _mm256_loadu_ps(dBk + j)));
+        for (; j < m; ++j) dBk[j] += aik * Gi[j];
+      }
+    }
+  };
+  if (parallel_worthwhile(n * k * m, k, mt))
+    parallel_blocks(k, mt, rows);
+  else
+    rows(0, k);
+}
+
+// ---- retrieval prefilter (tolerance class, double accumulation) -----------
+
+double hsum4d(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d s = _mm_add_pd(lo, hi);
+  s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+  return _mm_cvtsd_f64(s);
+}
+
+void centered_dot_batch(const float* rows, const double* norms, const float* q,
+                        double q_norm, long n, long d, float* out) {
+  for (long i = 0; i < n; ++i) {
+    if (norms[i] <= 0.0 || q_norm <= 0.0) {
+      out[i] = 0.0f;
+      continue;
+    }
+    const float* r = rows + i * d;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    long c = 0;
+    for (; c + 8 <= d; c += 8) {
+      const __m256 rv = _mm256_loadu_ps(r + c);
+      const __m256 qv = _mm256_loadu_ps(q + c);
+      acc0 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(qv)),
+                             _mm256_cvtps_pd(_mm256_castps256_ps128(rv)), acc0);
+      acc1 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(qv, 1)),
+                             _mm256_cvtps_pd(_mm256_extractf128_ps(rv, 1)), acc1);
+    }
+    double dot = hsum4d(_mm256_add_pd(acc0, acc1));
+    for (; c < d; ++c) dot += static_cast<double>(q[c]) * r[c];
+    out[i] = static_cast<float>(dot / (q_norm * norms[i]));
+  }
+}
+
+const Kernels kAvx2Kernels = {
+    "avx2",
+    add_n,
+    mul_n,
+    adds_n,
+    scale_n,
+    acc_n,
+    axpy_n,
+    fma_acc_n,
+    lrelu_fwd_n,
+    lrelu_bwd_n,
+    segment_max_fwd,
+    segment_rowwise_dot_fwd,
+    segment_weighted_sum_fwd,
+    matmul_fwd,
+    matmul_bwd_a,
+    matmul_bwd_b,
+    centered_dot_batch,
+};
+
+}  // namespace
+
+const Kernels* avx2_kernels() { return &kAvx2Kernels; }
+
+}  // namespace gbm::tensor::kernels
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace gbm::tensor::kernels {
+const Kernels* avx2_kernels() { return nullptr; }
+}  // namespace gbm::tensor::kernels
+
+#endif

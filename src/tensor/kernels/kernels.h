@@ -1,0 +1,150 @@
+// Runtime-dispatched CPU kernel tier for the tensor hot paths.
+//
+// The tensor library's proven hot loops — matmul forward/backward, the
+// relu/add/axpy-style elementwise ops, the segment reductions behind batched
+// attention pooling, and the centered-cosine retrieval prefilter — dispatch
+// through a table of function pointers (`Kernels`) instead of hand-rolled
+// loops in tensor.cpp. The table is selected ONCE, at first use:
+//
+//   * `scalar` — the original portable loops, moved here verbatim. Always
+//     available; the reference implementation and bit-exactness oracle.
+//   * `avx2`   — AVX2/FMA x86-64 kernels, used when the CPU reports both
+//     avx2 and fma (CPUID via __builtin_cpu_supports) AND the binary was
+//     built with the AVX2 translation unit enabled (x86-64 builds).
+//   * `neon`   — AArch64 NEON kernels (NEON is baseline on AArch64).
+//
+// The `GBM_KERNEL` environment variable overrides auto-detection:
+// `scalar|avx2|neon|auto`. Requesting an unavailable or unknown tier falls
+// back to auto with a one-line stderr warning (a service must come up, not
+// die, on a mis-set env var).
+//
+// Determinism / accuracy contract, per op class:
+//
+//   * elementwise and segment ops are BIT-EXACT across tiers: every SIMD
+//     lane performs the identical mul-then-add (never fused) sequence the
+//     scalar loop performs for that element, and the segment dot kernels
+//     assign one row per lane so each row's accumulation order is the
+//     scalar order. Kernel TUs are compiled with -ffp-contract=off so the
+//     compiler cannot re-fuse what the contract keeps separate.
+//   * matmul and centered_dot_batch are TOLERANCE class: FMA and wider
+//     accumulators re-associate the reduction, so tiers agree to <= 1e-5
+//     (relative), not bitwise. Within ONE tier results are bit-stable —
+//     including across matmul thread counts, because the row split never
+//     changes any row's own accumulation order.
+//
+// Adding a kernel: add the function pointer here, implement it in
+// scalar.cpp (reference), wire the SIMD versions in avx2.cpp/neon.cpp, add
+// a parity case to tests/test_kernels.cpp (label `kernel`), and dispatch to
+// it from tensor.cpp via kernels::active().
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace gbm::tensor::kernels {
+
+struct Kernels {
+  const char* name;  // "scalar" | "avx2" | "neon"
+
+  // ---- elementwise (bit-exact across tiers) -----------------------------
+  /// out[i] = a[i] + b[i]
+  void (*add_n)(float* out, const float* a, const float* b, long n);
+  /// out[i] = a[i] * b[i]
+  void (*mul_n)(float* out, const float* a, const float* b, long n);
+  /// out[i] = a[i] + s
+  void (*adds_n)(float* out, const float* a, float s, long n);
+  /// out[i] = a[i] * s
+  void (*scale_n)(float* out, const float* a, float s, long n);
+  /// dst[i] += src[i]
+  void (*acc_n)(float* dst, const float* src, long n);
+  /// dst[i] += s * src[i]  (multiply then add — never fused)
+  void (*axpy_n)(float* dst, const float* src, float s, long n);
+  /// dst[i] += a[i] * b[i]  (multiply then add — never fused)
+  void (*fma_acc_n)(float* dst, const float* a, const float* b, long n);
+  /// out[i] = x[i] > 0 ? x[i] : slope * x[i]
+  void (*lrelu_fwd_n)(float* out, const float* x, float slope, long n);
+  /// dst[i] += g[i] * (x[i] > 0 ? 1 : slope)
+  void (*lrelu_bwd_n)(float* dst, const float* x, const float* g, float slope,
+                      long n);
+
+  // ---- segment ops (bit-exact across tiers) -----------------------------
+  /// Per-segment column-wise max of a (n x d) into out (nseg x d), recording
+  /// the winning row per (segment, column) in argmax (nseg*d entries, -1 for
+  /// a segment with no rows; its output row stays as passed in — callers
+  /// hand in zeros). Ties keep the earliest row, exactly the scalar rule.
+  void (*segment_max_fwd)(const float* a, const int* seg, long n, long d,
+                          long nseg, float* out, int* argmax);
+  /// out[i] = dot(a[i], b[seg[i]]) over d columns; out is n floats. Each
+  /// row's accumulation order is the scalar order (SIMD tiers give each
+  /// lane one whole row), so results are bit-exact across tiers.
+  void (*segment_rowwise_dot_fwd)(const float* a, const float* b,
+                                  const int* seg, long n, long d, float* out);
+  /// out[seg[i]] += w[i] * a[i] over (nseg x d) pre-zeroed output rows.
+  void (*segment_weighted_sum_fwd)(const float* a, const float* w,
+                                   const int* seg, long n, long d, float* out);
+
+  // ---- matmul (tolerance class; bit-stable per tier at any mt) ----------
+  /// C += A(n x k) * B(k x m). C is pre-zeroed by the caller. `mt` is the
+  /// worker count captured from MatmulParallelGuard; the kernel splits
+  /// output rows itself (parallel_blocks) once the product is large enough.
+  void (*matmul_fwd)(const float* A, const float* B, float* C, long n, long k,
+                     long m, int mt);
+  /// dA += G(n x m) * B^T (B is k x m); accumulates into dA (n x k).
+  void (*matmul_bwd_a)(const float* G, const float* B, float* dA, long n,
+                       long k, long m, int mt);
+  /// dB += A^T (A is n x k) * G(n x m); accumulates into dB (k x m).
+  void (*matmul_bwd_b)(const float* A, const float* G, float* dB, long n,
+                       long k, long m, int mt);
+
+  // ---- retrieval prefilter (tolerance class) ----------------------------
+  /// Fused centered-cosine scan: out[i] = dot(rows[i], q) / (norms[i] *
+  /// q_norm) computed in double, or 0 when either norm is <= 0. `rows` is a
+  /// row-major (n x d) matrix of mean-centered stored embeddings with
+  /// precomputed centered L2 norms in `norms`; q is the centered query.
+  /// The scalar tier reproduces cosine_similarity's double-accumulation
+  /// bit-for-bit, so a scalar-tier index returns the historical cosines.
+  void (*centered_dot_batch)(const float* rows, const double* norms,
+                             const float* q, double q_norm, long n, long d,
+                             float* out);
+};
+
+/// Kernel tiers in preference order (highest wins when available).
+enum class Tier { kScalar, kAvx2, kNeon };
+
+const char* tier_name(Tier t);
+/// Parses a GBM_KERNEL value ("scalar"|"avx2"|"neon"); nullopt for
+/// "auto"/unknown (callers distinguish via the raw string).
+std::optional<Tier> parse_tier(const std::string& s);
+
+/// The tier's kernel table, or nullptr when the tier is not compiled into
+/// this binary or the CPU lacks the required features. kScalar never
+/// returns nullptr.
+const Kernels* for_tier(Tier t);
+bool available(Tier t);
+
+/// The table every tensor op dispatches through, selected once at first
+/// use: GBM_KERNEL override if set and available, else the best available
+/// SIMD tier, else scalar.
+const Kernels& active();
+Tier active_tier();
+
+// ---- shared row-split helpers (used by every tier's matmul) -------------
+
+/// True when splitting `range` rows of `work` total multiply-adds across
+/// `mt` workers amortises the parallel_for fan-out (same threshold the
+/// pre-kernel matmul used).
+bool parallel_worthwhile(long work, long range, int mt);
+
+/// Runs fn(begin, end) over contiguous blocks covering [0, range). Each
+/// index belongs to exactly one block and the loop inside a block is the
+/// serial order, so the result is bit-identical to fn(0, range) at any
+/// worker count.
+void parallel_blocks(long range, int mt, const std::function<void(long, long)>& fn);
+
+// Per-tier factories (defined in their own TUs; nullptr when compiled out).
+const Kernels* scalar_kernels();
+const Kernels* avx2_kernels();
+const Kernels* neon_kernels();
+
+}  // namespace gbm::tensor::kernels

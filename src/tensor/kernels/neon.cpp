@@ -1,0 +1,312 @@
+// AArch64 NEON kernels for the tensor hot paths. NEON is baseline on
+// AArch64, so this TU needs no extra flags; on every other architecture it
+// compiles to a nullptr factory. Same two accuracy classes as avx2.cpp:
+// bit-exact ops keep mul and add separate (vmulq + vaddq, never vfmaq) and
+// the segment dot kernel gives each lane one whole row; matmul and the
+// prefilter use fused vfmaq and are tolerance class. Kept deliberately
+// simple (4-wide, no packing): correctness and the contract first, peak
+// NEON throughput when an AArch64 CI leg can measure it.
+
+#include "tensor/kernels/kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+namespace gbm::tensor::kernels {
+namespace {
+
+// ---- elementwise (bit-exact: mul and add kept separate) -------------------
+
+void add_n(float* out, const float* a, const float* b, long n) {
+  long i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void mul_n(float* out, const float* a, const float* b, long n) {
+  long i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(out + i, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void adds_n(float* out, const float* a, float s, long n) {
+  const float32x4_t sv = vdupq_n_f32(s);
+  long i = 0;
+  for (; i + 4 <= n; i += 4) vst1q_f32(out + i, vaddq_f32(vld1q_f32(a + i), sv));
+  for (; i < n; ++i) out[i] = a[i] + s;
+}
+
+void scale_n(float* out, const float* a, float s, long n) {
+  const float32x4_t sv = vdupq_n_f32(s);
+  long i = 0;
+  for (; i + 4 <= n; i += 4) vst1q_f32(out + i, vmulq_f32(vld1q_f32(a + i), sv));
+  for (; i < n; ++i) out[i] = a[i] * s;
+}
+
+void acc_n(float* dst, const float* src, long n) {
+  long i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(dst + i, vaddq_f32(vld1q_f32(dst + i), vld1q_f32(src + i)));
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void axpy_n(float* dst, const float* src, float s, long n) {
+  const float32x4_t sv = vdupq_n_f32(s);
+  long i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t prod = vmulq_f32(vld1q_f32(src + i), sv);
+    vst1q_f32(dst + i, vaddq_f32(vld1q_f32(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] += src[i] * s;
+}
+
+void fma_acc_n(float* dst, const float* a, const float* b, long n) {
+  long i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t prod = vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    vst1q_f32(dst + i, vaddq_f32(vld1q_f32(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+void lrelu_fwd_n(float* out, const float* x, float slope, long n) {
+  const float32x4_t sv = vdupq_n_f32(slope);
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  long i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t xv = vld1q_f32(x + i);
+    const float32x4_t neg = vmulq_f32(xv, sv);
+    const uint32x4_t pos = vcgtq_f32(xv, zero);
+    vst1q_f32(out + i, vbslq_f32(pos, xv, neg));
+  }
+  for (; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : slope * x[i];
+}
+
+void lrelu_bwd_n(float* dst, const float* x, const float* g, float slope, long n) {
+  const float32x4_t sv = vdupq_n_f32(slope);
+  const float32x4_t one = vdupq_n_f32(1.0f);
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  long i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t xv = vld1q_f32(x + i);
+    const float32x4_t factor = vbslq_f32(vcgtq_f32(xv, zero), one, sv);
+    const float32x4_t prod = vmulq_f32(vld1q_f32(g + i), factor);
+    vst1q_f32(dst + i, vaddq_f32(vld1q_f32(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] += g[i] * (x[i] > 0.0f ? 1.0f : slope);
+}
+
+// ---- segment ops (bit-exact) ----------------------------------------------
+
+void segment_max_fwd(const float* a, const int* seg, long n, long d, long nseg,
+                     float* out, int* argmax) {
+  for (long j = 0; j < nseg * d; ++j) argmax[j] = -1;
+  const int32x4_t minus1 = vdupq_n_s32(-1);
+  for (long i = 0; i < n; ++i) {
+    const long s = seg[i];
+    const float* ar = a + i * d;
+    float* orow = out + s * d;
+    int* arow = argmax + s * d;
+    const int32x4_t iv = vdupq_n_s32(static_cast<int>(i));
+    long c = 0;
+    for (; c + 4 <= d; c += 4) {
+      const float32x4_t cur = vld1q_f32(orow + c);
+      const float32x4_t v = vld1q_f32(ar + c);
+      const int32x4_t am = vld1q_s32(arow + c);
+      const uint32x4_t take =
+          vorrq_u32(vcgtq_f32(v, cur), vceqq_s32(am, minus1));
+      vst1q_f32(orow + c, vbslq_f32(take, v, cur));
+      vst1q_s32(arow + c, vbslq_s32(take, iv, am));
+    }
+    for (; c < d; ++c) {
+      const float v = ar[c];
+      if (arow[c] < 0 || v > orow[c]) {
+        orow[c] = v;
+        arow[c] = static_cast<int>(i);
+      }
+    }
+  }
+}
+
+void segment_rowwise_dot_fwd(const float* a, const float* b, const int* seg,
+                             long n, long d, float* out) {
+  long i = 0;
+  // One row per lane, columns loaded lane-by-lane: each lane performs the
+  // scalar mul-then-add sequence for its row, so results are bit-exact.
+  for (; i + 4 <= n; i += 4) {
+    const float* a0 = a + (i + 0) * d;
+    const float* a1 = a + (i + 1) * d;
+    const float* a2 = a + (i + 2) * d;
+    const float* a3 = a + (i + 3) * d;
+    const float* b0 = b + static_cast<long>(seg[i + 0]) * d;
+    const float* b1 = b + static_cast<long>(seg[i + 1]) * d;
+    const float* b2 = b + static_cast<long>(seg[i + 2]) * d;
+    const float* b3 = b + static_cast<long>(seg[i + 3]) * d;
+    float32x4_t acc = vdupq_n_f32(0.0f);
+    for (long c = 0; c < d; ++c) {
+      const float ta[4] = {a0[c], a1[c], a2[c], a3[c]};
+      const float tb[4] = {b0[c], b1[c], b2[c], b3[c]};
+      acc = vaddq_f32(acc, vmulq_f32(vld1q_f32(ta), vld1q_f32(tb)));
+    }
+    vst1q_f32(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    const float* ai = a + i * d;
+    const float* bi = b + static_cast<long>(seg[i]) * d;
+    float acc = 0.0f;
+    for (long c = 0; c < d; ++c) acc += ai[c] * bi[c];
+    out[i] = acc;
+  }
+}
+
+void segment_weighted_sum_fwd(const float* a, const float* w, const int* seg,
+                              long n, long d, float* out) {
+  for (long i = 0; i < n; ++i) {
+    const float wi = w[i];
+    const float* ai = a + i * d;
+    float* orow = out + static_cast<long>(seg[i]) * d;
+    const float32x4_t wv = vdupq_n_f32(wi);
+    long c = 0;
+    for (; c + 4 <= d; c += 4) {
+      const float32x4_t prod = vmulq_f32(wv, vld1q_f32(ai + c));
+      vst1q_f32(orow + c, vaddq_f32(vld1q_f32(orow + c), prod));
+    }
+    for (; c < d; ++c) orow[c] += wi * ai[c];
+  }
+}
+
+// ---- matmul (tolerance class, fused vfmaq) --------------------------------
+
+void matmul_fwd(const float* A, const float* B, float* C, long n, long k,
+                long m, int mt) {
+  const auto rows = [A, B, C, k, m](long i0, long i1) {
+    for (long i = i0; i < i1; ++i) {
+      float* Ci = C + i * m;
+      for (long kk = 0; kk < k; ++kk) {
+        const float aik = A[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* Bk = B + kk * m;
+        long j = 0;
+        for (; j + 4 <= m; j += 4)
+          vst1q_f32(Ci + j, vfmaq_n_f32(vld1q_f32(Ci + j), vld1q_f32(Bk + j), aik));
+        for (; j < m; ++j) Ci[j] += aik * Bk[j];
+      }
+    }
+  };
+  if (parallel_worthwhile(n * k * m, n, mt))
+    parallel_blocks(n, mt, rows);
+  else
+    rows(0, n);
+}
+
+void matmul_bwd_a(const float* G, const float* B, float* dA, long n, long k,
+                  long m, int mt) {
+  const auto rows = [G, B, dA, k, m](long i0, long i1) {
+    for (long i = i0; i < i1; ++i) {
+      const float* Gi = G + i * m;
+      float* dAi = dA + i * k;
+      for (long kk = 0; kk < k; ++kk) {
+        const float* Bk = B + kk * m;
+        float32x4_t acc = vdupq_n_f32(0.0f);
+        long j = 0;
+        for (; j + 4 <= m; j += 4)
+          acc = vfmaq_f32(acc, vld1q_f32(Gi + j), vld1q_f32(Bk + j));
+        float t = vaddvq_f32(acc);
+        for (; j < m; ++j) t += Gi[j] * Bk[j];
+        dAi[kk] += t;
+      }
+    }
+  };
+  if (parallel_worthwhile(n * k * m, n, mt))
+    parallel_blocks(n, mt, rows);
+  else
+    rows(0, n);
+}
+
+void matmul_bwd_b(const float* A, const float* G, float* dB, long n, long k,
+                  long m, int mt) {
+  const auto rows = [A, G, dB, n, k, m](long k0, long k1) {
+    for (long kk = k0; kk < k1; ++kk) {
+      float* dBk = dB + kk * m;
+      for (long i = 0; i < n; ++i) {
+        const float aik = A[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* Gi = G + i * m;
+        long j = 0;
+        for (; j + 4 <= m; j += 4)
+          vst1q_f32(dBk + j, vfmaq_n_f32(vld1q_f32(dBk + j), vld1q_f32(Gi + j), aik));
+        for (; j < m; ++j) dBk[j] += aik * Gi[j];
+      }
+    }
+  };
+  if (parallel_worthwhile(n * k * m, k, mt))
+    parallel_blocks(k, mt, rows);
+  else
+    rows(0, k);
+}
+
+// ---- retrieval prefilter (tolerance class, double accumulation) -----------
+
+void centered_dot_batch(const float* rows, const double* norms, const float* q,
+                        double q_norm, long n, long d, float* out) {
+  for (long i = 0; i < n; ++i) {
+    if (norms[i] <= 0.0 || q_norm <= 0.0) {
+      out[i] = 0.0f;
+      continue;
+    }
+    const float* r = rows + i * d;
+    float64x2_t acc0 = vdupq_n_f64(0.0);
+    float64x2_t acc1 = vdupq_n_f64(0.0);
+    long c = 0;
+    for (; c + 4 <= d; c += 4) {
+      const float32x4_t rv = vld1q_f32(r + c);
+      const float32x4_t qv = vld1q_f32(q + c);
+      acc0 = vfmaq_f64(acc0, vcvt_f64_f32(vget_low_f32(qv)),
+                       vcvt_f64_f32(vget_low_f32(rv)));
+      acc1 = vfmaq_f64(acc1, vcvt_f64_f32(vget_high_f32(qv)),
+                       vcvt_f64_f32(vget_high_f32(rv)));
+    }
+    double dot = vaddvq_f64(vaddq_f64(acc0, acc1));
+    for (; c < d; ++c) dot += static_cast<double>(q[c]) * r[c];
+    out[i] = static_cast<float>(dot / (q_norm * norms[i]));
+  }
+}
+
+const Kernels kNeonKernels = {
+    "neon",
+    add_n,
+    mul_n,
+    adds_n,
+    scale_n,
+    acc_n,
+    axpy_n,
+    fma_acc_n,
+    lrelu_fwd_n,
+    lrelu_bwd_n,
+    segment_max_fwd,
+    segment_rowwise_dot_fwd,
+    segment_weighted_sum_fwd,
+    matmul_fwd,
+    matmul_bwd_a,
+    matmul_bwd_b,
+    centered_dot_batch,
+};
+
+}  // namespace
+
+const Kernels* neon_kernels() { return &kNeonKernels; }
+
+}  // namespace gbm::tensor::kernels
+
+#else  // !__aarch64__
+
+namespace gbm::tensor::kernels {
+const Kernels* neon_kernels() { return nullptr; }
+}  // namespace gbm::tensor::kernels
+
+#endif

@@ -1,0 +1,134 @@
+// Kernel tier selection: CPUID-style runtime detection + GBM_KERNEL
+// override, resolved exactly once (thread-safe function-local static) so
+// every tensor op dispatches through one stable table for the process
+// lifetime — a fixed kernel choice gives bit-stable results.
+
+#include "tensor/kernels/kernels.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/parallel.h"
+
+namespace gbm::tensor::kernels {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+bool cpu_has_avx2_fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+#endif
+
+struct Selection {
+  const Kernels* table;
+  Tier tier;
+};
+
+Selection best_available() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (cpu_has_avx2_fma()) {
+    if (const Kernels* k = avx2_kernels()) return {k, Tier::kAvx2};
+  }
+#elif defined(__aarch64__)
+  if (const Kernels* k = neon_kernels()) return {k, Tier::kNeon};
+#endif
+  return {scalar_kernels(), Tier::kScalar};
+}
+
+Selection select() {
+  const char* env = std::getenv("GBM_KERNEL");
+  const std::string want = env ? env : "auto";
+  if (want != "auto" && !want.empty()) {
+    if (const auto tier = parse_tier(want)) {
+      if (const Kernels* k = for_tier(*tier)) return {k, *tier};
+      std::fprintf(stderr,
+                   "[gbm] GBM_KERNEL=%s requested but that tier is unavailable "
+                   "on this host; falling back to auto\n",
+                   want.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "[gbm] unknown GBM_KERNEL=%s (expected scalar|avx2|neon|auto); "
+                   "falling back to auto\n",
+                   want.c_str());
+    }
+  }
+  return best_available();
+}
+
+const Selection& selection() {
+  static const Selection chosen = select();
+  return chosen;
+}
+
+}  // namespace
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kNeon: return "neon";
+  }
+  return "?";
+}
+
+std::optional<Tier> parse_tier(const std::string& s) {
+  if (s == "scalar") return Tier::kScalar;
+  if (s == "avx2") return Tier::kAvx2;
+  if (s == "neon") return Tier::kNeon;
+  return std::nullopt;
+}
+
+const Kernels* for_tier(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return scalar_kernels();
+    case Tier::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      if (cpu_has_avx2_fma()) return avx2_kernels();
+#endif
+      return nullptr;
+    case Tier::kNeon:
+      return neon_kernels();
+  }
+  return nullptr;
+}
+
+bool available(Tier t) { return for_tier(t) != nullptr; }
+
+const Kernels& active() { return *selection().table; }
+
+Tier active_tier() { return selection().tier; }
+
+// ---- shared row-split helpers ---------------------------------------------
+
+namespace {
+
+// Below this many multiply-adds the parallel_for fan-out costs more than
+// the split saves: parallel_for spins up (and joins) a fresh ThreadPool per
+// call, so the break-even point is set by thread creation — on the order of
+// a hundred microseconds — not by wake-up latency. 2^22 multiply-adds is a
+// few milliseconds of serial work in a Release build.
+constexpr long kParallelMinWork = 1L << 22;
+
+}  // namespace
+
+bool parallel_worthwhile(long work, long range, int mt) {
+  return mt > 1 && range > 1 && work >= kParallelMinWork;
+}
+
+void parallel_blocks(long range, int mt, const std::function<void(long, long)>& fn) {
+  const long tasks = std::min<long>(range, static_cast<long>(mt) * 4);
+  const long block = (range + tasks - 1) / tasks;
+  core::parallel_for(
+      static_cast<std::size_t>(tasks),
+      [&](std::size_t t) {
+        const long begin = static_cast<long>(t) * block;
+        const long end = std::min(range, begin + block);
+        if (begin < end) fn(begin, end);
+      },
+      mt);
+}
+
+}  // namespace gbm::tensor::kernels

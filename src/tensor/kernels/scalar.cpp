@@ -1,0 +1,188 @@
+// Scalar reference kernels: the original tensor.cpp hot loops, moved here
+// verbatim. This tier is always available, is the bit-exactness oracle the
+// SIMD tiers are tested against, and (with GBM_KERNEL=scalar) reproduces
+// the pre-kernel-tier results bit for bit. Compiled with -ffp-contract=off
+// so the semantics stay pinned to mul-then-add even if a future toolchain
+// default would contract.
+
+#include "tensor/kernels/kernels.h"
+
+#include <cmath>
+
+namespace gbm::tensor::kernels {
+namespace {
+
+// ---- elementwise ----------------------------------------------------------
+
+void add_n(float* out, const float* a, const float* b, long n) {
+  for (long i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void mul_n(float* out, const float* a, const float* b, long n) {
+  for (long i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void adds_n(float* out, const float* a, float s, long n) {
+  for (long i = 0; i < n; ++i) out[i] = a[i] + s;
+}
+
+void scale_n(float* out, const float* a, float s, long n) {
+  for (long i = 0; i < n; ++i) out[i] = a[i] * s;
+}
+
+void acc_n(float* dst, const float* src, long n) {
+  for (long i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void axpy_n(float* dst, const float* src, float s, long n) {
+  for (long i = 0; i < n; ++i) dst[i] += src[i] * s;
+}
+
+void fma_acc_n(float* dst, const float* a, const float* b, long n) {
+  for (long i = 0; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+void lrelu_fwd_n(float* out, const float* x, float slope, long n) {
+  for (long i = 0; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : slope * x[i];
+}
+
+void lrelu_bwd_n(float* dst, const float* x, const float* g, float slope, long n) {
+  for (long i = 0; i < n; ++i) dst[i] += g[i] * (x[i] > 0.0f ? 1.0f : slope);
+}
+
+// ---- segment ops ----------------------------------------------------------
+
+void segment_max_fwd(const float* a, const int* seg, long n, long d, long nseg,
+                     float* out, int* argmax) {
+  for (long j = 0; j < nseg * d; ++j) argmax[j] = -1;
+  for (long i = 0; i < n; ++i) {
+    const long s = seg[i];
+    for (long c = 0; c < d; ++c) {
+      const float v = a[i * d + c];
+      if (argmax[s * d + c] < 0 || v > out[s * d + c]) {
+        out[s * d + c] = v;
+        argmax[s * d + c] = static_cast<int>(i);
+      }
+    }
+  }
+}
+
+void segment_rowwise_dot_fwd(const float* a, const float* b, const int* seg,
+                             long n, long d, float* out) {
+  for (long i = 0; i < n; ++i) {
+    const float* ai = a + i * d;
+    const float* bi = b + static_cast<long>(seg[i]) * d;
+    float acc = 0.0f;
+    for (long c = 0; c < d; ++c) acc += ai[c] * bi[c];
+    out[i] = acc;
+  }
+}
+
+void segment_weighted_sum_fwd(const float* a, const float* w, const int* seg,
+                              long n, long d, float* out) {
+  for (long i = 0; i < n; ++i) {
+    const float wi = w[i];
+    const float* ai = a + i * d;
+    float* orow = out + static_cast<long>(seg[i]) * d;
+    for (long c = 0; c < d; ++c) orow[c] += wi * ai[c];
+  }
+}
+
+// ---- matmul ---------------------------------------------------------------
+
+void matmul_fwd(const float* A, const float* B, float* C, long n, long k,
+                long m, int mt) {
+  // i-k-j loop order: unit-stride inner loop over both B and C rows. Output
+  // rows are independent, so the row range parallelises bit-identically.
+  const auto rows = [A, B, C, k, m](long i0, long i1) {
+    for (long i = i0; i < i1; ++i) {
+      float* Ci = C + i * m;
+      for (long kk = 0; kk < k; ++kk) {
+        const float aik = A[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* Bk = B + kk * m;
+        for (long j = 0; j < m; ++j) Ci[j] += aik * Bk[j];
+      }
+    }
+  };
+  if (parallel_worthwhile(n * k * m, n, mt))
+    parallel_blocks(n, mt, rows);
+  else
+    rows(0, n);
+}
+
+void matmul_bwd_a(const float* G, const float* B, float* dA, long n, long k,
+                  long m, int mt) {
+  const auto rows = [G, B, dA, k, m](long i0, long i1) {
+    for (long i = i0; i < i1; ++i)
+      for (long j = 0; j < m; ++j) {
+        const float g = G[i * m + j];
+        if (g == 0.0f) continue;
+        const float* Bcol = B + j;  // column j, stride m
+        for (long kk = 0; kk < k; ++kk) dA[i * k + kk] += g * Bcol[kk * m];
+      }
+  };
+  if (parallel_worthwhile(n * k * m, n, mt))
+    parallel_blocks(n, mt, rows);
+  else
+    rows(0, n);
+}
+
+void matmul_bwd_b(const float* A, const float* G, float* dB, long n, long k,
+                  long m, int mt) {
+  const auto rows = [A, G, dB, n, k, m](long k0, long k1) {
+    for (long kk = k0; kk < k1; ++kk)
+      for (long i = 0; i < n; ++i) {
+        const float aik = A[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* Gi = G + i * m;
+        for (long j = 0; j < m; ++j) dB[kk * m + j] += aik * Gi[j];
+      }
+  };
+  if (parallel_worthwhile(n * k * m, k, mt))
+    parallel_blocks(k, mt, rows);
+  else
+    rows(0, k);
+}
+
+// ---- retrieval prefilter --------------------------------------------------
+
+void centered_dot_batch(const float* rows, const double* norms, const float* q,
+                        double q_norm, long n, long d, float* out) {
+  for (long i = 0; i < n; ++i) {
+    if (norms[i] <= 0.0 || q_norm <= 0.0) {
+      out[i] = 0.0f;
+      continue;
+    }
+    const float* r = rows + i * d;
+    double dot = 0.0;
+    for (long c = 0; c < d; ++c) dot += static_cast<double>(q[c]) * r[c];
+    out[i] = static_cast<float>(dot / (q_norm * norms[i]));
+  }
+}
+
+const Kernels kScalarKernels = {
+    "scalar",
+    add_n,
+    mul_n,
+    adds_n,
+    scale_n,
+    acc_n,
+    axpy_n,
+    fma_acc_n,
+    lrelu_fwd_n,
+    lrelu_bwd_n,
+    segment_max_fwd,
+    segment_rowwise_dot_fwd,
+    segment_weighted_sum_fwd,
+    matmul_fwd,
+    matmul_bwd_a,
+    matmul_bwd_b,
+    centered_dot_batch,
+};
+
+}  // namespace
+
+const Kernels* scalar_kernels() { return &kScalarKernels; }
+
+}  // namespace gbm::tensor::kernels

@@ -9,8 +9,18 @@
 #include <unordered_set>
 
 #include "core/parallel.h"
+#include "tensor/kernels/kernels.h"
 
 namespace gbm::tensor {
+
+// Every hot loop below dispatches through the runtime-selected kernel table
+// (tensor/kernels/): `kn()` is the scalar reference tier, an AVX2/FMA tier,
+// or a NEON tier, chosen once at startup (GBM_KERNEL override respected).
+// Elementwise and segment kernels are bit-exact across tiers; matmul and
+// the retrieval prefilter are tolerance class (see kernels.h).
+namespace {
+inline const kernels::Kernels& kn() { return kernels::active(); }
+}  // namespace
 
 namespace {
 
@@ -166,9 +176,12 @@ Tensor add(const Tensor& a, const Tensor& b) {
   const auto& av = a.data();
   const auto& bv = b.data();
   const long n = a.rows(), d = a.cols();
-  for (long r = 0; r < n; ++r)
-    for (long c = 0; c < d; ++c)
-      out->val[r * d + c] = av[r * d + c] + (bc ? bv[c] : bv[r * d + c]);
+  if (bc) {
+    for (long r = 0; r < n; ++r)
+      kn().add_n(out->val.data() + r * d, av.data() + r * d, bv.data(), d);
+  } else {
+    kn().add_n(out->val.data(), av.data(), bv.data(), n * d);
+  }
   if (out->requires_grad) {
     out->inputs = {a.impl(), b.impl()};
     TensorImpl* o = out.get();
@@ -176,15 +189,15 @@ Tensor add(const Tensor& a, const Tensor& b) {
     out->backward = [o, ai, bi, bc, n, d]() {
       if (ai->requires_grad) {
         ai->ensure_grad();
-        for (long i = 0; i < n * d; ++i) ai->grad[i] += o->grad[i];
+        kn().acc_n(ai->grad.data(), o->grad.data(), n * d);
       }
       if (bi->requires_grad) {
         bi->ensure_grad();
         if (bc) {
           for (long r = 0; r < n; ++r)
-            for (long c = 0; c < d; ++c) bi->grad[c] += o->grad[r * d + c];
+            kn().acc_n(bi->grad.data(), o->grad.data() + r * d, d);
         } else {
-          for (long i = 0; i < n * d; ++i) bi->grad[i] += o->grad[i];
+          kn().acc_n(bi->grad.data(), o->grad.data(), n * d);
         }
       }
     };
@@ -201,9 +214,12 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   const auto& av = a.data();
   const auto& bv = b.data();
   const long n = a.rows(), d = a.cols();
-  for (long r = 0; r < n; ++r)
-    for (long c = 0; c < d; ++c)
-      out->val[r * d + c] = av[r * d + c] * (bc ? bv[c] : bv[r * d + c]);
+  if (bc) {
+    for (long r = 0; r < n; ++r)
+      kn().mul_n(out->val.data() + r * d, av.data() + r * d, bv.data(), d);
+  } else {
+    kn().mul_n(out->val.data(), av.data(), bv.data(), n * d);
+  }
   if (out->requires_grad) {
     out->inputs = {a.impl(), b.impl()};
     TensorImpl* o = out.get();
@@ -211,18 +227,22 @@ Tensor mul(const Tensor& a, const Tensor& b) {
     out->backward = [o, ai, bi, bc, n, d]() {
       if (ai->requires_grad) {
         ai->ensure_grad();
-        for (long r = 0; r < n; ++r)
-          for (long c = 0; c < d; ++c)
-            ai->grad[r * d + c] += o->grad[r * d + c] * (bc ? bi->val[c] : bi->val[r * d + c]);
+        if (bc) {
+          for (long r = 0; r < n; ++r)
+            kn().fma_acc_n(ai->grad.data() + r * d, o->grad.data() + r * d,
+                           bi->val.data(), d);
+        } else {
+          kn().fma_acc_n(ai->grad.data(), o->grad.data(), bi->val.data(), n * d);
+        }
       }
       if (bi->requires_grad) {
         bi->ensure_grad();
         if (bc) {
           for (long r = 0; r < n; ++r)
-            for (long c = 0; c < d; ++c)
-              bi->grad[c] += o->grad[r * d + c] * ai->val[r * d + c];
+            kn().fma_acc_n(bi->grad.data(), o->grad.data() + r * d,
+                           ai->val.data() + r * d, d);
         } else {
-          for (long i = 0; i < n * d; ++i) bi->grad[i] += o->grad[i] * ai->val[i];
+          kn().fma_acc_n(bi->grad.data(), o->grad.data(), ai->val.data(), n * d);
         }
       }
     };
@@ -234,10 +254,10 @@ Tensor scale(const Tensor& a, float s) {
   return unary_op(
       a, a.rows(), a.cols(),
       [s](const TensorImpl& x, TensorImpl& o) {
-        for (long i = 0; i < x.size(); ++i) o.val[i] = x.val[i] * s;
+        kn().scale_n(o.val.data(), x.val.data(), s, x.size());
       },
       [s](TensorImpl& x, TensorImpl& o) {
-        for (long i = 0; i < x.size(); ++i) x.grad[i] += o.grad[i] * s;
+        kn().axpy_n(x.grad.data(), o.grad.data(), s, x.size());
       });
 }
 
@@ -245,10 +265,10 @@ Tensor add_scalar(const Tensor& a, float s) {
   return unary_op(
       a, a.rows(), a.cols(),
       [s](const TensorImpl& x, TensorImpl& o) {
-        for (long i = 0; i < x.size(); ++i) o.val[i] = x.val[i] + s;
+        kn().adds_n(o.val.data(), x.val.data(), s, x.size());
       },
       [](TensorImpl& x, TensorImpl& o) {
-        for (long i = 0; i < x.size(); ++i) x.grad[i] += o.grad[i];
+        kn().acc_n(x.grad.data(), o.grad.data(), x.size());
       });
 }
 
@@ -296,33 +316,6 @@ namespace {
 
 thread_local int g_matmul_threads = 1;
 
-// Below this many multiply-adds the parallel_for fan-out costs more than
-// the split saves: parallel_for spins up (and joins) a fresh ThreadPool per
-// call, so the break-even point is set by thread creation — on the order of
-// a hundred microseconds — not by wake-up latency. 2^22 multiply-adds is a
-// few milliseconds of serial work in a Release build.
-constexpr long kMatmulParallelMinWork = 1L << 22;
-
-bool matmul_parallel_worthwhile(long work, long range, int mt) {
-  return mt > 1 && range > 1 && work >= kMatmulParallelMinWork;
-}
-
-// Runs fn(begin, end) over contiguous blocks covering [0, range). Each index
-// belongs to exactly one block and the loop inside a block is the serial
-// order, so the result is bit-identical to fn(0, range) at any worker count.
-void parallel_blocks(long range, int mt, const std::function<void(long, long)>& fn) {
-  const long tasks = std::min<long>(range, static_cast<long>(mt) * 4);
-  const long block = (range + tasks - 1) / tasks;
-  core::parallel_for(
-      static_cast<std::size_t>(tasks),
-      [&](std::size_t t) {
-        const long begin = static_cast<long>(t) * block;
-        const long end = std::min(range, begin + block);
-        if (begin < end) fn(begin, end);
-      },
-      mt);
-}
-
 }  // namespace
 
 int matmul_threads() { return g_matmul_threads; }
@@ -340,26 +333,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   // matter which thread later runs backward().
   const int mt = g_matmul_threads;
   auto out = make_impl(n, m, a.requires_grad() || b.requires_grad());
-  const float* A = a.data().data();
-  const float* B = b.data().data();
-  float* C = out->val.data();
-  // i-k-j loop order: unit-stride inner loop over both B and C rows. Output
-  // rows are independent, so the row range parallelises bit-identically.
-  const auto fwd_rows = [A, B, C, k, m](long i0, long i1) {
-    for (long i = i0; i < i1; ++i) {
-      float* Ci = C + i * m;
-      for (long kk = 0; kk < k; ++kk) {
-        const float aik = A[i * k + kk];
-        if (aik == 0.0f) continue;
-        const float* Bk = B + kk * m;
-        for (long j = 0; j < m; ++j) Ci[j] += aik * Bk[j];
-      }
-    }
-  };
-  if (matmul_parallel_worthwhile(n * k * m, n, mt))
-    parallel_blocks(n, mt, fwd_rows);
-  else
-    fwd_rows(0, n);
+  kn().matmul_fwd(a.data().data(), b.data().data(), out->val.data(), n, k, m, mt);
   if (out->requires_grad) {
     out->inputs = {a.impl(), b.impl()};
     TensorImpl* o = out.get();
@@ -367,40 +341,12 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     out->backward = [o, ai, bi, n, k, m, mt]() {
       const float* G = o->grad.data();
       if (ai->requires_grad) {
-        ai->ensure_grad();  // dA = G * B^T — rows of dA are independent.
-        float* dA = ai->grad.data();
-        const float* B = bi->val.data();
-        const auto bwd_a_rows = [G, dA, B, k, m](long i0, long i1) {
-          for (long i = i0; i < i1; ++i)
-            for (long j = 0; j < m; ++j) {
-              const float g = G[i * m + j];
-              if (g == 0.0f) continue;
-              const float* Bcol = B + j;  // column j, stride m
-              for (long kk = 0; kk < k; ++kk) dA[i * k + kk] += g * Bcol[kk * m];
-            }
-        };
-        if (matmul_parallel_worthwhile(n * k * m, n, mt))
-          parallel_blocks(n, mt, bwd_a_rows);
-        else
-          bwd_a_rows(0, n);
+        ai->ensure_grad();  // dA += G * B^T — rows of dA are independent.
+        kn().matmul_bwd_a(G, bi->val.data(), ai->grad.data(), n, k, m, mt);
       }
       if (bi->requires_grad) {
-        bi->ensure_grad();  // dB = A^T * G — rows of dB (k range) independent.
-        float* dB = bi->grad.data();
-        const float* A = ai->val.data();
-        const auto bwd_b_rows = [G, dB, A, n, k, m](long k0, long k1) {
-          for (long kk = k0; kk < k1; ++kk)
-            for (long i = 0; i < n; ++i) {
-              const float aik = A[i * k + kk];
-              if (aik == 0.0f) continue;
-              const float* Gi = G + i * m;
-              for (long j = 0; j < m; ++j) dB[kk * m + j] += aik * Gi[j];
-            }
-        };
-        if (matmul_parallel_worthwhile(n * k * m, k, mt))
-          parallel_blocks(k, mt, bwd_b_rows);
-        else
-          bwd_b_rows(0, k);
+        bi->ensure_grad();  // dB += A^T * G — rows of dB (k range) independent.
+        kn().matmul_bwd_b(ai->val.data(), G, bi->grad.data(), n, k, m, mt);
       }
     };
   }
@@ -482,12 +428,11 @@ Tensor leaky_relu(const Tensor& a, float negative_slope) {
   return unary_op(
       a, a.rows(), a.cols(),
       [negative_slope](const TensorImpl& x, TensorImpl& o) {
-        for (long i = 0; i < x.size(); ++i)
-          o.val[i] = x.val[i] > 0.0f ? x.val[i] : negative_slope * x.val[i];
+        kn().lrelu_fwd_n(o.val.data(), x.val.data(), negative_slope, x.size());
       },
       [negative_slope](TensorImpl& x, TensorImpl& o) {
-        for (long i = 0; i < x.size(); ++i)
-          x.grad[i] += o.grad[i] * (x.val[i] > 0.0f ? 1.0f : negative_slope);
+        kn().lrelu_bwd_n(x.grad.data(), x.val.data(), o.grad.data(),
+                         negative_slope, x.size());
       });
 }
 
@@ -773,17 +718,9 @@ Tensor segment_max(const Tensor& a, const std::vector<int>& seg, long nseg) {
   auto out = make_impl(nseg, d, a.requires_grad());
   // argmax[s*d+c] is the winning input row for (segment s, column c), or -1
   // for a segment with no rows (whose output stays zero).
-  std::vector<long> argmax(static_cast<std::size_t>(nseg * d), -1);
-  for (long i = 0; i < n; ++i) {
-    const long s = seg[i];
-    for (long c = 0; c < d; ++c) {
-      const float v = a.data()[i * d + c];
-      if (argmax[s * d + c] < 0 || v > out->val[s * d + c]) {
-        out->val[s * d + c] = v;
-        argmax[s * d + c] = i;
-      }
-    }
-  }
+  std::vector<int> argmax(static_cast<std::size_t>(nseg * d), -1);
+  kn().segment_max_fwd(a.data().data(), seg.data(), n, d, nseg, out->val.data(),
+                       argmax.data());
   if (out->requires_grad) {
     out->inputs = {a.impl()};
     TensorImpl* o = out.get();
@@ -806,13 +743,8 @@ Tensor segment_rowwise_dot(const Tensor& a, const Tensor& b,
   if (a.cols() != b.cols()) shape_error("segment_rowwise_dot", a, b);
   const long n = a.rows(), d = a.cols();
   auto out = make_impl(n, 1, a.requires_grad() || b.requires_grad());
-  for (long i = 0; i < n; ++i) {
-    const float* ai = a.data().data() + i * d;
-    const float* bi = b.data().data() + static_cast<long>(seg[i]) * d;
-    float acc = 0.0f;
-    for (long c = 0; c < d; ++c) acc += ai[c] * bi[c];
-    out->val[i] = acc;
-  }
+  kn().segment_rowwise_dot_fwd(a.data().data(), b.data().data(), seg.data(), n,
+                               d, out->val.data());
   if (out->requires_grad) {
     out->inputs = {a.impl(), b.impl()};
     TensorImpl* o = out.get();
@@ -820,20 +752,16 @@ Tensor segment_rowwise_dot(const Tensor& a, const Tensor& b,
     out->backward = [o, ai, bi, seg, n, d]() {
       if (ai->requires_grad) {
         ai->ensure_grad();
-        for (long i = 0; i < n; ++i) {
-          const float g = o->grad[i];
-          const float* brow = bi->val.data() + static_cast<long>(seg[i]) * d;
-          for (long c = 0; c < d; ++c) ai->grad[i * d + c] += g * brow[c];
-        }
+        for (long i = 0; i < n; ++i)
+          kn().axpy_n(ai->grad.data() + i * d,
+                      bi->val.data() + static_cast<long>(seg[i]) * d,
+                      o->grad[i], d);
       }
       if (bi->requires_grad) {
         bi->ensure_grad();
-        for (long i = 0; i < n; ++i) {
-          const float g = o->grad[i];
-          const float* arow = ai->val.data() + i * d;
-          float* brow = bi->grad.data() + static_cast<long>(seg[i]) * d;
-          for (long c = 0; c < d; ++c) brow[c] += g * arow[c];
-        }
+        for (long i = 0; i < n; ++i)
+          kn().axpy_n(bi->grad.data() + static_cast<long>(seg[i]) * d,
+                      ai->val.data() + i * d, o->grad[i], d);
       }
     };
   }
@@ -847,12 +775,8 @@ Tensor segment_weighted_sum(const Tensor& a, const Tensor& w,
   if (w.cols() != 1 || w.rows() != a.rows()) shape_error("segment_weighted_sum", a, w);
   const long n = a.rows(), d = a.cols();
   auto out = make_impl(nseg, d, a.requires_grad() || w.requires_grad());
-  for (long i = 0; i < n; ++i) {
-    const float wi = w.data()[i];
-    const float* ai = a.data().data() + i * d;
-    float* orow = out->val.data() + static_cast<long>(seg[i]) * d;
-    for (long c = 0; c < d; ++c) orow[c] += wi * ai[c];
-  }
+  kn().segment_weighted_sum_fwd(a.data().data(), w.data().data(), seg.data(), n,
+                                d, out->val.data());
   if (out->requires_grad) {
     out->inputs = {a.impl(), w.impl()};
     TensorImpl* o = out.get();
@@ -860,11 +784,10 @@ Tensor segment_weighted_sum(const Tensor& a, const Tensor& w,
     out->backward = [o, ai, wi, seg, n, d]() {
       if (ai->requires_grad) {
         ai->ensure_grad();
-        for (long i = 0; i < n; ++i) {
-          const float wv = wi->val[i];
-          const float* grow = o->grad.data() + static_cast<long>(seg[i]) * d;
-          for (long c = 0; c < d; ++c) ai->grad[i * d + c] += wv * grow[c];
-        }
+        for (long i = 0; i < n; ++i)
+          kn().axpy_n(ai->grad.data() + i * d,
+                      o->grad.data() + static_cast<long>(seg[i]) * d,
+                      wi->val[i], d);
       }
       if (wi->requires_grad) {
         wi->ensure_grad();
@@ -886,8 +809,7 @@ Tensor scale_rows(const Tensor& a, const Tensor& s) {
   const long n = a.rows(), d = a.cols();
   auto out = make_impl(n, d, a.requires_grad() || s.requires_grad());
   for (long r = 0; r < n; ++r)
-    for (long c = 0; c < d; ++c)
-      out->val[r * d + c] = a.data()[r * d + c] * s.data()[r];
+    kn().scale_n(out->val.data() + r * d, a.data().data() + r * d, s.data()[r], d);
   if (out->requires_grad) {
     out->inputs = {a.impl(), s.impl()};
     TensorImpl* o = out.get();
@@ -896,8 +818,8 @@ Tensor scale_rows(const Tensor& a, const Tensor& s) {
       if (ai->requires_grad) {
         ai->ensure_grad();
         for (long r = 0; r < n; ++r)
-          for (long c = 0; c < d; ++c)
-            ai->grad[r * d + c] += o->grad[r * d + c] * si->val[r];
+          kn().axpy_n(ai->grad.data() + r * d, o->grad.data() + r * d,
+                      si->val[r], d);
       }
       if (si->requires_grad) {
         si->ensure_grad();

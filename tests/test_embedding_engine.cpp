@@ -261,6 +261,43 @@ TEST(EmbeddingIndex, TopkDeterministicWithIdTieBreak) {
   EXPECT_TRUE(index.topk(query, 0).empty());
 }
 
+TEST(EmbeddingIndex, AddAfterQueryInvalidatesCenteredCache) {
+  // topk caches mean-centered rows on first use; an add() moves the
+  // centering mean, so a stale cache would score every old row against the
+  // wrong mean. Parity oracle: a fresh index built with the final contents.
+  const auto model = make_model();
+  const EmbeddingEngine engine(model);
+  const auto graphs = graph_zoo();
+  EmbeddingIndex warm(engine);
+  for (std::size_t i = 0; i + 2 < graphs.size(); ++i)
+    warm.add(engine.embed(graphs[i]));
+  const Embedding query = engine.embed(graphs.back());
+  (void)warm.topk(query, 3);  // populate the cache
+  warm.add(engine.embed(graphs[graphs.size() - 2]));  // mean moves
+
+  EmbeddingIndex fresh(engine);
+  for (std::size_t i = 0; i + 1 < graphs.size(); ++i)
+    fresh.add(engine.embed(graphs[i]));
+  const auto got = warm.topk(query, 4);
+  const auto want = fresh.topk(query, 4);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id);
+    EXPECT_EQ(got[i].cosine, want[i].cosine);
+    EXPECT_EQ(got[i].score, want[i].score);
+  }
+
+  // clear() also invalidates: a reused index matches a brand-new one.
+  warm.clear();
+  warm.add(engine.embed(graphs[0]));
+  EmbeddingIndex tiny(engine);
+  tiny.add(engine.embed(graphs[0]));
+  const auto got2 = warm.topk(query, 1);
+  const auto want2 = tiny.topk(query, 1);
+  ASSERT_EQ(got2.size(), 1u);
+  EXPECT_EQ(got2[0].cosine, want2[0].cosine);
+}
+
 TEST(EmbeddingIndex, QuerySideBUsesFlippedHead) {
   const auto model = make_model();
   const EmbeddingEngine engine(model);

@@ -1,0 +1,345 @@
+// Kernel-tier parity tests (ctest label `kernel`): every SIMD tier compiled
+// into this binary and usable on this host is checked against the scalar
+// reference, per the contract in tensor/kernels/kernels.h —
+//
+//   * elementwise and segment kernels must be BIT-exact vs scalar, across
+//     ragged lengths (n % vector-width != 0), empty segments, and 1-row
+//     matrices;
+//   * matmul fwd/bwd and the centered-cosine prefilter are tolerance class
+//     (<= 1e-5 relative) but must be bit-stable within one tier at any
+//     matmul thread count;
+//   * zero-norm prefilter rows produce exactly 0 on every tier.
+//
+// On a host with no usable SIMD tier the cross-tier cases degenerate to
+// scalar-vs-scalar (still exercising the shapes); the suite never fails
+// solely because a tier is absent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "tensor/kernels/kernels.h"
+
+namespace gbm::tensor::kernels {
+namespace {
+
+// Ragged on purpose: 1 (degenerate), below/at/above the 8-wide AVX2 and
+// 4-wide NEON widths, and a few larger lengths with nonzero tails.
+const long kSizes[] = {1, 3, 8, 17, 64, 100, 257};
+
+std::vector<const Kernels*> simd_tiers() {
+  std::vector<const Kernels*> out;
+  for (Tier t : {Tier::kAvx2, Tier::kNeon})
+    if (const Kernels* k = for_tier(t)) out.push_back(k);
+  return out;
+}
+
+std::vector<float> random_floats(std::mt19937& rng, long n) {
+  // Mix of signs, magnitudes, and exact zeros (matmul kernels skip zeros;
+  // lrelu branches on sign).
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  std::bernoulli_distribution zero(0.1);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = zero(rng) ? 0.0f : dist(rng);
+  return v;
+}
+
+std::vector<int> random_segments(std::mt19937& rng, long n, long nseg) {
+  // Leaves some segments empty with high probability (nseg > n is allowed).
+  std::uniform_int_distribution<int> dist(0, static_cast<int>(nseg) - 1);
+  std::vector<int> seg(static_cast<std::size_t>(n));
+  for (auto& s : seg) s = dist(rng);
+  return seg;
+}
+
+void expect_bitwise_equal(const std::vector<float>& got,
+                          const std::vector<float>& want, const char* what,
+                          const char* tier, long n) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(std::memcmp(&got[i], &want[i], sizeof(float)), 0)
+        << what << " tier=" << tier << " n=" << n << " i=" << i
+        << " got=" << got[i] << " want=" << want[i];
+}
+
+void expect_close(const std::vector<float>& got, const std::vector<float>& want,
+                  const char* what, const char* tier) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float scale = std::max({1.0f, std::fabs(got[i]), std::fabs(want[i])});
+    ASSERT_LE(std::fabs(got[i] - want[i]), 1e-5f * scale)
+        << what << " tier=" << tier << " i=" << i << " got=" << got[i]
+        << " want=" << want[i];
+  }
+}
+
+// ---- dispatch plumbing ----------------------------------------------------
+
+TEST(KernelRegistry, ScalarAlwaysAvailableAndActiveIsUsable) {
+  ASSERT_NE(scalar_kernels(), nullptr);
+  EXPECT_STREQ(scalar_kernels()->name, "scalar");
+  EXPECT_TRUE(available(Tier::kScalar));
+  const Kernels& k = active();
+  EXPECT_NE(k.add_n, nullptr);
+  EXPECT_NE(k.matmul_fwd, nullptr);
+  EXPECT_NE(k.centered_dot_batch, nullptr);
+  EXPECT_STREQ(k.name, tier_name(active_tier()));
+}
+
+TEST(KernelRegistry, ParseTier) {
+  EXPECT_EQ(parse_tier("scalar"), Tier::kScalar);
+  EXPECT_EQ(parse_tier("avx2"), Tier::kAvx2);
+  EXPECT_EQ(parse_tier("neon"), Tier::kNeon);
+  EXPECT_EQ(parse_tier("auto"), std::nullopt);
+  EXPECT_EQ(parse_tier("AVX2"), std::nullopt);
+  EXPECT_EQ(parse_tier(""), std::nullopt);
+}
+
+TEST(KernelRegistry, ForTierHonoursCompileAndCpuGates) {
+  // A non-null tier must self-report the right name; kScalar is the only
+  // tier guaranteed non-null.
+  for (Tier t : {Tier::kScalar, Tier::kAvx2, Tier::kNeon}) {
+    if (const Kernels* k = for_tier(t)) {
+      EXPECT_STREQ(k->name, tier_name(t));
+    }
+    EXPECT_EQ(available(t), for_tier(t) != nullptr);
+  }
+#if !defined(__aarch64__)
+  EXPECT_EQ(for_tier(Tier::kNeon), nullptr);
+#endif
+}
+
+// ---- elementwise: bit-exact parity ----------------------------------------
+
+TEST(KernelParity, ElementwiseBitExact) {
+  const Kernels& ref = *scalar_kernels();
+  std::mt19937 rng(7);
+  for (const Kernels* simd : simd_tiers()) {
+    for (const long n : kSizes) {
+      const auto a = random_floats(rng, n);
+      const auto b = random_floats(rng, n);
+      const auto base = random_floats(rng, n);  // accumulator seed
+      const float s = 1.7f;
+
+      std::vector<float> want(a.size()), got(a.size());
+      ref.add_n(want.data(), a.data(), b.data(), n);
+      simd->add_n(got.data(), a.data(), b.data(), n);
+      expect_bitwise_equal(got, want, "add_n", simd->name, n);
+
+      ref.mul_n(want.data(), a.data(), b.data(), n);
+      simd->mul_n(got.data(), a.data(), b.data(), n);
+      expect_bitwise_equal(got, want, "mul_n", simd->name, n);
+
+      ref.adds_n(want.data(), a.data(), s, n);
+      simd->adds_n(got.data(), a.data(), s, n);
+      expect_bitwise_equal(got, want, "adds_n", simd->name, n);
+
+      ref.scale_n(want.data(), a.data(), s, n);
+      simd->scale_n(got.data(), a.data(), s, n);
+      expect_bitwise_equal(got, want, "scale_n", simd->name, n);
+
+      want = base;
+      got = base;
+      ref.acc_n(want.data(), a.data(), n);
+      simd->acc_n(got.data(), a.data(), n);
+      expect_bitwise_equal(got, want, "acc_n", simd->name, n);
+
+      want = base;
+      got = base;
+      ref.axpy_n(want.data(), a.data(), s, n);
+      simd->axpy_n(got.data(), a.data(), s, n);
+      expect_bitwise_equal(got, want, "axpy_n", simd->name, n);
+
+      want = base;
+      got = base;
+      ref.fma_acc_n(want.data(), a.data(), b.data(), n);
+      simd->fma_acc_n(got.data(), a.data(), b.data(), n);
+      expect_bitwise_equal(got, want, "fma_acc_n", simd->name, n);
+
+      const float slope = 0.01f;
+      ref.lrelu_fwd_n(want.data(), a.data(), slope, n);
+      simd->lrelu_fwd_n(got.data(), a.data(), slope, n);
+      expect_bitwise_equal(got, want, "lrelu_fwd_n", simd->name, n);
+
+      want = base;
+      got = base;
+      ref.lrelu_bwd_n(want.data(), a.data(), b.data(), slope, n);
+      simd->lrelu_bwd_n(got.data(), a.data(), b.data(), slope, n);
+      expect_bitwise_equal(got, want, "lrelu_bwd_n", simd->name, n);
+    }
+  }
+}
+
+// ---- segment ops: bit-exact parity (incl. empty segments) -----------------
+
+TEST(KernelParity, SegmentMaxBitExactWithEmptySegments) {
+  const Kernels& ref = *scalar_kernels();
+  std::mt19937 rng(11);
+  for (const Kernels* simd : simd_tiers()) {
+    for (const long n : kSizes) {
+      for (const long d : {1L, 3L, 8L, 33L}) {
+        const long nseg = n + 2;  // at least two segments stay empty
+        const auto a = random_floats(rng, n * d);
+        const auto seg = random_segments(rng, n, nseg);
+        std::vector<float> want_out(static_cast<std::size_t>(nseg * d), 0.0f);
+        std::vector<float> got_out = want_out;
+        std::vector<int> want_arg(want_out.size(), -7);
+        std::vector<int> got_arg = want_arg;
+        ref.segment_max_fwd(a.data(), seg.data(), n, d, nseg, want_out.data(),
+                            want_arg.data());
+        simd->segment_max_fwd(a.data(), seg.data(), n, d, nseg, got_out.data(),
+                              got_arg.data());
+        expect_bitwise_equal(got_out, want_out, "segment_max out", simd->name, n);
+        ASSERT_EQ(got_arg, want_arg) << "segment_max argmax tier=" << simd->name
+                                     << " n=" << n << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, SegmentRowwiseDotBitExact) {
+  const Kernels& ref = *scalar_kernels();
+  std::mt19937 rng(13);
+  for (const Kernels* simd : simd_tiers()) {
+    for (const long n : kSizes) {
+      for (const long d : {1L, 7L, 8L, 65L}) {
+        const long nseg = std::max(1L, n / 2);
+        const auto a = random_floats(rng, n * d);
+        const auto b = random_floats(rng, nseg * d);
+        const auto seg = random_segments(rng, n, nseg);
+        std::vector<float> want(static_cast<std::size_t>(n)), got(want.size());
+        ref.segment_rowwise_dot_fwd(a.data(), b.data(), seg.data(), n, d,
+                                    want.data());
+        simd->segment_rowwise_dot_fwd(a.data(), b.data(), seg.data(), n, d,
+                                      got.data());
+        expect_bitwise_equal(got, want, "segment_rowwise_dot", simd->name, n);
+      }
+    }
+  }
+}
+
+TEST(KernelParity, SegmentWeightedSumBitExact) {
+  const Kernels& ref = *scalar_kernels();
+  std::mt19937 rng(17);
+  for (const Kernels* simd : simd_tiers()) {
+    for (const long n : kSizes) {
+      for (const long d : {1L, 5L, 8L, 40L}) {
+        const long nseg = n + 1;
+        const auto a = random_floats(rng, n * d);
+        const auto w = random_floats(rng, n);
+        const auto seg = random_segments(rng, n, nseg);
+        std::vector<float> want(static_cast<std::size_t>(nseg * d), 0.0f);
+        std::vector<float> got = want;
+        ref.segment_weighted_sum_fwd(a.data(), w.data(), seg.data(), n, d,
+                                     want.data());
+        simd->segment_weighted_sum_fwd(a.data(), w.data(), seg.data(), n, d,
+                                       got.data());
+        expect_bitwise_equal(got, want, "segment_weighted_sum", simd->name, n);
+      }
+    }
+  }
+}
+
+// ---- matmul: tolerance parity + per-tier thread-count bit-stability -------
+
+TEST(KernelParity, MatmulForwardBackwardWithinTolerance) {
+  const Kernels& ref = *scalar_kernels();
+  std::mt19937 rng(19);
+  // 1-row matrices, sub-tile shapes, and shapes straddling the 4x16 AVX2
+  // tile with ragged remainders in every dimension.
+  const long shapes[][3] = {{1, 1, 1},  {1, 9, 17},  {3, 8, 15},  {4, 16, 16},
+                            {5, 33, 7}, {17, 20, 50}, {64, 31, 100}};
+  for (const Kernels* simd : simd_tiers()) {
+    for (const auto& s : shapes) {
+      const long n = s[0], k = s[1], m = s[2];
+      const auto A = random_floats(rng, n * k);
+      const auto B = random_floats(rng, k * m);
+      const auto G = random_floats(rng, n * m);
+
+      std::vector<float> want(static_cast<std::size_t>(n * m), 0.0f);
+      std::vector<float> got = want;
+      ref.matmul_fwd(A.data(), B.data(), want.data(), n, k, m, 1);
+      simd->matmul_fwd(A.data(), B.data(), got.data(), n, k, m, 1);
+      expect_close(got, want, "matmul_fwd", simd->name);
+
+      std::vector<float> want_da(static_cast<std::size_t>(n * k), 0.0f);
+      std::vector<float> got_da = want_da;
+      ref.matmul_bwd_a(G.data(), B.data(), want_da.data(), n, k, m, 1);
+      simd->matmul_bwd_a(G.data(), B.data(), got_da.data(), n, k, m, 1);
+      expect_close(got_da, want_da, "matmul_bwd_a", simd->name);
+
+      std::vector<float> want_db(static_cast<std::size_t>(k * m), 0.0f);
+      std::vector<float> got_db = want_db;
+      ref.matmul_bwd_b(A.data(), G.data(), want_db.data(), n, k, m, 1);
+      simd->matmul_bwd_b(A.data(), G.data(), got_db.data(), n, k, m, 1);
+      expect_close(got_db, want_db, "matmul_bwd_b", simd->name);
+    }
+  }
+}
+
+TEST(KernelParity, MatmulBitStableAcrossThreadCountsPerTier) {
+  std::mt19937 rng(23);
+  const long n = 37, k = 19, m = 29;
+  const auto A = random_floats(rng, n * k);
+  const auto B = random_floats(rng, k * m);
+  std::vector<const Kernels*> tiers = simd_tiers();
+  tiers.push_back(scalar_kernels());
+  for (const Kernels* tier : tiers) {
+    std::vector<float> c1(static_cast<std::size_t>(n * m), 0.0f);
+    std::vector<float> c4 = c1;
+    tier->matmul_fwd(A.data(), B.data(), c1.data(), n, k, m, 1);
+    tier->matmul_fwd(A.data(), B.data(), c4.data(), n, k, m, 4);
+    expect_bitwise_equal(c4, c1, "matmul_fwd mt=4 vs mt=1", tier->name, n);
+  }
+}
+
+// ---- retrieval prefilter --------------------------------------------------
+
+TEST(KernelParity, CenteredDotBatchToleranceAndExactZeroNorms) {
+  const Kernels& ref = *scalar_kernels();
+  std::mt19937 rng(29);
+  for (const Kernels* simd : simd_tiers()) {
+    for (const long n : kSizes) {
+      for (const long d : {1L, 8L, 19L, 64L}) {
+        auto rows = random_floats(rng, n * d);
+        auto q = random_floats(rng, d);
+        // Zero out one row entirely so its norm is exactly 0.
+        const long zero_row = n / 2;
+        for (long c = 0; c < d; ++c) rows[zero_row * d + c] = 0.0f;
+        std::vector<double> norms(static_cast<std::size_t>(n), 0.0);
+        for (long i = 0; i < n; ++i) {
+          double nb = 0.0;
+          for (long c = 0; c < d; ++c) {
+            const float v = rows[i * d + c];
+            nb += static_cast<double>(v) * v;
+          }
+          norms[static_cast<std::size_t>(i)] = std::sqrt(nb);
+        }
+        double qn = 0.0;
+        for (long c = 0; c < d; ++c)
+          qn += static_cast<double>(q[c]) * q[c];
+        qn = std::sqrt(qn);
+
+        std::vector<float> want(static_cast<std::size_t>(n)), got(want.size());
+        ref.centered_dot_batch(rows.data(), norms.data(), q.data(), qn, n, d,
+                               want.data());
+        simd->centered_dot_batch(rows.data(), norms.data(), q.data(), qn, n, d,
+                                 got.data());
+        expect_close(got, want, "centered_dot_batch", simd->name);
+        // The zero-norm row is exactly 0 on every tier — never NaN/Inf.
+        EXPECT_EQ(got[static_cast<std::size_t>(zero_row)], 0.0f);
+        EXPECT_EQ(want[static_cast<std::size_t>(zero_row)], 0.0f);
+
+        // Zero query norm: the whole batch is exactly 0.
+        simd->centered_dot_batch(rows.data(), norms.data(), q.data(), 0.0, n,
+                                 d, got.data());
+        for (const float v : got) ASSERT_EQ(v, 0.0f);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gbm::tensor::kernels

@@ -4,7 +4,9 @@
 // load → bit-identical serving), and the error paths — truncated,
 // corrupted, wrong-version, and legacy files fail with descriptive
 // std::runtime_error instead of producing garbage.
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <memory>
@@ -269,6 +271,66 @@ TEST(ArtifactStore, CorruptedEntryQuarantinedAndRecomputed) {
   ArtifactStore::destroy(dir);
   EXPECT_EQ(std::fopen(quarantined_path.c_str(), "rb"), nullptr);
   EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr);
+}
+
+TEST(ArtifactStore, EvictDropsLeastRecentlyUsedFirst) {
+  const std::string dir = fresh_store_dir("gbm_store_evict");
+  const ArtifactStore store(dir);
+  data::SourceFile f;
+  f.source = "int main(){ print(1); return 0; }";
+  f.lang = frontend::Lang::C;
+  f.unit_name = "Main";
+  const ArtifactOptions opts;
+  const Artifact artifact = build_artifact(f, opts);
+  ASSERT_TRUE(artifact.ok);
+  const std::uint64_t keys[3] = {101, 202, 303};
+  for (const std::uint64_t k : keys) store.put(k, artifact);
+
+  // Identical payloads → identical sizes; grab one for budget arithmetic.
+  struct ::stat st;
+  ASSERT_EQ(::stat(store.path_for(keys[0]).c_str(), &st), 0);
+  const std::uint64_t sz = static_cast<std::uint64_t>(st.st_size);
+  ASSERT_GT(sz, 0u);
+
+  // Pin access times explicitly (mtime untouched): keys[0] oldest.
+  const auto set_atime = [&](std::uint64_t key, long sec) {
+    struct timespec times[2];
+    times[0].tv_sec = sec;
+    times[0].tv_nsec = 0;
+    times[1].tv_sec = 0;
+    times[1].tv_nsec = UTIME_OMIT;
+    ASSERT_EQ(::utimensat(AT_FDCWD, store.path_for(key).c_str(), times, 0), 0);
+  };
+  set_atime(keys[0], 1000);
+  set_atime(keys[1], 2000);
+  set_atime(keys[2], 3000);
+
+  // Under budget: nothing happens.
+  EXPECT_EQ(store.evict(3 * sz), 0u);
+  EXPECT_EQ(store.stats().evicted, 0u);
+
+  // One entry over budget: the oldest-accessed entry goes, the rest stay.
+  EXPECT_EQ(store.evict(2 * sz), 1u);
+  EXPECT_FALSE(store.contains(keys[0]));
+  EXPECT_TRUE(store.contains(keys[1]));
+  EXPECT_TRUE(store.contains(keys[2]));
+  EXPECT_EQ(store.stats().evicted, 1u);
+
+  // A hit refreshes recency: re-age both, touch keys[1] through load(), and
+  // the next eviction must take keys[2] even though its pinned atime was
+  // newer before the hit.
+  set_atime(keys[1], 1000);
+  set_atime(keys[2], 2000);
+  ASSERT_TRUE(store.load(keys[1]).has_value());
+  EXPECT_EQ(store.evict(sz), 1u);
+  EXPECT_TRUE(store.contains(keys[1]));
+  EXPECT_FALSE(store.contains(keys[2]));
+
+  // Budget 0 empties the store.
+  EXPECT_EQ(store.evict(0), 1u);
+  EXPECT_FALSE(store.contains(keys[1]));
+  EXPECT_EQ(store.stats().evicted, 3u);
+  ArtifactStore::destroy(dir);
 }
 
 TEST(ArtifactStore, MissingKeyIsMissNotError) {
